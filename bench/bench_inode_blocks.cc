@@ -1,0 +1,97 @@
+// Small-i-node-block experiment (paper §4.2): "We measured a version of
+// MINIX LLD that allocates each i-node as a small block. ... this version
+// performs the same for write operations and worse for read operations on
+// the small-file benchmarks. ... This version of MINIX LLD exhibits the
+// same performance on the large-file benchmark."
+//
+// The 64-byte i-node blocks exercise LD's multiple block sizes (§2.1):
+// writes get cheaper per i-node (a 64-byte write instead of a whole i-node
+// block), but reads fetch each i-node individually from a misaligned
+// position instead of sharing one cached 4-KB i-node block.
+
+#include <cstdio>
+
+#include "src/harness/report.h"
+#include "src/harness/setup.h"
+#include "src/util/table.h"
+#include "src/workload/microbench.h"
+
+namespace ld {
+namespace {
+
+int Run() {
+  SmallFileResult small[2];
+  LargeFileResult large[2];
+  const FsKind kinds[2] = {FsKind::kMinixLld, FsKind::kMinixLldSmallInodes};
+  for (int i = 0; i < 2; ++i) {
+    {
+      auto fut = MakeFsUnderTest(kinds[i], SetupParams{});
+      if (!fut.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n", fut.status().ToString().c_str());
+        return 1;
+      }
+      SmallFileParams bench;
+      bench.num_files = 10000;
+      bench.file_bytes = 1024;
+      auto result = RunSmallFileBenchmark(fut->fs.get(), fut->clock.get(), bench);
+      if (!result.ok()) {
+        return 1;
+      }
+      small[i] = *result;
+    }
+    {
+      auto fut = MakeFsUnderTest(kinds[i], SetupParams{});
+      LargeFileParams bench;
+      auto result = RunLargeFileBenchmark(fut->fs.get(), fut->clock.get(), bench);
+      if (!result.ok()) {
+        return 1;
+      }
+      large[i] = *result;
+    }
+  }
+
+  TextTable t({"Metric", "Collected i-nodes", "64-B i-node blocks"});
+  t.AddRow({"Small-file create (files/s)", TextTable::Num(small[0].create_per_sec, 1),
+            TextTable::Num(small[1].create_per_sec, 1)});
+  t.AddRow({"Small-file read (files/s)", TextTable::Num(small[0].read_per_sec, 1),
+            TextTable::Num(small[1].read_per_sec, 1)});
+  t.AddRow({"Small-file delete (files/s)", TextTable::Num(small[0].delete_per_sec, 1),
+            TextTable::Num(small[1].delete_per_sec, 1)});
+  t.AddRow({"Large-file write seq (KB/s)", TextTable::Num(large[0].write_seq_kbps),
+            TextTable::Num(large[1].write_seq_kbps)});
+  t.AddRow({"Large-file read seq (KB/s)", TextTable::Num(large[0].read_seq_kbps),
+            TextTable::Num(large[1].read_seq_kbps)});
+  t.Print();
+
+  std::printf(
+      "\nNote: our delete phase runs against a cold cache, so every unlink pays an\n"
+      "individual 64-byte i-node *read* before it can decrement the link count —\n"
+      "the same penalty the paper describes for reads. The paper's \"creating and\n"
+      "deleting are similar\" statement is about the write side, which is confirmed\n"
+      "by the create rates.\n");
+  std::printf("\nChecks (PASS/FAIL):\n");
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+  };
+  check("creates similar (write side unchanged, within 25%)",
+        small[1].create_per_sec > 0.75 * small[0].create_per_sec);
+  check("small-file reads worse with individual i-node reads",
+        small[1].read_per_sec < 0.95 * small[0].read_per_sec);
+  check("cold-cache deletes also pay the individual i-node read",
+        small[1].delete_per_sec < small[0].delete_per_sec);
+  check("large-file performance unchanged (one i-node, within 5%)",
+        large[1].write_seq_kbps > 0.95 * large[0].write_seq_kbps &&
+            large[1].read_seq_kbps > 0.95 * large[0].read_seq_kbps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ld
+
+int main() {
+  ld::PrintBanner("Small i-node blocks — multiple block sizes (paper §4.1-4.2)",
+                  "MINIX LLD with each i-node in its own 64-byte logical block vs the\n"
+                  "default i-node table; the small-file benchmark reads each i-node\n"
+                  "individually, the large-file benchmark touches only one i-node.");
+  return ld::Run();
+}

@@ -1,0 +1,115 @@
+// CPU microbenchmarks of the LD interface primitives (google-benchmark).
+//
+// The paper's performance results are disk-bound; this binary measures the
+// *CPU* cost of LLD's in-memory work (block-map updates, list maintenance,
+// summary logging, segment assembly) on a zero-latency MemDisk, which is
+// what a host would pay per operation on top of the I/O.
+
+#include <benchmark/benchmark.h>
+
+#include "src/disk/mem_disk.h"
+#include "src/lld/lld.h"
+
+namespace ld {
+namespace {
+
+struct Rig {
+  SimClock clock;
+  std::unique_ptr<MemDisk> disk;
+  std::unique_ptr<LogStructuredDisk> lld;
+  Lid list;
+
+  Rig() {
+    disk = std::make_unique<MemDisk>((256ull << 20) / 512, 512, &clock);
+    LldOptions options;
+    lld = *LogStructuredDisk::Format(disk.get(), options);
+    list = *lld->NewList(kBeginOfListOfLists, ListHints{});
+  }
+};
+
+void BM_NewDeleteBlock(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    Bid bid = *rig.lld->NewBlock(rig.list, kBeginOfList);
+    benchmark::DoNotOptimize(bid);
+    (void)rig.lld->DeleteBlock(bid, rig.list, kNilBid);
+  }
+}
+BENCHMARK(BM_NewDeleteBlock);
+
+void BM_Write4K(benchmark::State& state) {
+  Rig rig;
+  Bid bid = *rig.lld->NewBlock(rig.list, kBeginOfList);
+  std::vector<uint8_t> data(4096, 0x7e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.lld->Write(bid, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Write4K);
+
+void BM_Read4KFromOpenSegment(benchmark::State& state) {
+  Rig rig;
+  Bid bid = *rig.lld->NewBlock(rig.list, kBeginOfList);
+  std::vector<uint8_t> data(4096, 0x7e);
+  (void)rig.lld->Write(bid, data);
+  std::vector<uint8_t> out(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.lld->Read(bid, out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Read4KFromOpenSegment);
+
+void BM_Read4KFromDisk(benchmark::State& state) {
+  Rig rig;
+  // Fill past several segments so reads hit "disk" (MemDisk) paths.
+  std::vector<uint8_t> data(4096, 0x7e);
+  std::vector<Bid> bids;
+  Bid pred = kBeginOfList;
+  for (int i = 0; i < 512; ++i) {
+    Bid bid = *rig.lld->NewBlock(rig.list, pred);
+    (void)rig.lld->Write(bid, data);
+    bids.push_back(bid);
+    pred = bid;
+  }
+  (void)rig.lld->Flush();
+  std::vector<uint8_t> out(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.lld->Read(bids[i++ % 256], out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Read4KFromDisk);
+
+void BM_FlushPartial(benchmark::State& state) {
+  Rig rig;
+  Bid bid = *rig.lld->NewBlock(rig.list, kBeginOfList);
+  std::vector<uint8_t> data(4096, 0x11);
+  for (auto _ : state) {
+    (void)rig.lld->Write(bid, data);
+    benchmark::DoNotOptimize(rig.lld->Flush());
+  }
+}
+BENCHMARK(BM_FlushPartial);
+
+void BM_DeleteBlockWithHint(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bid a = *rig.lld->NewBlock(rig.list, kBeginOfList);
+    Bid b = *rig.lld->NewBlock(rig.list, a);
+    state.ResumeTiming();
+    (void)rig.lld->DeleteBlock(b, rig.list, a);  // Correct hint: O(1).
+    state.PauseTiming();
+    (void)rig.lld->DeleteBlock(a, rig.list, kNilBid);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DeleteBlockWithHint);
+
+}  // namespace
+}  // namespace ld
+
+BENCHMARK_MAIN();

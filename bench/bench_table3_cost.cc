@@ -1,0 +1,65 @@
+// Table 3: the percentage LLD's main memory adds to the purchase cost of a
+// disk, for 1993 component prices.
+//
+// Paper values ("best / worst" = 1.5 MB vs 4.6 MB of RAM per GB):
+//
+//                        $750/GB disk    $1500/GB disk
+//   $30/MB RAM           6% or 18%       3% or 9%
+//   $50/MB RAM           10% or 31%      5% or 15%
+
+#include <cstdio>
+
+#include "src/harness/report.h"
+#include "src/lld/memory_model.h"
+#include "src/util/table.h"
+
+namespace ld {
+namespace {
+
+void CostTable() {
+  MemoryModelParams best;
+  best.disk_bytes = 1ull << 30;
+  best.compression = false;
+  best.lists = 1;
+  const MemoryModelResult best_mem = ComputeMemoryModel(best);
+
+  MemoryModelParams worst = best;
+  worst.compression = true;
+  const MemoryModelResult pre = ComputeMemoryModel(worst);
+  worst.lists = ListsForFileSize(pre.effective_storage_bytes, 8192);
+  const MemoryModelResult worst_mem = ComputeMemoryModel(worst);
+
+  const double kPaper[2][2][2] = {{{0.06, 0.18}, {0.03, 0.09}}, {{0.10, 0.31}, {0.05, 0.15}}};
+  const double ram_prices[2] = {30, 50};
+  const double disk_prices[2] = {750, 1500};
+
+  TextTable t({"Price of a MB RAM", "$750 per GB disk", "$1500 per GB disk"});
+  for (int r = 0; r < 2; ++r) {
+    std::vector<std::string> row{"$" + TextTable::Num(ram_prices[r])};
+    for (int d = 0; d < 2; ++d) {
+      const double best_frac =
+          ComputeCostFraction(best_mem, ram_prices[r], disk_prices[d], best.disk_bytes);
+      const double worst_frac =
+          ComputeCostFraction(worst_mem, ram_prices[r], disk_prices[d], best.disk_bytes);
+      row.push_back(TextTable::Percent(best_frac) + " or " + TextTable::Percent(worst_frac) +
+                    "  (paper: " + TextTable::Percent(kPaper[r][d][0]) + " or " +
+                    TextTable::Percent(kPaper[r][d][1]) + ")");
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf(
+      "\nWith compression the worst-case RAM also buys 1.7 GB of effective storage\n"
+      "per GB of physical disk (paper §3.4), so the \"worst\" column overstates cost.\n");
+}
+
+}  // namespace
+}  // namespace ld
+
+int main() {
+  ld::PrintBanner("Table 3 — cost LLD adds to the price of a disk",
+                  "Best case = 1.5 MB RAM/GB (no compression, single list);\n"
+                  "worst case = 4.6 MB RAM/GB (compression, one list per 8-KB file).");
+  ld::CostTable();
+  return 0;
+}

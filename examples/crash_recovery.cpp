@@ -1,0 +1,100 @@
+// Crash recovery and atomic recovery units (paper §2.1, §3.6).
+//
+// A bank-ledger-style update that must move data between two blocks
+// atomically. Without an ARU, a crash between the two writes loses money;
+// with BeginARU/EndARU, recovery gives all-or-nothing. Also demonstrates
+// the one-sweep recovery path and what it reads.
+//
+//   $ build/examples/crash_recovery
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/disk/fault_disk.h"
+#include "src/disk/sim_disk.h"
+#include "src/lld/lld.h"
+
+using ld::Bid;
+using ld::Lid;
+
+namespace {
+
+uint32_t ReadBalance(ld::LogicalDisk* lld, Bid account) {
+  std::vector<uint8_t> block(4096);
+  if (!lld->Read(account, block).ok()) {
+    return 0;
+  }
+  uint32_t value;
+  std::memcpy(&value, block.data(), 4);
+  return value;
+}
+
+ld::Status WriteBalance(ld::LogicalDisk* lld, Bid account, uint32_t value) {
+  std::vector<uint8_t> block(4096, 0);
+  std::memcpy(block.data(), &value, 4);
+  return lld->Write(account, block);
+}
+
+// Transfers 100 units from `from` to `to`, flushing (and crashing) between
+// the two writes. Returns the total money after recovery.
+uint32_t TransferWithCrash(bool use_aru) {
+  ld::SimClock clock;
+  ld::SimDisk sim(ld::DiskGeometry::HpC3010Partition(32 << 20), &clock);
+  ld::FaultDisk disk(&sim);
+  ld::LldOptions options;
+  auto lld = *ld::LogStructuredDisk::Format(&disk, options);
+  Lid list = *lld->NewList(ld::kBeginOfListOfLists, ld::ListHints{});
+  Bid from = *lld->NewBlock(list, ld::kBeginOfList);
+  Bid to = *lld->NewBlock(list, from);
+  (void)WriteBalance(lld.get(), from, 500);
+  (void)WriteBalance(lld.get(), to, 500);
+  (void)lld->Flush();
+
+  if (use_aru) {
+    (void)lld->BeginARU();
+  }
+  (void)WriteBalance(lld.get(), from, 400);
+  // Make the first half durable, then crash before the second half can be.
+  (void)lld->Flush();
+  if (!use_aru) {
+    disk.CrashNow();
+  } else {
+    (void)WriteBalance(lld.get(), to, 600);
+    // Crash before EndARU: the whole unit must roll back.
+    (void)lld->Flush();
+    disk.CrashNow();
+  }
+
+  disk.ClearFault();
+  ld::RecoveryStats stats;
+  auto recovered = *ld::LogStructuredDisk::Open(&disk, options, &stats);
+  const uint32_t f = ReadBalance(recovered.get(), from);
+  const uint32_t t = ReadBalance(recovered.get(), to);
+  std::printf("  %s: recovered balances %u + %u = %u  (%u summaries read, %llu records%s)\n",
+              use_aru ? "with ARU   " : "without ARU", f, t, f + t, stats.summaries_valid,
+              static_cast<unsigned long long>(stats.records_applied),
+              use_aru ? ", uncommitted unit dropped" : "");
+  return f + t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Transfer 100 units between two blocks; crash mid-transfer.\n\n");
+
+  const uint32_t naked = TransferWithCrash(/*use_aru=*/false);
+  const uint32_t atomic = TransferWithCrash(/*use_aru=*/true);
+
+  std::printf("\n");
+  if (naked != 1000) {
+    std::printf("Without an ARU the crash destroyed %d units — the classic reason\n"
+                "file systems need fsck after a crash.\n",
+                1000 - static_cast<int>(naked));
+  }
+  if (atomic == 1000) {
+    std::printf("With an ARU, recovery rolled the incomplete unit back: no money lost,\n"
+                "no consistency check needed (paper §2.1: ARUs eliminate fsck).\n");
+  }
+  return atomic == 1000 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Figure 1, end to end: three very different file systems — a UNIX-style
+// FS (MINIX), a DOS-style FS (FatFs, FAT eliminated by offset addressing),
+// and a database FS (B-trees) — all running on the same log-structured LD
+// implementation, each getting log-structured writes, clustering, and crash
+// recovery without containing a line of disk-management code.
+//
+//   $ build/examples/multi_clients
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/btreefs/btree_store.h"
+#include "src/disk/sim_disk.h"
+#include "src/fatfs/fat_fs.h"
+#include "src/lld/lld.h"
+#include "src/minixfs/minix_fs.h"
+
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+}  // namespace
+
+int main() {
+  ld::SimClock clock;
+
+  // --- Client 1: the UNIX-style file system -------------------------------
+  ld::SimDisk disk1(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
+  auto lld1 = *ld::LogStructuredDisk::Format(&disk1, ld::LldOptions{});
+  auto minix = *ld::MinixFs::FormatOnLd(lld1.get(), ld::MinixOptions{},
+                                        /*list_per_file=*/true);
+  (void)minix->Mkdir("/home");
+  auto ino = *minix->CreateFile("/home/notes.txt");
+  (void)minix->WriteFile(ino, 0, Bytes("the file system manages files"));
+  (void)minix->SyncFs();
+  std::printf("MINIX on LLD:   %-28s -> %llu segment writes, no bitmap code\n",
+              "/home/notes.txt",
+              static_cast<unsigned long long>(lld1->counters().segments_written +
+                                              lld1->counters().partial_segments_written));
+
+  // --- Client 2: the DOS-style file system, FAT eliminated ----------------
+  ld::SimDisk disk2(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
+  auto lld2 = *ld::LogStructuredDisk::Format(&disk2, ld::LldOptions{});
+  auto fat = *ld::FatFs::Format(lld2.get());
+  (void)fat->Create("AUTOEXEC.BAT");
+  (void)fat->Write("AUTOEXEC.BAT", 0, Bytes("@echo the FAT is gone"));
+  (void)fat->Sync();
+  std::printf("DOS FS on LLD:  %-28s -> cluster chains are LD lists; the\n",
+              "AUTOEXEC.BAT");
+  std::printf("                %-28s    File Allocation Table does not exist\n", "");
+
+  // --- Client 3: the database file system ---------------------------------
+  ld::SimDisk disk3(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
+  auto lld3 = *ld::LogStructuredDisk::Format(&disk3, ld::LldOptions{});
+  auto db = *ld::BTreeStore::Format(lld3.get());
+  for (uint64_t key = 0; key < 2000; ++key) {
+    (void)db->Put(key, Bytes("row-" + std::to_string(key)));
+  }
+  (void)db->Sync();
+  auto stats = *db->Stats();
+  std::printf("B-tree on LLD:  %llu keys, height %u                -> every split was one\n",
+              static_cast<unsigned long long>(stats.keys), stats.height);
+  std::printf("                %-28s    atomic recovery unit\n", "");
+
+  std::printf(
+      "\nOne disk-management implementation (LLD), three file managements —\n"
+      "the separation Figure 1 promises. MINIX and the DOS FS also run\n"
+      "unchanged on the update-in-place FlatDisk; the B-tree additionally\n"
+      "needs atomic recovery units, which only the log-structured LD offers.\n");
+  return 0;
+}

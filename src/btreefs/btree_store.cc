@@ -1,0 +1,454 @@
+#include "src/btreefs/btree_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/crc32.h"
+#include "src/util/serialize.h"
+
+namespace ld {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x42545231;  // "BTR1"
+constexpr uint8_t kLeafTag = 1;
+constexpr uint8_t kInternalTag = 2;
+
+// Node page layout: tag u8, count u16, then either
+//   internal: count keys (u64) + count+1 children (u32)
+//   leaf:     next-leaf bid (u32) + count * (key u64, vlen u16, value bytes)
+constexpr size_t kNodeHeader = 1 + 2;
+
+}  // namespace
+
+size_t BTreeStore::Node::EncodedBytes() const {
+  if (!leaf) {
+    return kNodeHeader + keys.size() * 8 + children.size() * 4;
+  }
+  size_t bytes = kNodeHeader + 4;  // next pointer
+  for (const auto& [key, value] : entries) {
+    bytes += 8 + 2 + value.size();
+  }
+  return bytes;
+}
+
+StatusOr<std::unique_ptr<BTreeStore>> BTreeStore::Format(LogicalDisk* ld) {
+  std::unique_ptr<BTreeStore> store(new BTreeStore(ld));
+  store->block_size_ = ld->default_block_size();
+  if (store->block_size_ < 1024) {
+    return InvalidArgumentError("BTreeStore needs blocks of at least 1 KB");
+  }
+
+  ListHints hints;
+  hints.cluster = true;
+  ASSIGN_OR_RETURN(store->list_, ld->NewList(kBeginOfListOfLists, hints));
+  ASSIGN_OR_RETURN(store->meta_bid_, ld->NewBlock(store->list_, kBeginOfList));
+  if (store->meta_bid_ != 1) {
+    return FailedPreconditionError("BTreeStore::Format requires a fresh LD volume");
+  }
+  // Empty root leaf.
+  ASSIGN_OR_RETURN(store->root_, ld->NewBlock(store->list_, store->meta_bid_));
+  Node root;
+  root.bid = store->root_;
+  root.leaf = true;
+  RETURN_IF_ERROR(ld->BeginARU());
+  RETURN_IF_ERROR(store->WriteNode(root));
+  RETURN_IF_ERROR(store->StoreMeta());
+  RETURN_IF_ERROR(ld->EndARU());
+  return store;
+}
+
+StatusOr<std::unique_ptr<BTreeStore>> BTreeStore::Open(LogicalDisk* ld) {
+  std::unique_ptr<BTreeStore> store(new BTreeStore(ld));
+  store->block_size_ = ld->default_block_size();
+  store->meta_bid_ = 1;
+  RETURN_IF_ERROR(store->LoadMeta());
+  return store;
+}
+
+Status BTreeStore::StoreMeta() {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  enc.PutU32(kMetaMagic);
+  enc.PutU32(list_);
+  enc.PutU32(root_);
+  enc.PutU32(height_);
+  enc.PutU64(key_count_);
+  enc.PutU64(splits_);
+  enc.PutU32(Crc32(payload));
+
+  std::vector<uint8_t> block(block_size_, 0);
+  std::memcpy(block.data(), payload.data(), payload.size());
+  return ld_->Write(meta_bid_, block);
+}
+
+Status BTreeStore::LoadMeta() {
+  std::vector<uint8_t> block(block_size_);
+  RETURN_IF_ERROR(ld_->Read(meta_bid_, block));
+  Decoder dec(block);
+  const uint32_t magic = dec.GetU32();
+  if (!dec.ok() || magic != kMetaMagic) {
+    return CorruptionError("not a BTreeStore volume");
+  }
+  list_ = dec.GetU32();
+  root_ = dec.GetU32();
+  height_ = dec.GetU32();
+  key_count_ = dec.GetU64();
+  splits_ = dec.GetU64();
+  const size_t body_end = dec.position();
+  const uint32_t crc = dec.GetU32();
+  RETURN_IF_ERROR(dec.ToStatus("btree meta"));
+  if (crc != Crc32(std::span<const uint8_t>(block).subspan(0, body_end))) {
+    return CorruptionError("btree meta crc mismatch");
+  }
+  return OkStatus();
+}
+
+StatusOr<BTreeStore::Node> BTreeStore::ReadNode(Bid bid) {
+  std::vector<uint8_t> block(block_size_);
+  RETURN_IF_ERROR(ld_->Read(bid, block));
+  Decoder dec(block);
+  Node node;
+  node.bid = bid;
+  const uint8_t tag = dec.GetU8();
+  const uint16_t count = dec.GetU16();
+  if (tag == kInternalTag) {
+    node.leaf = false;
+    node.keys.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      node.keys.push_back(dec.GetU64());
+    }
+    node.children.reserve(count + 1);
+    for (uint16_t i = 0; i <= count; ++i) {
+      node.children.push_back(dec.GetU32());
+    }
+  } else if (tag == kLeafTag) {
+    node.leaf = true;
+    node.next = dec.GetU32();
+    node.entries.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      const uint64_t key = dec.GetU64();
+      const uint16_t vlen = dec.GetU16();
+      node.entries.emplace_back(key, dec.GetBytes(vlen));
+    }
+  } else {
+    return CorruptionError("bad b-tree node tag in block " + std::to_string(bid));
+  }
+  RETURN_IF_ERROR(dec.ToStatus("btree node"));
+  return node;
+}
+
+Status BTreeStore::WriteNode(const Node& node) {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  if (node.leaf) {
+    enc.PutU8(kLeafTag);
+    enc.PutU16(static_cast<uint16_t>(node.entries.size()));
+    enc.PutU32(node.next);
+    for (const auto& [key, value] : node.entries) {
+      enc.PutU64(key);
+      enc.PutU16(static_cast<uint16_t>(value.size()));
+      enc.PutBytes(value);
+    }
+  } else {
+    enc.PutU8(kInternalTag);
+    enc.PutU16(static_cast<uint16_t>(node.keys.size()));
+    for (uint64_t key : node.keys) {
+      enc.PutU64(key);
+    }
+    for (Bid child : node.children) {
+      enc.PutU32(child);
+    }
+  }
+  if (payload.size() > block_size_) {
+    return CorruptionError("b-tree node overflow");
+  }
+  std::vector<uint8_t> block(block_size_, 0);
+  std::memcpy(block.data(), payload.data(), payload.size());
+  return ld_->Write(node.bid, block);
+}
+
+StatusOr<Bid> BTreeStore::AllocNode(Bid pred_hint) {
+  // New leaves go right after their left sibling so LD clusters the leaf
+  // chain physically; internal nodes go after the meta block.
+  return ld_->NewBlock(list_, pred_hint == kNilBid ? meta_bid_ : pred_hint);
+}
+
+StatusOr<std::optional<BTreeStore::SplitResult>> BTreeStore::InsertInto(
+    Bid bid, uint64_t key, std::span<const uint8_t> value) {
+  ASSIGN_OR_RETURN(Node node, ReadNode(bid));
+
+  if (node.leaf) {
+    auto it = std::lower_bound(node.entries.begin(), node.entries.end(), key,
+                               [](const auto& e, uint64_t k) { return e.first < k; });
+    if (it != node.entries.end() && it->first == key) {
+      it->second.assign(value.begin(), value.end());  // Overwrite.
+    } else {
+      node.entries.insert(it, {key, {value.begin(), value.end()}});
+      key_count_++;
+    }
+    if (node.EncodedBytes() <= block_size_) {
+      RETURN_IF_ERROR(WriteNode(node));
+      return std::optional<SplitResult>{};
+    }
+    // Leaf split: the right half moves to a new leaf placed after this one
+    // in the LD list and in the sibling chain.
+    ASSIGN_OR_RETURN(Bid right_bid, AllocNode(node.bid));
+    Node right;
+    right.bid = right_bid;
+    right.leaf = true;
+    const size_t half = node.entries.size() / 2;
+    right.entries.assign(node.entries.begin() + half, node.entries.end());
+    right.next = node.next;
+    node.entries.resize(half);
+    node.next = right_bid;
+    RETURN_IF_ERROR(WriteNode(node));
+    RETURN_IF_ERROR(WriteNode(right));
+    splits_++;
+    return std::optional<SplitResult>{SplitResult{right.entries.front().first, right_bid}};
+  }
+
+  // Internal node: descend.
+  const size_t slot = static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) - node.keys.begin());
+  ASSIGN_OR_RETURN(std::optional<SplitResult> child_split,
+                   InsertInto(node.children[slot], key, value));
+  if (!child_split.has_value()) {
+    return std::optional<SplitResult>{};
+  }
+  node.keys.insert(node.keys.begin() + slot, child_split->separator);
+  node.children.insert(node.children.begin() + slot + 1, child_split->right);
+  if (node.EncodedBytes() <= block_size_) {
+    RETURN_IF_ERROR(WriteNode(node));
+    return std::optional<SplitResult>{};
+  }
+  // Internal split.
+  ASSIGN_OR_RETURN(Bid right_bid, AllocNode(kNilBid));
+  Node right;
+  right.bid = right_bid;
+  right.leaf = false;
+  const size_t mid = node.keys.size() / 2;
+  const uint64_t separator = node.keys[mid];
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1, node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  RETURN_IF_ERROR(WriteNode(node));
+  RETURN_IF_ERROR(WriteNode(right));
+  splits_++;
+  return std::optional<SplitResult>{SplitResult{separator, right_bid}};
+}
+
+Status BTreeStore::Put(uint64_t key, std::span<const uint8_t> value) {
+  if (broken_) {
+    return FailedPreconditionError("store failed mid-mutation; reopen to recover");
+  }
+  if (value.size() > kMaxValueBytes) {
+    return InvalidArgumentError("value exceeds kMaxValueBytes");
+  }
+  // The whole mutation — leaf update, any cascade of splits, the meta
+  // update — is one atomic recovery unit. On any failure the unit is
+  // abandoned: recovery sees none of it; the in-memory store is marked
+  // broken until reopened.
+  ASSIGN_OR_RETURN(LogicalDisk::AruId unit, ld_->BeginConcurrentARU());
+  Status status = [&]() -> Status {
+    ASSIGN_OR_RETURN(std::optional<SplitResult> split, InsertInto(root_, key, value));
+    if (split.has_value()) {
+      // Root split: a new root takes over.
+      ASSIGN_OR_RETURN(Bid new_root, AllocNode(kNilBid));
+      Node root;
+      root.bid = new_root;
+      root.leaf = false;
+      root.keys = {split->separator};
+      root.children = {root_, split->right};
+      RETURN_IF_ERROR(WriteNode(root));
+      root_ = new_root;
+      height_++;
+    }
+    return StoreMeta();
+  }();
+  if (!status.ok()) {
+    broken_ = true;
+    (void)ld_->AbandonARU(unit);
+    return status;
+  }
+  return ld_->EndConcurrentARU(unit);
+}
+
+StatusOr<BTreeStore::Node> BTreeStore::FindLeaf(uint64_t key) {
+  Bid bid = root_;
+  while (true) {
+    ASSIGN_OR_RETURN(Node node, ReadNode(bid));
+    if (node.leaf) {
+      return node;
+    }
+    const size_t slot = static_cast<size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) - node.keys.begin());
+    bid = node.children[slot];
+  }
+}
+
+StatusOr<std::vector<uint8_t>> BTreeStore::Get(uint64_t key) {
+  ASSIGN_OR_RETURN(Node leaf, FindLeaf(key));
+  auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), key,
+                             [](const auto& e, uint64_t k) { return e.first < k; });
+  if (it == leaf.entries.end() || it->first != key) {
+    return NotFoundError("key not found");
+  }
+  return it->second;
+}
+
+Status BTreeStore::Delete(uint64_t key) {
+  if (broken_) {
+    return FailedPreconditionError("store failed mid-mutation; reopen to recover");
+  }
+  ASSIGN_OR_RETURN(Node leaf, FindLeaf(key));
+  auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), key,
+                             [](const auto& e, uint64_t k) { return e.first < k; });
+  if (it == leaf.entries.end() || it->first != key) {
+    return NotFoundError("key not found");
+  }
+  // Lazy deletion: a leaf may underflow (classic rebalancing is not
+  // implemented); all ordering invariants stay intact.
+  ASSIGN_OR_RETURN(LogicalDisk::AruId unit, ld_->BeginConcurrentARU());
+  leaf.entries.erase(it);
+  key_count_--;
+  Status status = WriteNode(leaf);
+  if (status.ok()) {
+    status = StoreMeta();
+  }
+  if (!status.ok()) {
+    broken_ = true;
+    (void)ld_->AbandonARU(unit);
+    return status;
+  }
+  return ld_->EndConcurrentARU(unit);
+}
+
+Status BTreeStore::Scan(uint64_t lo, uint64_t hi,
+                        const std::function<bool(uint64_t, std::span<const uint8_t>)>& fn) {
+  if (lo > hi) {
+    return InvalidArgumentError("scan range inverted");
+  }
+  ASSIGN_OR_RETURN(Node leaf, FindLeaf(lo));
+  while (true) {
+    for (const auto& [key, value] : leaf.entries) {
+      if (key < lo) {
+        continue;
+      }
+      if (key > hi) {
+        return OkStatus();
+      }
+      if (!fn(key, value)) {
+        return OkStatus();
+      }
+    }
+    if (leaf.next == kNilBid) {
+      return OkStatus();
+    }
+    ASSIGN_OR_RETURN(leaf, ReadNode(leaf.next));
+    if (!leaf.leaf) {
+      return CorruptionError("leaf chain points at an internal node");
+    }
+  }
+}
+
+Status BTreeStore::Sync() { return ld_->Flush(); }
+
+Status BTreeStore::Close() {
+  RETURN_IF_ERROR(Sync());
+  return ld_->Shutdown();
+}
+
+StatusOr<BTreeStats> BTreeStore::Stats() {
+  BTreeStats stats;
+  stats.keys = key_count_;
+  stats.height = height_;
+  stats.splits = splits_;
+  std::vector<Bid> stack = {root_};
+  while (!stack.empty()) {
+    const Bid bid = stack.back();
+    stack.pop_back();
+    ASSIGN_OR_RETURN(Node node, ReadNode(bid));
+    if (node.leaf) {
+      stats.leaf_nodes++;
+    } else {
+      stats.internal_nodes++;
+      for (Bid child : node.children) {
+        stack.push_back(child);
+      }
+    }
+  }
+  return stats;
+}
+
+Status BTreeStore::CheckNode(Bid bid, uint64_t lo, uint64_t hi, uint32_t depth,
+                             uint32_t expect_depth, uint64_t* keys_seen,
+                             std::vector<Bid>* leaves_in_order) {
+  ASSIGN_OR_RETURN(Node node, ReadNode(bid));
+  if (node.leaf) {
+    if (depth != expect_depth) {
+      return CorruptionError("leaf at depth " + std::to_string(depth) + ", expected " +
+                             std::to_string(expect_depth));
+    }
+    uint64_t prev = 0;
+    bool first = true;
+    for (const auto& [key, value] : node.entries) {
+      (void)value;
+      if (!first && key <= prev) {
+        return CorruptionError("leaf keys out of order");
+      }
+      if (key < lo || (hi != UINT64_MAX && key > hi)) {
+        return CorruptionError("leaf key outside separator range");
+      }
+      prev = key;
+      first = false;
+      (*keys_seen)++;
+    }
+    leaves_in_order->push_back(bid);
+    return OkStatus();
+  }
+  if (node.children.size() != node.keys.size() + 1 || node.keys.empty()) {
+    return CorruptionError("malformed internal node");
+  }
+  for (size_t i = 1; i < node.keys.size(); ++i) {
+    if (node.keys[i] <= node.keys[i - 1]) {
+      return CorruptionError("separators out of order");
+    }
+  }
+  uint64_t child_lo = lo;
+  for (size_t i = 0; i <= node.keys.size(); ++i) {
+    const uint64_t child_hi = i < node.keys.size() ? node.keys[i] - 1 : hi;
+    RETURN_IF_ERROR(CheckNode(node.children[i], child_lo, child_hi, depth + 1, expect_depth,
+                              keys_seen, leaves_in_order));
+    if (i < node.keys.size()) {
+      child_lo = node.keys[i];
+    }
+  }
+  return OkStatus();
+}
+
+Status BTreeStore::CheckInvariants() {
+  uint64_t keys_seen = 0;
+  std::vector<Bid> leaves_in_order;
+  RETURN_IF_ERROR(CheckNode(root_, 0, UINT64_MAX, 1, height_, &keys_seen, &leaves_in_order));
+  if (keys_seen != key_count_) {
+    return CorruptionError("key count mismatch: tree has " + std::to_string(keys_seen) +
+                           ", meta says " + std::to_string(key_count_));
+  }
+  // The sibling chain must visit exactly the tree's leaves, in tree order.
+  Bid cur = leaves_in_order.front();
+  for (size_t i = 0; i < leaves_in_order.size(); ++i) {
+    if (cur != leaves_in_order[i]) {
+      return CorruptionError("leaf chain order mismatch");
+    }
+    ASSIGN_OR_RETURN(Node leaf, ReadNode(cur));
+    cur = leaf.next;
+  }
+  if (cur != kNilBid) {
+    return CorruptionError("leaf chain has trailing nodes");
+  }
+  return OkStatus();
+}
+
+}  // namespace ld

@@ -1,0 +1,20 @@
+#include "src/compress/compressor.h"
+
+#include <cstring>
+
+namespace ld {
+
+size_t NullCompressor::Compress(std::span<const uint8_t> in, std::vector<uint8_t>* out) {
+  out->assign(in.begin(), in.end());
+  return out->size();
+}
+
+Status NullCompressor::Decompress(std::span<const uint8_t> in, std::span<uint8_t> out) {
+  if (in.size() != out.size()) {
+    return InvalidArgumentError("null decompress: size mismatch");
+  }
+  std::memcpy(out.data(), in.data(), in.size());
+  return OkStatus();
+}
+
+}  // namespace ld

@@ -1,0 +1,47 @@
+// Block compression used by LLD's compressed lists (paper §3.3).
+//
+// The paper uses Wheeler's algorithm (per Burrows et al. 1992), which is not
+// publicly specified; we substitute an LZRW1-style byte-oriented compressor.
+// The evaluation only depends on the achieved ratio (~60 % on file-system
+// data) and the compressor's bandwidth relative to the disk, both of which
+// this interface exposes.
+
+#ifndef SRC_COMPRESS_COMPRESSOR_H_
+#define SRC_COMPRESS_COMPRESSOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ld {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual const char* name() const = 0;
+
+  // Compresses `in` into `out` (replacing its contents). Returns the
+  // compressed size. Implementations may "fail" to compress by returning a
+  // size >= in.size(); callers then store the block uncompressed.
+  virtual size_t Compress(std::span<const uint8_t> in, std::vector<uint8_t>* out) = 0;
+
+  // Decompresses `in` into exactly `out.size()` bytes (the original length
+  // is tracked by the caller's metadata, as LLD does in its block map).
+  virtual Status Decompress(std::span<const uint8_t> in, std::span<uint8_t> out) = 0;
+};
+
+// Identity "compressor": never shrinks anything. Useful as a baseline and in
+// tests of the store-raw fallback path.
+class NullCompressor : public Compressor {
+ public:
+  const char* name() const override { return "null"; }
+  size_t Compress(std::span<const uint8_t> in, std::vector<uint8_t>* out) override;
+  Status Decompress(std::span<const uint8_t> in, std::span<uint8_t> out) override;
+};
+
+}  // namespace ld
+
+#endif  // SRC_COMPRESS_COMPRESSOR_H_

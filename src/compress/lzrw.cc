@@ -1,0 +1,127 @@
+#include "src/compress/lzrw.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace ld {
+
+namespace {
+
+constexpr size_t kHashBits = 12;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+constexpr size_t kMaxOffset = 4095;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;
+constexpr int kGroupItems = 16;
+
+uint32_t Hash3(const uint8_t* p) {
+  // Multiplicative hash of a 3-byte window.
+  const uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+size_t Lzrw1Compressor::Compress(std::span<const uint8_t> in, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(in.size() + in.size() / 8 + 4);
+
+  // Positions of the most recent occurrence of each hash bucket.
+  size_t table[kHashSize];
+  for (auto& slot : table) {
+    slot = SIZE_MAX;
+  }
+
+  size_t pos = 0;
+  while (pos < in.size()) {
+    // Reserve space for this group's control word.
+    const size_t control_at = out->size();
+    out->push_back(0);
+    out->push_back(0);
+    uint16_t control = 0;
+
+    for (int item = 0; item < kGroupItems && pos < in.size(); ++item) {
+      size_t match_len = 0;
+      size_t match_pos = 0;
+      if (pos + kMinMatch <= in.size()) {
+        const uint32_t h = Hash3(in.data() + pos);
+        const size_t candidate = table[h];
+        table[h] = pos;
+        if (candidate != SIZE_MAX && pos - candidate <= kMaxOffset) {
+          const size_t limit = std::min(kMaxMatch, in.size() - pos);
+          size_t len = 0;
+          while (len < limit && in[candidate + len] == in[pos + len]) {
+            ++len;
+          }
+          if (len >= kMinMatch) {
+            match_len = len;
+            match_pos = candidate;
+          }
+        }
+      }
+
+      if (match_len >= kMinMatch) {
+        control |= static_cast<uint16_t>(1u << item);
+        const size_t offset = pos - match_pos;  // 1..4095
+        // 12-bit offset, 4-bit (len - kMinMatch).
+        const uint16_t word = static_cast<uint16_t>((offset << 4) | (match_len - kMinMatch));
+        out->push_back(static_cast<uint8_t>(word & 0xff));
+        out->push_back(static_cast<uint8_t>(word >> 8));
+        pos += match_len;
+      } else {
+        out->push_back(in[pos]);
+        ++pos;
+      }
+    }
+
+    (*out)[control_at] = static_cast<uint8_t>(control & 0xff);
+    (*out)[control_at + 1] = static_cast<uint8_t>(control >> 8);
+  }
+  return out->size();
+}
+
+Status Lzrw1Compressor::Decompress(std::span<const uint8_t> in, std::span<uint8_t> out) {
+  size_t ip = 0;
+  size_t op = 0;
+  while (op < out.size()) {
+    if (ip + 2 > in.size()) {
+      return CorruptionError("lzrw1: truncated control word");
+    }
+    const uint16_t control =
+        static_cast<uint16_t>(in[ip]) | (static_cast<uint16_t>(in[ip + 1]) << 8);
+    ip += 2;
+    for (int item = 0; item < kGroupItems && op < out.size(); ++item) {
+      if (control & (1u << item)) {
+        if (ip + 2 > in.size()) {
+          return CorruptionError("lzrw1: truncated copy item");
+        }
+        const uint16_t word =
+            static_cast<uint16_t>(in[ip]) | (static_cast<uint16_t>(in[ip + 1]) << 8);
+        ip += 2;
+        const size_t offset = word >> 4;
+        const size_t len = (word & 0xf) + kMinMatch;
+        if (offset == 0 || offset > op || op + len > out.size()) {
+          return CorruptionError("lzrw1: bad copy item");
+        }
+        // Byte-by-byte copy: overlapping copies are the RLE case.
+        for (size_t i = 0; i < len; ++i) {
+          out[op + i] = out[op - offset + i];
+        }
+        op += len;
+      } else {
+        if (ip >= in.size()) {
+          return CorruptionError("lzrw1: truncated literal");
+        }
+        out[op++] = in[ip++];
+      }
+    }
+  }
+  if (ip != in.size()) {
+    return CorruptionError("lzrw1: trailing bytes after decompression");
+  }
+  return OkStatus();
+}
+
+}  // namespace ld

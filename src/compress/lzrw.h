@@ -1,0 +1,23 @@
+// LZRW1-style compressor: single-pass, greedy LZ77 with a 4096-entry hash of
+// 3-byte prefixes, 12-bit offsets and 3..18-byte matches, emitted in groups
+// of 16 items under a control bitmap. Chosen for the same reasons the paper
+// cites for Wheeler's algorithm: simplicity and speed.
+
+#ifndef SRC_COMPRESS_LZRW_H_
+#define SRC_COMPRESS_LZRW_H_
+
+#include "src/compress/compressor.h"
+
+namespace ld {
+
+class Lzrw1Compressor : public Compressor {
+ public:
+  const char* name() const override { return "lzrw1"; }
+
+  size_t Compress(std::span<const uint8_t> in, std::vector<uint8_t>* out) override;
+  Status Decompress(std::span<const uint8_t> in, std::span<uint8_t> out) override;
+};
+
+}  // namespace ld
+
+#endif  // SRC_COMPRESS_LZRW_H_

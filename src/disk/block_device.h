@@ -1,0 +1,56 @@
+// The raw device interface every LD implementation sits on.
+//
+// A BlockDevice transfers whole runs of contiguous sectors in one request;
+// timing (if any) is charged to the shared SimClock by the implementation.
+
+#ifndef SRC_DISK_BLOCK_DEVICE_H_
+#define SRC_DISK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/disk/clock.h"
+#include "src/util/status.h"
+
+namespace ld {
+
+// Cumulative counters a device keeps about its own activity.
+struct DiskStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t sectors_read = 0;
+  uint64_t sectors_written = 0;
+  uint64_t seeks = 0;            // Requests that moved the arm.
+  double seek_ms = 0.0;          // Total time spent seeking.
+  double rotation_ms = 0.0;      // Total rotational latency.
+  double transfer_ms = 0.0;      // Total media transfer time.
+  double busy_ms = 0.0;          // Total service time (incl. overhead).
+
+  uint64_t TotalOps() const { return read_ops + write_ops; }
+  uint64_t BytesRead(uint32_t sector_size) const { return sectors_read * sector_size; }
+  uint64_t BytesWritten(uint32_t sector_size) const { return sectors_written * sector_size; }
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint32_t sector_size() const = 0;
+  virtual uint64_t num_sectors() const = 0;
+  uint64_t capacity_bytes() const { return num_sectors() * sector_size(); }
+
+  // Reads `out.size()` bytes starting at `sector`. out.size() must be a
+  // multiple of the sector size.
+  virtual Status Read(uint64_t sector, std::span<uint8_t> out) = 0;
+
+  // Writes `data.size()` bytes starting at `sector`; same size constraint.
+  virtual Status Write(uint64_t sector, std::span<const uint8_t> data) = 0;
+
+  virtual SimClock* clock() = 0;
+  virtual const DiskStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_BLOCK_DEVICE_H_

@@ -1,0 +1,40 @@
+// Simulated clock shared by the disk model and the file systems.
+//
+// All benchmark results in this repository are computed from this clock, the
+// way the paper computes files/sec and KB/s from wall-clock time on a real
+// disk. Devices advance it by their service time; file systems may charge
+// small CPU costs (e.g. compression bandwidth) to it as well.
+
+#ifndef SRC_DISK_CLOCK_H_
+#define SRC_DISK_CLOCK_H_
+
+#include <cassert>
+
+namespace ld {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  double Now() const { return now_seconds_; }
+
+  void Advance(double seconds) {
+    assert(seconds >= 0.0);
+    now_seconds_ += seconds;
+  }
+
+  void AdvanceTo(double seconds) {
+    if (seconds > now_seconds_) {
+      now_seconds_ = seconds;
+    }
+  }
+
+  void Reset() { now_seconds_ = 0.0; }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_CLOCK_H_

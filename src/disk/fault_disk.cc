@@ -1,0 +1,48 @@
+#include "src/disk/fault_disk.h"
+
+namespace ld {
+
+void FaultDisk::CrashAfterWrites(uint64_t n, int64_t torn_sectors) {
+  armed_ = true;
+  writes_until_crash_ = n;
+  torn_sectors_ = torn_sectors;
+}
+
+void FaultDisk::ClearFault() {
+  crashed_ = false;
+  armed_ = false;
+  torn_sectors_ = -1;
+}
+
+Status FaultDisk::Read(uint64_t sector, std::span<uint8_t> out) {
+  if (crashed_) {
+    return IoError("device crashed");
+  }
+  return inner_->Read(sector, out);
+}
+
+Status FaultDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
+  if (crashed_) {
+    return IoError("device crashed");
+  }
+  if (armed_) {
+    if (writes_until_crash_ <= 1) {
+      crashed_ = true;
+      armed_ = false;
+      if (torn_sectors_ > 0) {
+        const size_t bytes = static_cast<size_t>(torn_sectors_) * sector_size();
+        if (bytes < data.size()) {
+          // Persist the prefix, then fail the request: a torn write.
+          (void)inner_->Write(sector, data.subspan(0, bytes));
+        } else {
+          (void)inner_->Write(sector, data);
+        }
+      }
+      return IoError("device crashed during write");
+    }
+    writes_until_crash_--;
+  }
+  return inner_->Write(sector, data);
+}
+
+}  // namespace ld

@@ -1,0 +1,56 @@
+// Fault-injection wrapper used by recovery tests and the recovery benchmark.
+//
+// A FaultDisk forwards requests to an underlying device until a scheduled
+// crash point; the crash can also tear the in-flight write (persist only a
+// prefix of its sectors), which is how a power failure interrupts a long
+// segment write. After the crash every request fails with IO_ERROR until
+// ClearFault() — simulating the restart, after which recovery reads the disk
+// image the crash left behind.
+
+#ifndef SRC_DISK_FAULT_DISK_H_
+#define SRC_DISK_FAULT_DISK_H_
+
+#include <cstdint>
+
+#include "src/disk/block_device.h"
+
+namespace ld {
+
+class FaultDisk : public BlockDevice {
+ public:
+  explicit FaultDisk(BlockDevice* inner) : inner_(inner) {}
+
+  // Crashes on the Nth write from now (1 = the next write). If
+  // `torn_sectors` >= 0, that write persists only its first `torn_sectors`
+  // sectors before failing; otherwise it fails without persisting anything.
+  void CrashAfterWrites(uint64_t n, int64_t torn_sectors = -1);
+
+  // Immediately enter the crashed state.
+  void CrashNow() { crashed_ = true; }
+
+  // Leave the crashed state (the "reboot").
+  void ClearFault();
+
+  bool crashed() const { return crashed_; }
+
+  uint32_t sector_size() const override { return inner_->sector_size(); }
+  uint64_t num_sectors() const override { return inner_->num_sectors(); }
+
+  Status Read(uint64_t sector, std::span<uint8_t> out) override;
+  Status Write(uint64_t sector, std::span<const uint8_t> data) override;
+
+  SimClock* clock() override { return inner_->clock(); }
+  const DiskStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+ private:
+  BlockDevice* inner_;
+  bool crashed_ = false;
+  bool armed_ = false;
+  uint64_t writes_until_crash_ = 0;
+  int64_t torn_sectors_ = -1;
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_FAULT_DISK_H_

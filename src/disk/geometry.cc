@@ -1,0 +1,29 @@
+#include "src/disk/geometry.h"
+
+#include <cmath>
+
+namespace ld {
+
+double DiskGeometry::SeekTimeMs(uint32_t distance) const {
+  if (distance == 0) {
+    return 0.0;
+  }
+  return seek_base_ms + seek_per_cyl_ms * static_cast<double>(distance) +
+         seek_sqrt_ms * std::sqrt(static_cast<double>(distance));
+}
+
+DiskGeometry DiskGeometry::HpC3010() { return DiskGeometry{}; }
+
+DiskGeometry DiskGeometry::HpC3010Partition(uint64_t bytes) {
+  DiskGeometry geometry;
+  const uint64_t bytes_per_cylinder =
+      static_cast<uint64_t>(geometry.sector_size) * geometry.sectors_per_track * geometry.heads;
+  uint64_t cylinders = (bytes + bytes_per_cylinder - 1) / bytes_per_cylinder;
+  if (cylinders < 8) {
+    cylinders = 8;
+  }
+  geometry.cylinders = static_cast<uint32_t>(cylinders);
+  return geometry;
+}
+
+}  // namespace ld

@@ -1,0 +1,76 @@
+// Disk geometry and mechanical timing parameters.
+//
+// The default profile models the HP C3010 used in the paper's evaluation:
+// SCSI-II, ~2 GB, 5400 rpm, 11.5 ms average seek. The exact zone layout of
+// the real drive is unavailable; a single-zone geometry is used, calibrated
+// so that the two throughput figures the paper reports for the raw device
+// hold: ~2400 KB/s for 0.5-MB sequential writes and ~300 KB/s for
+// back-to-back 4-KB writes (which miss a rotation between blocks).
+
+#ifndef SRC_DISK_GEOMETRY_H_
+#define SRC_DISK_GEOMETRY_H_
+
+#include <cstdint>
+
+namespace ld {
+
+struct DiskGeometry {
+  uint32_t sector_size = 512;       // Bytes per sector.
+  uint32_t sectors_per_track = 58;  // Single-zone.
+  uint32_t heads = 14;              // Tracks per cylinder.
+  uint32_t cylinders = 4930;
+
+  double rpm = 5400.0;
+
+  // Seek time (ms) = seek_base_ms + seek_per_cyl_ms * d + seek_sqrt_ms * sqrt(d)
+  // for a d-cylinder move (d > 0). Calibrated to ~11.5 ms average seek.
+  double seek_base_ms = 1.5;
+  double seek_per_cyl_ms = 0.0035;
+  double seek_sqrt_ms = 0.09;
+
+  // Fixed cost to switch heads within a cylinder.
+  double head_switch_ms = 1.0;
+
+  // Per-request fixed cost (controller + host). This is what makes
+  // back-to-back single-block writes miss a rotation.
+  double controller_overhead_ms = 1.0;
+
+  // Sectors of skew between logically consecutive tracks, hiding the head
+  // switch on sequential transfers (as real drives do), and the additional
+  // skew per cylinder boundary hiding the track-to-track seek.
+  uint32_t track_skew = 6;
+  uint32_t cylinder_skew = 9;
+
+  // Controller read-ahead buffer: a read starting exactly where the previous
+  // read ended is served from the controller's track buffer — no seek and no
+  // rotational latency, only per-request overhead and media transfer time.
+  // Writes are not buffered (the C3010-era raw path acknowledged writes only
+  // when on media, which is what the paper's 300-KB/s back-to-back 4-KB
+  // write figure shows).
+  bool read_ahead_buffer = true;
+
+  uint64_t TotalSectors() const {
+    return static_cast<uint64_t>(sectors_per_track) * heads * cylinders;
+  }
+  uint64_t CapacityBytes() const { return TotalSectors() * sector_size; }
+
+  double RotationPeriodMs() const { return 60000.0 / rpm; }
+  double SectorTimeMs() const { return RotationPeriodMs() / sectors_per_track; }
+
+  // Seek time in milliseconds for a move of `distance` cylinders.
+  double SeekTimeMs(uint32_t distance) const;
+
+  // Average seek over uniformly random source/target cylinders (~C/3 apart).
+  double AverageSeekMs() const { return SeekTimeMs(cylinders / 3); }
+
+  // The HP C3010 profile used throughout the evaluation.
+  static DiskGeometry HpC3010();
+
+  // Same mechanics, fewer cylinders: a partition covering roughly
+  // `bytes` of the C3010 (the paper uses a 400-MB partition of the 2-GB disk).
+  static DiskGeometry HpC3010Partition(uint64_t bytes);
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_GEOMETRY_H_

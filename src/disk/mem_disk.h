@@ -1,0 +1,38 @@
+// Zero-latency in-memory block device for unit tests: same semantics as
+// SimDisk (sector-aligned transfers, zeros for never-written areas) but no
+// timing model, so structural tests run fast and deterministically.
+
+#ifndef SRC_DISK_MEM_DISK_H_
+#define SRC_DISK_MEM_DISK_H_
+
+#include <vector>
+
+#include "src/disk/block_device.h"
+
+namespace ld {
+
+class MemDisk : public BlockDevice {
+ public:
+  MemDisk(uint64_t num_sectors, uint32_t sector_size, SimClock* clock);
+
+  uint32_t sector_size() const override { return sector_size_; }
+  uint64_t num_sectors() const override { return num_sectors_; }
+
+  Status Read(uint64_t sector, std::span<uint8_t> out) override;
+  Status Write(uint64_t sector, std::span<const uint8_t> data) override;
+
+  SimClock* clock() override { return clock_; }
+  const DiskStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = DiskStats{}; }
+
+ private:
+  uint64_t num_sectors_;
+  uint32_t sector_size_;
+  SimClock* clock_;
+  DiskStats stats_;
+  std::vector<uint8_t> storage_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_MEM_DISK_H_

@@ -1,0 +1,200 @@
+#include "src/disk/sim_disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace ld {
+
+SimDisk::SimDisk(const DiskGeometry& geometry, SimClock* clock)
+    : geometry_(geometry), clock_(clock) {
+  const uint64_t total_bytes = geometry_.CapacityBytes();
+  chunks_.resize((total_bytes + kChunkBytes - 1) / kChunkBytes);
+}
+
+uint32_t SimDisk::AngularSlot(uint64_t sector) const {
+  const uint64_t track = sector / geometry_.sectors_per_track;
+  const uint64_t within = sector % geometry_.sectors_per_track;
+  const uint64_t cylinder = track / geometry_.heads;
+  return static_cast<uint32_t>(
+      (within + track * geometry_.track_skew + cylinder * geometry_.cylinder_skew) %
+      geometry_.sectors_per_track);
+}
+
+Status SimDisk::ServiceRequest(uint64_t sector, uint64_t count, bool is_read) {
+  if (count == 0) {
+    return InvalidArgumentError("zero-length disk request");
+  }
+  if (sector + count > num_sectors()) {
+    return InvalidArgumentError("disk request beyond device end");
+  }
+
+  // Controller read-ahead buffer: a read that starts inside (or exactly at
+  // the end of) the recently streamed window is served from the buffer;
+  // only sectors beyond the window's end cost media-transfer time. This is
+  // how real controllers make sequential reads cheap even when requests
+  // overlap at sector granularity (sub-sector-aligned blocks re-read their
+  // boundary sector).
+  if (is_read && geometry_.read_ahead_buffer && sector >= read_window_start_ &&
+      sector <= read_window_end_) {
+    const uint64_t end = sector + count;
+    const uint64_t new_sectors = end > read_window_end_ ? end - read_window_end_ : 0;
+    const double xfer_ms = static_cast<double>(new_sectors) * geometry_.SectorTimeMs();
+    const double service_ms = geometry_.controller_overhead_ms + xfer_ms;
+    stats_.transfer_ms += xfer_ms;
+    stats_.busy_ms += service_ms;
+    clock_->Advance(service_ms / 1000.0);
+    if (end > read_window_end_) {
+      read_window_end_ = end;
+    }
+    // Bound the modeled buffer to 256 KB of trailing data.
+    const uint64_t kWindowSectors = 512;
+    if (read_window_end_ - read_window_start_ > kWindowSectors) {
+      read_window_start_ = read_window_end_ - kWindowSectors;
+    }
+    const uint32_t sectors_per_cyl = geometry_.sectors_per_track * geometry_.heads;
+    arm_cylinder_ = static_cast<uint32_t>((read_window_end_ - 1) / sectors_per_cyl);
+    return OkStatus();
+  }
+  if (is_read) {
+    read_window_start_ = sector;
+    read_window_end_ = sector + count;
+  } else {
+    read_window_start_ = UINT64_MAX;  // Writes invalidate the read buffer.
+    read_window_end_ = UINT64_MAX;
+  }
+
+  const double period_ms = geometry_.RotationPeriodMs();
+  const double sector_ms = geometry_.SectorTimeMs();
+  const uint32_t spt = geometry_.sectors_per_track;
+
+  // Times below are in milliseconds relative to an arbitrary epoch; the
+  // rotational position is time modulo the rotation period.
+  double time_ms = clock_->Now() * 1000.0;
+  const double start_ms = time_ms;
+
+  time_ms += geometry_.controller_overhead_ms;
+
+  // Initial seek to the first cylinder of the transfer.
+  const uint32_t sectors_per_cyl = spt * geometry_.heads;
+  uint32_t target_cyl = static_cast<uint32_t>(sector / sectors_per_cyl);
+  const uint32_t distance = target_cyl > arm_cylinder_ ? target_cyl - arm_cylinder_
+                                                       : arm_cylinder_ - target_cyl;
+  if (distance > 0) {
+    const double seek_ms = geometry_.SeekTimeMs(distance);
+    time_ms += seek_ms;
+    stats_.seeks++;
+    stats_.seek_ms += seek_ms;
+    arm_cylinder_ = target_cyl;
+  }
+
+  // Transfer track by track, waiting for the head to reach each chunk's
+  // first sector. Track skew makes sequential multi-track transfers cheap.
+  uint64_t pos = sector;
+  const uint64_t end = sector + count;
+  uint64_t prev_track = UINT64_MAX;
+  while (pos < end) {
+    const uint64_t track = pos / spt;
+    const uint64_t track_end = (track + 1) * spt;
+    const uint64_t chunk = (end < track_end ? end : track_end) - pos;
+
+    if (prev_track != UINT64_MAX && track != prev_track) {
+      const uint32_t cyl = static_cast<uint32_t>(track / geometry_.heads);
+      if (cyl != arm_cylinder_) {
+        const uint32_t d = cyl > arm_cylinder_ ? cyl - arm_cylinder_ : arm_cylinder_ - cyl;
+        const double seek_ms = geometry_.SeekTimeMs(d);
+        time_ms += seek_ms;
+        stats_.seek_ms += seek_ms;
+        arm_cylinder_ = cyl;
+      } else {
+        time_ms += geometry_.head_switch_ms;
+      }
+    }
+    prev_track = track;
+
+    // Rotational latency until the chunk's first sector comes under the head.
+    const double angle_now = std::fmod(time_ms, period_ms) / sector_ms;  // in sector units
+    const double target_angle = static_cast<double>(AngularSlot(pos));
+    double wait_sectors = target_angle - angle_now;
+    if (wait_sectors < 0.0) {
+      wait_sectors += static_cast<double>(spt);
+    }
+    const double rot_ms = wait_sectors * sector_ms;
+    time_ms += rot_ms;
+    stats_.rotation_ms += rot_ms;
+
+    const double xfer_ms = static_cast<double>(chunk) * sector_ms;
+    time_ms += xfer_ms;
+    stats_.transfer_ms += xfer_ms;
+    pos += chunk;
+  }
+
+  stats_.busy_ms += time_ms - start_ms;
+  clock_->AdvanceTo(time_ms / 1000.0);
+  return OkStatus();
+}
+
+uint8_t* SimDisk::ChunkFor(uint64_t byte_offset, bool allocate) {
+  const uint64_t index = byte_offset / kChunkBytes;
+  if (chunks_[index] == nullptr) {
+    if (!allocate) {
+      return nullptr;
+    }
+    chunks_[index] = std::make_unique<uint8_t[]>(kChunkBytes);
+    std::memset(chunks_[index].get(), 0, kChunkBytes);
+  }
+  return chunks_[index].get();
+}
+
+Status SimDisk::Read(uint64_t sector, std::span<uint8_t> out) {
+  if (out.size() % sector_size() != 0) {
+    return InvalidArgumentError("read size not sector-aligned");
+  }
+  const uint64_t count = out.size() / sector_size();
+  RETURN_IF_ERROR(ServiceRequest(sector, count, /*is_read=*/true));
+  stats_.read_ops++;
+  stats_.sectors_read += count;
+
+  uint64_t byte = sector * sector_size();
+  size_t copied = 0;
+  while (copied < out.size()) {
+    const uint64_t within = byte % kChunkBytes;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunkBytes - within, out.size() - copied));
+    uint8_t* chunk = ChunkFor(byte, /*allocate=*/false);
+    if (chunk != nullptr) {
+      std::memcpy(out.data() + copied, chunk + within, n);
+    } else {
+      std::memset(out.data() + copied, 0, n);  // Never-written area reads as zeros.
+    }
+    copied += n;
+    byte += n;
+  }
+  return OkStatus();
+}
+
+Status SimDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
+  if (data.size() % sector_size() != 0) {
+    return InvalidArgumentError("write size not sector-aligned");
+  }
+  const uint64_t count = data.size() / sector_size();
+  RETURN_IF_ERROR(ServiceRequest(sector, count, /*is_read=*/false));
+  stats_.write_ops++;
+  stats_.sectors_written += count;
+
+  uint64_t byte = sector * sector_size();
+  size_t copied = 0;
+  while (copied < data.size()) {
+    const uint64_t within = byte % kChunkBytes;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunkBytes - within, data.size() - copied));
+    uint8_t* chunk = ChunkFor(byte, /*allocate=*/true);
+    std::memcpy(chunk + within, data.data() + copied, n);
+    copied += n;
+    byte += n;
+  }
+  return OkStatus();
+}
+
+}  // namespace ld

@@ -1,0 +1,64 @@
+// Event-driven simulated disk with the mechanical timing model described in
+// src/disk/geometry.h: seeks, head switches, rotational position, track skew,
+// and per-request controller overhead. Storage is allocated lazily in 1-MB
+// chunks so multi-gigabyte devices can be simulated cheaply.
+
+#ifndef SRC_DISK_SIM_DISK_H_
+#define SRC_DISK_SIM_DISK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/disk/geometry.h"
+
+namespace ld {
+
+class SimDisk : public BlockDevice {
+ public:
+  // The clock must outlive the disk. It is shared so that file-system CPU
+  // costs and disk service time accumulate on one timeline.
+  SimDisk(const DiskGeometry& geometry, SimClock* clock);
+
+  uint32_t sector_size() const override { return geometry_.sector_size; }
+  uint64_t num_sectors() const override { return geometry_.TotalSectors(); }
+
+  Status Read(uint64_t sector, std::span<uint8_t> out) override;
+  Status Write(uint64_t sector, std::span<const uint8_t> data) override;
+
+  SimClock* clock() override { return clock_; }
+  const DiskStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = DiskStats{}; }
+
+  const DiskGeometry& geometry() const { return geometry_; }
+
+  // Current arm position (cylinder index); exposed for tests.
+  uint32_t arm_cylinder() const { return arm_cylinder_; }
+
+ private:
+  // Validates the request and advances the clock by its service time.
+  Status ServiceRequest(uint64_t sector, uint64_t count, bool is_read);
+
+  // Angular slot (0..sectors_per_track-1) of an absolute sector, with skew.
+  uint32_t AngularSlot(uint64_t sector) const;
+
+  uint8_t* ChunkFor(uint64_t byte_offset, bool allocate);
+
+  DiskGeometry geometry_;
+  SimClock* clock_;
+  DiskStats stats_;
+
+  uint32_t arm_cylinder_ = 0;
+  // Controller read-buffer window [start, end): sectors recently streamed
+  // past the head that a sequential reader can fetch without mechanical
+  // delay. Invalidated by writes.
+  uint64_t read_window_start_ = UINT64_MAX;
+  uint64_t read_window_end_ = UINT64_MAX;
+
+  static constexpr uint64_t kChunkBytes = 1 << 20;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_SIM_DISK_H_

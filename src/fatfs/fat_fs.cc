@@ -1,0 +1,203 @@
+#include "src/fatfs/fat_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/crc32.h"
+#include "src/util/serialize.h"
+
+namespace ld {
+
+namespace {
+constexpr uint32_t kRootMagic = 0x46415430;  // "FAT0"
+}  // namespace
+
+StatusOr<std::unique_ptr<FatFs>> FatFs::Format(LogicalDisk* ld) {
+  std::unique_ptr<FatFs> fs(new FatFs(ld));
+  fs->block_size_ = ld->default_block_size();
+  ListHints hints;
+  ASSIGN_OR_RETURN(fs->meta_list_, ld->NewList(kBeginOfListOfLists, hints));
+  ASSIGN_OR_RETURN(fs->root_bid_, ld->NewBlock(fs->meta_list_, kBeginOfList));
+  if (fs->root_bid_ != 1) {
+    return FailedPreconditionError("FatFs::Format requires a fresh LD volume");
+  }
+  RETURN_IF_ERROR(fs->StoreRoot());
+  return fs;
+}
+
+StatusOr<std::unique_ptr<FatFs>> FatFs::Mount(LogicalDisk* ld) {
+  std::unique_ptr<FatFs> fs(new FatFs(ld));
+  fs->block_size_ = ld->default_block_size();
+  fs->root_bid_ = 1;
+  RETURN_IF_ERROR(fs->LoadRoot());
+  return fs;
+}
+
+Status FatFs::StoreRoot() {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  enc.PutU32(kRootMagic);
+  enc.PutU32(meta_list_);
+  enc.PutU32(static_cast<uint32_t>(slots_.size()));
+  for (const Slot& slot : slots_) {
+    enc.PutString(slot.name);
+    enc.PutU32(slot.list);
+    enc.PutU32(slot.size);
+  }
+  enc.PutU32(Crc32(payload));
+  if (payload.size() > block_size_) {
+    return NoSpaceError("root directory full");
+  }
+  std::vector<uint8_t> block(block_size_, 0);
+  std::memcpy(block.data(), payload.data(), payload.size());
+  return ld_->Write(root_bid_, block);
+}
+
+Status FatFs::LoadRoot() {
+  std::vector<uint8_t> block(block_size_);
+  RETURN_IF_ERROR(ld_->Read(root_bid_, block));
+  Decoder dec(block);
+  const uint32_t magic = dec.GetU32();
+  if (!dec.ok() || magic != kRootMagic) {
+    return CorruptionError("not a FatFs volume");
+  }
+  meta_list_ = dec.GetU32();
+  const uint32_t count = dec.GetU32();
+  slots_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    Slot slot;
+    slot.name = dec.GetString();
+    slot.list = dec.GetU32();
+    slot.size = dec.GetU32();
+    slots_.push_back(std::move(slot));
+  }
+  const size_t body_end = dec.position();
+  const uint32_t crc = dec.GetU32();
+  RETURN_IF_ERROR(dec.ToStatus("FatFs root"));
+  if (crc != Crc32(std::span<const uint8_t>(block).subspan(0, body_end))) {
+    return CorruptionError("FatFs root crc mismatch");
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> FatFs::FindSlot(const std::string& name) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].name == name) {
+      return i;
+    }
+  }
+  return NotFoundError("no such file: " + name);
+}
+
+Status FatFs::Create(const std::string& name) {
+  if (name.empty() || name.size() > kNameMax) {
+    return InvalidArgumentError("bad 8.3-style name");
+  }
+  if (FindSlot(name).ok()) {
+    return AlreadyExistsError("exists: " + name);
+  }
+  Slot slot;
+  slot.name = name;
+  // The file IS a list — this is where the FAT would have been born.
+  ListHints hints;
+  hints.cluster = true;
+  ASSIGN_OR_RETURN(slot.list, ld_->NewList(meta_list_, hints));
+  slots_.push_back(std::move(slot));
+  return StoreRoot();
+}
+
+Status FatFs::Remove(const std::string& name) {
+  ASSIGN_OR_RETURN(size_t index, FindSlot(name));
+  RETURN_IF_ERROR(ld_->DeleteList(slots_[index].list, kNilLid));  // Frees all blocks.
+  slots_.erase(slots_.begin() + index);
+  return StoreRoot();
+}
+
+StatusOr<std::vector<FatDirEntry>> FatFs::List() {
+  std::vector<FatDirEntry> entries;
+  for (const Slot& slot : slots_) {
+    entries.push_back(FatDirEntry{slot.name, slot.size});
+  }
+  return entries;
+}
+
+StatusOr<uint32_t> FatFs::FileSize(const std::string& name) {
+  ASSIGN_OR_RETURN(size_t index, FindSlot(name));
+  return slots_[index].size;
+}
+
+Status FatFs::Write(const std::string& name, uint64_t offset, std::span<const uint8_t> data) {
+  ASSIGN_OR_RETURN(size_t index, FindSlot(name));
+  Slot& slot = slots_[index];
+  const uint32_t bs = block_size_;
+
+  // Extend the cluster chain (= the list) as far as the write needs.
+  const uint64_t last_needed = (offset + data.size() + bs - 1) / bs;
+  uint64_t have = (slot.size + bs - 1) / bs;
+  std::vector<uint8_t> zero(bs, 0);
+  while (have < last_needed) {
+    ASSIGN_OR_RETURN(Bid bid, ld_->NewBlock(slot.list, slot.last_block, bs));
+    slot.last_block = bid;
+    have++;
+  }
+
+  uint64_t pos = offset;
+  size_t done = 0;
+  std::vector<uint8_t> block(bs);
+  while (done < data.size()) {
+    const uint64_t cluster = pos / bs;
+    const uint32_t within = static_cast<uint32_t>(pos % bs);
+    const size_t chunk = std::min<size_t>(bs - within, data.size() - done);
+    // The FAT walk, without a FAT: offset addressing into the list.
+    ASSIGN_OR_RETURN(Bid bid, ld_->BlockAtIndex(slot.list, cluster));
+    if (chunk < bs) {
+      RETURN_IF_ERROR(ld_->Read(bid, block));  // Read-modify-write.
+    }
+    std::memcpy(block.data() + within, data.data() + done, chunk);
+    RETURN_IF_ERROR(ld_->Write(bid, block));
+    pos += chunk;
+    done += chunk;
+  }
+  if (pos > slot.size) {
+    slot.size = static_cast<uint32_t>(pos);
+    RETURN_IF_ERROR(StoreRoot());
+  }
+  // Track the chain tail for future appends.
+  if (last_needed > 0) {
+    ASSIGN_OR_RETURN(slot.last_block, ld_->BlockAtIndex(slot.list, last_needed - 1));
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> FatFs::Read(const std::string& name, uint64_t offset, std::span<uint8_t> out) {
+  ASSIGN_OR_RETURN(size_t index, FindSlot(name));
+  const Slot& slot = slots_[index];
+  if (offset >= slot.size) {
+    return size_t{0};
+  }
+  const uint32_t bs = block_size_;
+  const size_t to_read = std::min<size_t>(out.size(), slot.size - offset);
+  uint64_t pos = offset;
+  size_t done = 0;
+  std::vector<uint8_t> block(bs);
+  while (done < to_read) {
+    const uint64_t cluster = pos / bs;
+    const uint32_t within = static_cast<uint32_t>(pos % bs);
+    const size_t chunk = std::min<size_t>(bs - within, to_read - done);
+    ASSIGN_OR_RETURN(Bid bid, ld_->BlockAtIndex(slot.list, cluster));
+    RETURN_IF_ERROR(ld_->Read(bid, block));
+    std::memcpy(out.data() + done, block.data() + within, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+  return done;
+}
+
+Status FatFs::Sync() { return ld_->Flush(); }
+
+Status FatFs::Close() {
+  RETURN_IF_ERROR(Sync());
+  return ld_->Shutdown();
+}
+
+}  // namespace ld

@@ -1,0 +1,77 @@
+// FatFs: an MS-DOS-style file system on LD with the File Allocation Table
+// eliminated (paper §5.4):
+//
+//   "if we combine an implementation of the LD interface with an MS DOS
+//    file system, we could eliminate the duplication of information in the
+//    File Allocation Table and LD's block-number map."
+//
+// In a real FAT file system every file is a chain of clusters threaded
+// through the table; here every file simply *is* an LD list, and the
+// cluster-chain walk FAT(FAT(...start...)) becomes offset addressing:
+// BlockAtIndex(file_list, cluster_index). No table exists on disk, no table
+// is cached in memory, and no table block is ever written — LD's
+// block-number map already holds exactly that information.
+//
+// The namespace is deliberately DOS-flat: one root directory of 8.3-style
+// entries (the demonstration is the FAT elimination, not directories).
+
+#ifndef SRC_FATFS_FAT_FS_H_
+#define SRC_FATFS_FAT_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ld/logical_disk.h"
+
+namespace ld {
+
+struct FatDirEntry {
+  std::string name;  // Up to 12 characters.
+  uint32_t size = 0;
+};
+
+class FatFs {
+ public:
+  static constexpr size_t kNameMax = 12;
+
+  // Formats on a freshly formatted LD / mounts an existing volume.
+  static StatusOr<std::unique_ptr<FatFs>> Format(LogicalDisk* ld);
+  static StatusOr<std::unique_ptr<FatFs>> Mount(LogicalDisk* ld);
+
+  Status Create(const std::string& name);
+  Status Remove(const std::string& name);
+  StatusOr<std::vector<FatDirEntry>> List();
+  StatusOr<uint32_t> FileSize(const std::string& name);
+
+  Status Write(const std::string& name, uint64_t offset, std::span<const uint8_t> data);
+  StatusOr<size_t> Read(const std::string& name, uint64_t offset, std::span<uint8_t> out);
+
+  Status Sync();
+  Status Close();
+
+ private:
+  struct Slot {
+    std::string name;
+    Lid list = kNilLid;
+    uint32_t size = 0;
+    Bid last_block = kNilBid;  // Append hint (in-memory only).
+  };
+
+  explicit FatFs(LogicalDisk* ld) : ld_(ld) {}
+
+  Status LoadRoot();
+  Status StoreRoot();
+  StatusOr<size_t> FindSlot(const std::string& name);
+
+  LogicalDisk* ld_;
+  uint32_t block_size_ = 0;
+  Bid root_bid_ = kNilBid;  // One block holding the root directory.
+  Lid meta_list_ = kNilLid;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_FATFS_FAT_FS_H_

@@ -1,0 +1,28 @@
+#include "src/harness/report.h"
+
+#include <cstdio>
+
+#include "src/util/table.h"
+
+namespace ld {
+
+void PrintBanner(const std::string& experiment_id, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment_id.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string Compare(double measured, double paper, const std::string& unit, int precision) {
+  std::string out = TextTable::Num(measured, precision);
+  if (!unit.empty()) {
+    out += " " + unit;
+  }
+  if (paper > 0) {
+    out += " (paper: " + TextTable::Num(paper, precision) + ", x" +
+           TextTable::Num(measured / paper, 2) + ")";
+  }
+  return out;
+}
+
+}  // namespace ld

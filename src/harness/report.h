@@ -1,0 +1,22 @@
+// Reporting helpers shared by the benchmark binaries: every bench prints a
+// banner explaining which paper table/figure it regenerates, and rows that
+// put the paper's number (when the text gives one) next to the measured one.
+
+#ifndef SRC_HARNESS_REPORT_H_
+#define SRC_HARNESS_REPORT_H_
+
+#include <string>
+
+namespace ld {
+
+// Prints the standard bench banner.
+void PrintBanner(const std::string& experiment_id, const std::string& description);
+
+// Formats "measured (paper: X, ratio R)" comparison text; paper <= 0 means
+// the paper's table did not survive into the available text, so only the
+// measured value is shown.
+std::string Compare(double measured, double paper, const std::string& unit, int precision = 0);
+
+}  // namespace ld
+
+#endif  // SRC_HARNESS_REPORT_H_

@@ -1,0 +1,71 @@
+#include "src/harness/setup.h"
+
+namespace ld {
+
+const char* FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kMinixLld:
+      return "MINIX LLD";
+    case FsKind::kMinixLldSingleList:
+      return "MINIX LLD (single list)";
+    case FsKind::kMinixLldSmallInodes:
+      return "MINIX LLD (small i-nodes)";
+    case FsKind::kMinix:
+      return "MINIX";
+    case FsKind::kSunOs:
+      return "SunOS";
+  }
+  return "?";
+}
+
+void FsUnderTest::ResetMeasurement() {
+  clock->Reset();
+  disk->ResetStats();
+  if (lld != nullptr) {
+    lld->ResetCounters();
+  }
+}
+
+StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
+  FsUnderTest t;
+  t.name = FsKindName(kind);
+  t.clock = std::make_unique<SimClock>();
+  t.disk = std::make_unique<SimDisk>(DiskGeometry::HpC3010Partition(params.partition_bytes),
+                                     t.clock.get());
+
+  MinixOptions options;
+  options.block_size = params.minix_block_size;
+  options.num_inodes = params.num_inodes;
+  options.cache_bytes = params.cache_bytes;
+  options.compress_file_data = params.compress_file_data;
+
+  switch (kind) {
+    case FsKind::kMinixLld:
+    case FsKind::kMinixLldSingleList:
+    case FsKind::kMinixLldSmallInodes: {
+      LldOptions lld_options = params.lld;
+      lld_options.block_size = params.minix_block_size;
+      ASSIGN_OR_RETURN(t.lld, LogStructuredDisk::Format(t.disk.get(), lld_options));
+      const bool list_per_file = kind != FsKind::kMinixLldSingleList;
+      const bool small_inodes = kind == FsKind::kMinixLldSmallInodes;
+      ASSIGN_OR_RETURN(t.fs,
+                       MinixFs::FormatOnLd(t.lld.get(), options, list_per_file, small_inodes));
+      break;
+    }
+    case FsKind::kMinix: {
+      ASSIGN_OR_RETURN(t.fs, MinixFs::FormatClassic(t.disk.get(), options));
+      break;
+    }
+    case FsKind::kSunOs: {
+      FfsParams ffs;
+      ffs.num_inodes = params.num_inodes;
+      ffs.cache_bytes = params.cache_bytes;
+      ASSIGN_OR_RETURN(t.fs, FormatFfs(t.disk.get(), ffs));
+      break;
+    }
+  }
+  t.ResetMeasurement();
+  return t;
+}
+
+}  // namespace ld

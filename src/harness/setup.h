@@ -1,0 +1,55 @@
+// Standard experiment setups shared by the benchmark binaries: the paper's
+// measurement platform was a 400-MB partition of an HP C3010 disk; the three
+// measured file systems were MINIX LLD, MINIX, and SunOS (FFS).
+
+#ifndef SRC_HARNESS_SETUP_H_
+#define SRC_HARNESS_SETUP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/disk/sim_disk.h"
+#include "src/ffs/ffs.h"
+#include "src/lld/lld.h"
+#include "src/minixfs/minix_fs.h"
+
+namespace ld {
+
+enum class FsKind {
+  kMinixLld,              // MINIX over LLD, one list per file.
+  kMinixLldSingleList,    // MINIX over LLD, one global list (first integration).
+  kMinixLldSmallInodes,   // MINIX over LLD, 64-byte i-node blocks.
+  kMinix,                 // Classic MINIX on the raw disk.
+  kSunOs,                 // FFS/SunOS-style baseline.
+};
+
+const char* FsKindName(FsKind kind);
+
+// A complete file system under test with its simulated disk and clock.
+struct FsUnderTest {
+  std::string name;
+  std::unique_ptr<SimClock> clock;
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<LogStructuredDisk> lld;  // Null for non-LD systems.
+  std::unique_ptr<MinixFs> fs;
+
+  // Resets clock and device counters after setup so measurements exclude
+  // formatting.
+  void ResetMeasurement();
+};
+
+struct SetupParams {
+  uint64_t partition_bytes = 400ull << 20;  // The paper's 400-MB partition.
+  uint32_t minix_block_size = 4096;
+  uint32_t num_inodes = 16384;
+  uint64_t cache_bytes = 6144 * 1024;
+  LldOptions lld;  // Segment size etc. for LD-based systems.
+  // LD modes: mark file data lists compressible (requires lld.compressor).
+  bool compress_file_data = false;
+};
+
+StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params);
+
+}  // namespace ld
+
+#endif  // SRC_HARNESS_SETUP_H_

@@ -1,0 +1,53 @@
+// Core identifier types and constants of the Logical Disk interface.
+//
+// File systems name blocks by logical block number (Bid) and express
+// relationships between blocks with ordered lists (Lid). LD owns the mapping
+// from logical names to physical locations (paper §2.1).
+
+#ifndef SRC_LD_TYPES_H_
+#define SRC_LD_TYPES_H_
+
+#include <cstdint>
+
+namespace ld {
+
+// Logical block identifier. 0 is reserved (kNilBid); valid Bids start at 1,
+// which also provides the "special value" Table 1 uses to mean "insert at
+// the beginning of the list".
+using Bid = uint32_t;
+constexpr Bid kNilBid = 0;
+// PredBid value meaning "insert as the first block of the list".
+constexpr Bid kBeginOfList = 0;
+
+// List identifier; same conventions.
+using Lid = uint32_t;
+constexpr Lid kNilLid = 0;
+// PredLid value meaning "insert at the beginning of the list of lists".
+constexpr Lid kBeginOfListOfLists = 0;
+
+// Hints passed to NewList (paper Table 1): whether the list's blocks should
+// be physically clustered, whether they should be compressed, and whether
+// the list itself should be placed near its predecessor in the list of lists.
+struct ListHints {
+  bool cluster = true;
+  bool compress = false;
+  bool interlist_cluster = true;
+};
+
+// Kinds of failure Flush must make the preceding operations survive
+// (paper Table 1's FailureSet). A log-structured implementation treats both
+// the same way — force the current segment to disk — but the interface keeps
+// the distinction so other implementations can do less work for kNone.
+enum class FailureSet {
+  kNone = 0,        // No durability required (barrier only).
+  kPowerFailure,    // Survive power loss / crash.
+  kMediaFailure,    // Survive media failure too (not supported by LLD).
+};
+
+// Logical timestamp attached to every logged operation; a monotonically
+// increasing operation counter, not wall-clock time.
+using OpTimestamp = uint64_t;
+
+}  // namespace ld
+
+#endif  // SRC_LD_TYPES_H_

@@ -1,0 +1,85 @@
+// The list table (paper Figure 2): the first logical block of each list,
+// the list's hints, and the list-of-lists ordering used for inter-list
+// clustering.
+
+#ifndef SRC_LLD_LIST_TABLE_H_
+#define SRC_LLD_LIST_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ld/types.h"
+#include "src/util/status.h"
+
+namespace ld {
+
+struct ListEntry {
+  Bid first = kNilBid;
+  ListHints hints;
+  // Position in the list of lists (doubly linked in memory for O(1) moves;
+  // on disk only the successor relationship is logged).
+  Lid lol_prev = kNilLid;
+  Lid lol_next = kNilLid;
+  bool allocated = false;
+
+  // Record authority (see BlockMapEntry): segment holding the latest
+  // on-disk list-head / list-create record for this list.
+  uint32_t head_seg = 0xffffffffu;
+  uint32_t create_seg = 0xffffffffu;
+};
+
+class ListTable {
+ public:
+  ListTable() = default;
+
+  // Allocates a list and inserts it into the list of lists after pred_lid
+  // (kBeginOfListOfLists = front).
+  StatusOr<Lid> Allocate(Lid pred_lid, ListHints hints);
+
+  // Removes the list from the list of lists and frees its id. The caller is
+  // responsible for the list's blocks.
+  Status Free(Lid lid);
+
+  bool IsAllocated(Lid lid) const;
+
+  ListEntry& entry(Lid lid) { return entries_[lid]; }
+  const ListEntry& entry(Lid lid) const { return entries_[lid]; }
+
+  StatusOr<ListEntry*> Lookup(Lid lid);
+  StatusOr<const ListEntry*> Lookup(Lid lid) const;
+
+  // Moves lid to sit after new_pred in the list of lists.
+  Status Move(Lid lid, Lid new_pred);
+
+  // First list in the list of lists (kNilLid if empty).
+  Lid lol_head() const { return lol_head_; }
+
+  uint64_t allocated_count() const { return allocated_count_; }
+  Lid max_lid() const { return static_cast<Lid>(entries_.size()) - 1; }
+
+  // Recovery support: force-materialize a lid.
+  ListEntry& EnsureAllocated(Lid lid);
+  // Recovery-time deallocation; tolerant of duplicates, skips LoL unlinking
+  // (RelinkListOfLists runs afterwards).
+  void ForceFree(Lid lid);
+  void RebuildFreeList();
+  // Rebuilds lol_prev pointers and lol_head_ from lol_next chains after
+  // recovery.
+  void RelinkListOfLists();
+
+  uint64_t MemoryBytes() const;
+  void Clear();
+
+ private:
+  void UnlinkFromLol(Lid lid);
+  void LinkIntoLol(Lid lid, Lid pred);
+
+  std::vector<ListEntry> entries_{1};
+  std::vector<Lid> free_lids_;
+  Lid lol_head_ = kNilLid;
+  uint64_t allocated_count_ = 0;
+};
+
+}  // namespace ld
+
+#endif  // SRC_LLD_LIST_TABLE_H_

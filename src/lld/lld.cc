@@ -1,0 +1,1065 @@
+#include "src/lld/lld.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/crc32.h"
+#include "src/util/log.h"
+
+namespace ld {
+
+namespace {
+
+// Fixed bytes of a serialized summary besides the records: header + CRC.
+constexpr size_t kSummaryOverhead = SummaryHeader::kEncodedSize + 16;
+
+// Largest size class the summary encoding can express.
+constexpr uint32_t kMaxBlockSize = 65535;
+
+uint64_t RoundUp(uint64_t value, uint64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+LogStructuredDisk::LogStructuredDisk(BlockDevice* device, const LldOptions& options)
+    : device_(device), options_(options) {}
+
+Status LogStructuredDisk::ComputeLayout() {
+  const uint32_t sector = device_->sector_size();
+  if (options_.segment_bytes % sector != 0 || options_.summary_bytes % sector != 0) {
+    return InvalidArgumentError("segment and summary sizes must be sector-aligned");
+  }
+  if (options_.summary_bytes >= options_.segment_bytes) {
+    return InvalidArgumentError("summary must be smaller than the segment");
+  }
+  data_capacity_ = options_.segment_bytes - options_.summary_bytes;
+  if (options_.block_size == 0 || options_.block_size > data_capacity_ ||
+      options_.block_size > kMaxBlockSize) {
+    return InvalidArgumentError("default block size does not fit a segment");
+  }
+
+  const uint64_t capacity = device_->capacity_bytes();
+  checkpoint_start_byte_ = 4096;  // Sector 0..7 reserved for the superblock.
+  checkpoint_bytes_ = RoundUp(std::max<uint64_t>(1 << 20, capacity / 32), sector);
+  data_start_byte_ = RoundUp(checkpoint_start_byte_ + checkpoint_bytes_, sector);
+  if (data_start_byte_ + options_.segment_bytes > capacity) {
+    return InvalidArgumentError("device too small for one segment");
+  }
+  const uint32_t num_segments =
+      static_cast<uint32_t>((capacity - data_start_byte_) / options_.segment_bytes);
+  usage_ = std::make_unique<UsageTable>(num_segments);
+  open_buffer_.assign(options_.segment_bytes, 0);
+  return OkStatus();
+}
+
+uint64_t LogStructuredDisk::SegmentBaseByte(uint32_t segment) const {
+  return data_start_byte_ + static_cast<uint64_t>(segment) * options_.segment_bytes;
+}
+
+// ---- Superblock ------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kSuperMagic = 0x4c445342;  // "LDSB"
+constexpr uint32_t kSuperVersion = 1;
+}  // namespace
+
+Status LogStructuredDisk::WriteSuperblock() {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  enc.PutU32(kSuperMagic);
+  enc.PutU32(kSuperVersion);
+  enc.PutU32(options_.block_size);
+  enc.PutU32(options_.segment_bytes);
+  enc.PutU32(options_.summary_bytes);
+  enc.PutU32(usage_->num_segments());
+  enc.PutU64(data_start_byte_);
+  enc.PutU64(checkpoint_start_byte_);
+  enc.PutU64(checkpoint_bytes_);
+  const uint32_t crc = Crc32(payload);
+  enc.PutU32(crc);
+
+  std::vector<uint8_t> sector(device_->sector_size(), 0);
+  std::memcpy(sector.data(), payload.data(), payload.size());
+  return device_->Write(0, sector);
+}
+
+Status LogStructuredDisk::ReadAndCheckSuperblock() {
+  std::vector<uint8_t> sector(device_->sector_size());
+  RETURN_IF_ERROR(device_->Read(0, sector));
+  Decoder dec(sector);
+  const uint32_t magic = dec.GetU32();
+  const uint32_t version = dec.GetU32();
+  if (!dec.ok() || magic != kSuperMagic || version != kSuperVersion) {
+    return CorruptionError("device is not an LLD volume");
+  }
+  const uint32_t block_size = dec.GetU32();
+  const uint32_t segment_bytes = dec.GetU32();
+  const uint32_t summary_bytes = dec.GetU32();
+  const uint32_t num_segments = dec.GetU32();
+  const uint64_t data_start = dec.GetU64();
+  const uint64_t cp_start = dec.GetU64();
+  const uint64_t cp_bytes = dec.GetU64();
+  const size_t body_end = dec.position();
+  const uint32_t stored_crc = dec.GetU32();
+  RETURN_IF_ERROR(dec.ToStatus("superblock"));
+  if (stored_crc != Crc32(std::span<const uint8_t>(sector).subspan(0, body_end))) {
+    return CorruptionError("superblock crc mismatch");
+  }
+
+  // The superblock is the source of truth for the layout; runtime knobs
+  // (policies, compressor, threshold) come from the caller's options.
+  options_.block_size = block_size;
+  options_.segment_bytes = segment_bytes;
+  options_.summary_bytes = summary_bytes;
+  data_capacity_ = segment_bytes - summary_bytes;
+  data_start_byte_ = data_start;
+  checkpoint_start_byte_ = cp_start;
+  checkpoint_bytes_ = cp_bytes;
+  usage_ = std::make_unique<UsageTable>(num_segments);
+  open_buffer_.assign(segment_bytes, 0);
+  return OkStatus();
+}
+
+// ---- Factory ----------------------------------------------------------------
+
+StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Format(
+    BlockDevice* device, const LldOptions& options) {
+  std::unique_ptr<LogStructuredDisk> lld(new LogStructuredDisk(device, options));
+  RETURN_IF_ERROR(lld->ComputeLayout());
+  RETURN_IF_ERROR(lld->WriteSuperblock());
+  RETURN_IF_ERROR(lld->InvalidateCheckpoint());
+  // Erase stale summaries so a reformat never resurrects old metadata.
+  std::vector<uint8_t> zeros(options.summary_bytes, 0);
+  for (uint32_t seg = 0; seg < lld->usage_->num_segments(); ++seg) {
+    const uint64_t summary_byte = lld->SegmentBaseByte(seg) + lld->data_capacity_;
+    RETURN_IF_ERROR(device->Write(summary_byte / device->sector_size(), zeros));
+  }
+  return lld;
+}
+
+StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Open(
+    BlockDevice* device, const LldOptions& options, RecoveryStats* recovery_stats) {
+  std::unique_ptr<LogStructuredDisk> lld(new LogStructuredDisk(device, options));
+  RETURN_IF_ERROR(lld->ReadAndCheckSuperblock());
+  bool checkpoint_valid = false;
+  RETURN_IF_ERROR(lld->LoadCheckpoint(&checkpoint_valid));
+  if (checkpoint_valid) {
+    RETURN_IF_ERROR(lld->InvalidateCheckpoint());
+    if (recovery_stats != nullptr) {
+      *recovery_stats = RecoveryStats{};
+      recovery_stats->used_checkpoint = true;
+    }
+    return lld;
+  }
+  RecoveryStats local;
+  RETURN_IF_ERROR(lld->RecoverFromLog(&local));
+  if (recovery_stats != nullptr) {
+    *recovery_stats = local;
+  }
+  return lld;
+}
+
+// ---- Open-segment management --------------------------------------------------
+
+Status LogStructuredDisk::EnsureRoom(uint32_t data_bytes, size_t record_bytes) {
+  const bool data_fits = open_data_used_ + data_bytes <= data_capacity_;
+  const bool records_fit =
+      open_record_bytes_ + record_bytes + kSummaryOverhead <= options_.summary_bytes;
+  if (data_fits && records_fit) {
+    return OkStatus();
+  }
+  RETURN_IF_ERROR(FlushOpenSegmentFull());
+  if (data_bytes > data_capacity_ ||
+      record_bytes + kSummaryOverhead > options_.summary_bytes) {
+    return InvalidArgumentError("request larger than a segment");
+  }
+  return OkStatus();
+}
+
+Status LogStructuredDisk::AppendRecord(const SummaryRecord& record) {
+  RETURN_IF_ERROR(EnsureRoom(0, record.EncodedSize()));
+  open_records_.push_back(record);
+  open_record_bytes_ += record.EncodedSize();
+  return OkStatus();
+}
+
+Status LogStructuredDisk::AppendBlockData(Bid bid, std::span<const uint8_t> stored,
+                                          uint32_t orig_size, bool compressed, bool internal) {
+  SummaryRecord proto;  // Only for sizing.
+  proto.type = SummaryRecordType::kBlockEntry;
+  RETURN_IF_ERROR(EnsureRoom(static_cast<uint32_t>(stored.size()), proto.EncodedSize()));
+
+  BlockMapEntry& entry = block_map_.entry(bid);
+  ReleaseBlockSpace(entry);
+
+  const OpTimestamp ts = NextTs();
+  const uint32_t offset = open_data_used_;
+  std::memcpy(open_buffer_.data() + offset, stored.data(), stored.size());
+  open_data_used_ += static_cast<uint32_t>(stored.size());
+
+  SummaryRecord record =
+      SummaryRecord::BlockEntry(ts, bid, entry.list, offset, static_cast<uint32_t>(stored.size()),
+                                orig_size, compressed, /*ends_aru=*/true);
+  if (!internal && InAru()) {
+    record.aru_id = current_aru_;
+    record.ends_aru = false;
+  }
+  open_records_.push_back(record);
+  open_record_bytes_ += record.EncodedSize();
+  open_appended_.push_back(Appended{bid, offset, static_cast<uint32_t>(stored.size())});
+
+  entry.phys = PhysAddr{PhysAddr::kOpenSegment, offset};
+  entry.stored_size = static_cast<uint32_t>(stored.size());
+  entry.compressed = compressed;
+  entry.write_ts = ts;
+  counters_.stored_bytes_written += stored.size();
+  return OkStatus();
+}
+
+Status LogStructuredDisk::BuildSummaryInto(std::span<uint8_t> buffer, uint32_t segment_index,
+                                           uint64_t seq, uint32_t data_bytes) {
+  SummaryHeader header;
+  header.seq = seq;
+  header.segment_index = segment_index;
+  header.data_bytes = data_bytes;
+  return EncodeSummary(header, open_records_, buffer.subspan(data_capacity_));
+}
+
+StatusOr<uint32_t> LogStructuredDisk::AllocateFreeSegment(bool allow_clean) {
+  // The cleaning reserve must scale with the disk: at high utilization the
+  // cleaner needs enough writer headroom that a round of high-live victims
+  // still nets free segments (see CleanSegments' budget).
+  const uint32_t reserve = std::max(options_.free_segment_reserve,
+                                    std::min(usage_->num_segments() / 8, 32u));
+  if (allow_clean && !cleaning_ && usage_->FreeCount() <= reserve) {
+    // Keep cleaning until the reserve is replenished or cleaning stops
+    // making headway (each round is bounded, so this terminates).
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const uint32_t before = usage_->FreeCount();
+      const Status status = CleanSegments(options_.segments_per_clean);
+      if (!status.ok() && status.code() != ErrorCode::kNoSpace) {
+        return status;
+      }
+      if (usage_->FreeCount() > reserve || usage_->FreeCount() <= before) {
+        break;
+      }
+    }
+  }
+  const int64_t seg = usage_->PickFree();
+  if (seg < 0) {
+    return NoSpaceError("no free segments");
+  }
+  return static_cast<uint32_t>(seg);
+}
+
+Status LogStructuredDisk::FlushOpenSegmentFull() {
+  if (open_data_used_ == 0 && open_records_.empty()) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
+  const uint64_t seq = next_seq_++;
+  RETURN_IF_ERROR(BuildSummaryInto(open_buffer_, target, seq, open_data_used_));
+
+  const double before = device_->clock()->Now();
+  RETURN_IF_ERROR(
+      device_->Write(SegmentBaseByte(target) / device_->sector_size(), open_buffer_));
+  overlap_credit_seconds_ = device_->clock()->Now() - before;
+
+  SegmentUsage& seg = usage_->segment(target);
+  seg.state = SegmentState::kFull;
+  seg.seq = seq;
+  for (const Appended& a : open_appended_) {
+    if (!block_map_.IsAllocated(a.bid)) {
+      continue;
+    }
+    BlockMapEntry& e = block_map_.entry(a.bid);
+    if (e.phys.IsOpen() && e.phys.offset == a.offset) {
+      e.phys = PhysAddr{target, a.offset};
+      usage_->AddLive(target, a.stored, e.write_ts);
+    }
+  }
+  UpdateRecordAuthority(target, open_records_);
+  if (scratch_segment_ >= 0) {
+    usage_->segment(static_cast<uint32_t>(scratch_segment_)).state = SegmentState::kFree;
+    scratch_segment_ = -1;
+  }
+  open_data_used_ = 0;
+  open_dead_bytes_ = 0;
+  open_records_.clear();
+  open_record_bytes_ = 0;
+  open_appended_.clear();
+  dirty_since_flush_ = false;
+  counters_.segments_written++;
+  return OkStatus();
+}
+
+Status LogStructuredDisk::FlushOpenSegmentPartial() {
+  if (open_data_used_ == 0 && open_records_.empty()) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
+  const uint64_t seq = next_seq_++;
+  RETURN_IF_ERROR(BuildSummaryInto(open_buffer_, target, seq, open_data_used_));
+
+  const uint32_t sector = device_->sector_size();
+  const uint64_t base = SegmentBaseByte(target);
+  const double before = device_->clock()->Now();
+  if (open_data_used_ > 0) {
+    const uint64_t data_len = RoundUp(open_data_used_, sector);
+    RETURN_IF_ERROR(device_->Write(
+        base / sector, std::span<const uint8_t>(open_buffer_).subspan(0, data_len)));
+  }
+  RETURN_IF_ERROR(device_->Write(
+      (base + data_capacity_) / sector,
+      std::span<const uint8_t>(open_buffer_).subspan(data_capacity_, options_.summary_bytes)));
+  overlap_credit_seconds_ = device_->clock()->Now() - before;
+
+  SegmentUsage& seg = usage_->segment(target);
+  seg.state = SegmentState::kScratch;
+  seg.seq = seq;
+  UpdateRecordAuthority(target, open_records_);
+  if (scratch_segment_ >= 0) {
+    usage_->segment(static_cast<uint32_t>(scratch_segment_)).state = SegmentState::kFree;
+  }
+  scratch_segment_ = target;
+  dirty_since_flush_ = false;
+  counters_.partial_segments_written++;
+  return OkStatus();
+}
+
+// ---- Helpers -------------------------------------------------------------------
+
+void LogStructuredDisk::UpdateRecordAuthority(uint32_t segment,
+                                              const std::vector<SummaryRecord>& records) {
+  for (const auto& r : records) {
+    switch (r.type) {
+      case SummaryRecordType::kLinkTuple:
+        if (block_map_.IsAllocated(r.bid)) {
+          block_map_.entry(r.bid).link_seg = segment;
+        }
+        break;
+      case SummaryRecordType::kBlockAlloc:
+        if (block_map_.IsAllocated(r.bid)) {
+          block_map_.entry(r.bid).alloc_seg = segment;
+        }
+        break;
+      case SummaryRecordType::kListHead:
+        if (list_table_.IsAllocated(r.lid)) {
+          list_table_.entry(r.lid).head_seg = segment;
+        }
+        break;
+      case SummaryRecordType::kListCreate:
+      case SummaryRecordType::kListMove:
+        if (list_table_.IsAllocated(r.lid)) {
+          list_table_.entry(r.lid).create_seg = segment;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void LogStructuredDisk::ReleaseBlockSpace(const BlockMapEntry& entry) {
+  if (entry.phys.IsOnDisk()) {
+    usage_->RemoveLive(entry.phys.segment, entry.stored_size);
+  } else if (entry.phys.IsOpen()) {
+    open_dead_bytes_ += entry.stored_size;
+  }
+}
+
+Status LogStructuredDisk::ReadStored(const BlockMapEntry& entry, std::span<uint8_t> out) {
+  const uint32_t sector = device_->sector_size();
+  const uint64_t start_byte = SegmentBaseByte(entry.phys.segment) + entry.phys.offset;
+  const uint64_t end_byte = start_byte + entry.stored_size;
+  const uint64_t first_sector = start_byte / sector;
+  const uint64_t last_sector = (end_byte + sector - 1) / sector;
+  const size_t span_bytes = static_cast<size_t>((last_sector - first_sector) * sector);
+  if (io_scratch_.size() < span_bytes) {
+    io_scratch_.resize(span_bytes);
+  }
+  RETURN_IF_ERROR(device_->Read(first_sector, std::span<uint8_t>(io_scratch_).subspan(0, span_bytes)));
+  std::memcpy(out.data(), io_scratch_.data() + (start_byte - first_sector * sector), out.size());
+  return OkStatus();
+}
+
+void LogStructuredDisk::ChargeListCpu() {
+  if (options_.cpu_per_list_op_us > 0) {
+    device_->clock()->Advance(options_.cpu_per_list_op_us * 1e-6);
+  }
+}
+
+void LogStructuredDisk::ChargeCompressCpu(uint64_t bytes) {
+  if (options_.compress_kb_per_s <= 0) {
+    return;
+  }
+  double seconds = static_cast<double>(bytes) / (options_.compress_kb_per_s * 1024.0);
+  // One segment is compressed while the previous one is written (§3.3):
+  // CPU time up to the last disk write's duration is hidden.
+  const double hidden = std::min(seconds, overlap_credit_seconds_);
+  overlap_credit_seconds_ -= hidden;
+  seconds -= hidden;
+  if (seconds > 0) {
+    device_->clock()->Advance(seconds);
+  }
+}
+
+void LogStructuredDisk::ChargeDecompressCpu(uint64_t bytes) {
+  if (options_.decompress_kb_per_s <= 0) {
+    return;
+  }
+  device_->clock()->Advance(static_cast<double>(bytes) / (options_.decompress_kb_per_s * 1024.0));
+}
+
+uint64_t LogStructuredDisk::LiveBytes() const {
+  return usage_->TotalLiveBytes() + (open_data_used_ - open_dead_bytes_);
+}
+
+uint64_t LogStructuredDisk::FreeBytes() const {
+  const double budget = static_cast<double>(TotalDataCapacity()) * options_.max_utilization;
+  const uint64_t used = LiveBytes() + reserved_bytes_;
+  if (static_cast<double>(used) >= budget) {
+    return 0;
+  }
+  return static_cast<uint64_t>(budget) - used;
+}
+
+Status LogStructuredDisk::AppendRecordsAtomic(std::vector<SummaryRecord>* records) {
+  size_t total = 0;
+  for (auto& r : *records) {
+    if (InAru() && r.type != SummaryRecordType::kAruCommit) {
+      r.aru_id = current_aru_;
+      r.ends_aru = false;
+    }
+    total += r.EncodedSize();
+  }
+  RETURN_IF_ERROR(EnsureRoom(0, total));
+  for (const auto& r : *records) {
+    open_records_.push_back(r);
+    open_record_bytes_ += r.EncodedSize();
+  }
+  dirty_since_flush_ = true;
+  return OkStatus();
+}
+
+// ---- LogicalDisk: blocks -----------------------------------------------------
+
+Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
+  ASSIGN_OR_RETURN(const BlockMapEntry* entry, block_map_.Lookup(bid));
+  if (out.size() != entry->size_class) {
+    return InvalidArgumentError("read buffer does not match block size");
+  }
+  counters_.user_reads++;
+  if (options_.track_read_heat) {
+    block_map_.entry(bid).read_count++;
+  }
+  if (entry->phys.IsNone()) {
+    std::memset(out.data(), 0, out.size());
+    return OkStatus();
+  }
+
+  if (!entry->compressed) {
+    if (entry->phys.IsOpen()) {
+      std::memcpy(out.data(), open_buffer_.data() + entry->phys.offset, out.size());
+      return OkStatus();
+    }
+    return ReadStored(*entry, out);
+  }
+
+  std::vector<uint8_t> stored(entry->stored_size);
+  if (entry->phys.IsOpen()) {
+    std::memcpy(stored.data(), open_buffer_.data() + entry->phys.offset, stored.size());
+  } else {
+    RETURN_IF_ERROR(ReadStored(*entry, stored));
+  }
+  if (options_.compressor == nullptr) {
+    return FailedPreconditionError("compressed block but no compressor configured");
+  }
+  RETURN_IF_ERROR(options_.compressor->Decompress(stored, out));
+  ChargeDecompressCpu(out.size());
+  return OkStatus();
+}
+
+Status LogStructuredDisk::Write(Bid bid, std::span<const uint8_t> data) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  ASSIGN_OR_RETURN(BlockMapEntry * entry, block_map_.Lookup(bid));
+  if (data.size() != entry->size_class) {
+    return InvalidArgumentError("write does not match block size class");
+  }
+  // A first write of a block consumes new space; require headroom.
+  if (entry->phys.IsNone() && FreeBytes() < data.size()) {
+    return NoSpaceError("disk full");
+  }
+  counters_.user_writes++;
+  counters_.user_bytes_written += data.size();
+
+  bool compress = false;
+  if (options_.compressor != nullptr && list_table_.IsAllocated(entry->list)) {
+    compress = list_table_.entry(entry->list).hints.compress;
+  }
+
+  Status status;
+  if (compress) {
+    std::vector<uint8_t> packed;
+    const size_t csize = options_.compressor->Compress(data, &packed);
+    ChargeCompressCpu(data.size());
+    if (csize < data.size()) {
+      counters_.blocks_compressed++;
+      counters_.compression_saved_bytes += data.size() - csize;
+      status = AppendBlockData(bid, packed, static_cast<uint32_t>(data.size()),
+                               /*compressed=*/true, /*internal=*/false);
+    } else {
+      status = AppendBlockData(bid, data, static_cast<uint32_t>(data.size()),
+                               /*compressed=*/false, /*internal=*/false);
+    }
+  } else {
+    status = AppendBlockData(bid, data, static_cast<uint32_t>(data.size()),
+                             /*compressed=*/false, /*internal=*/false);
+  }
+  if (status.ok()) {
+    dirty_since_flush_ = true;
+  }
+  return status;
+}
+
+StatusOr<Bid> LogStructuredDisk::NewBlock(Lid lid, Bid pred_bid, uint32_t size_bytes) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  const uint32_t size = size_bytes == 0 ? options_.block_size : size_bytes;
+  if (size == 0 || size > data_capacity_ || size > kMaxBlockSize) {
+    return InvalidArgumentError("unsupported block size " + std::to_string(size));
+  }
+  ASSIGN_OR_RETURN(ListEntry * list, list_table_.Lookup(lid));
+  if (pred_bid != kBeginOfList) {
+    ASSIGN_OR_RETURN(const BlockMapEntry* pred, block_map_.Lookup(pred_bid));
+    if (pred->list != lid) {
+      return InvalidArgumentError("predecessor is not on the given list");
+    }
+  }
+  if (FreeBytes() < size) {
+    return NoSpaceError("disk full");
+  }
+
+  const Bid bid = block_map_.Allocate(lid, size);
+  const OpTimestamp ts = NextTs();
+  const bool ends = RecordEndsAru();
+  std::vector<SummaryRecord> records;
+  records.push_back(SummaryRecord::BlockAlloc(ts, bid, lid, size, ends));
+  if (!options_.maintain_lists) {
+    const Status status = AppendRecordsAtomic(&records);
+    if (!status.ok()) {
+      (void)block_map_.Free(bid);
+      return status;
+    }
+    return bid;
+  }
+  ChargeListCpu();
+  Bid old_succ;
+  if (pred_bid == kBeginOfList) {
+    old_succ = list->first;
+    records.push_back(SummaryRecord::LinkTuple(ts, bid, old_succ, ends));
+    records.push_back(SummaryRecord::ListHead(ts, lid, bid, ends));
+  } else {
+    old_succ = block_map_.entry(pred_bid).successor;
+    records.push_back(SummaryRecord::LinkTuple(ts, bid, old_succ, ends));
+    records.push_back(SummaryRecord::LinkTuple(ts, pred_bid, bid, ends));
+  }
+  const Status status = AppendRecordsAtomic(&records);
+  if (!status.ok()) {
+    (void)block_map_.Free(bid);
+    return status;
+  }
+  block_map_.entry(bid).successor = old_succ;
+  if (pred_bid == kBeginOfList) {
+    list->first = bid;
+  } else {
+    block_map_.entry(pred_bid).successor = bid;
+  }
+  return bid;
+}
+
+Status LogStructuredDisk::UnlinkFromList(Bid bid, Lid lid, Bid pred_bid_hint) {
+  ListEntry& list = list_table_.entry(lid);
+  BlockMapEntry& entry = block_map_.entry(bid);
+  const OpTimestamp ts = NextTs();
+  const bool ends = RecordEndsAru();
+  std::vector<SummaryRecord> records;
+
+  if (!options_.maintain_lists) {
+    records.push_back(SummaryRecord::BlockFree(ts, bid, ends));
+    return AppendRecordsAtomic(&records);
+  }
+  ChargeListCpu();
+
+  if (list.first == bid) {
+    records.push_back(SummaryRecord::ListHead(ts, lid, entry.successor, ends));
+    records.push_back(SummaryRecord::BlockFree(ts, bid, ends));
+    RETURN_IF_ERROR(AppendRecordsAtomic(&records));
+    list.first = entry.successor;
+    return OkStatus();
+  }
+
+  // Locate the predecessor: trust the hint if it checks out, else walk the
+  // list from its first block (paper §2.2).
+  Bid pred = kNilBid;
+  if (pred_bid_hint != kNilBid && block_map_.IsAllocated(pred_bid_hint) &&
+      block_map_.entry(pred_bid_hint).list == lid &&
+      block_map_.entry(pred_bid_hint).successor == bid) {
+    pred = pred_bid_hint;
+    counters_.pred_hint_hits++;
+  } else {
+    if (pred_bid_hint != kNilBid) {
+      counters_.pred_hint_misses++;
+    }
+    for (Bid cur = list.first; cur != kNilBid; cur = block_map_.entry(cur).successor) {
+      if (block_map_.entry(cur).successor == bid) {
+        pred = cur;
+        break;
+      }
+    }
+    if (pred == kNilBid) {
+      return NotFoundError("block not found on list");
+    }
+  }
+
+  records.push_back(SummaryRecord::LinkTuple(ts, pred, entry.successor, ends));
+  records.push_back(SummaryRecord::BlockFree(ts, bid, ends));
+  RETURN_IF_ERROR(AppendRecordsAtomic(&records));
+  block_map_.entry(pred).successor = entry.successor;
+  return OkStatus();
+}
+
+Status LogStructuredDisk::DeleteBlock(Bid bid, Lid lid, Bid pred_bid_hint) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  RETURN_IF_ERROR(list_table_.Lookup(lid).status());
+  ASSIGN_OR_RETURN(BlockMapEntry * entry, block_map_.Lookup(bid));
+  if (entry->list != lid) {
+    return InvalidArgumentError("block is not on the given list");
+  }
+  RETURN_IF_ERROR(UnlinkFromList(bid, lid, pred_bid_hint));
+  // Re-fetch: the unlink may have flushed the segment and relocated copies.
+  ReleaseBlockSpace(block_map_.entry(bid));
+  return block_map_.Free(bid);
+}
+
+// ---- LogicalDisk: lists ---------------------------------------------------------
+
+StatusOr<Lid> LogStructuredDisk::NewList(Lid pred_lid, ListHints hints) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  ASSIGN_OR_RETURN(Lid lid, list_table_.Allocate(pred_lid, hints));
+  const OpTimestamp ts = NextTs();
+  const bool ends = RecordEndsAru();
+  std::vector<SummaryRecord> records;
+  records.push_back(
+      SummaryRecord::ListCreate(ts, lid, hints, list_table_.entry(lid).lol_next, ends));
+  if (pred_lid != kBeginOfListOfLists) {
+    records.push_back(SummaryRecord::ListMove(ts, pred_lid, lid,
+                                              list_table_.entry(pred_lid).hints, ends));
+  }
+  const Status status = AppendRecordsAtomic(&records);
+  if (!status.ok()) {
+    (void)list_table_.Free(lid);
+    return status;
+  }
+  return lid;
+}
+
+Status LogStructuredDisk::DeleteList(Lid lid, Lid pred_lid_hint) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  ASSIGN_OR_RETURN(ListEntry * list, list_table_.Lookup(lid));
+  if (pred_lid_hint != kNilLid) {
+    if (list->lol_prev == pred_lid_hint) {
+      counters_.pred_hint_hits++;
+    } else {
+      counters_.pred_hint_misses++;
+    }
+  }
+  // Free every block still on the list (paper: DeleteList deletes a list
+  // "and its blocks"). Each free is logged individually so arbitrarily long
+  // lists never overflow one summary.
+  Bid cur = list->first;
+  while (cur != kNilBid) {
+    const Bid next = block_map_.entry(cur).successor;
+    const OpTimestamp ts = NextTs();
+    std::vector<SummaryRecord> records;
+    records.push_back(SummaryRecord::BlockFree(ts, cur, RecordEndsAru()));
+    RETURN_IF_ERROR(AppendRecordsAtomic(&records));
+    ReleaseBlockSpace(block_map_.entry(cur));
+    RETURN_IF_ERROR(block_map_.Free(cur));
+    cur = next;
+  }
+  const OpTimestamp ts = NextTs();
+  std::vector<SummaryRecord> records;
+  records.push_back(SummaryRecord::ListDelete(ts, lid, RecordEndsAru()));
+  RETURN_IF_ERROR(AppendRecordsAtomic(&records));
+  return list_table_.Free(lid);
+}
+
+Status LogStructuredDisk::MoveSublist(Bid first, Bid last, Lid from_lid, Lid to_lid,
+                                      Bid pred_bid) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  ASSIGN_OR_RETURN(ListEntry * from, list_table_.Lookup(from_lid));
+  ASSIGN_OR_RETURN(ListEntry * to, list_table_.Lookup(to_lid));
+  // Validate the chain first..last inside from_lid, collecting its members.
+  std::vector<Bid> chain;
+  Bid cur = first;
+  while (true) {
+    if (!block_map_.IsAllocated(cur) || block_map_.entry(cur).list != from_lid) {
+      return InvalidArgumentError("sublist is not a chain within the source list");
+    }
+    chain.push_back(cur);
+    if (cur == last) {
+      break;
+    }
+    cur = block_map_.entry(cur).successor;
+    if (cur == kNilBid) {
+      return InvalidArgumentError("sublist end not reachable from its start");
+    }
+  }
+  if (pred_bid != kBeginOfList) {
+    ASSIGN_OR_RETURN(const BlockMapEntry* pred, block_map_.Lookup(pred_bid));
+    if (pred->list != to_lid) {
+      return InvalidArgumentError("insertion predecessor is not on the target list");
+    }
+  }
+  // Find the predecessor of `first` in the source list.
+  Bid src_pred = kNilBid;
+  if (from->first != first) {
+    for (Bid b = from->first; b != kNilBid; b = block_map_.entry(b).successor) {
+      if (block_map_.entry(b).successor == first) {
+        src_pred = b;
+        break;
+      }
+    }
+    if (src_pred == kNilBid) {
+      return InvalidArgumentError("sublist start not found on source list");
+    }
+  }
+
+  const Bid after_last = block_map_.entry(last).successor;
+  // A long sublist produces more re-homing records than one summary holds,
+  // so the records go out in chunks — under an atomic recovery unit (the
+  // caller's, or an internal one), making the whole move crash-atomic.
+  const bool own_unit = !InAru();
+  if (own_unit) {
+    ASSIGN_OR_RETURN(AruId unit, BeginConcurrentARU());
+    (void)unit;
+  }
+  const uint32_t unit_id = current_aru_;
+
+  const OpTimestamp ts = NextTs();
+  const bool ends = RecordEndsAru();
+  std::vector<SummaryRecord> records;
+  // Unlink from the source list.
+  if (src_pred == kNilBid) {
+    records.push_back(SummaryRecord::ListHead(ts, from_lid, after_last, ends));
+  } else {
+    records.push_back(SummaryRecord::LinkTuple(ts, src_pred, after_last, ends));
+  }
+  // Link into the target list.
+  Bid new_succ;
+  if (pred_bid == kBeginOfList) {
+    new_succ = to->first;
+    records.push_back(SummaryRecord::ListHead(ts, to_lid, first, ends));
+  } else {
+    new_succ = block_map_.entry(pred_bid).successor;
+    records.push_back(SummaryRecord::LinkTuple(ts, pred_bid, first, ends));
+  }
+  records.push_back(SummaryRecord::LinkTuple(ts, last, new_succ, ends));
+  Status status = AppendRecordsAtomic(&records);
+  // Re-home every moved block so recovery knows the new owner.
+  for (size_t i = 0; status.ok() && i < chain.size(); i += 64) {
+    records.clear();
+    for (size_t j = i; j < std::min(chain.size(), i + 64); ++j) {
+      records.push_back(SummaryRecord::BlockAlloc(ts, chain[j], to_lid,
+                                                  block_map_.entry(chain[j]).size_class, ends));
+    }
+    status = AppendRecordsAtomic(&records);
+  }
+  if (own_unit) {
+    if (status.ok()) {
+      status = EndConcurrentARU(unit_id);
+    } else {
+      (void)AbandonARU(unit_id);
+    }
+  }
+  RETURN_IF_ERROR(status);
+
+  if (src_pred == kNilBid) {
+    from->first = after_last;
+  } else {
+    block_map_.entry(src_pred).successor = after_last;
+  }
+  if (pred_bid == kBeginOfList) {
+    to->first = first;
+  } else {
+    block_map_.entry(pred_bid).successor = first;
+  }
+  block_map_.entry(last).successor = new_succ;
+  for (Bid b : chain) {
+    block_map_.entry(b).list = to_lid;
+  }
+  return OkStatus();
+}
+
+Status LogStructuredDisk::MoveList(Lid lid, Lid new_pred_lid) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  const Lid old_prev = list_table_.IsAllocated(lid) ? list_table_.entry(lid).lol_prev : kNilLid;
+  RETURN_IF_ERROR(list_table_.Move(lid, new_pred_lid));
+  const OpTimestamp ts = NextTs();
+  const bool ends = RecordEndsAru();
+  std::vector<SummaryRecord> records;
+  if (old_prev != kNilLid) {
+    records.push_back(SummaryRecord::ListMove(
+        ts, old_prev, list_table_.entry(old_prev).lol_next, list_table_.entry(old_prev).hints,
+        ends));
+  }
+  records.push_back(SummaryRecord::ListMove(ts, lid, list_table_.entry(lid).lol_next,
+                                            list_table_.entry(lid).hints, ends));
+  if (new_pred_lid != kBeginOfListOfLists) {
+    records.push_back(
+        SummaryRecord::ListMove(ts, new_pred_lid, list_table_.entry(new_pred_lid).lol_next,
+                                list_table_.entry(new_pred_lid).hints, ends));
+  }
+  return AppendRecordsAtomic(&records);
+}
+
+Status LogStructuredDisk::FlushList(Lid lid) {
+  RETURN_IF_ERROR(list_table_.Lookup(lid).status());
+  // Forcing the current segment out is sufficient: everything older is
+  // already durable (an easy fsync, §2.2).
+  return Flush(FailureSet::kPowerFailure);
+}
+
+// ---- LogicalDisk: ARUs & durability -----------------------------------------------
+
+Status LogStructuredDisk::BeginARU() {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  if (InAru()) {
+    return FailedPreconditionError("an ARU is already selected; use BeginConcurrentARU");
+  }
+  ASSIGN_OR_RETURN(AruId id, BeginConcurrentARU());
+  (void)id;  // Selected by BeginConcurrentARU.
+  return OkStatus();
+}
+
+Status LogStructuredDisk::EndARU() {
+  if (!InAru()) {
+    return FailedPreconditionError("EndARU without BeginARU");
+  }
+  return EndConcurrentARU(current_aru_);
+}
+
+StatusOr<LogicalDisk::AruId> LogStructuredDisk::BeginConcurrentARU() {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  const AruId id = next_aru_id_++;
+  open_arus_.insert(id);
+  current_aru_ = id;
+  return id;
+}
+
+Status LogStructuredDisk::SelectARU(AruId id) {
+  if (id != 0 && open_arus_.count(id) == 0) {
+    return NotFoundError("unknown or committed ARU " + std::to_string(id));
+  }
+  current_aru_ = id;
+  return OkStatus();
+}
+
+Status LogStructuredDisk::EndConcurrentARU(AruId id) {
+  if (open_arus_.count(id) == 0) {
+    return NotFoundError("unknown or committed ARU " + std::to_string(id));
+  }
+  std::vector<SummaryRecord> records;
+  records.push_back(SummaryRecord::AruCommit(NextTs(), id));
+  const Status status = AppendRecordsAtomic(&records);
+  open_arus_.erase(id);
+  if (current_aru_ == id) {
+    current_aru_ = 0;
+  }
+  if (status.ok()) {
+    counters_.arus_committed++;
+  }
+  return status;
+}
+
+Status LogStructuredDisk::AbandonARU(AruId id) {
+  if (open_arus_.count(id) == 0) {
+    return NotFoundError("unknown or committed ARU " + std::to_string(id));
+  }
+  open_arus_.erase(id);
+  abandoned_arus_.insert(id);
+  if (current_aru_ == id) {
+    current_aru_ = 0;
+  }
+  return OkStatus();
+}
+
+Status LogStructuredDisk::SwapContents(Bid a, Bid b) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  if (a == b) {
+    return InvalidArgumentError("swapping a block with itself");
+  }
+  ASSIGN_OR_RETURN(const BlockMapEntry* ea, block_map_.Lookup(a));
+  ASSIGN_OR_RETURN(const BlockMapEntry* eb, block_map_.Lookup(b));
+  if (ea->size_class != eb->size_class) {
+    return InvalidArgumentError("SwapContents requires equal block sizes");
+  }
+  const uint32_t size = ea->size_class;
+  std::vector<uint8_t> data_a(size);
+  std::vector<uint8_t> data_b(size);
+  RETURN_IF_ERROR(Read(a, data_a));
+  RETURN_IF_ERROR(Read(b, data_b));
+
+  // The exchange rides through the log inside a recovery unit, so a crash
+  // exposes either both new versions or both old ones. Inside a caller's
+  // open ARU the swap joins that unit (so several swaps can commit
+  // together, the Mime-style transaction pattern of §5.2); otherwise it
+  // gets a unit of its own.
+  const bool own_unit = !InAru();
+  AruId unit = current_aru_;
+  if (own_unit) {
+    ASSIGN_OR_RETURN(unit, BeginConcurrentARU());
+  }
+  Status status = Write(a, data_b);
+  if (status.ok()) {
+    status = Write(b, data_a);
+  }
+  if (own_unit) {
+    if (status.ok()) {
+      status = EndConcurrentARU(unit);
+    } else {
+      (void)AbandonARU(unit);  // Its records stay uncommitted.
+    }
+  }
+  return status;
+}
+
+StatusOr<Bid> LogStructuredDisk::BlockAtIndex(Lid lid, uint64_t index) {
+  ASSIGN_OR_RETURN(const ListEntry* list, list_table_.Lookup(lid));
+  Bid cur = list->first;
+  for (uint64_t i = 0; cur != kNilBid && i < index; ++i) {
+    cur = block_map_.entry(cur).successor;
+  }
+  if (cur == kNilBid) {
+    return NotFoundError("list " + std::to_string(lid) + " has no block at index " +
+                         std::to_string(index));
+  }
+  return cur;
+}
+
+Status LogStructuredDisk::Flush(FailureSet failures) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  counters_.flushes++;
+  if (failures == FailureSet::kNone) {
+    return OkStatus();
+  }
+  if (failures == FailureSet::kMediaFailure) {
+    return UnimplementedError("LLD cannot survive media failure");
+  }
+  if (!dirty_since_flush_) {
+    return OkStatus();
+  }
+  const double fill = OpenSegmentFill();
+  if (fill >= options_.partial_segment_threshold) {
+    return FlushOpenSegmentFull();
+  }
+  // NVRAM absorption: small pending state is durable in NVRAM; no partial
+  // disk write needed (Baker et al. 1992 model, §5.3).
+  if (options_.nvram_bytes > 0 &&
+      open_data_used_ + open_record_bytes_ <= options_.nvram_bytes) {
+    counters_.nvram_absorbed_flushes++;
+    dirty_since_flush_ = false;
+    return OkStatus();
+  }
+  return FlushOpenSegmentPartial();
+}
+
+Status LogStructuredDisk::ReserveBlocks(uint64_t count, uint32_t size_bytes) {
+  const uint32_t size = size_bytes == 0 ? options_.block_size : size_bytes;
+  const uint64_t bytes = count * size;
+  if (FreeBytes() < bytes) {
+    return NoSpaceError("cannot reserve " + std::to_string(bytes) + " bytes");
+  }
+  reserved_bytes_ += bytes;
+  return OkStatus();
+}
+
+Status LogStructuredDisk::CancelReservation(uint64_t count, uint32_t size_bytes) {
+  const uint32_t size = size_bytes == 0 ? options_.block_size : size_bytes;
+  const uint64_t bytes = count * size;
+  if (bytes > reserved_bytes_) {
+    return InvalidArgumentError("cancelling more than is reserved");
+  }
+  reserved_bytes_ -= bytes;
+  return OkStatus();
+}
+
+Status LogStructuredDisk::Shutdown() {
+  if (shut_down_) {
+    return OkStatus();
+  }
+  if (!open_arus_.empty()) {
+    return FailedPreconditionError("cannot shut down with open ARUs");
+  }
+  RETURN_IF_ERROR(FlushOpenSegmentFull());
+  RETURN_IF_ERROR(WriteCheckpoint());
+  shut_down_ = true;
+  return OkStatus();
+}
+
+StatusOr<uint32_t> LogStructuredDisk::BlockSize(Bid bid) const {
+  ASSIGN_OR_RETURN(const BlockMapEntry* entry, block_map_.Lookup(bid));
+  return entry->size_class;
+}
+
+// ---- Introspection ------------------------------------------------------------------
+
+StatusOr<std::vector<Bid>> LogStructuredDisk::ListBlocks(Lid lid) const {
+  ASSIGN_OR_RETURN(const ListEntry* list, list_table_.Lookup(lid));
+  std::vector<Bid> blocks;
+  for (Bid b = list->first; b != kNilBid; b = block_map_.entry(b).successor) {
+    blocks.push_back(b);
+    if (blocks.size() > block_map_.allocated_count()) {
+      return CorruptionError("cycle detected in list " + std::to_string(lid));
+    }
+  }
+  return blocks;
+}
+
+MemoryFootprint LogStructuredDisk::MeasureMemory() const {
+  MemoryFootprint fp;
+  fp.block_map_bytes = block_map_.MemoryBytes();
+  fp.list_table_bytes = list_table_.MemoryBytes();
+  fp.usage_table_bytes = usage_->MemoryBytes();
+  fp.open_segment_bytes = open_buffer_.capacity();
+  return fp;
+}
+
+double LogStructuredDisk::OpenSegmentFill() const {
+  return static_cast<double>(open_data_used_) / static_cast<double>(data_capacity_);
+}
+
+}  // namespace ld

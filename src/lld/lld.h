@@ -1,0 +1,316 @@
+// LLD: the log-structured implementation of the Logical Disk (paper §3).
+//
+// LLD divides the disk into fixed-size segments; the segment being filled
+// lives in main memory and is written in one disk operation. Each segment
+// carries a summary used as a log for LLD's metadata, from which recovery
+// can rebuild every in-memory structure in a single sweep over the disk —
+// no checkpoints are taken during normal operation (§3.6). Flushes of
+// under-filled segments use the paper's partial-segment strategy (§3.2):
+// below a threshold the segment is written to a scratch physical segment
+// and stays open in memory; the scratch is recycled without cleaning once
+// the segment is finally written in full.
+//
+// On-disk layout:
+//
+//   sector 0          superblock
+//   checkpoint region  clean-shutdown image of the in-memory structures,
+//                      guarded by a validity marker that is invalidated on
+//                      every startup
+//   segments           [data area | summary]  x num_segments
+//
+// The summary sits at the *end* of each segment so that a torn segment
+// write (a crash mid-write) destroys the summary's CRC and the whole
+// segment is ignored by recovery, never partially believed.
+
+#ifndef SRC_LLD_LLD_H_
+#define SRC_LLD_LLD_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/ld/logical_disk.h"
+#include "src/lld/block_map.h"
+#include "src/lld/list_table.h"
+#include "src/lld/lld_options.h"
+#include "src/lld/summary_record.h"
+#include "src/lld/usage_table.h"
+
+namespace ld {
+
+// Operation counters exposed for tests and benchmarks.
+struct LldCounters {
+  uint64_t user_writes = 0;           // Write() calls.
+  uint64_t user_reads = 0;            // Read() calls.
+  uint64_t user_bytes_written = 0;    // Logical bytes accepted from Write().
+  uint64_t stored_bytes_written = 0;  // Bytes appended to segments (post-compression).
+  uint64_t segments_written = 0;      // Full segment writes.
+  uint64_t partial_segments_written = 0;
+  uint64_t segments_cleaned = 0;
+  uint64_t blocks_cleaned = 0;
+  uint64_t cleaner_bytes_copied = 0;
+  uint64_t flushes = 0;
+  uint64_t nvram_absorbed_flushes = 0;
+  uint64_t arus_committed = 0;
+  uint64_t pred_hint_hits = 0;
+  uint64_t pred_hint_misses = 0;
+  uint64_t blocks_compressed = 0;
+  uint64_t compression_saved_bytes = 0;
+};
+
+// What recovery did after a crash (paper §4.2 measures this).
+struct RecoveryStats {
+  bool used_checkpoint = false;
+  uint32_t summaries_scanned = 0;
+  uint32_t summaries_valid = 0;
+  uint64_t records_applied = 0;
+  uint64_t records_dropped_uncommitted = 0;
+  uint64_t live_blocks = 0;
+  double seconds = 0.0;  // Simulated time the sweep took.
+};
+
+// In-memory footprint of LLD's data structures (paper Table 2).
+struct MemoryFootprint {
+  uint64_t block_map_bytes = 0;
+  uint64_t list_table_bytes = 0;
+  uint64_t usage_table_bytes = 0;
+  uint64_t open_segment_bytes = 0;
+  uint64_t Total() const {
+    return block_map_bytes + list_table_bytes + usage_table_bytes + open_segment_bytes;
+  }
+};
+
+class LogStructuredDisk : public LogicalDisk {
+ public:
+  // Formats `device` for LLD (writes the superblock, invalidates the
+  // checkpoint, erases stale summaries) and returns a running instance.
+  static StatusOr<std::unique_ptr<LogStructuredDisk>> Format(BlockDevice* device,
+                                                             const LldOptions& options);
+
+  // Opens a previously formatted device. Uses the clean-shutdown checkpoint
+  // when valid; otherwise performs one-sweep log recovery. `recovery_stats`
+  // (optional) reports what happened.
+  static StatusOr<std::unique_ptr<LogStructuredDisk>> Open(BlockDevice* device,
+                                                           const LldOptions& options,
+                                                           RecoveryStats* recovery_stats = nullptr);
+
+  ~LogStructuredDisk() override = default;
+
+  // ---- LogicalDisk interface ---------------------------------------------
+  Status Read(Bid bid, std::span<uint8_t> out) override;
+  Status Write(Bid bid, std::span<const uint8_t> data) override;
+  StatusOr<Bid> NewBlock(Lid lid, Bid pred_bid, uint32_t size_bytes = 0) override;
+  Status DeleteBlock(Bid bid, Lid lid, Bid pred_bid_hint) override;
+  StatusOr<Lid> NewList(Lid pred_lid, ListHints hints) override;
+  Status DeleteList(Lid lid, Lid pred_lid_hint) override;
+  Status MoveSublist(Bid first, Bid last, Lid from_lid, Lid to_lid, Bid pred_bid) override;
+  Status MoveList(Lid lid, Lid new_pred_lid) override;
+  Status FlushList(Lid lid) override;
+  Status BeginARU() override;
+  Status EndARU() override;
+  // Concurrent ARUs (paper §5.4's proposed extension): the summary-record
+  // format already tags every record with an ARU id, so interleaved units
+  // fall out naturally — recovery applies a unit's records only if its
+  // commit record is on disk, regardless of interleaving.
+  StatusOr<AruId> BeginConcurrentARU() override;
+  Status SelectARU(AruId id) override;
+  Status EndConcurrentARU(AruId id) override;
+  Status AbandonARU(AruId id) override;
+  // SwapContents (paper §5.4): implemented as a crash-atomic exchange
+  // through the log (an internal ARU containing both rewrites), giving the
+  // paper's semantics — the new versions install atomically.
+  Status SwapContents(Bid a, Bid b) override;
+  // Offset addressing (paper §5.4): index a list as an array.
+  StatusOr<Bid> BlockAtIndex(Lid lid, uint64_t index) override;
+  Status Flush(FailureSet failures = FailureSet::kPowerFailure) override;
+  Status ReserveBlocks(uint64_t count, uint32_t size_bytes = 0) override;
+  Status CancelReservation(uint64_t count, uint32_t size_bytes = 0) override;
+  Status Shutdown() override;
+  uint32_t default_block_size() const override { return options_.block_size; }
+  StatusOr<uint32_t> BlockSize(Bid bid) const override;
+  uint64_t FreeBytes() const override;
+
+  // ---- Maintenance --------------------------------------------------------
+
+  // Runs the segment cleaner on up to `count` victim segments (paper §3.5).
+  Status CleanSegments(uint32_t count);
+
+  // Idle-time reorganizer: rewrites on-disk blocks in list order (walking the
+  // list of lists) to restore sequential layout, using at most
+  // `max_segments` fresh segments. Returns the number of segments written.
+  StatusOr<uint32_t> ReorganizeLists(uint32_t max_segments);
+
+  // Adaptive rearrangement (Akyürek & Salem 1993, §5.3): rewrites the most
+  // frequently read on-disk blocks together, so random reads of the hot set
+  // pay short seeks. Requires LldOptions::track_read_heat. Returns the
+  // number of blocks moved.
+  StatusOr<uint32_t> RearrangeHotBlocks(uint32_t max_blocks);
+
+  // ---- Introspection (tests & benchmarks) ---------------------------------
+  const LldCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = LldCounters{}; }
+  const LldOptions& options() const { return options_; }
+  uint32_t num_segments() const { return usage_->num_segments(); }
+  const UsageTable& usage_table() const { return *usage_; }
+  const BlockMap& block_map() const { return block_map_; }
+  const ListTable& list_table() const { return list_table_; }
+  BlockDevice* device() { return device_; }
+  // Walks list `lid` and returns its blocks in order.
+  StatusOr<std::vector<Bid>> ListBlocks(Lid lid) const;
+  MemoryFootprint MeasureMemory() const;
+  // Fill fraction of the in-memory open segment's data area.
+  double OpenSegmentFill() const;
+  // Bytes of data a segment can hold.
+  uint32_t SegmentDataCapacity() const { return data_capacity_; }
+  uint64_t TotalDataCapacity() const {
+    return static_cast<uint64_t>(data_capacity_) * usage_->num_segments();
+  }
+
+ private:
+  LogStructuredDisk(BlockDevice* device, const LldOptions& options);
+
+  // ---- Layout ------------------------------------------------------------
+  Status ComputeLayout();
+  uint64_t SegmentBaseByte(uint32_t segment) const;
+  Status WriteSuperblock();
+  Status ReadAndCheckSuperblock();
+
+  // ---- Open-segment management --------------------------------------------
+  // Ensures at least `data_bytes` of data space and room for `record_bytes`
+  // of summary records, flushing the open segment (as full) if necessary.
+  Status EnsureRoom(uint32_t data_bytes, size_t record_bytes);
+  // Appends a record, flushing first if the summary area is full.
+  Status AppendRecord(const SummaryRecord& record);
+  // Appends all of one operation's records with a single room check so a
+  // crash can never persist half of an operation's metadata. Also tags the
+  // records with the current ARU.
+  Status AppendRecordsAtomic(std::vector<SummaryRecord>* records);
+  // Appends block data (already compressed if applicable) + its entry record.
+  Status AppendBlockData(Bid bid, std::span<const uint8_t> stored, uint32_t orig_size,
+                         bool compressed, bool internal);
+  // Writes the open segment to a fresh target as final and resets it.
+  Status FlushOpenSegmentFull();
+  // Writes the open segment to a scratch segment, keeping it open (§3.2).
+  Status FlushOpenSegmentPartial();
+  // Picks a free segment, running the cleaner when the pool is low.
+  StatusOr<uint32_t> AllocateFreeSegment(bool allow_clean);
+  // Serializes the current records into the summary area of `buffer`.
+  Status BuildSummaryInto(std::span<uint8_t> buffer, uint32_t segment_index, uint64_t seq,
+                          uint32_t data_bytes);
+
+  // ---- Helpers -------------------------------------------------------------
+  OpTimestamp NextTs() { return next_ts_++; }
+  bool InAru() const { return current_aru_ != 0; }
+  uint32_t RecordAruId() const { return current_aru_; }
+  bool RecordEndsAru() const { return current_aru_ == 0; }
+  // Releases the space held by a block's current copy (map must be current).
+  void ReleaseBlockSpace(const BlockMapEntry& entry);
+  // Marks `segment` as the authoritative holder of the latest on-disk copy
+  // of each metadata record in `records` (see BlockMapEntry::link_seg).
+  void UpdateRecordAuthority(uint32_t segment, const std::vector<SummaryRecord>& records);
+  // Unlinks `bid` from its list using the predecessor hint; logs the update.
+  Status UnlinkFromList(Bid bid, Lid lid, Bid pred_bid_hint);
+  // Reads the stored bytes of an on-disk block copy.
+  Status ReadStored(const BlockMapEntry& entry, std::span<uint8_t> out);
+  // Charges (de)compression CPU time to the simulated clock.
+  void ChargeCompressCpu(uint64_t bytes);
+  void ChargeListCpu();
+  void ChargeDecompressCpu(uint64_t bytes);
+  uint64_t LiveBytes() const;
+
+  // ---- Cleaner (lld_cleaner.cc) --------------------------------------------
+  struct CleanedBlock {
+    Bid bid = kNilBid;
+    std::vector<uint8_t> stored;
+    uint32_t orig_size = 0;
+    bool compressed = false;
+    // Non-zero when the source record belongs to a still-open ARU: the
+    // copied entry must carry the same tag, or cleaning would smuggle
+    // uncommitted data into the committed state.
+    uint32_t aru_id = 0;
+  };
+  // Live state harvested from one or more victim segments: current copies of
+  // data blocks plus metadata records that must survive the segment's reuse
+  // (link tuples, allocations, deletion tombstones), re-logged with fresh
+  // timestamps. The paper's "removing old logging information" (§3.5).
+  struct CleanerBatch {
+    std::vector<CleanedBlock> blocks;
+    std::vector<SummaryRecord> records;
+  };
+  // Reads a victim and appends its live blocks and records to `batch`.
+  Status HarvestVictim(uint32_t victim, CleanerBatch* batch);
+  // Sorts blocks into list order for cluster-on-clean.
+  void OrderByLists(std::vector<CleanedBlock>* blocks);
+  // Writes a batch into fresh segments through a dedicated writer (so victims
+  // are only freed once their copies are durable).
+  Status WriteCleanerBatch(CleanerBatch batch);
+
+  // ---- Recovery & checkpoint (lld_recovery.cc) ------------------------------
+  Status RecoverFromLog(RecoveryStats* stats);
+  Status LoadCheckpoint(bool* valid);
+  Status WriteCheckpoint();
+  Status InvalidateCheckpoint();
+  // Recomputes the usage table and free lists from the block map after
+  // recovery or checkpoint load.
+  void RebuildDerivedState(const std::vector<uint64_t>& segment_seqs,
+                           const std::vector<bool>& segment_has_summary);
+
+  BlockDevice* device_;
+  LldOptions options_;
+
+  // Layout (derived from options + device).
+  uint32_t data_capacity_ = 0;        // segment_bytes - summary_bytes.
+  uint64_t data_start_byte_ = 0;      // First byte of segment 0.
+  uint64_t checkpoint_start_byte_ = 0;
+  uint64_t checkpoint_bytes_ = 0;
+
+  BlockMap block_map_;
+  ListTable list_table_;
+  std::unique_ptr<UsageTable> usage_;
+
+  // Open segment.
+  std::vector<uint8_t> open_buffer_;
+  uint32_t open_data_used_ = 0;
+  uint32_t open_dead_bytes_ = 0;
+  std::vector<SummaryRecord> open_records_;
+  size_t open_record_bytes_ = 0;
+  // (bid, offset, stored) appended since the segment opened, for relocation
+  // at full flush.
+  struct Appended {
+    Bid bid;
+    uint32_t offset;
+    uint32_t stored;
+  };
+  std::vector<Appended> open_appended_;
+  int64_t scratch_segment_ = -1;  // Holds the latest partial write, if any.
+
+  // Logical clocks.
+  OpTimestamp next_ts_ = 1;
+  uint64_t next_seq_ = 1;
+  uint32_t next_aru_id_ = 1;
+  uint32_t current_aru_ = 0;  // 0 = no ARU selected.
+  std::unordered_set<uint32_t> open_arus_;
+  // Units abandoned at runtime: their records must never be re-logged as
+  // committed by the cleaner.
+  std::unordered_set<uint32_t> abandoned_arus_;
+
+  uint64_t reserved_bytes_ = 0;
+  bool shut_down_ = false;
+  bool cleaning_ = false;         // Re-entrancy guard.
+  // When >= 0, the cleaner's segment writer places its output as close to
+  // this segment index as possible (used by RearrangeHotBlocks to center
+  // the hot set); -1 = first-free placement.
+  int64_t writer_placement_hint_ = -1;
+  bool dirty_since_flush_ = false;
+  // Duration of the last segment disk write; compression CPU time up to this
+  // much is hidden behind it (§3.3's pipelining).
+  double overlap_credit_seconds_ = 0.0;
+
+  LldCounters counters_;
+  std::vector<uint8_t> io_scratch_;  // Reusable sector-aligned I/O buffer.
+};
+
+}  // namespace ld
+
+#endif  // SRC_LLD_LLD_H_

@@ -1,0 +1,550 @@
+// Segment cleaning and idle-time reorganization (paper §3.5).
+//
+// The cleaner picks victims with the configured policy and harvests two
+// kinds of live state from each:
+//
+//   * live data blocks — entries the block map still points into the victim;
+//     they are reordered by list order (cluster-on-clean) and rewritten;
+//   * live metadata records — a segment summary is part of LLD's metadata
+//     log, so a record that still describes current state (the latest link
+//     tuple of a block, an allocation, or a deletion tombstone with no newer
+//     allocation) must be re-logged with a fresh timestamp before its
+//     segment can be reused. Stale tuples and old ARU markers are dropped,
+//     which is the paper's "removes old logging information ... during
+//     cleaning".
+//
+// Victims are freed only after the batch is durable, so a crash mid-clean
+// never loses data or metadata.
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/lld/lld.h"
+#include "src/util/log.h"
+
+namespace ld {
+
+Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
+  const uint32_t sector = device_->sector_size();
+  std::vector<uint8_t> summary(options_.summary_bytes);
+  RETURN_IF_ERROR(device_->Read((SegmentBaseByte(victim) + data_capacity_) / sector, summary));
+  SummaryHeader header;
+  const Status head = DecodeSummaryHeader(summary, &header);
+  if (head.code() == ErrorCode::kNotFound) {
+    return OkStatus();  // Never written: nothing to preserve.
+  }
+  RETURN_IF_ERROR(head);
+  std::vector<uint8_t> ext;
+  if (header.ext_bytes > 0) {
+    const uint64_t ext_start = data_capacity_ - header.ext_bytes;
+    const uint64_t first = (SegmentBaseByte(victim) + ext_start) / sector * sector;
+    const uint64_t end = SegmentBaseByte(victim) + data_capacity_;
+    std::vector<uint8_t> raw((end - first + sector - 1) / sector * sector);
+    RETURN_IF_ERROR(device_->Read(first / sector, raw));
+    const size_t skip = (SegmentBaseByte(victim) + ext_start) - first;
+    ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
+  }
+  std::vector<SummaryRecord> records;
+  RETURN_IF_ERROR(DecodeSummary(summary, ext, &header, &records));
+  if (header.ext_bytes > 0) {
+    // The spilled record bytes were accounted live when this segment was
+    // written; harvesting re-logs what still matters, so release them.
+    SegmentUsage& seg = usage_->segment(victim);
+    usage_->RemoveLive(victim, std::min<uint32_t>(header.ext_bytes, seg.live_bytes));
+  }
+
+  // Pass 1: which block entries are live? (Checked before reading data.)
+  std::vector<const SummaryRecord*> live;
+  for (const auto& r : records) {
+    if (r.type != SummaryRecordType::kBlockEntry || !block_map_.IsAllocated(r.bid)) {
+      continue;
+    }
+    const BlockMapEntry& e = block_map_.entry(r.bid);
+    if (e.phys.IsOnDisk() && e.phys.segment == victim && e.phys.offset == r.offset) {
+      live.push_back(&r);
+    }
+  }
+
+  if (!live.empty()) {
+    // One read of the used data area, then slice out the live blocks.
+    const uint64_t data_len = std::min<uint64_t>(
+        (static_cast<uint64_t>(header.data_bytes) + sector - 1) / sector * sector,
+        data_capacity_);
+    std::vector<uint8_t> data(data_len);
+    RETURN_IF_ERROR(device_->Read(SegmentBaseByte(victim) / sector, data));
+    for (const SummaryRecord* r : live) {
+      // ARU hygiene: an entry written inside a still-open unit keeps its
+      // tag (committing it here would smuggle uncommitted data into the
+      // durable state); an abandoned unit's entries are never copied.
+      if (r->aru_id != 0 && abandoned_arus_.count(r->aru_id) != 0) {
+        continue;
+      }
+      CleanedBlock b;
+      b.bid = r->bid;
+      b.orig_size = block_map_.entry(r->bid).size_class;
+      b.compressed = block_map_.entry(r->bid).compressed;
+      if (r->aru_id != 0 && open_arus_.count(r->aru_id) != 0) {
+        b.aru_id = r->aru_id;
+      }
+      b.stored.assign(data.begin() + r->offset, data.begin() + r->offset + r->stored_size);
+      counters_.cleaner_bytes_copied += b.stored.size();
+      batch->blocks.push_back(std::move(b));
+    }
+    counters_.blocks_cleaned += live.size();
+  }
+
+  // Pass 2: re-log metadata records that still describe durable state.
+  //
+  // Authority rule: only the segment holding the *latest durable* record for
+  // an entity re-logs it (BlockMapEntry::link_seg etc. track that segment),
+  // so record mass stays bounded instead of multiplying with every cleaning
+  // pass. Values are re-logged *verbatim from the victim* (last mention
+  // wins), not from the in-memory tables: the in-memory state may already
+  // contain newer, not-yet-flushed operations, and recovery must never
+  // surface those ahead of their turn.
+  std::unordered_map<Bid, const SummaryRecord*> last_link, last_alloc;
+  std::unordered_map<Lid, const SummaryRecord*> last_head, last_create;
+  std::unordered_set<Bid> freed;
+  std::unordered_set<Lid> deleted;
+  for (const auto& r : records) {
+    switch (r.type) {
+      case SummaryRecordType::kLinkTuple:
+        if (options_.maintain_lists && block_map_.IsAllocated(r.bid) &&
+            block_map_.entry(r.bid).link_seg == victim) {
+          last_link[r.bid] = &r;
+        }
+        break;
+      case SummaryRecordType::kBlockAlloc:
+        if (block_map_.IsAllocated(r.bid)) {
+          if (block_map_.entry(r.bid).alloc_seg == victim) {
+            last_alloc[r.bid] = &r;
+          }
+        } else {
+          freed.insert(r.bid);
+        }
+        break;
+      case SummaryRecordType::kBlockEntry:
+      case SummaryRecordType::kBlockFree:
+        if (!block_map_.IsAllocated(r.bid)) {
+          // Tombstone: without it, an older surviving record could
+          // resurrect the block at recovery.
+          freed.insert(r.bid);
+        }
+        break;
+      case SummaryRecordType::kListHead:
+        if (options_.maintain_lists && list_table_.IsAllocated(r.lid) &&
+            list_table_.entry(r.lid).head_seg == victim) {
+          last_head[r.lid] = &r;
+        }
+        break;
+      case SummaryRecordType::kListCreate:
+      case SummaryRecordType::kListMove:
+        if (list_table_.IsAllocated(r.lid)) {
+          if (list_table_.entry(r.lid).create_seg == victim) {
+            last_create[r.lid] = &r;
+          }
+        } else {
+          deleted.insert(r.lid);
+        }
+        break;
+      case SummaryRecordType::kListDelete:
+        if (!list_table_.IsAllocated(r.lid)) {
+          deleted.insert(r.lid);
+        }
+        break;
+      case SummaryRecordType::kAruCommit:
+        break;  // Old ARU markers are dropped.
+    }
+  }
+  // Re-logged records keep an open unit's tag and are dropped for an
+  // abandoned one, exactly like data entries.
+  auto retag = [this](SummaryRecord record, const SummaryRecord* source,
+                      std::vector<SummaryRecord>* out) {
+    if (source->aru_id != 0) {
+      if (abandoned_arus_.count(source->aru_id) != 0) {
+        return;
+      }
+      if (open_arus_.count(source->aru_id) != 0) {
+        record.aru_id = source->aru_id;
+        record.ends_aru = false;
+      }
+    }
+    out->push_back(record);
+  };
+  for (const auto& [bid, r] : last_link) {
+    retag(SummaryRecord::LinkTuple(NextTs(), bid, r->link_to, true), r, &batch->records);
+  }
+  for (const auto& [bid, r] : last_alloc) {
+    retag(SummaryRecord::BlockAlloc(NextTs(), bid, r->lid, r->orig_size, true), r,
+          &batch->records);
+  }
+  for (const auto& [lid, r] : last_head) {
+    retag(SummaryRecord::ListHead(NextTs(), lid, r->link_to, true), r, &batch->records);
+  }
+  for (const auto& [lid, r] : last_create) {
+    retag(SummaryRecord::ListCreate(NextTs(), lid, r->hints, r->lol_next, true), r,
+          &batch->records);
+  }
+  for (Bid bid : freed) {
+    batch->records.push_back(SummaryRecord::BlockFree(NextTs(), bid, true));
+  }
+  for (Lid lid : deleted) {
+    batch->records.push_back(SummaryRecord::ListDelete(NextTs(), lid, true));
+  }
+  return OkStatus();
+}
+
+void LogStructuredDisk::OrderByLists(std::vector<CleanedBlock>* blocks) {
+  if (!options_.cluster_on_clean || !options_.maintain_lists) {
+    return;
+  }
+  // Build a position index for every list that owns a block being moved,
+  // then sort by (list, position) to restore sequential read order.
+  std::unordered_map<Bid, uint64_t> position;
+  std::unordered_set<Lid> walked;
+  for (const auto& b : *blocks) {
+    const Lid lid = block_map_.entry(b.bid).list;
+    if (lid == kNilLid || !walked.insert(lid).second || !list_table_.IsAllocated(lid)) {
+      continue;
+    }
+    uint64_t pos = 0;
+    for (Bid cur = list_table_.entry(lid).first; cur != kNilBid;
+         cur = block_map_.entry(cur).successor) {
+      position[cur] = pos++;
+      if (pos > block_map_.allocated_count()) {
+        break;  // Defensive: a corrupt cycle must not hang the cleaner.
+      }
+    }
+  }
+  std::stable_sort(blocks->begin(), blocks->end(),
+                   [&](const CleanedBlock& a, const CleanedBlock& b) {
+                     const Lid la = block_map_.entry(a.bid).list;
+                     const Lid lb = block_map_.entry(b.bid).list;
+                     if (la != lb) {
+                       return la < lb;
+                     }
+                     const auto pa = position.find(a.bid);
+                     const auto pb = position.find(b.bid);
+                     const uint64_t va = pa == position.end() ? UINT64_MAX : pa->second;
+                     const uint64_t vb = pb == position.end() ? UINT64_MAX : pb->second;
+                     return va < vb;
+                   });
+}
+
+Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
+  if (batch.blocks.empty() && batch.records.empty()) {
+    return OkStatus();
+  }
+  // A dedicated segment image, independent of the user's open segment, so
+  // cleaned state is durable before any victim is reused.
+  std::vector<uint8_t> buffer(options_.segment_bytes, 0);
+  std::vector<SummaryRecord> records;
+  size_t record_bytes = 0;
+  uint32_t used = 0;
+  const uint32_t sector = device_->sector_size();
+  const size_t overhead = SummaryHeader::kEncodedSize + 16;
+
+  auto flush_segment = [&]() -> Status {
+    if (records.empty()) {
+      return OkStatus();
+    }
+    const int64_t target = writer_placement_hint_ >= 0
+                               ? usage_->PickFreeNear(static_cast<uint32_t>(writer_placement_hint_))
+                               : usage_->PickFree();
+    if (target < 0) {
+      return NoSpaceError("cleaner: no free segment for copied state");
+    }
+    const uint64_t seq = next_seq_++;
+    SummaryHeader header;
+    header.seq = seq;
+    header.segment_index = static_cast<uint32_t>(target);
+    header.data_bytes = used;
+    uint32_t ext_used = 0;
+    RETURN_IF_ERROR(EncodeSummary(header, records,
+                                  std::span<uint8_t>(buffer).subspan(data_capacity_),
+                                  std::span<uint8_t>(buffer).subspan(used, data_capacity_ - used),
+                                  &ext_used));
+    const uint64_t base = SegmentBaseByte(static_cast<uint32_t>(target));
+    if (ext_used > 0) {
+      // Data, extension, and summary in one whole-segment write.
+      RETURN_IF_ERROR(device_->Write(base / sector, buffer));
+    } else {
+      if (used > 0) {
+        const uint64_t data_len = (static_cast<uint64_t>(used) + sector - 1) / sector * sector;
+        RETURN_IF_ERROR(device_->Write(base / sector,
+                                       std::span<const uint8_t>(buffer).subspan(0, data_len)));
+      }
+      RETURN_IF_ERROR(device_->Write(
+          (base + data_capacity_) / sector,
+          std::span<const uint8_t>(buffer).subspan(data_capacity_, options_.summary_bytes)));
+    }
+
+    SegmentUsage& seg = usage_->segment(static_cast<uint32_t>(target));
+    seg.state = SegmentState::kFull;
+    seg.seq = seq;
+    if (ext_used > 0) {
+      usage_->AddLive(static_cast<uint32_t>(target), ext_used, next_ts_);
+    }
+    UpdateRecordAuthority(static_cast<uint32_t>(target), records);
+    for (const auto& r : records) {
+      if (r.type != SummaryRecordType::kBlockEntry) {
+        continue;
+      }
+      BlockMapEntry& e = block_map_.entry(r.bid);
+      usage_->RemoveLive(e.phys.segment, e.stored_size);
+      e.phys = PhysAddr{static_cast<uint32_t>(target), r.offset};
+      e.write_ts = r.ts;
+      usage_->AddLive(static_cast<uint32_t>(target), r.stored_size, r.ts);
+    }
+    records.clear();
+    record_bytes = 0;
+    used = 0;
+    std::memset(buffer.data(), 0, buffer.size());
+    counters_.segments_written++;
+    return OkStatus();
+  };
+
+  auto append_record = [&](const SummaryRecord& r) -> Status {
+    // Records fill the summary tail first and may spill into the unused end
+    // of the data area (leaving one sector of slack).
+    const uint64_t capacity = (options_.summary_bytes - overhead) +
+                              (static_cast<uint64_t>(data_capacity_) - used) - sector;
+    if (record_bytes + r.EncodedSize() > capacity) {
+      RETURN_IF_ERROR(flush_segment());
+    }
+    records.push_back(r);
+    record_bytes += r.EncodedSize();
+    return OkStatus();
+  };
+
+  for (auto& b : batch.blocks) {
+    SummaryRecord proto;
+    proto.type = SummaryRecordType::kBlockEntry;
+    if (used + b.stored.size() > data_capacity_ ||
+        record_bytes + proto.EncodedSize() + overhead > options_.summary_bytes) {
+      RETURN_IF_ERROR(flush_segment());
+    }
+    // The block may have been superseded while the cleaner was buffering.
+    if (!block_map_.IsAllocated(b.bid) || !block_map_.entry(b.bid).phys.IsOnDisk()) {
+      continue;
+    }
+    const uint32_t offset = used;
+    std::memcpy(buffer.data() + offset, b.stored.data(), b.stored.size());
+    used += static_cast<uint32_t>(b.stored.size());
+    SummaryRecord entry = SummaryRecord::BlockEntry(
+        NextTs(), b.bid, block_map_.entry(b.bid).list, offset,
+        static_cast<uint32_t>(b.stored.size()), b.orig_size, b.compressed, /*ends_aru=*/true);
+    if (b.aru_id != 0) {
+      entry.aru_id = b.aru_id;
+      entry.ends_aru = false;
+    }
+    records.push_back(entry);
+    record_bytes += proto.EncodedSize();
+  }
+  for (const auto& r : batch.records) {
+    RETURN_IF_ERROR(append_record(r));
+  }
+  return flush_segment();
+}
+
+Status LogStructuredDisk::CleanSegments(uint32_t count) {
+  if (cleaning_) {
+    return OkStatus();  // Re-entrant call from our own allocation path.
+  }
+  cleaning_ = true;
+
+  // The cleaner writes copied state into fresh segments *before* freeing the
+  // victims, so the batch's live bytes must fit the current free pool (minus
+  // one segment of slack for the user's next flush). Within that budget,
+  // victims are added until the round nets at least two segments of space —
+  // the guard that keeps an age-dominated cost-benefit policy from spinning
+  // on almost-fully-live cold segments without replenishing the pool.
+  const uint32_t free_now = usage_->FreeCount();
+  if (free_now <= 1) {
+    cleaning_ = false;
+    return NoSpaceError("cleaner: free pool exhausted");
+  }
+  const uint32_t writer_budget = free_now - 1;  // Segments the writer may consume.
+  const uint32_t max_victims = std::max(count, 64u);
+  const uint64_t usable_summary = options_.summary_bytes / 2;  // Shared with block entries.
+
+  CleanerBatch batch;
+  std::vector<uint32_t> victims;
+  uint64_t batch_live = 0;
+  uint64_t batch_record_bytes = 0;
+  while (victims.size() < max_victims) {
+    int64_t victim = options_.cleaning_policy == CleaningPolicy::kGreedy
+                         ? usage_->PickGreedy()
+                         : usage_->PickCostBenefit(data_capacity_, next_ts_);
+    if (victim < 0) {
+      break;
+    }
+    // Until this round has secured at least one segment of net gain, prefer
+    // the emptiest segment over the policy's choice. An age-dominated
+    // cost-benefit score otherwise keeps electing cold segments that are
+    // still ~85 % live, and a string of such rounds drains the free pool
+    // without ever refilling it.
+    const uint64_t net_gain =
+        victims.size() * static_cast<uint64_t>(data_capacity_) - batch_live;
+    if (net_gain < data_capacity_) {
+      const int64_t greedy = usage_->PickGreedy();
+      if (greedy >= 0 && usage_->segment(static_cast<uint32_t>(greedy)).live_bytes <
+                             usage_->segment(static_cast<uint32_t>(victim)).live_bytes) {
+        victim = greedy;
+      }
+    }
+    // Budget check: the writer must be able to hold the whole batch in the
+    // current free pool (victims are only released after the batch is
+    // durable). Data fills segment data areas; re-logged metadata records
+    // fill summary areas.
+    const uint64_t victim_live = usage_->segment(static_cast<uint32_t>(victim)).live_bytes;
+    const uint64_t expected_segments =
+        (batch_live + victim_live + data_capacity_ - 1) / data_capacity_ +
+        batch_record_bytes / usable_summary + 1;
+    if (!victims.empty() && expected_segments > writer_budget) {
+      break;  // Keep the in-flight copy within the free pool.
+    }
+    usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kCleaning;
+    const size_t records_before = batch.records.size();
+    const Status status = HarvestVictim(static_cast<uint32_t>(victim), &batch);
+    if (!status.ok()) {
+      usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kFull;
+      cleaning_ = false;
+      return status;
+    }
+    for (size_t i = records_before; i < batch.records.size(); ++i) {
+      batch_record_bytes += batch.records[i].EncodedSize();
+    }
+    victims.push_back(static_cast<uint32_t>(victim));
+    batch_live += victim_live;
+    const uint64_t reclaimed = victims.size() * static_cast<uint64_t>(data_capacity_);
+    if (victims.size() >= count && reclaimed >= batch_live + 2 * data_capacity_) {
+      break;  // Net gain achieved.
+    }
+  }
+  if (victims.empty()) {
+    cleaning_ = false;
+    return OkStatus();
+  }
+
+  OrderByLists(&batch.blocks);
+  const Status status = WriteCleanerBatch(std::move(batch));
+  if (!status.ok()) {
+    for (uint32_t v : victims) {
+      usage_->segment(v).state = SegmentState::kFull;
+    }
+    cleaning_ = false;
+    return status;
+  }
+
+  for (uint32_t v : victims) {
+    SegmentUsage& seg = usage_->segment(v);
+    if (seg.live_bytes != 0) {
+      LD_LOG(kWarn) << "cleaner: victim " << v << " still reports " << seg.live_bytes
+                    << " live bytes";
+      seg.live_bytes = 0;
+    }
+    seg.state = SegmentState::kFree;
+    seg.newest_ts = 0;
+    counters_.segments_cleaned++;
+  }
+  cleaning_ = false;
+  return OkStatus();
+}
+
+StatusOr<uint32_t> LogStructuredDisk::RearrangeHotBlocks(uint32_t max_blocks) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  if (!options_.track_read_heat) {
+    return FailedPreconditionError("enable LldOptions::track_read_heat first");
+  }
+  // Rank on-disk blocks by read frequency.
+  std::vector<std::pair<uint32_t, Bid>> ranked;
+  for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
+    if (!block_map_.IsAllocated(bid)) {
+      continue;
+    }
+    const BlockMapEntry& e = block_map_.entry(bid);
+    if (e.phys.IsOnDisk() && e.read_count > 0) {
+      ranked.emplace_back(e.read_count, bid);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (ranked.size() > max_blocks) {
+    ranked.resize(max_blocks);
+  }
+  if (ranked.empty()) {
+    return 0u;
+  }
+
+  CleanerBatch batch;
+  for (const auto& [count, bid] : ranked) {
+    const BlockMapEntry& e = block_map_.entry(bid);
+    CleanedBlock b;
+    b.bid = bid;
+    b.orig_size = e.size_class;
+    b.compressed = e.compressed;
+    b.stored.resize(e.stored_size);
+    RETURN_IF_ERROR(ReadStored(e, b.stored));
+    batch.blocks.push_back(std::move(b));
+  }
+  const uint32_t moved = static_cast<uint32_t>(batch.blocks.size());
+  // Center the hot set in the data region (Akyurek & Salem place hot blocks
+  // near the middle of the disk to halve average seeks from everywhere).
+  cleaning_ = true;
+  writer_placement_hint_ = usage_->num_segments() / 2;
+  const Status status = WriteCleanerBatch(std::move(batch));
+  writer_placement_hint_ = -1;
+  cleaning_ = false;
+  RETURN_IF_ERROR(status);
+  return moved;
+}
+
+StatusOr<uint32_t> LogStructuredDisk::ReorganizeLists(uint32_t max_segments) {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  // Collect on-disk blocks in list-of-lists order, then in list order: the
+  // layout the reorganizer wants on disk.
+  CleanerBatch batch;
+  uint64_t bytes = 0;
+  const uint64_t budget = static_cast<uint64_t>(max_segments) * data_capacity_;
+  for (Lid lid = list_table_.lol_head(); lid != kNilLid && bytes < budget;
+       lid = list_table_.entry(lid).lol_next) {
+    if (!list_table_.entry(lid).hints.cluster) {
+      continue;
+    }
+    for (Bid bid = list_table_.entry(lid).first; bid != kNilBid && bytes < budget;
+         bid = block_map_.entry(bid).successor) {
+      const BlockMapEntry& e = block_map_.entry(bid);
+      if (!e.phys.IsOnDisk()) {
+        continue;
+      }
+      CleanedBlock b;
+      b.bid = bid;
+      b.orig_size = e.size_class;
+      b.compressed = e.compressed;
+      b.stored.resize(e.stored_size);
+      RETURN_IF_ERROR(ReadStored(e, b.stored));
+      bytes += e.stored_size;
+      batch.blocks.push_back(std::move(b));
+    }
+  }
+  if (batch.blocks.empty()) {
+    return 0u;
+  }
+  const uint64_t before = counters_.segments_written;
+  cleaning_ = true;
+  const Status status = WriteCleanerBatch(std::move(batch));
+  cleaning_ = false;
+  RETURN_IF_ERROR(status);
+  // Segments drained by the rewrite are reclaimed by the cleaner, which
+  // preserves any live metadata records in their summaries.
+  return static_cast<uint32_t>(counters_.segments_written - before);
+}
+
+}  // namespace ld

@@ -1,0 +1,405 @@
+// Crash recovery and clean-shutdown checkpointing (paper §3.6).
+//
+// LLD takes no checkpoints during normal operation. On explicit shutdown it
+// writes its data structures and a validity marker to a reserved region; on
+// startup the marker is invalidated, so only a clean shutdown followed by a
+// clean startup skips log recovery. After a failure, recovery reads every
+// segment summary in one sweep over the disk, orders segments by their write
+// sequence number, and replays the records. Atomic recovery units are
+// honored: a record tagged with an ARU id is applied only if that ARU's
+// commit record is on disk.
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/lld/lld.h"
+#include "src/util/crc32.h"
+#include "src/util/log.h"
+
+namespace ld {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x4c444350;  // "LDCP"
+}  // namespace
+
+// ---- Checkpoint ------------------------------------------------------------
+
+Status LogStructuredDisk::WriteCheckpoint() {
+  std::vector<uint8_t> payload;
+  Encoder enc(&payload);
+  enc.PutU64(next_ts_);
+  enc.PutU64(next_seq_);
+  enc.PutU32(next_aru_id_);
+
+  // Block map: only allocated entries.
+  enc.PutU64(block_map_.allocated_count());
+  for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
+    if (!block_map_.IsAllocated(bid)) {
+      continue;
+    }
+    const BlockMapEntry& e = block_map_.entry(bid);
+    enc.PutU32(bid);
+    enc.PutU32(e.phys.segment);
+    enc.PutU32(e.phys.offset);
+    enc.PutU32(e.successor);
+    enc.PutU32(e.list);
+    enc.PutU32(e.size_class);
+    enc.PutU32(e.stored_size);
+    enc.PutU8(e.compressed ? 1 : 0);
+    enc.PutU64(e.write_ts);
+    enc.PutU32(e.link_seg);
+    enc.PutU32(e.alloc_seg);
+  }
+
+  // List table.
+  enc.PutU64(list_table_.allocated_count());
+  for (Lid lid = 1; lid <= list_table_.max_lid(); ++lid) {
+    if (!list_table_.IsAllocated(lid)) {
+      continue;
+    }
+    const ListEntry& e = list_table_.entry(lid);
+    enc.PutU32(lid);
+    enc.PutU32(e.first);
+    enc.PutU8(static_cast<uint8_t>((e.hints.cluster ? 1 : 0) | (e.hints.compress ? 2 : 0) |
+                                   (e.hints.interlist_cluster ? 4 : 0)));
+    enc.PutU32(e.lol_next);
+    enc.PutU32(e.head_seg);
+    enc.PutU32(e.create_seg);
+  }
+
+  // Usage table.
+  enc.PutU32(usage_->num_segments());
+  for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+    const SegmentUsage& u = usage_->segment(s);
+    enc.PutU8(static_cast<uint8_t>(u.state));
+    enc.PutU32(u.live_bytes);
+    enc.PutU64(u.newest_ts);
+    enc.PutU64(u.seq);
+  }
+  const uint64_t body_size = payload.size();  // CRC excluded from the marker's size.
+  enc.PutU32(Crc32(payload));
+
+  const uint32_t sector = device_->sector_size();
+  const uint64_t marker_sectors = 1;
+  const uint64_t payload_start = checkpoint_start_byte_ + marker_sectors * sector;
+  if (payload.size() > checkpoint_bytes_ - marker_sectors * sector) {
+    // Too big for the region: skip the checkpoint; the next open recovers
+    // from the log instead.
+    LD_LOG(kWarn) << "checkpoint payload (" << payload.size()
+                  << " bytes) exceeds the reserved region; falling back to log recovery";
+    return InvalidateCheckpoint();
+  }
+  std::vector<uint8_t> padded(((payload.size() + sector - 1) / sector) * sector, 0);
+  std::memcpy(padded.data(), payload.data(), payload.size());
+  RETURN_IF_ERROR(device_->Write(payload_start / sector, padded));
+
+  // Marker written last: its single-sector write commits the checkpoint.
+  std::vector<uint8_t> marker_payload;
+  Encoder menc(&marker_payload);
+  menc.PutU32(kCheckpointMagic);
+  menc.PutU8(1);  // valid
+  menc.PutU64(body_size);
+  menc.PutU32(Crc32(marker_payload));
+  std::vector<uint8_t> marker(sector, 0);
+  std::memcpy(marker.data(), marker_payload.data(), marker_payload.size());
+  return device_->Write(checkpoint_start_byte_ / sector, marker);
+}
+
+Status LogStructuredDisk::InvalidateCheckpoint() {
+  const uint32_t sector = device_->sector_size();
+  std::vector<uint8_t> marker_payload;
+  Encoder menc(&marker_payload);
+  menc.PutU32(kCheckpointMagic);
+  menc.PutU8(0);  // invalid
+  menc.PutU64(0);
+  menc.PutU32(Crc32(marker_payload));
+  std::vector<uint8_t> marker(sector, 0);
+  std::memcpy(marker.data(), marker_payload.data(), marker_payload.size());
+  return device_->Write(checkpoint_start_byte_ / sector, marker);
+}
+
+Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
+  *valid = false;
+  const uint32_t sector = device_->sector_size();
+  std::vector<uint8_t> marker(sector);
+  RETURN_IF_ERROR(device_->Read(checkpoint_start_byte_ / sector, marker));
+  Decoder mdec(marker);
+  const uint32_t magic = mdec.GetU32();
+  const uint8_t flag = mdec.GetU8();
+  const uint64_t payload_size = mdec.GetU64();
+  const size_t body_end = mdec.position();
+  const uint32_t crc = mdec.GetU32();
+  if (!mdec.ok() || magic != kCheckpointMagic ||
+      crc != Crc32(std::span<const uint8_t>(marker).subspan(0, body_end))) {
+    return OkStatus();  // No marker at all: treat as invalid.
+  }
+  if (flag != 1) {
+    return OkStatus();
+  }
+
+  const uint64_t payload_start = checkpoint_start_byte_ + sector;
+  std::vector<uint8_t> padded(((payload_size + 4 + sector - 1) / sector) * sector);
+  RETURN_IF_ERROR(device_->Read(payload_start / sector, padded));
+  std::span<const uint8_t> payload(padded.data(), payload_size + 4);
+  if (Crc32(payload.subspan(0, payload_size)) !=
+      (static_cast<uint32_t>(payload[payload_size]) |
+       (static_cast<uint32_t>(payload[payload_size + 1]) << 8) |
+       (static_cast<uint32_t>(payload[payload_size + 2]) << 16) |
+       (static_cast<uint32_t>(payload[payload_size + 3]) << 24))) {
+    LD_LOG(kWarn) << "checkpoint payload crc mismatch; falling back to log recovery";
+    return OkStatus();
+  }
+
+  Decoder dec(payload.subspan(0, payload_size));
+  next_ts_ = dec.GetU64();
+  next_seq_ = dec.GetU64();
+  next_aru_id_ = dec.GetU32();
+
+  block_map_.Clear();
+  const uint64_t block_count = dec.GetU64();
+  for (uint64_t i = 0; i < block_count; ++i) {
+    const Bid bid = dec.GetU32();
+    if (!dec.ok()) {
+      return CorruptionError("checkpoint block map truncated");
+    }
+    BlockMapEntry& e = block_map_.EnsureAllocated(bid);
+    e.phys.segment = dec.GetU32();
+    e.phys.offset = dec.GetU32();
+    e.successor = dec.GetU32();
+    e.list = dec.GetU32();
+    e.size_class = dec.GetU32();
+    e.stored_size = dec.GetU32();
+    e.compressed = dec.GetU8() != 0;
+    e.write_ts = dec.GetU64();
+    e.link_seg = dec.GetU32();
+    e.alloc_seg = dec.GetU32();
+  }
+
+  list_table_.Clear();
+  const uint64_t list_count = dec.GetU64();
+  for (uint64_t i = 0; i < list_count; ++i) {
+    const Lid lid = dec.GetU32();
+    if (!dec.ok()) {
+      return CorruptionError("checkpoint list table truncated");
+    }
+    ListEntry& e = list_table_.EnsureAllocated(lid);
+    e.first = dec.GetU32();
+    const uint8_t hints = dec.GetU8();
+    e.hints.cluster = (hints & 1) != 0;
+    e.hints.compress = (hints & 2) != 0;
+    e.hints.interlist_cluster = (hints & 4) != 0;
+    e.lol_next = dec.GetU32();
+    e.head_seg = dec.GetU32();
+    e.create_seg = dec.GetU32();
+  }
+
+  const uint32_t seg_count = dec.GetU32();
+  if (seg_count != usage_->num_segments()) {
+    return CorruptionError("checkpoint segment count mismatch");
+  }
+  for (uint32_t s = 0; s < seg_count; ++s) {
+    SegmentUsage& u = usage_->segment(s);
+    u.state = static_cast<SegmentState>(dec.GetU8());
+    u.live_bytes = dec.GetU32();
+    u.newest_ts = dec.GetU64();
+    u.seq = dec.GetU64();
+    // A scratch segment cannot survive a shutdown (Shutdown writes full).
+    if (u.state == SegmentState::kScratch) {
+      u.state = SegmentState::kFree;
+    }
+  }
+  RETURN_IF_ERROR(dec.ToStatus("checkpoint payload"));
+
+  block_map_.RebuildFreeList();
+  list_table_.RebuildFreeList();
+  list_table_.RelinkListOfLists();
+  *valid = true;
+  return OkStatus();
+}
+
+// ---- Log recovery ------------------------------------------------------------
+
+Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
+  const double start = device_->clock()->Now();
+  const uint32_t sector = device_->sector_size();
+  const uint32_t num_segments = usage_->num_segments();
+
+  struct ScannedSegment {
+    uint32_t index = 0;
+    uint64_t seq = 0;
+    std::vector<SummaryRecord> records;
+  };
+  std::vector<ScannedSegment> scanned;
+  std::vector<bool> has_summary(num_segments, false);
+
+  // One sweep over the disk, reading the fixed-location summaries (§3.6).
+  std::vector<uint8_t> summary(options_.summary_bytes);
+  for (uint32_t seg = 0; seg < num_segments; ++seg) {
+    stats->summaries_scanned++;
+    RETURN_IF_ERROR(device_->Read((SegmentBaseByte(seg) + data_capacity_) / sector, summary));
+    SummaryHeader header;
+    const Status head = DecodeSummaryHeader(summary, &header);
+    if (head.code() == ErrorCode::kNotFound) {
+      continue;  // Never written.
+    }
+    if (!head.ok() || header.ext_bytes > data_capacity_) {
+      LD_LOG(kInfo) << "recovery: ignoring torn segment " << seg;
+      continue;
+    }
+    // Record-heavy segments spill records into the end of their data area.
+    std::vector<uint8_t> ext;
+    if (header.ext_bytes > 0) {
+      const uint64_t ext_start = data_capacity_ - header.ext_bytes;
+      const uint64_t first = (SegmentBaseByte(seg) + ext_start) / sector * sector;
+      const uint64_t end = SegmentBaseByte(seg) + data_capacity_;
+      std::vector<uint8_t> raw((end - first + sector - 1) / sector * sector);
+      RETURN_IF_ERROR(device_->Read(first / sector, raw));
+      const size_t skip = (SegmentBaseByte(seg) + ext_start) - first;
+      ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
+    }
+    std::vector<SummaryRecord> records;
+    const Status decode = DecodeSummary(summary, ext, &header, &records);
+    if (!decode.ok()) {
+      // Torn segment write: the whole segment never happened.
+      LD_LOG(kInfo) << "recovery: ignoring torn segment " << seg;
+      continue;
+    }
+    if (header.segment_index != seg) {
+      LD_LOG(kWarn) << "recovery: summary in segment " << seg << " claims index "
+                    << header.segment_index << "; ignoring";
+      continue;
+    }
+    stats->summaries_valid++;
+    has_summary[seg] = true;
+    scanned.push_back(ScannedSegment{seg, header.seq, std::move(records)});
+  }
+
+  // Replay in write order.
+  std::sort(scanned.begin(), scanned.end(),
+            [](const ScannedSegment& a, const ScannedSegment& b) { return a.seq < b.seq; });
+
+  // Pass 1: which ARUs committed?
+  std::unordered_set<uint32_t> committed;
+  for (const auto& seg : scanned) {
+    for (const auto& r : seg.records) {
+      if (r.type == SummaryRecordType::kAruCommit) {
+        committed.insert(r.aru_id);
+      }
+    }
+  }
+
+  // Pass 2: apply.
+  block_map_.Clear();
+  list_table_.Clear();
+  uint64_t max_ts = 0;
+  uint64_t max_seq = 0;
+  uint32_t max_aru = 0;
+  std::vector<uint64_t> segment_seqs(num_segments, 0);
+  for (const auto& seg : scanned) {
+    segment_seqs[seg.index] = seg.seq;
+    max_seq = std::max(max_seq, seg.seq);
+    for (const auto& r : seg.records) {
+      max_ts = std::max(max_ts, r.ts);
+      max_aru = std::max(max_aru, r.aru_id);
+      if (r.aru_id != 0 && committed.count(r.aru_id) == 0) {
+        stats->records_dropped_uncommitted++;
+        continue;
+      }
+      stats->records_applied++;
+      switch (r.type) {
+        case SummaryRecordType::kBlockAlloc: {
+          BlockMapEntry& e = block_map_.EnsureAllocated(r.bid);
+          e.list = r.lid;
+          e.size_class = r.orig_size;
+          e.alloc_seg = seg.index;
+          break;
+        }
+        case SummaryRecordType::kBlockEntry: {
+          BlockMapEntry& e = block_map_.EnsureAllocated(r.bid);
+          e.list = r.lid;
+          e.size_class = r.orig_size;
+          e.phys = PhysAddr{seg.index, r.offset};
+          e.stored_size = r.stored_size;
+          e.compressed = r.compressed;
+          e.write_ts = r.ts;
+          break;
+        }
+        case SummaryRecordType::kLinkTuple: {
+          BlockMapEntry& e = block_map_.EnsureAllocated(r.bid);
+          e.successor = r.link_to;
+          e.link_seg = seg.index;
+          break;
+        }
+        case SummaryRecordType::kBlockFree:
+          block_map_.ForceFree(r.bid);
+          break;
+        case SummaryRecordType::kListHead: {
+          ListEntry& e = list_table_.EnsureAllocated(r.lid);
+          e.first = r.link_to;
+          e.head_seg = seg.index;
+          break;
+        }
+        case SummaryRecordType::kListCreate: {
+          ListEntry& e = list_table_.EnsureAllocated(r.lid);
+          e.hints = r.hints;
+          e.lol_next = r.lol_next;
+          e.create_seg = seg.index;
+          break;
+        }
+        case SummaryRecordType::kListMove: {
+          ListEntry& e = list_table_.EnsureAllocated(r.lid);
+          e.lol_next = r.lol_next;
+          e.create_seg = seg.index;
+          break;
+        }
+        case SummaryRecordType::kListDelete:
+          list_table_.ForceFree(r.lid);
+          break;
+        case SummaryRecordType::kAruCommit:
+          break;
+      }
+    }
+  }
+
+  next_ts_ = max_ts + 1;
+  next_seq_ = max_seq + 1;
+  next_aru_id_ = max_aru + 1;
+
+  block_map_.RebuildFreeList();
+  list_table_.RebuildFreeList();
+  list_table_.RelinkListOfLists();
+  RebuildDerivedState(segment_seqs, has_summary);
+
+  stats->live_blocks = block_map_.allocated_count();
+  stats->seconds = device_->clock()->Now() - start;
+  return OkStatus();
+}
+
+void LogStructuredDisk::RebuildDerivedState(const std::vector<uint64_t>& segment_seqs,
+                                            const std::vector<bool>& segment_has_summary) {
+  usage_->Reset();
+  for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+    SegmentUsage& u = usage_->segment(s);
+    if (segment_has_summary[s]) {
+      u.state = SegmentState::kFull;
+      u.seq = segment_seqs[s];
+    } else {
+      u.state = SegmentState::kFree;
+    }
+  }
+  for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
+    if (!block_map_.IsAllocated(bid)) {
+      continue;
+    }
+    const BlockMapEntry& e = block_map_.entry(bid);
+    if (e.phys.IsOnDisk()) {
+      usage_->AddLive(e.phys.segment, e.stored_size, e.write_ts);
+    }
+  }
+  // Segments without live data (e.g. superseded partial-write scratches)
+  // stay kFull: their summaries may still hold the latest metadata records,
+  // so only the cleaner — which re-logs live records — may reuse them.
+}
+
+}  // namespace ld

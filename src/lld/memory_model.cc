@@ -1,0 +1,38 @@
+#include "src/lld/memory_model.h"
+
+namespace ld {
+
+MemoryModelResult ComputeMemoryModel(const MemoryModelParams& params) {
+  MemoryModelResult r;
+  // Bytes per block-map entry (paper §3.4): 3 (physical address) +
+  // 3 (successor); compression adds 2 (length) + 1 (extra address byte).
+  const uint64_t entry_bytes = params.compression ? 9 : 6;
+  double blocks = static_cast<double>(params.disk_bytes) / params.avg_block_bytes;
+  if (params.compression) {
+    blocks /= params.compression_ratio;  // ~67 % more blocks fit at 60 %.
+    r.effective_storage_bytes =
+        static_cast<uint64_t>(static_cast<double>(params.disk_bytes) / params.compression_ratio);
+  } else {
+    r.effective_storage_bytes = params.disk_bytes;
+  }
+  r.block_map_bytes = static_cast<uint64_t>(blocks) * entry_bytes;
+  r.list_table_bytes = params.lists * 4;
+  r.usage_table_bytes = (params.disk_bytes / params.segment_bytes) * 3;
+  r.total_bytes = r.block_map_bytes + r.list_table_bytes + r.usage_table_bytes;
+  return r;
+}
+
+double ComputeCostFraction(const MemoryModelResult& memory, double ram_dollars_per_mb,
+                           double disk_dollars_per_gb, uint64_t disk_bytes) {
+  const double ram_cost =
+      static_cast<double>(memory.total_bytes) / (1 << 20) * ram_dollars_per_mb;
+  const double disk_cost =
+      static_cast<double>(disk_bytes) / (1ull << 30) * disk_dollars_per_gb;
+  return ram_cost / disk_cost;
+}
+
+uint64_t ListsForFileSize(uint64_t effective_storage_bytes, uint64_t avg_file_bytes) {
+  return effective_storage_bytes / avg_file_bytes;
+}
+
+}  // namespace ld

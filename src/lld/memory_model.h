@@ -1,0 +1,47 @@
+// Analytic memory and cost model for LLD's main-memory data structures
+// (paper §3.4, Tables 2 and 3).
+//
+// The model reproduces the paper's arithmetic exactly: without compression a
+// block-map entry costs 3 bytes of physical address + 3 bytes of successor;
+// compression adds 2 bytes of length and 1 byte of address and fits ~67 %
+// more blocks per physical gigabyte at a 60 % compression ratio; the list
+// table costs 4 bytes per list; the usage table 3 bytes per segment.
+
+#ifndef SRC_LLD_MEMORY_MODEL_H_
+#define SRC_LLD_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+namespace ld {
+
+struct MemoryModelParams {
+  uint64_t disk_bytes = 1ull << 30;        // Physical disk space.
+  uint32_t avg_block_bytes = 4096;         // Average logical block size.
+  bool compression = false;
+  double compression_ratio = 0.60;         // Compressed size / original size.
+  uint64_t lists = 1;                      // 1 = a single list for all files.
+  uint32_t segment_bytes = 512 * 1024;
+};
+
+struct MemoryModelResult {
+  uint64_t block_map_bytes = 0;
+  uint64_t list_table_bytes = 0;
+  uint64_t usage_table_bytes = 0;
+  uint64_t total_bytes = 0;
+  uint64_t effective_storage_bytes = 0;  // Logical bytes the disk can hold.
+};
+
+// Paper's accounting (Table 2).
+MemoryModelResult ComputeMemoryModel(const MemoryModelParams& params);
+
+// Paper's price accounting (Table 3): the fraction LLD's RAM adds to the
+// disk's purchase price.
+double ComputeCostFraction(const MemoryModelResult& memory, double ram_dollars_per_mb,
+                           double disk_dollars_per_gb, uint64_t disk_bytes);
+
+// Convenience: the number of lists for a one-list-per-file configuration.
+uint64_t ListsForFileSize(uint64_t effective_storage_bytes, uint64_t avg_file_bytes);
+
+}  // namespace ld
+
+#endif  // SRC_LLD_MEMORY_MODEL_H_

@@ -1,0 +1,70 @@
+// The segment usage table (paper §3): live bytes per segment, plus the
+// newest timestamp seen in each segment (the "age" input to the cost-benefit
+// cleaning policy). Kept in main memory: three bytes per segment in the
+// paper's accounting, a small struct here.
+
+#ifndef SRC_LLD_USAGE_TABLE_H_
+#define SRC_LLD_USAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ld/types.h"
+
+namespace ld {
+
+enum class SegmentState : uint8_t {
+  kFree = 0,    // Available for reuse.
+  kFull,        // Written, may contain live data or live metadata records.
+  kScratch,     // Holds a superseded-on-full partial copy of the open segment.
+  kCleaning,    // Being cleaned: not pickable as victim or free target.
+};
+
+struct SegmentUsage {
+  SegmentState state = SegmentState::kFree;
+  uint32_t live_bytes = 0;
+  OpTimestamp newest_ts = 0;  // Newest block timestamp written into it.
+  uint64_t seq = 0;           // Sequence number of the summary written there.
+};
+
+class UsageTable {
+ public:
+  explicit UsageTable(uint32_t num_segments) : segments_(num_segments) {}
+
+  uint32_t num_segments() const { return static_cast<uint32_t>(segments_.size()); }
+
+  SegmentUsage& segment(uint32_t index) { return segments_[index]; }
+  const SegmentUsage& segment(uint32_t index) const { return segments_[index]; }
+
+  void AddLive(uint32_t index, uint32_t bytes, OpTimestamp ts);
+  void RemoveLive(uint32_t index, uint32_t bytes);
+
+  uint32_t FreeCount() const;
+  uint64_t TotalLiveBytes() const;
+
+  // Lowest-live-bytes kFull segment, or -1 if none.
+  int64_t PickGreedy() const;
+
+  // Sprite LFS cost-benefit: maximize (1 - u) * age / (1 + u), with u the
+  // live fraction and age the inverse of newest_ts. `now` is the current
+  // operation timestamp.
+  int64_t PickCostBenefit(uint32_t segment_capacity, OpTimestamp now) const;
+
+  // Any free segment, or -1.
+  int64_t PickFree() const;
+
+  // The free segment closest to `target` (for placement-sensitive writers,
+  // e.g. the hot-block rearranger centering its output), or -1.
+  int64_t PickFreeNear(uint32_t target) const;
+
+  void Reset();
+
+  uint64_t MemoryBytes() const { return segments_.capacity() * sizeof(SegmentUsage); }
+
+ private:
+  std::vector<SegmentUsage> segments_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_LLD_USAGE_TABLE_H_

@@ -1,0 +1,192 @@
+#include "src/minixfs/buffer_cache.h"
+
+#include <algorithm>
+
+namespace ld {
+
+BufferCache::BufferCache(uint32_t block_size, uint32_t capacity_blocks, ReadFn read, WriteFn write)
+    : block_size_(block_size),
+      capacity_(std::max(capacity_blocks, 8u)),
+      read_(std::move(read)),
+      write_(std::move(write)) {}
+
+void BufferCache::Touch(uint32_t bno) {
+  auto pos = lru_pos_.find(bno);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+  }
+  lru_.push_front(bno);
+  lru_pos_[bno] = lru_.begin();
+}
+
+Status BufferCache::EvictOne() {
+  if (lru_.empty()) {
+    return OkStatus();
+  }
+  const uint32_t victim = lru_.back();
+  lru_.pop_back();
+  lru_pos_.erase(victim);
+  auto it = blocks_.find(victim);
+  if (it != blocks_.end()) {
+    if (it->second->dirty) {
+      if (cluster_writes_) {
+        RETURN_IF_ERROR(WriteClusterAround(victim));
+      } else {
+        RETURN_IF_ERROR(write_(victim, 1, it->second->data));
+        it->second->dirty = false;
+      }
+    }
+    blocks_.erase(it);
+  }
+  return OkStatus();
+}
+
+Status BufferCache::WriteClusterAround(uint32_t bno) {
+  // FFS-style clustering: when a dirty block must go out, take its whole run
+  // of cached adjacent dirty blocks with it in one request.
+  uint32_t first = bno;
+  while (first > 0 && bno - (first - 1) < max_cluster_blocks_) {
+    auto it = blocks_.find(first - 1);
+    if (it == blocks_.end() || !it->second->dirty) {
+      break;
+    }
+    first--;
+  }
+  uint32_t last = bno;
+  while (last + 1 - first < max_cluster_blocks_) {
+    auto it = blocks_.find(last + 1);
+    if (it == blocks_.end() || !it->second->dirty) {
+      break;
+    }
+    last++;
+  }
+  const uint32_t count = last - first + 1;
+  if (count == 1) {
+    auto& block = blocks_[bno];
+    RETURN_IF_ERROR(write_(bno, 1, block->data));
+    block->dirty = false;
+    return OkStatus();
+  }
+  std::vector<uint8_t> cluster(static_cast<size_t>(count) * block_size_);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto& block = blocks_[first + i];
+    std::copy(block->data.begin(), block->data.end(),
+              cluster.begin() + static_cast<size_t>(i) * block_size_);
+  }
+  RETURN_IF_ERROR(write_(first, count, cluster));
+  for (uint32_t i = 0; i < count; ++i) {
+    blocks_[first + i]->dirty = false;
+  }
+  return OkStatus();
+}
+
+StatusOr<std::shared_ptr<CacheBlock>> BufferCache::Get(uint32_t bno, bool load) {
+  auto it = blocks_.find(bno);
+  if (it != blocks_.end()) {
+    hits_++;
+    Touch(bno);
+    return it->second;
+  }
+  misses_++;
+  while (blocks_.size() >= capacity_) {
+    RETURN_IF_ERROR(EvictOne());
+  }
+  auto block = std::make_shared<CacheBlock>();
+  block->bno = bno;
+  block->data.assign(block_size_, 0);
+  if (load) {
+    RETURN_IF_ERROR(read_(bno, block->data));
+  }
+  blocks_[bno] = block;
+  Touch(bno);
+  return block;
+}
+
+void BufferCache::Insert(uint32_t bno, std::span<const uint8_t> data) {
+  if (blocks_.count(bno) != 0) {
+    return;
+  }
+  while (blocks_.size() >= capacity_) {
+    if (!EvictOne().ok()) {
+      return;  // Best-effort: read-ahead fills may be dropped.
+    }
+  }
+  auto block = std::make_shared<CacheBlock>();
+  block->bno = bno;
+  block->data.assign(data.begin(), data.end());
+  blocks_[bno] = block;
+  Touch(bno);
+}
+
+Status BufferCache::FlushAll() {
+  std::vector<uint32_t> dirty;
+  dirty.reserve(blocks_.size());
+  for (const auto& [bno, block] : blocks_) {
+    if (block->dirty) {
+      dirty.push_back(bno);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+
+  if (!cluster_writes_) {
+    for (uint32_t bno : dirty) {
+      auto& block = blocks_[bno];
+      RETURN_IF_ERROR(write_(bno, 1, block->data));
+      block->dirty = false;
+    }
+    return OkStatus();
+  }
+
+  // Coalesce runs of adjacent dirty blocks into single requests.
+  size_t i = 0;
+  std::vector<uint8_t> cluster;
+  while (i < dirty.size()) {
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 &&
+           j - i < max_cluster_blocks_) {
+      ++j;
+    }
+    const uint32_t count = static_cast<uint32_t>(j - i);
+    if (count == 1) {
+      auto& block = blocks_[dirty[i]];
+      RETURN_IF_ERROR(write_(dirty[i], 1, block->data));
+      block->dirty = false;
+    } else {
+      cluster.resize(static_cast<size_t>(count) * block_size_);
+      for (uint32_t k = 0; k < count; ++k) {
+        auto& block = blocks_[dirty[i + k]];
+        std::copy(block->data.begin(), block->data.end(),
+                  cluster.begin() + static_cast<size_t>(k) * block_size_);
+      }
+      RETURN_IF_ERROR(write_(dirty[i], count, cluster));
+      for (uint32_t k = 0; k < count; ++k) {
+        blocks_[dirty[i + k]]->dirty = false;
+      }
+    }
+    i = j;
+  }
+  return OkStatus();
+}
+
+Status BufferCache::InvalidateAll() {
+  RETURN_IF_ERROR(FlushAll());
+  blocks_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+  return OkStatus();
+}
+
+void BufferCache::Discard(uint32_t bno) {
+  auto it = blocks_.find(bno);
+  if (it == blocks_.end()) {
+    return;
+  }
+  blocks_.erase(it);
+  auto pos = lru_pos_.find(bno);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+}
+
+}  // namespace ld

@@ -1,0 +1,521 @@
+// Path resolution, directories, and file I/O of the MINIX core.
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/minixfs/minix_fs.h"
+
+namespace ld {
+
+// ---- Paths ------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> SplitComponents(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) {
+        parts.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    parts.push_back(cur);
+  }
+  return parts;
+}
+
+}  // namespace
+
+StatusOr<uint32_t> MinixFs::Resolve(const std::string& path) {
+  uint32_t ino = kRootIno;
+  for (const std::string& part : SplitComponents(path)) {
+    ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+    if (inode.type != FileType::kDirectory) {
+      return NotFoundError("not a directory on path: " + path);
+    }
+    ASSIGN_OR_RETURN(ino, LookupDir(ino, part));
+  }
+  return ino;
+}
+
+Status MinixFs::SplitPath(const std::string& path, uint32_t* parent_ino, std::string* leaf) {
+  std::vector<std::string> parts = SplitComponents(path);
+  if (parts.empty()) {
+    return InvalidArgumentError("path has no leaf: " + path);
+  }
+  *leaf = parts.back();
+  if (leaf->size() > kMinixNameMax) {
+    return InvalidArgumentError("name too long: " + *leaf);
+  }
+  uint32_t ino = kRootIno;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(ino, LookupDir(ino, parts[i]));
+  }
+  ASSIGN_OR_RETURN(DiskInode dir, GetInode(ino));
+  if (dir.type != FileType::kDirectory) {
+    return NotFoundError("parent is not a directory: " + path);
+  }
+  *parent_ino = ino;
+  return OkStatus();
+}
+
+// ---- Directories ---------------------------------------------------------------
+
+namespace {
+
+// Decodes only the i-node number of a raw directory slot.
+uint32_t SlotIno(const uint8_t* slot) {
+  uint32_t ino;
+  std::memcpy(&ino, slot, 4);  // Stored little-endian; see MinixDirEntry.
+  return ino;
+}
+
+// Allocation-free name comparison against a raw directory slot.
+bool SlotNameEquals(const uint8_t* slot, const std::string& name) {
+  const char* stored = reinterpret_cast<const char*>(slot) + 4;
+  if (name.size() > kMinixNameMax) {
+    return false;
+  }
+  if (std::memcmp(stored, name.data(), name.size()) != 0) {
+    return false;
+  }
+  return name.size() == kMinixNameMax || stored[name.size()] == '\0';
+}
+
+}  // namespace
+
+StatusOr<uint32_t> MinixFs::LookupDir(uint32_t dir_ino, const std::string& name) {
+  ASSIGN_OR_RETURN(DiskInode dir, GetInode(dir_ino));
+  if (dir.type != FileType::kDirectory) {
+    return InvalidArgumentError("not a directory");
+  }
+  const uint32_t epb = sb_.DirEntriesPerBlock();
+  const uint32_t nblocks = (dir.size + sb_.block_size - 1) / sb_.block_size;
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    ASSIGN_OR_RETURN(uint32_t bno, BMap(&dir, b, /*alloc=*/false));
+    if (bno == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+    const uint8_t* base = block->data.data();
+    for (uint32_t e = 0; e < epb; ++e) {
+      const uint8_t* slot = base + static_cast<size_t>(e) * kMinixDirEntrySize;
+      const uint32_t ino = SlotIno(slot);
+      if (ino != 0 && SlotNameEquals(slot, name)) {
+        return ino;
+      }
+    }
+  }
+  return NotFoundError("no such entry: " + name);
+}
+
+Status MinixFs::AddDirEntry(uint32_t dir_ino, const std::string& name, uint32_t ino) {
+  ASSIGN_OR_RETURN(DiskInode dir, GetInode(dir_ino));
+  const uint32_t epb = sb_.DirEntriesPerBlock();
+  const uint32_t nblocks = (dir.size + sb_.block_size - 1) / sb_.block_size;
+
+  MinixDirEntry entry;
+  entry.ino = ino;
+  entry.name = name;
+
+  // Reuse a free slot in an existing block if possible.
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    ASSIGN_OR_RETURN(uint32_t bno, BMap(&dir, b, /*alloc=*/false));
+    if (bno == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+    for (uint32_t e = 0; e < epb; ++e) {
+      const size_t off = static_cast<size_t>(e) * kMinixDirEntrySize;
+      if (SlotIno(block->data.data() + off) == 0) {
+        entry.EncodeTo(std::span<uint8_t>(block->data).subspan(off, kMinixDirEntrySize));
+        cache_->MarkDirty(block);
+        return MaybeSyncBlock(block);
+      }
+    }
+  }
+
+  // Extend the directory by one block.
+  ASSIGN_OR_RETURN(uint32_t bno, BMap(&dir, nblocks, /*alloc=*/true));
+  ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/false));
+  std::fill(block->data.begin(), block->data.end(), 0);
+  entry.EncodeTo(std::span<uint8_t>(block->data).subspan(0, kMinixDirEntrySize));
+  cache_->MarkDirty(block);
+  dir.size = (nblocks + 1) * sb_.block_size;
+  dir.mtime = NowTime();
+  RETURN_IF_ERROR(PutInode(dir_ino, dir));
+  return MaybeSyncBlock(block);
+}
+
+Status MinixFs::RemoveDirEntry(uint32_t dir_ino, const std::string& name) {
+  ASSIGN_OR_RETURN(DiskInode dir, GetInode(dir_ino));
+  const uint32_t epb = sb_.DirEntriesPerBlock();
+  const uint32_t nblocks = (dir.size + sb_.block_size - 1) / sb_.block_size;
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    ASSIGN_OR_RETURN(uint32_t bno, BMap(&dir, b, /*alloc=*/false));
+    if (bno == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+    for (uint32_t e = 0; e < epb; ++e) {
+      const size_t off = static_cast<size_t>(e) * kMinixDirEntrySize;
+      const uint8_t* slot = block->data.data() + off;
+      if (SlotIno(slot) != 0 && SlotNameEquals(slot, name)) {
+        std::memset(block->data.data() + off, 0, kMinixDirEntrySize);
+        cache_->MarkDirty(block);
+        return MaybeSyncBlock(block);
+      }
+    }
+  }
+  return NotFoundError("no such entry: " + name);
+}
+
+StatusOr<bool> MinixFs::DirIsEmpty(uint32_t dir_ino) {
+  ASSIGN_OR_RETURN(DiskInode dir, GetInode(dir_ino));
+  const uint32_t epb = sb_.DirEntriesPerBlock();
+  const uint32_t nblocks = (dir.size + sb_.block_size - 1) / sb_.block_size;
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    ASSIGN_OR_RETURN(uint32_t bno, BMap(&dir, b, /*alloc=*/false));
+    if (bno == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+    for (uint32_t e = 0; e < epb; ++e) {
+      const auto entry = MinixDirEntry::DecodeFrom(
+          std::span<const uint8_t>(block->data).subspan(e * kMinixDirEntrySize,
+                                                        kMinixDirEntrySize));
+      if (entry.ino != 0 && entry.name != "." && entry.name != "..") {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<MinixDirEntry>> MinixFs::ReadDir(const std::string& path) {
+  ASSIGN_OR_RETURN(uint32_t ino, Resolve(path));
+  ASSIGN_OR_RETURN(DiskInode dir, GetInode(ino));
+  if (dir.type != FileType::kDirectory) {
+    return InvalidArgumentError("not a directory: " + path);
+  }
+  std::vector<MinixDirEntry> entries;
+  const uint32_t epb = sb_.DirEntriesPerBlock();
+  const uint32_t nblocks = (dir.size + sb_.block_size - 1) / sb_.block_size;
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    ASSIGN_OR_RETURN(uint32_t bno, BMap(&dir, b, /*alloc=*/false));
+    if (bno == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+    for (uint32_t e = 0; e < epb; ++e) {
+      auto entry = MinixDirEntry::DecodeFrom(std::span<const uint8_t>(block->data)
+                                                 .subspan(e * kMinixDirEntrySize,
+                                                          kMinixDirEntrySize));
+      if (entry.ino != 0) {
+        entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return entries;
+}
+
+// ---- Files -----------------------------------------------------------------------
+
+StatusOr<uint32_t> MinixFs::CreateFile(const std::string& path) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  uint32_t parent;
+  std::string name;
+  RETURN_IF_ERROR(SplitPath(path, &parent, &name));
+  if (LookupDir(parent, name).ok()) {
+    return AlreadyExistsError("file exists: " + path);
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  DiskInode inode;
+  inode.type = FileType::kRegular;
+  inode.nlinks = 1;
+  inode.mtime = NowTime();
+  // One block list per file, created near the parent directory's list for
+  // inter-list clustering (paper §2.2, §4.1).
+  ASSIGN_OR_RETURN(DiskInode parent_inode, GetInode(parent));
+  ASSIGN_OR_RETURN(uint32_t lid, backend_->CreateFileList(parent_inode.lid));
+  inode.lid = lid;
+  RETURN_IF_ERROR(PutInode(ino, inode));
+  RETURN_IF_ERROR(AddDirEntry(parent, name, ino));
+  stats_.creates++;
+  return ino;
+}
+
+StatusOr<uint32_t> MinixFs::OpenFile(const std::string& path) { return Resolve(path); }
+
+Status MinixFs::WriteFile(uint32_t ino, uint64_t offset, std::span<const uint8_t> data) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type == FileType::kFree) {
+    return NotFoundError("no such file");
+  }
+  const uint32_t bs = sb_.block_size;
+  uint64_t pos = offset;
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint32_t idx = static_cast<uint32_t>(pos / bs);
+    const uint32_t within = static_cast<uint32_t>(pos % bs);
+    const size_t chunk = std::min<size_t>(bs - within, data.size() - done);
+    ASSIGN_OR_RETURN(uint32_t existing, BMap(&inode, idx, /*alloc=*/false));
+    const bool fresh = existing == 0;
+    uint32_t bno = existing;
+    if (fresh) {
+      ASSIGN_OR_RETURN(bno, BMap(&inode, idx, /*alloc=*/true));
+    }
+    // A freshly allocated block is never read (a reused physical block may
+    // hold another file's old bytes) and starts zeroed; an existing block is
+    // read unless this write covers everything still meaningful in it.
+    const bool full_overwrite =
+        within == 0 && (chunk == bs || pos + chunk >= inode.size);
+    ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block,
+                     GetBlock(bno, /*load=*/!fresh && !full_overwrite));
+    if (fresh || (full_overwrite && chunk < bs)) {
+      std::fill(block->data.begin(), block->data.end(), 0);
+    }
+    std::memcpy(block->data.data() + within, data.data() + done, chunk);
+    cache_->MarkDirty(block);
+    pos += chunk;
+    done += chunk;
+  }
+  if (pos > inode.size) {
+    inode.size = static_cast<uint32_t>(pos);
+  }
+  inode.mtime = NowTime();
+  RETURN_IF_ERROR(PutInode(ino, inode, /*structural=*/false));
+  stats_.file_writes++;
+  stats_.bytes_written += data.size();
+  return OkStatus();
+}
+
+Status MinixFs::ReadFileBlockCached(DiskInode* inode, uint32_t idx, uint32_t bno) {
+  if (cache_->Contains(bno)) {
+    return OkStatus();
+  }
+  const uint32_t ra = options_.readahead_blocks;
+  if (!backend_->readahead() || ra <= 1) {
+    return GetBlock(bno, /*load=*/true).status();
+  }
+  // Naive MINIX-style read-ahead: prefetch the next blocks of the file while
+  // their block numbers stay physically consecutive, in one request.
+  const uint32_t file_blocks = (inode->size + sb_.block_size - 1) / sb_.block_size;
+  std::vector<uint32_t> run{bno};
+  for (uint32_t i = 1; i < ra && idx + i < file_blocks; ++i) {
+    auto next = BMap(inode, idx + i, /*alloc=*/false);
+    if (!next.ok() || next.value() != bno + i || cache_->Contains(next.value())) {
+      break;
+    }
+    run.push_back(next.value());
+  }
+  stats_.readahead_requests++;
+  std::vector<uint8_t> buf(static_cast<size_t>(run.size()) * sb_.block_size);
+  RETURN_IF_ERROR(backend_->ReadBlocks(bno, static_cast<uint32_t>(run.size()), buf));
+  for (size_t i = 0; i < run.size(); ++i) {
+    cache_->Insert(run[i],
+                   std::span<const uint8_t>(buf).subspan(i * sb_.block_size, sb_.block_size));
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> MinixFs::ReadFile(uint32_t ino, uint64_t offset, std::span<uint8_t> out) {
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type == FileType::kFree) {
+    return NotFoundError("no such file");
+  }
+  if (offset >= inode.size) {
+    return size_t{0};
+  }
+  const uint32_t bs = sb_.block_size;
+  const size_t to_read = std::min<size_t>(out.size(), inode.size - offset);
+  uint64_t pos = offset;
+  size_t done = 0;
+  while (done < to_read) {
+    const uint32_t idx = static_cast<uint32_t>(pos / bs);
+    const uint32_t within = static_cast<uint32_t>(pos % bs);
+    const size_t chunk = std::min<size_t>(bs - within, to_read - done);
+    ASSIGN_OR_RETURN(uint32_t bno, BMap(&inode, idx, /*alloc=*/false));
+    if (bno == 0) {
+      std::memset(out.data() + done, 0, chunk);  // Hole.
+    } else {
+      RETURN_IF_ERROR(ReadFileBlockCached(&inode, idx, bno));
+      ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+      std::memcpy(out.data() + done, block->data.data() + within, chunk);
+    }
+    pos += chunk;
+    done += chunk;
+  }
+  stats_.file_reads++;
+  stats_.bytes_read += done;
+  return done;
+}
+
+Status MinixFs::Truncate(uint32_t ino, uint64_t new_size) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type == FileType::kFree) {
+    return NotFoundError("no such file");
+  }
+  if (new_size > inode.size) {
+    return UnimplementedError("extending truncate is not supported");
+  }
+  const uint32_t keep = static_cast<uint32_t>((new_size + sb_.block_size - 1) / sb_.block_size);
+  RETURN_IF_ERROR(FreeFileBlocks(&inode, keep));
+  // Zero the tail of the last surviving block so a later extension reads
+  // the hole as zeros instead of stale bytes.
+  if (new_size % sb_.block_size != 0) {
+    ASSIGN_OR_RETURN(uint32_t bno,
+                     BMap(&inode, static_cast<uint32_t>(new_size / sb_.block_size),
+                          /*alloc=*/false));
+    if (bno != 0) {
+      ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
+      std::fill(block->data.begin() + new_size % sb_.block_size, block->data.end(), 0);
+      cache_->MarkDirty(block);
+    }
+  }
+  inode.size = static_cast<uint32_t>(new_size);
+  inode.mtime = NowTime();
+  return PutInode(ino, inode);
+}
+
+Status MinixFs::Unlink(const std::string& path) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  uint32_t parent;
+  std::string name;
+  RETURN_IF_ERROR(SplitPath(path, &parent, &name));
+  ASSIGN_OR_RETURN(uint32_t ino, LookupDir(parent, name));
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type == FileType::kDirectory) {
+    return InvalidArgumentError("is a directory: " + path);
+  }
+  RETURN_IF_ERROR(RemoveDirEntry(parent, name));
+  if (inode.nlinks <= 1) {
+    RETURN_IF_ERROR(FreeFileBlocks(&inode, 0));
+    if (inode.lid != 0) {
+      RETURN_IF_ERROR(backend_->DeleteFileList(inode.lid));
+    }
+    inode = DiskInode{};
+    RETURN_IF_ERROR(PutInode(ino, inode));
+    RETURN_IF_ERROR(FreeInode(ino));
+  } else {
+    inode.nlinks--;
+    RETURN_IF_ERROR(PutInode(ino, inode));
+  }
+  stats_.unlinks++;
+  return OkStatus();
+}
+
+Status MinixFs::Link(const std::string& from, const std::string& to) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  ASSIGN_OR_RETURN(uint32_t ino, Resolve(from));
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type == FileType::kDirectory) {
+    return InvalidArgumentError("cannot hard-link a directory");
+  }
+  uint32_t parent;
+  std::string name;
+  RETURN_IF_ERROR(SplitPath(to, &parent, &name));
+  if (LookupDir(parent, name).ok()) {
+    return AlreadyExistsError("exists: " + to);
+  }
+  RETURN_IF_ERROR(AddDirEntry(parent, name, ino));
+  inode.nlinks++;
+  return PutInode(ino, inode);
+}
+
+Status MinixFs::Rename(const std::string& from, const std::string& to) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  uint32_t from_parent;
+  std::string from_name;
+  RETURN_IF_ERROR(SplitPath(from, &from_parent, &from_name));
+  ASSIGN_OR_RETURN(uint32_t ino, LookupDir(from_parent, from_name));
+  uint32_t to_parent;
+  std::string to_name;
+  RETURN_IF_ERROR(SplitPath(to, &to_parent, &to_name));
+  if (LookupDir(to_parent, to_name).ok()) {
+    RETURN_IF_ERROR(Unlink(to));
+  }
+  RETURN_IF_ERROR(AddDirEntry(to_parent, to_name, ino));
+  return RemoveDirEntry(from_parent, from_name);
+}
+
+Status MinixFs::Mkdir(const std::string& path) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  uint32_t parent;
+  std::string name;
+  RETURN_IF_ERROR(SplitPath(path, &parent, &name));
+  if (LookupDir(parent, name).ok()) {
+    return AlreadyExistsError("exists: " + path);
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode());
+  DiskInode inode;
+  inode.type = FileType::kDirectory;
+  inode.nlinks = 2;
+  inode.mtime = NowTime();
+  ASSIGN_OR_RETURN(DiskInode parent_inode, GetInode(parent));
+  ASSIGN_OR_RETURN(uint32_t lid, backend_->CreateFileList(parent_inode.lid));
+  inode.lid = lid;
+  RETURN_IF_ERROR(PutInode(ino, inode));
+  RETURN_IF_ERROR(AddDirEntry(ino, ".", ino));
+  RETURN_IF_ERROR(AddDirEntry(ino, "..", parent));
+  RETURN_IF_ERROR(AddDirEntry(parent, name, ino));
+  parent_inode.nlinks++;
+  parent_inode.mtime = NowTime();
+  return PutInode(parent, parent_inode);
+}
+
+Status MinixFs::Rmdir(const std::string& path) {
+  RETURN_IF_ERROR(EnsureSyncUnit());
+  uint32_t parent;
+  std::string name;
+  RETURN_IF_ERROR(SplitPath(path, &parent, &name));
+  ASSIGN_OR_RETURN(uint32_t ino, LookupDir(parent, name));
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type != FileType::kDirectory) {
+    return InvalidArgumentError("not a directory: " + path);
+  }
+  ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
+  if (!empty) {
+    return FailedPreconditionError("directory not empty: " + path);
+  }
+  RETURN_IF_ERROR(RemoveDirEntry(parent, name));
+  RETURN_IF_ERROR(FreeFileBlocks(&inode, 0));
+  if (inode.lid != 0) {
+    RETURN_IF_ERROR(backend_->DeleteFileList(inode.lid));
+  }
+  inode = DiskInode{};
+  RETURN_IF_ERROR(PutInode(ino, inode));
+  RETURN_IF_ERROR(FreeInode(ino));
+  ASSIGN_OR_RETURN(DiskInode parent_inode, GetInode(parent));
+  parent_inode.nlinks--;
+  return PutInode(parent, parent_inode);
+}
+
+StatusOr<MinixStatInfo> MinixFs::Stat(const std::string& path) {
+  ASSIGN_OR_RETURN(uint32_t ino, Resolve(path));
+  return StatIno(ino);
+}
+
+StatusOr<MinixStatInfo> MinixFs::StatIno(uint32_t ino) {
+  ASSIGN_OR_RETURN(DiskInode inode, GetInode(ino));
+  if (inode.type == FileType::kFree) {
+    return NotFoundError("no such i-node");
+  }
+  MinixStatInfo info;
+  info.ino = ino;
+  info.type = inode.type;
+  info.size = inode.size;
+  info.nlinks = inode.nlinks;
+  info.mtime = inode.mtime;
+  return info;
+}
+
+}  // namespace ld

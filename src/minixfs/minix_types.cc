@@ -1,0 +1,120 @@
+#include "src/minixfs/minix_types.h"
+
+#include <cstring>
+
+#include "src/util/crc32.h"
+
+namespace ld {
+
+void DiskInode::EncodeTo(std::span<uint8_t> out64) const {
+  std::memset(out64.data(), 0, kMinixInodeSize);
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU16(static_cast<uint16_t>(type));
+  enc.PutU16(nlinks);
+  enc.PutU32(size);
+  enc.PutU32(mtime);
+  enc.PutU32(lid);
+  for (uint32_t z : zones) {
+    enc.PutU32(z);
+  }
+  enc.PutU32(indirect);
+  enc.PutU32(double_indirect);
+  std::memcpy(out64.data(), buf.data(), buf.size());
+}
+
+DiskInode DiskInode::DecodeFrom(std::span<const uint8_t> in64) {
+  DiskInode inode;
+  Decoder dec(in64);
+  inode.type = static_cast<FileType>(dec.GetU16());
+  inode.nlinks = dec.GetU16();
+  inode.size = dec.GetU32();
+  inode.mtime = dec.GetU32();
+  inode.lid = dec.GetU32();
+  for (auto& z : inode.zones) {
+    z = dec.GetU32();
+  }
+  inode.indirect = dec.GetU32();
+  inode.double_indirect = dec.GetU32();
+  return inode;
+}
+
+void MinixDirEntry::EncodeTo(std::span<uint8_t> out64) const {
+  std::memset(out64.data(), 0, kMinixDirEntrySize);
+  out64[0] = static_cast<uint8_t>(ino);
+  out64[1] = static_cast<uint8_t>(ino >> 8);
+  out64[2] = static_cast<uint8_t>(ino >> 16);
+  out64[3] = static_cast<uint8_t>(ino >> 24);
+  const size_t n = std::min<size_t>(name.size(), kMinixNameMax);
+  std::memcpy(out64.data() + 4, name.data(), n);
+}
+
+MinixDirEntry MinixDirEntry::DecodeFrom(std::span<const uint8_t> in64) {
+  MinixDirEntry entry;
+  entry.ino = static_cast<uint32_t>(in64[0]) | (static_cast<uint32_t>(in64[1]) << 8) |
+              (static_cast<uint32_t>(in64[2]) << 16) | (static_cast<uint32_t>(in64[3]) << 24);
+  const char* name = reinterpret_cast<const char*>(in64.data()) + 4;
+  entry.name.assign(name, strnlen(name, kMinixNameMax));
+  return entry;
+}
+
+Status MinixSuperblock::EncodeTo(std::span<uint8_t> block) const {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU32(kMinixMagic);
+  enc.PutU32(static_cast<uint32_t>(mode));
+  enc.PutU32(block_size);
+  enc.PutU32(num_inodes);
+  enc.PutU32(num_blocks);
+  enc.PutU32(inode_bitmap_start);
+  enc.PutU32(inode_bitmap_blocks);
+  enc.PutU32(zone_bitmap_start);
+  enc.PutU32(zone_bitmap_blocks);
+  enc.PutU32(itable_start);
+  enc.PutU32(itable_blocks);
+  enc.PutU32(inode_bid_base);
+  enc.PutU32(first_data_block);
+  enc.PutU32(global_list);
+  enc.PutU8(list_per_file);
+  enc.PutU8(compress_data);
+  enc.PutU32(Crc32(std::span<const uint8_t>(buf)));
+  if (buf.size() > block.size()) {
+    return InvalidArgumentError("block too small for superblock");
+  }
+  std::memset(block.data(), 0, block.size());
+  std::memcpy(block.data(), buf.data(), buf.size());
+  return OkStatus();
+}
+
+StatusOr<MinixSuperblock> MinixSuperblock::DecodeFrom(std::span<const uint8_t> block) {
+  Decoder dec(block);
+  MinixSuperblock sb;
+  const uint32_t magic = dec.GetU32();
+  if (!dec.ok() || magic != kMinixMagic) {
+    return CorruptionError("not a MINIX file system");
+  }
+  sb.mode = static_cast<MinixMode>(dec.GetU32());
+  sb.block_size = dec.GetU32();
+  sb.num_inodes = dec.GetU32();
+  sb.num_blocks = dec.GetU32();
+  sb.inode_bitmap_start = dec.GetU32();
+  sb.inode_bitmap_blocks = dec.GetU32();
+  sb.zone_bitmap_start = dec.GetU32();
+  sb.zone_bitmap_blocks = dec.GetU32();
+  sb.itable_start = dec.GetU32();
+  sb.itable_blocks = dec.GetU32();
+  sb.inode_bid_base = dec.GetU32();
+  sb.first_data_block = dec.GetU32();
+  sb.global_list = dec.GetU32();
+  sb.list_per_file = dec.GetU8();
+  sb.compress_data = dec.GetU8();
+  const size_t body_end = dec.position();
+  const uint32_t crc = dec.GetU32();
+  RETURN_IF_ERROR(dec.ToStatus("superblock"));
+  if (crc != Crc32(block.subspan(0, body_end))) {
+    return CorruptionError("MINIX superblock crc mismatch");
+  }
+  return sb;
+}
+
+}  // namespace ld

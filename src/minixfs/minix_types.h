@@ -1,0 +1,101 @@
+// On-disk structures of the MINIX-style file system (paper §4.1).
+//
+// The file system follows the structure of the MINIX FS the paper modified:
+// a superblock, an i-node bitmap, a zone bitmap (classic mode only), an
+// i-node table with 7 direct zones + indirect + double-indirect per i-node,
+// and fixed-size directory entries. Three modes exist:
+//
+//   kClassic        — update-in-place on a raw disk: physical block numbers,
+//                     zone bitmap, allocation near the previous block.
+//   kLd             — block numbers are LD logical block ids; allocation via
+//                     NewBlock on lists; no zone bitmap (LD tracks space).
+//   kLdSmallInodes  — like kLd, but every i-node is its own 64-byte logical
+//                     block (the paper's multiple-block-size experiment).
+
+#ifndef SRC_MINIXFS_MINIX_TYPES_H_
+#define SRC_MINIXFS_MINIX_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace ld {
+
+constexpr uint32_t kMinixMagic = 0x4d4e5846;  // "MNXF"
+constexpr uint32_t kRootIno = 1;
+constexpr uint32_t kMinixInodeSize = 64;
+constexpr uint32_t kMinixDirEntrySize = 64;
+constexpr uint32_t kMinixNameMax = kMinixDirEntrySize - 4 - 1;
+constexpr uint32_t kMinixDirectZones = 7;
+
+enum class MinixMode : uint32_t {
+  kClassic = 0,
+  kLd = 1,
+  kLdSmallInodes = 2,
+};
+
+enum class FileType : uint16_t {
+  kFree = 0,
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+// 64-byte on-disk i-node.
+struct DiskInode {
+  FileType type = FileType::kFree;
+  uint16_t nlinks = 0;
+  uint32_t size = 0;
+  uint32_t mtime = 0;  // Logical operation time, not wall clock.
+  uint32_t lid = 0;    // LD list id of this file's block list (LD modes).
+  std::array<uint32_t, kMinixDirectZones> zones{};
+  uint32_t indirect = 0;
+  uint32_t double_indirect = 0;
+
+  bool InUse() const { return type != FileType::kFree; }
+
+  void EncodeTo(std::span<uint8_t> out64) const;
+  static DiskInode DecodeFrom(std::span<const uint8_t> in64);
+};
+
+// 64-byte directory entry: a 4-byte i-node number (0 = free slot) and a
+// NUL-padded name.
+struct MinixDirEntry {
+  uint32_t ino = 0;
+  std::string name;
+
+  void EncodeTo(std::span<uint8_t> out64) const;
+  static MinixDirEntry DecodeFrom(std::span<const uint8_t> in64);
+};
+
+struct MinixSuperblock {
+  MinixMode mode = MinixMode::kClassic;
+  uint32_t block_size = 4096;
+  uint32_t num_inodes = 0;
+  uint32_t num_blocks = 0;           // Total fs blocks (classic mode).
+  uint32_t inode_bitmap_start = 0;   // Block number / Bid of the first bitmap block.
+  uint32_t inode_bitmap_blocks = 0;
+  uint32_t zone_bitmap_start = 0;    // Classic only.
+  uint32_t zone_bitmap_blocks = 0;
+  uint32_t itable_start = 0;         // Classic / kLd: first i-node table block.
+  uint32_t itable_blocks = 0;
+  uint32_t inode_bid_base = 0;       // kLdSmallInodes: Bid of i-node 1's block.
+  uint32_t first_data_block = 0;     // Classic: start of the data zone.
+  uint32_t global_list = 0;          // kLd*: the shared list (or meta list).
+  uint8_t list_per_file = 0;         // kLd*: one list per file?
+  uint8_t compress_data = 0;         // kLd*: request compression for file lists.
+
+  // Serializes into one block (the rest is zero-padded) / parses it back.
+  Status EncodeTo(std::span<uint8_t> block) const;
+  static StatusOr<MinixSuperblock> DecodeFrom(std::span<const uint8_t> block);
+
+  uint32_t InodesPerBlock() const { return block_size / kMinixInodeSize; }
+  uint32_t DirEntriesPerBlock() const { return block_size / kMinixDirEntrySize; }
+  uint32_t PointersPerBlock() const { return block_size / 4; }
+};
+
+}  // namespace ld
+
+#endif  // SRC_MINIXFS_MINIX_TYPES_H_

@@ -1,0 +1,69 @@
+#include "src/util/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ld {
+
+namespace {
+
+LogLevel ParseLevelFromEnv() {
+  const char* env = std::getenv("LD_LOG");
+  if (env == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "trace") == 0) {
+    return LogLevel::kTrace;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "off") == 0) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel g_level = ParseLevelFromEnv();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  const char* basename = std::strrchr(file, '/');
+  basename = (basename != nullptr) ? basename + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), basename, line, message.c_str());
+}
+
+}  // namespace ld

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Quiet by default so benchmarks and tests stay clean;
+// raise the level with ld::SetLogLevel or the LD_LOG environment variable
+// (trace|debug|info|warn|error|off).
+
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ld {
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr; used via the LD_LOG macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream-style logging:  LD_LOG(kDebug) << "cleaned segment " << seg;
+// The stream body is not evaluated when the level is filtered out.
+#define LD_LOG(level)                                                  \
+  for (bool ld_log_once = ::ld::LogLevel::level >= ::ld::GetLogLevel(); ld_log_once;) \
+    for (::std::ostringstream ld_log_stream; ld_log_once;                             \
+         ::ld::LogMessage(::ld::LogLevel::level, __FILE__, __LINE__, ld_log_stream.str()), \
+                          ld_log_once = false)                                        \
+  ld_log_stream
+
+}  // namespace ld
+
+#endif  // SRC_UTIL_LOG_H_

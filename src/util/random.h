@@ -1,0 +1,39 @@
+// Deterministic PRNG for workload generation and property tests.
+//
+// xoshiro256** — fast, good statistical quality, and fully reproducible across
+// platforms, which matters because benchmark results are compared against the
+// paper's tables.
+
+#ifndef SRC_UTIL_RANDOM_H_
+#define SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace ld {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Chance(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ld
+
+#endif  // SRC_UTIL_RANDOM_H_

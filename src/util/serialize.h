@@ -1,0 +1,83 @@
+// Little-endian encoders/decoders for on-disk structures.
+//
+// Every persistent structure in this project (segment summaries, superblocks,
+// i-nodes, checkpoint regions) is serialized explicitly through these helpers
+// so the on-disk format is well-defined and independent of host layout.
+
+#ifndef SRC_UTIL_SERIALIZE_H_
+#define SRC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ld {
+
+// Appends fixed-width little-endian values to a byte vector.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutLe(v, 2); }
+  void PutU24(uint32_t v) { PutLe(v, 3); }
+  void PutU32(uint32_t v) { PutLe(v, 4); }
+  void PutU48(uint64_t v) { PutLe(v, 6); }
+  void PutU64(uint64_t v) { PutLe(v, 8); }
+  void PutBytes(std::span<const uint8_t> bytes) {
+    out_->insert(out_->end(), bytes.begin(), bytes.end());
+  }
+  // Length-prefixed (u16) string, for names in superblocks.
+  void PutString(const std::string& s);
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  void PutLe(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+// Reads fixed-width little-endian values from a byte span with bounds checks.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  uint8_t GetU8() { return static_cast<uint8_t>(GetLe(1)); }
+  uint16_t GetU16() { return static_cast<uint16_t>(GetLe(2)); }
+  uint32_t GetU24() { return static_cast<uint32_t>(GetLe(3)); }
+  uint32_t GetU32() { return static_cast<uint32_t>(GetLe(4)); }
+  uint64_t GetU48() { return GetLe(6); }
+  uint64_t GetU64() { return GetLe(8); }
+  std::vector<uint8_t> GetBytes(size_t n);
+  std::string GetString();
+
+  // Skips n bytes (marks the decoder failed if out of range).
+  void Skip(size_t n);
+
+  // Converts decode failure into a Status for callers.
+  Status ToStatus(const std::string& context) const;
+
+ private:
+  uint64_t GetLe(int bytes);
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ld
+
+#endif  // SRC_UTIL_SERIALIZE_H_

@@ -1,0 +1,70 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ld {
+
+void RunningStats::Add(double sample) { samples_.push_back(sample); }
+
+double RunningStats::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double RunningStats::StdDev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double sq = 0.0;
+  for (double s : samples_) {
+    sq += (s - mean) * (s - mean);
+  }
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+double RunningStats::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::RelativeStdDev() const {
+  const double mean = Mean();
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  return StdDev() / mean;
+}
+
+double RunningStats::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace ld

@@ -1,0 +1,32 @@
+// Small statistics accumulator used by the benchmark harness: the paper runs
+// each experiment >= 10 times and reports means with standard deviations
+// mostly under 1% of the mean; we do the same.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ld {
+
+class RunningStats {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  // StdDev as a fraction of the mean (0 if mean is 0).
+  double RelativeStdDev() const;
+  double Percentile(double p) const;  // p in [0, 100].
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_UTIL_STATS_H_

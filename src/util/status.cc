@@ -1,0 +1,62 @@
+#include "src/util/status.h"
+
+namespace ld {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status NoSpaceError(std::string message) { return Status(ErrorCode::kNoSpace, std::move(message)); }
+Status IoError(std::string message) { return Status(ErrorCode::kIoError, std::move(message)); }
+Status CorruptionError(std::string message) {
+  return Status(ErrorCode::kCorruption, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+
+}  // namespace ld

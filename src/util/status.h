@@ -1,0 +1,128 @@
+// Lightweight error handling for the Logical Disk project.
+//
+// I/O paths do not use exceptions; fallible operations return ld::Status or
+// ld::StatusOr<T>. Codes mirror the failure classes a disk-management layer
+// actually surfaces to a file system.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ld {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // Malformed request (bad block id, bad size, ...).
+  kNotFound,          // Unknown block / list / file.
+  kAlreadyExists,     // Name or id collision.
+  kNoSpace,           // Disk (or reservation) exhausted.
+  kIoError,           // Device-level failure.
+  kCorruption,        // On-disk structure failed validation.
+  kFailedPrecondition,// Operation illegal in the current state.
+  kUnimplemented,     // Feature not supported by this implementation.
+};
+
+// Human-readable name for an error code ("NO_SPACE", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or an error code plus a context message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NO_SPACE: segment pool exhausted".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status NoSpaceError(std::string message);
+Status IoError(std::string message);
+Status CorruptionError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+
+// StatusOr<T> holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "StatusOr must not hold an OK status");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates errors up the call stack:  RETURN_IF_ERROR(disk->Write(...));
+#define RETURN_IF_ERROR(expr)             \
+  do {                                    \
+    ::ld::Status status_ = (expr);        \
+    if (!status_.ok()) {                  \
+      return status_;                     \
+    }                                     \
+  } while (0)
+
+// Unwraps a StatusOr or propagates its error:
+//   ASSIGN_OR_RETURN(Bid bid, ld->NewBlock(lid, pred));
+#define LD_STATUS_CONCAT_INNER(a, b) a##b
+#define LD_STATUS_CONCAT(a, b) LD_STATUS_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(decl, expr)                             \
+  auto LD_STATUS_CONCAT(statusor_, __LINE__) = (expr);           \
+  if (!LD_STATUS_CONCAT(statusor_, __LINE__).ok()) {             \
+    return LD_STATUS_CONCAT(statusor_, __LINE__).status();       \
+  }                                                              \
+  decl = std::move(LD_STATUS_CONCAT(statusor_, __LINE__)).value()
+
+}  // namespace ld
+
+#endif  // SRC_UTIL_STATUS_H_

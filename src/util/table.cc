@@ -1,0 +1,75 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ld {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.push_back({kSeparatorTag}); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) {
+      continue;
+    }
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells, std::ostringstream& out) {
+    out << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto render_separator = [&](std::ostringstream& out) {
+    out << "+";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  std::ostringstream out;
+  render_separator(out);
+  render_line(headers_, out);
+  render_separator(out);
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) {
+      render_separator(out);
+    } else {
+      render_line(row, out);
+    }
+  }
+  render_separator(out);
+  return out.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TextTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::Percent(double fraction, int precision) {
+  return Num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace ld

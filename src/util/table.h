@@ -1,0 +1,39 @@
+// Plain-text table printer used by every bench binary to print the paper's
+// tables next to the measured values.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ld {
+
+class TextTable {
+ public:
+  // Column headers define the table width.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Adds a horizontal separator line between row groups.
+  void AddSeparator();
+
+  // Renders the table with aligned columns.
+  std::string ToString() const;
+  void Print() const;
+
+  // Formats a double with the given precision ("2064", "8.5", ...).
+  static std::string Num(double value, int precision = 0);
+  // "x%" formatting.
+  static std::string Percent(double fraction, int precision = 0);
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01sep";
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_UTIL_TABLE_H_

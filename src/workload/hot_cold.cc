@@ -1,0 +1,46 @@
+#include "src/workload/hot_cold.h"
+
+#include <vector>
+
+namespace ld {
+
+StatusOr<HotColdResult> RunHotCold(LogicalDisk* ld, const HotColdParams& params) {
+  HotColdResult result;
+  Rng rng(params.seed);
+  const uint32_t bs = ld->default_block_size();
+  std::vector<uint8_t> data(bs);
+
+  ListHints hints;
+  hints.cluster = true;
+  ASSIGN_OR_RETURN(Lid lid, ld->NewList(kBeginOfListOfLists, hints));
+
+  result.blocks.reserve(params.num_blocks);
+  Bid pred = kBeginOfList;
+  for (uint64_t i = 0; i < params.num_blocks; ++i) {
+    ASSIGN_OR_RETURN(Bid bid, ld->NewBlock(lid, pred));
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    RETURN_IF_ERROR(ld->Write(bid, data));
+    result.blocks.push_back(bid);
+    pred = bid;
+  }
+  RETURN_IF_ERROR(ld->Flush());
+
+  const uint64_t hot_count =
+      std::max<uint64_t>(1, static_cast<uint64_t>(params.num_blocks * params.hot_fraction));
+  for (uint64_t w = 0; w < params.writes; ++w) {
+    const bool hot = rng.Chance(params.hot_write_share);
+    const uint64_t index =
+        hot ? rng.Below(hot_count) : hot_count + rng.Below(params.num_blocks - hot_count);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    RETURN_IF_ERROR(ld->Write(result.blocks[index], data));
+    result.writes_done++;
+  }
+  RETURN_IF_ERROR(ld->Flush());
+  return result;
+}
+
+}  // namespace ld

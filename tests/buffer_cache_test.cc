@@ -1,0 +1,186 @@
+// Direct unit tests for the MINIX buffer cache: LRU eviction, dirty
+// write-back, read-ahead inserts, flush ordering, clustering (both on sync
+// and on eviction), and discard semantics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/minixfs/buffer_cache.h"
+
+namespace ld {
+namespace {
+
+// A backing store that records the write requests it receives.
+struct Backing {
+  std::map<uint32_t, std::vector<uint8_t>> blocks;
+  std::vector<std::pair<uint32_t, uint32_t>> writes;  // (bno, count)
+  uint32_t reads = 0;
+  uint32_t block_size = 512;
+
+  BufferCache::ReadFn Reader() {
+    return [this](uint32_t bno, std::span<uint8_t> out) {
+      reads++;
+      auto it = blocks.find(bno);
+      if (it == blocks.end()) {
+        std::fill(out.begin(), out.end(), 0);
+      } else {
+        std::copy(it->second.begin(), it->second.end(), out.begin());
+      }
+      return OkStatus();
+    };
+  }
+
+  BufferCache::WriteFn Writer() {
+    return [this](uint32_t bno, uint32_t count, std::span<const uint8_t> data) {
+      writes.emplace_back(bno, count);
+      for (uint32_t i = 0; i < count; ++i) {
+        blocks[bno + i] = std::vector<uint8_t>(
+            data.begin() + static_cast<size_t>(i) * block_size,
+            data.begin() + static_cast<size_t>(i + 1) * block_size);
+      }
+      return OkStatus();
+    };
+  }
+};
+
+TEST(BufferCacheTest, HitsAndMisses) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  backing.blocks[5] = std::vector<uint8_t>(512, 0x42);
+  auto block = cache.Get(5, /*load=*/true);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0x42);
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)cache.Get(5, true);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(backing.reads, 1u);
+}
+
+TEST(BufferCacheTest, LoadFalseSkipsRead) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  auto block = cache.Get(3, /*load=*/false);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(backing.reads, 0u);
+  EXPECT_EQ((*block)->data[0], 0);  // Zeroed.
+}
+
+TEST(BufferCacheTest, EvictionWritesBackDirtyInLruOrder) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  for (uint32_t bno = 0; bno < 8; ++bno) {
+    auto block = cache.Get(bno, false);
+    (*block)->data[0] = static_cast<uint8_t>(bno);
+    cache.MarkDirty(*block);
+  }
+  // Touch block 0 so block 1 is the LRU victim.
+  (void)cache.Get(0, true);
+  (void)cache.Get(100, false);  // Forces one eviction.
+  ASSERT_EQ(backing.writes.size(), 1u);
+  EXPECT_EQ(backing.writes[0].first, 1u);
+  EXPECT_EQ(backing.blocks[1][0], 1);
+}
+
+TEST(BufferCacheTest, CleanEvictionWritesNothing) {
+  Backing backing;
+  BufferCache cache(512, 4, backing.Reader(), backing.Writer());
+  for (uint32_t bno = 0; bno < 6; ++bno) {
+    (void)cache.Get(bno, true);  // Clean blocks only.
+  }
+  EXPECT_TRUE(backing.writes.empty());
+}
+
+TEST(BufferCacheTest, FlushAllWritesAscending) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  for (uint32_t bno : {9u, 2u, 7u, 4u}) {
+    auto block = cache.Get(bno, false);
+    cache.MarkDirty(*block);
+  }
+  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_EQ(backing.writes.size(), 4u);
+  EXPECT_EQ(backing.writes[0].first, 2u);
+  EXPECT_EQ(backing.writes[3].first, 9u);
+  // Second flush: nothing dirty.
+  backing.writes.clear();
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_TRUE(backing.writes.empty());
+}
+
+TEST(BufferCacheTest, ClusteringCoalescesAdjacentOnSync) {
+  Backing backing;
+  BufferCache cache(512, 32, backing.Reader(), backing.Writer());
+  cache.set_cluster_writes(true);
+  cache.set_max_cluster_blocks(4);
+  for (uint32_t bno : {10u, 11u, 12u, 13u, 14u, 20u}) {
+    auto block = cache.Get(bno, false);
+    (*block)->data[0] = static_cast<uint8_t>(bno);
+    cache.MarkDirty(*block);
+  }
+  ASSERT_TRUE(cache.FlushAll().ok());
+  // 10..13 as one 4-block cluster, 14 alone, 20 alone.
+  ASSERT_EQ(backing.writes.size(), 3u);
+  EXPECT_EQ(backing.writes[0], (std::pair<uint32_t, uint32_t>{10, 4}));
+  EXPECT_EQ(backing.writes[1], (std::pair<uint32_t, uint32_t>{14, 1}));
+  EXPECT_EQ(backing.writes[2], (std::pair<uint32_t, uint32_t>{20, 1}));
+  EXPECT_EQ(backing.blocks[12][0], 12);
+}
+
+TEST(BufferCacheTest, ClusteringOnEvictionTakesNeighbors) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  cache.set_cluster_writes(true);
+  cache.set_max_cluster_blocks(8);
+  for (uint32_t bno = 0; bno < 8; ++bno) {
+    auto block = cache.Get(bno, false);
+    cache.MarkDirty(*block);
+  }
+  (void)cache.Get(50, false);  // Evicts bno 0 — and its whole dirty run.
+  ASSERT_EQ(backing.writes.size(), 1u);
+  EXPECT_EQ(backing.writes[0].first, 0u);
+  EXPECT_EQ(backing.writes[0].second, 8u);
+  // The neighbors are now clean: further evictions write nothing.
+  (void)cache.Get(51, false);
+  EXPECT_EQ(backing.writes.size(), 1u);
+}
+
+TEST(BufferCacheTest, DiscardDropsWithoutWriteback) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  auto block = cache.Get(5, false);
+  (*block)->data[0] = 0x99;
+  cache.MarkDirty(*block);
+  cache.Discard(5);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_TRUE(backing.writes.empty());
+  EXPECT_FALSE(cache.Contains(5));
+}
+
+TEST(BufferCacheTest, InsertFillsFromReadAhead) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  std::vector<uint8_t> data(512, 0x77);
+  cache.Insert(9, data);
+  EXPECT_TRUE(cache.Contains(9));
+  auto block = cache.Get(9, true);
+  EXPECT_EQ(backing.reads, 0u);  // Served from the inserted copy.
+  EXPECT_EQ((*block)->data[0], 0x77);
+}
+
+TEST(BufferCacheTest, InvalidateAllFlushesFirst) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  auto block = cache.Get(1, false);
+  (*block)->data[0] = 0x11;
+  cache.MarkDirty(*block);
+  ASSERT_TRUE(cache.InvalidateAll().ok());
+  EXPECT_EQ(backing.blocks[1][0], 0x11);
+  EXPECT_EQ(cache.size(), 0u);
+  // Next access re-reads.
+  (void)cache.Get(1, true);
+  EXPECT_EQ(backing.reads, 1u);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,163 @@
+// Tests for the compression substrate: lossless round-trips on many data
+// shapes (property-style fuzz), corruption detection, the store-raw
+// fallback contract, and the achieved ratio on workload-generated data
+// (the paper assumes ~60 %).
+
+#include <gtest/gtest.h>
+
+#include "src/compress/lzrw.h"
+#include "src/util/random.h"
+#include "src/workload/data_gen.h"
+
+namespace ld {
+namespace {
+
+void RoundTrip(std::span<const uint8_t> input) {
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  c.Compress(input, &packed);
+  std::vector<uint8_t> out(input.size());
+  ASSERT_TRUE(c.Decompress(packed, out).ok());
+  EXPECT_TRUE(std::equal(input.begin(), input.end(), out.begin()));
+}
+
+TEST(LzrwTest, EmptyInput) {
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  EXPECT_EQ(c.Compress({}, &packed), 0u);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(c.Decompress(packed, out).ok());
+}
+
+TEST(LzrwTest, AllZerosCompressesWell) {
+  std::vector<uint8_t> input(4096, 0);
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  const size_t n = c.Compress(input, &packed);
+  EXPECT_LT(n, input.size() / 4);
+  RoundTrip(input);
+}
+
+TEST(LzrwTest, RandomDataDoesNotShrink) {
+  Rng rng(17);
+  std::vector<uint8_t> input(4096);
+  for (auto& b : input) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  const size_t n = c.Compress(input, &packed);
+  EXPECT_GE(n, input.size());  // Caller stores raw in this case.
+  RoundTrip(input);
+}
+
+TEST(LzrwTest, TextCompresses) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "the logical disk separates file management from disk management. ";
+  }
+  std::vector<uint8_t> input(text.begin(), text.end());
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  const size_t n = c.Compress(input, &packed);
+  EXPECT_LT(n, input.size() / 2);
+  RoundTrip(input);
+}
+
+// Property-style sweep: round-trip random structured inputs of many sizes.
+class LzrwFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzrwFuzzTest, RoundTripStructuredRandom) {
+  Rng rng(GetParam());
+  const size_t size = 1 + rng.Below(16384);
+  std::vector<uint8_t> input(size);
+  // Mix of runs, repeated motifs, and noise.
+  size_t pos = 0;
+  while (pos < size) {
+    const int kind = static_cast<int>(rng.Below(3));
+    const size_t run = std::min<size_t>(1 + rng.Below(300), size - pos);
+    if (kind == 0) {
+      const uint8_t v = static_cast<uint8_t>(rng.Next());
+      std::fill_n(input.begin() + pos, run, v);
+    } else if (kind == 1 && pos > 4) {
+      for (size_t i = 0; i < run; ++i) {
+        input[pos + i] = input[pos + i - 4];
+      }
+    } else {
+      for (size_t i = 0; i < run; ++i) {
+        input[pos + i] = static_cast<uint8_t>(rng.Next());
+      }
+    }
+    pos += run;
+  }
+  RoundTrip(input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzrwFuzzTest, ::testing::Range(0, 64));
+
+TEST(LzrwTest, DecompressDetectsTruncation) {
+  std::vector<uint8_t> input(1024, 'x');
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  c.Compress(input, &packed);
+  packed.resize(packed.size() / 2);
+  std::vector<uint8_t> out(input.size());
+  EXPECT_FALSE(c.Decompress(packed, out).ok());
+}
+
+TEST(LzrwTest, DecompressDetectsTrailingGarbage) {
+  std::vector<uint8_t> input(256, 'y');
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+  c.Compress(input, &packed);
+  packed.push_back(0);
+  packed.push_back(0);
+  packed.push_back(0);
+  std::vector<uint8_t> out(input.size());
+  EXPECT_FALSE(c.Decompress(packed, out).ok());
+}
+
+TEST(NullCompressorTest, IdentityBehaviour) {
+  NullCompressor c;
+  std::vector<uint8_t> input = {1, 2, 3, 4};
+  std::vector<uint8_t> packed;
+  EXPECT_EQ(c.Compress(input, &packed), 4u);
+  std::vector<uint8_t> out(4);
+  EXPECT_TRUE(c.Decompress(packed, out).ok());
+  EXPECT_EQ(out, input);
+  std::vector<uint8_t> wrong(3);
+  EXPECT_FALSE(c.Decompress(packed, wrong).ok());
+}
+
+// The workload generator must hit the paper's assumed ~60 % ratio so that
+// the compression experiments are comparable (§3.3).
+TEST(DataGeneratorTest, HitsTargetRatioApproximately) {
+  DataGenerator gen(123, 0.6);
+  Lzrw1Compressor c;
+  uint64_t raw = 0, packed_total = 0;
+  std::vector<uint8_t> packed;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint8_t> block = gen.Make(4096);
+    raw += block.size();
+    packed_total += c.Compress(block, &packed);
+  }
+  const double ratio = static_cast<double>(packed_total) / raw;
+  EXPECT_GT(ratio, 0.45);
+  EXPECT_LT(ratio, 0.75);
+}
+
+TEST(DataGeneratorTest, ExtremesBehave) {
+  Lzrw1Compressor c;
+  std::vector<uint8_t> packed;
+
+  DataGenerator incompressible(1, 1.0);
+  std::vector<uint8_t> hard = incompressible.Make(8192);
+  EXPECT_GT(static_cast<double>(c.Compress(hard, &packed)) / hard.size(), 0.9);
+
+  DataGenerator soft(2, 0.35);
+  std::vector<uint8_t> easy = soft.Make(8192);
+  EXPECT_LT(static_cast<double>(c.Compress(easy, &packed)) / easy.size(), 0.55);
+}
+
+}  // namespace
+}  // namespace ld

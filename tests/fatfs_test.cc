@@ -1,0 +1,147 @@
+// Tests for FatFs, the FAT-elimination demonstration (paper §5.4): the
+// cluster chain is an LD list addressed by offset; no File Allocation Table
+// exists anywhere.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/fault_disk.h"
+#include "src/disk/mem_disk.h"
+#include "src/fatfs/fat_fs.h"
+#include "src/lld/lld.h"
+#include "src/util/random.h"
+
+namespace ld {
+namespace {
+
+constexpr uint64_t kDiskBytes = 32ull << 20;
+
+LldOptions TestOptions() {
+  LldOptions options;
+  options.segment_bytes = 128 * 1024;
+  options.summary_bytes = 8192;
+  return options;
+}
+
+std::vector<uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+struct Rig {
+  SimClock clock;
+  std::unique_ptr<MemDisk> mem;
+  std::unique_ptr<FaultDisk> disk;
+  std::unique_ptr<LogStructuredDisk> lld;
+  std::unique_ptr<FatFs> fs;
+
+  Rig() {
+    mem = std::make_unique<MemDisk>(kDiskBytes / 512, 512, &clock);
+    disk = std::make_unique<FaultDisk>(mem.get());
+    lld = *LogStructuredDisk::Format(disk.get(), TestOptions());
+    fs = *FatFs::Format(lld.get());
+  }
+};
+
+TEST(FatFsTest, CreateWriteRead) {
+  Rig rig;
+  ASSERT_TRUE(rig.fs->Create("HELLO.TXT").ok());
+  ASSERT_TRUE(rig.fs->Write("HELLO.TXT", 0, Bytes("dos lives")).ok());
+  std::vector<uint8_t> out(9);
+  ASSERT_EQ(*rig.fs->Read("HELLO.TXT", 0, out), 9u);
+  EXPECT_EQ(out, Bytes("dos lives"));
+  EXPECT_EQ(*rig.fs->FileSize("HELLO.TXT"), 9u);
+}
+
+TEST(FatFsTest, NamespaceRules) {
+  Rig rig;
+  ASSERT_TRUE(rig.fs->Create("A.TXT").ok());
+  EXPECT_EQ(rig.fs->Create("A.TXT").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(rig.fs->Create("WAY.TOO.LONG.NAME").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(rig.fs->Create("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(rig.fs->Write("NOPE", 0, Bytes("x")).code(), ErrorCode::kNotFound);
+}
+
+TEST(FatFsTest, MultiClusterFilesViaOffsetAddressing) {
+  Rig rig;
+  ASSERT_TRUE(rig.fs->Create("BIG.BIN").ok());
+  Rng rng(4);
+  std::vector<uint8_t> data(40 * 1024);  // 10 clusters at 4 KB.
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(rig.fs->Write("BIG.BIN", 0, data).ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_EQ(*rig.fs->Read("BIG.BIN", 0, out), data.size());
+  EXPECT_EQ(out, data);
+  // Random-offset reads exercise BlockAtIndex at arbitrary cluster indices.
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t offset = rng.Below(data.size() - 100);
+    std::vector<uint8_t> piece(100);
+    ASSERT_EQ(*rig.fs->Read("BIG.BIN", offset, piece), 100u);
+    EXPECT_TRUE(std::equal(piece.begin(), piece.end(), data.begin() + offset));
+  }
+  // Overwrite mid-file across a cluster boundary.
+  ASSERT_TRUE(rig.fs->Write("BIG.BIN", 4090, Bytes("boundary!")).ok());
+  std::vector<uint8_t> check(9);
+  ASSERT_EQ(*rig.fs->Read("BIG.BIN", 4090, check), 9u);
+  EXPECT_EQ(check, Bytes("boundary!"));
+}
+
+TEST(FatFsTest, RemoveFreesEverything) {
+  Rig rig;
+  const uint64_t free_before = rig.lld->FreeBytes();
+  ASSERT_TRUE(rig.fs->Create("TEMP.DAT").ok());
+  std::vector<uint8_t> data(64 * 1024, 0x33);
+  ASSERT_TRUE(rig.fs->Write("TEMP.DAT", 0, data).ok());
+  ASSERT_TRUE(rig.fs->Remove("TEMP.DAT").ok());
+  EXPECT_EQ(rig.fs->Read("TEMP.DAT", 0, data).status().code(), ErrorCode::kNotFound);
+  // All data blocks returned to LD (the root block was rewritten, not grown).
+  EXPECT_EQ(rig.lld->FreeBytes(), free_before);
+  EXPECT_EQ(rig.fs->List()->size(), 0u);
+}
+
+TEST(FatFsTest, ListsDirectory) {
+  Rig rig;
+  ASSERT_TRUE(rig.fs->Create("ONE").ok());
+  ASSERT_TRUE(rig.fs->Create("TWO").ok());
+  ASSERT_TRUE(rig.fs->Write("TWO", 0, Bytes("22")).ok());
+  auto entries = rig.fs->List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "ONE");
+  EXPECT_EQ((*entries)[1].size, 2u);
+}
+
+TEST(FatFsTest, SurvivesRemountAndCrash) {
+  Rig rig;
+  ASSERT_TRUE(rig.fs->Create("KEEP.ME").ok());
+  std::vector<uint8_t> data(20 * 1024);
+  Rng rng(6);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(rig.fs->Write("KEEP.ME", 0, data).ok());
+  ASSERT_TRUE(rig.fs->Sync().ok());
+  rig.disk->CrashNow();
+  rig.disk->ClearFault();
+  rig.fs.reset();
+  rig.lld = *LogStructuredDisk::Open(rig.disk.get(), TestOptions());
+  rig.fs = *FatFs::Mount(rig.lld.get());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_EQ(*rig.fs->Read("KEEP.ME", 0, out), data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(FatFsTest, NoFatAnywhere) {
+  // The structural claim: the volume's only metadata block is the root
+  // directory; every other allocated block is file data. A real FAT-16
+  // volume of this size would dedicate ~2 FAT copies x many blocks.
+  Rig rig;
+  ASSERT_TRUE(rig.fs->Create("F1").ok());
+  ASSERT_TRUE(rig.fs->Create("F2").ok());
+  std::vector<uint8_t> data(32 * 1024, 0x44);
+  ASSERT_TRUE(rig.fs->Write("F1", 0, data).ok());
+  ASSERT_TRUE(rig.fs->Write("F2", 0, data).ok());
+  // 1 root block + 16 data blocks and not a single table block.
+  EXPECT_EQ(rig.lld->block_map().allocated_count(), 1u + 16u);
+}
+
+}  // namespace
+}  // namespace ld

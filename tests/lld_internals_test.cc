@@ -1,0 +1,282 @@
+// Direct unit tests for LLD's internal data structures: the summary-record
+// codec (including the data-area extension spill), the block-number map,
+// the list table, and the segment usage table.
+
+#include <gtest/gtest.h>
+
+#include "src/lld/block_map.h"
+#include "src/lld/list_table.h"
+#include "src/lld/summary_record.h"
+#include "src/lld/usage_table.h"
+#include "src/util/random.h"
+
+namespace ld {
+namespace {
+
+// ---- Summary codec ------------------------------------------------------------
+
+SummaryRecord SampleRecord(Rng& rng) {
+  switch (rng.Below(8)) {
+    case 0:
+      return SummaryRecord::BlockEntry(rng.Below(1 << 20), 1 + rng.Below(1000),
+                                       1 + rng.Below(100), rng.Below(1 << 18),
+                                       static_cast<uint32_t>(1 + rng.Below(4096)),
+                                       static_cast<uint32_t>(1 + rng.Below(4096)),
+                                       rng.Chance(0.3), rng.Chance(0.8));
+    case 1:
+      return SummaryRecord::LinkTuple(rng.Below(1 << 20), 1 + rng.Below(1000),
+                                      rng.Below(1000), true);
+    case 2:
+      return SummaryRecord::ListHead(rng.Below(1 << 20), 1 + rng.Below(100), rng.Below(1000),
+                                     true);
+    case 3: {
+      ListHints hints;
+      hints.compress = rng.Chance(0.5);
+      hints.cluster = rng.Chance(0.5);
+      return SummaryRecord::ListCreate(rng.Below(1 << 20), 1 + rng.Below(100),
+                                       hints, rng.Below(100), true);
+    }
+    case 4:
+      return SummaryRecord::ListDelete(rng.Below(1 << 20), 1 + rng.Below(100), true);
+    case 5:
+      return SummaryRecord::BlockFree(rng.Below(1 << 20), 1 + rng.Below(1000), true);
+    case 6:
+      return SummaryRecord::BlockAlloc(rng.Below(1 << 20), 1 + rng.Below(1000),
+                                       1 + rng.Below(100),
+                                       static_cast<uint32_t>(64 + rng.Below(4096)), true);
+    default:
+      return SummaryRecord::AruCommit(rng.Below(1 << 20), 1 + rng.Below(50));
+  }
+}
+
+void ExpectRecordsEqual(const SummaryRecord& a, const SummaryRecord& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.ts, b.ts);
+  EXPECT_EQ(a.ends_aru, b.ends_aru);
+  EXPECT_EQ(a.aru_id, b.aru_id);
+  EXPECT_EQ(a.bid, b.bid);
+  EXPECT_EQ(a.lid, b.lid);
+  switch (a.type) {
+    case SummaryRecordType::kBlockEntry:
+      EXPECT_EQ(a.offset, b.offset);
+      EXPECT_EQ(a.stored_size, b.stored_size);
+      EXPECT_EQ(a.orig_size, b.orig_size);
+      EXPECT_EQ(a.compressed, b.compressed);
+      break;
+    case SummaryRecordType::kLinkTuple:
+    case SummaryRecordType::kListHead:
+      EXPECT_EQ(a.link_to, b.link_to);
+      break;
+    case SummaryRecordType::kListCreate:
+    case SummaryRecordType::kListMove:
+      EXPECT_EQ(a.lol_next, b.lol_next);
+      EXPECT_EQ(a.hints.compress, b.hints.compress);
+      EXPECT_EQ(a.hints.cluster, b.hints.cluster);
+      break;
+    case SummaryRecordType::kBlockAlloc:
+      EXPECT_EQ(a.orig_size, b.orig_size);
+      break;
+    default:
+      break;
+  }
+}
+
+TEST(SummaryCodecTest, RoundTripWithinTail) {
+  Rng rng(42);
+  std::vector<SummaryRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(SampleRecord(rng));
+  }
+  SummaryHeader header;
+  header.seq = 77;
+  header.segment_index = 5;
+  header.data_bytes = 12345;
+
+  std::vector<uint8_t> tail(8192);
+  ASSERT_TRUE(EncodeSummary(header, records, tail).ok());
+
+  SummaryHeader decoded;
+  std::vector<SummaryRecord> out;
+  ASSERT_TRUE(DecodeSummary(tail, &decoded, &out).ok());
+  EXPECT_EQ(decoded.seq, 77u);
+  EXPECT_EQ(decoded.segment_index, 5u);
+  EXPECT_EQ(decoded.data_bytes, 12345u);
+  EXPECT_EQ(decoded.ext_bytes, 0u);
+  ASSERT_EQ(out.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], out[i]);
+  }
+}
+
+TEST(SummaryCodecTest, SpillsIntoExtensionAndRoundTrips) {
+  Rng rng(7);
+  std::vector<SummaryRecord> records;
+  for (int i = 0; i < 2000; ++i) {  // Far more than a 4-KB tail can hold.
+    records.push_back(SampleRecord(rng));
+  }
+  SummaryHeader header;
+  header.seq = 9;
+  header.segment_index = 1;
+
+  std::vector<uint8_t> tail(4096);
+  std::vector<uint8_t> ext(128 * 1024);
+  uint32_t ext_used = 0;
+  ASSERT_TRUE(EncodeSummary(header, records, tail, ext, &ext_used).ok());
+  EXPECT_GT(ext_used, 0u);
+
+  SummaryHeader decoded;
+  ASSERT_TRUE(DecodeSummaryHeader(tail, &decoded).ok());
+  EXPECT_EQ(decoded.ext_bytes, ext_used);
+
+  std::vector<SummaryRecord> out;
+  // The caller passes exactly the extension span (spill sits at its end).
+  ASSERT_TRUE(
+      DecodeSummary(tail, std::span<const uint8_t>(ext).subspan(ext.size() - ext_used, ext_used),
+                    &decoded, &out)
+          .ok());
+  ASSERT_EQ(out.size(), records.size());
+  for (size_t i = 0; i < records.size(); i += 131) {
+    ExpectRecordsEqual(records[i], out[i]);
+  }
+}
+
+TEST(SummaryCodecTest, OverflowWithoutExtensionFails) {
+  Rng rng(3);
+  std::vector<SummaryRecord> records;
+  for (int i = 0; i < 2000; ++i) {
+    records.push_back(SampleRecord(rng));
+  }
+  std::vector<uint8_t> tail(4096);
+  EXPECT_EQ(EncodeSummary(SummaryHeader{}, records, tail).code(), ErrorCode::kCorruption);
+}
+
+TEST(SummaryCodecTest, BadMagicIsNotFound) {
+  std::vector<uint8_t> tail(4096, 0);
+  SummaryHeader header;
+  std::vector<SummaryRecord> records;
+  EXPECT_EQ(DecodeSummary(tail, &header, &records).code(), ErrorCode::kNotFound);
+}
+
+TEST(SummaryCodecTest, BitFlipIsCorruption) {
+  Rng rng(11);
+  std::vector<SummaryRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(SampleRecord(rng));
+  }
+  std::vector<uint8_t> tail(4096);
+  ASSERT_TRUE(EncodeSummary(SummaryHeader{}, records, tail).ok());
+  tail[100] ^= 0x40;
+  SummaryHeader header;
+  std::vector<SummaryRecord> out;
+  const Status status = DecodeSummary(tail, &header, &out);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SummaryCodecTest, EncodedSizeMatchesReality) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const SummaryRecord r = SampleRecord(rng);
+    std::vector<uint8_t> buf;
+    Encoder enc(&buf);
+    r.EncodeTo(&enc);
+    EXPECT_EQ(buf.size(), r.EncodedSize());
+  }
+}
+
+// ---- Block map --------------------------------------------------------------------
+
+TEST(BlockMapTest, AllocateFreeRecycle) {
+  BlockMap map;
+  const Bid a = map.Allocate(1, 4096);
+  const Bid b = map.Allocate(1, 4096);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kNilBid);
+  EXPECT_EQ(map.allocated_count(), 2u);
+  ASSERT_TRUE(map.Free(a).ok());
+  EXPECT_FALSE(map.IsAllocated(a));
+  EXPECT_EQ(map.Allocate(1, 4096), a);  // Freed numbers are reused.
+  EXPECT_EQ(map.Free(999).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(map.Lookup(kNilBid).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(BlockMapTest, EnsureAllocatedAndRebuild) {
+  BlockMap map;
+  map.EnsureAllocated(10).size_class = 64;
+  map.EnsureAllocated(10);  // Idempotent.
+  EXPECT_EQ(map.allocated_count(), 1u);
+  map.ForceFree(10);
+  map.ForceFree(10);  // Tolerant of duplicates.
+  EXPECT_EQ(map.allocated_count(), 0u);
+  map.EnsureAllocated(5);
+  map.RebuildFreeList();
+  // Bids 1..4 and 6..10 are free; a fresh allocation uses one of them.
+  const Bid fresh = map.Allocate(1, 4096);
+  EXPECT_NE(fresh, 5u);
+  EXPECT_LE(fresh, 10u);
+}
+
+// ---- List table ----------------------------------------------------------------------
+
+TEST(ListTableTest, ListOfListsOrdering) {
+  ListTable table;
+  const Lid a = *table.Allocate(kBeginOfListOfLists, ListHints{});
+  const Lid b = *table.Allocate(a, ListHints{});
+  const Lid c = *table.Allocate(kBeginOfListOfLists, ListHints{});
+  // Order: c, a, b.
+  EXPECT_EQ(table.lol_head(), c);
+  EXPECT_EQ(table.entry(c).lol_next, a);
+  EXPECT_EQ(table.entry(a).lol_next, b);
+  ASSERT_TRUE(table.Move(b, c).ok());  // c, b, a.
+  EXPECT_EQ(table.entry(c).lol_next, b);
+  EXPECT_EQ(table.entry(b).lol_next, a);
+  EXPECT_EQ(table.Move(b, b).code(), ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(table.Free(b).ok());
+  EXPECT_EQ(table.entry(c).lol_next, a);
+  EXPECT_EQ(table.Allocate(999, ListHints{}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ListTableTest, RelinkAfterRecovery) {
+  ListTable table;
+  // Simulate recovery: materialize entries with only next pointers.
+  table.EnsureAllocated(3).lol_next = 7;
+  table.EnsureAllocated(7).lol_next = kNilLid;
+  table.EnsureAllocated(5).lol_next = 3;
+  table.RelinkListOfLists();
+  EXPECT_EQ(table.lol_head(), 5u);
+  EXPECT_EQ(table.entry(3).lol_prev, 5u);
+  EXPECT_EQ(table.entry(7).lol_prev, 3u);
+}
+
+// ---- Usage table -----------------------------------------------------------------------
+
+TEST(UsageTableTest, LiveAccountingAndPicks) {
+  UsageTable table(4);
+  table.segment(0).state = SegmentState::kFull;
+  table.segment(1).state = SegmentState::kFull;
+  table.segment(2).state = SegmentState::kScratch;
+  table.AddLive(0, 1000, 5);
+  table.AddLive(1, 200, 50);
+  table.AddLive(2, 999, 1);
+
+  EXPECT_EQ(table.TotalLiveBytes(), 2199u);
+  EXPECT_EQ(table.FreeCount(), 1u);
+  EXPECT_EQ(table.PickFree(), 3);
+  EXPECT_EQ(table.PickGreedy(), 1);  // Lowest live among kFull only.
+  table.RemoveLive(0, 900);
+  EXPECT_EQ(table.PickGreedy(), 0);
+
+  // Cost-benefit prefers the old, mostly-dead segment 0 over fresh 1.
+  EXPECT_EQ(table.PickCostBenefit(4096, 100), 0);
+}
+
+TEST(UsageTableTest, PicksSkipNonFullStates) {
+  UsageTable table(3);
+  table.segment(0).state = SegmentState::kScratch;
+  table.segment(1).state = SegmentState::kCleaning;
+  EXPECT_EQ(table.PickGreedy(), -1);
+  EXPECT_EQ(table.PickCostBenefit(4096, 10), -1);
+  EXPECT_EQ(table.PickFree(), 2);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,100 @@
+// Tests for the analytic memory/cost model (paper §3.4, Tables 2 and 3):
+// the model must reproduce the paper's numbers exactly, and the measured
+// footprint of a real LLD instance must be in the same regime.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/mem_disk.h"
+#include "src/lld/lld.h"
+#include "src/lld/memory_model.h"
+
+namespace ld {
+namespace {
+
+TEST(MemoryModelTest, Table2SingleListConfiguration) {
+  // "Without support for compression each logical block uses three bytes for
+  // its physical block address and three bytes for its successor. With a
+  // 1-Gbyte disk and an average block-size of 4 Kbyte, the block-number map
+  // requires 1.5 Mbyte of memory."
+  MemoryModelParams params;
+  params.disk_bytes = 1ull << 30;
+  params.avg_block_bytes = 4096;
+  params.compression = false;
+  params.lists = 1;
+  const MemoryModelResult r = ComputeMemoryModel(params);
+  EXPECT_NEAR(r.block_map_bytes / 1.0e6, 1.57, 0.1);  // "1.5 Mbyte".
+  EXPECT_EQ(r.list_table_bytes, 4u);                  // "4 byte".
+  EXPECT_NEAR(r.usage_table_bytes / 1024.0, 6.0, 0.5);  // "6 Kbyte".
+  EXPECT_NEAR(r.total_bytes / 1.0e6, 1.6, 0.1);       // "1.5 Mbyte" total.
+}
+
+TEST(MemoryModelTest, Table2CompressionListPerFile) {
+  // "in this case the block-number map requires 3.8 Mbyte"; list table
+  // "0.8 Mbyte when using compression" at one list per 8-KB file; total
+  // "4.6 Mbyte" per GB of physical disk (1.7 GB effective).
+  MemoryModelParams params;
+  params.disk_bytes = 1ull << 30;
+  params.avg_block_bytes = 4096;
+  params.compression = true;
+  params.compression_ratio = 0.6;
+  const MemoryModelResult partial = ComputeMemoryModel(params);
+  EXPECT_NEAR(partial.effective_storage_bytes / 1.0e9, 1.79, 0.1);  // "1.7 Gbyte".
+  params.lists = ListsForFileSize(partial.effective_storage_bytes, 8192);
+  const MemoryModelResult r = ComputeMemoryModel(params);
+  EXPECT_NEAR(r.block_map_bytes / 1.0e6, 3.9, 0.25);  // "3.8 Mbyte".
+  EXPECT_NEAR(r.list_table_bytes / 1.0e6, 0.87, 0.1);  // "0.8 Mbyte".
+  EXPECT_NEAR(r.total_bytes / 1.0e6, 4.8, 0.3);        // "4.6 Mbyte".
+}
+
+TEST(MemoryModelTest, Table3CostFractions) {
+  // Table 3: $30/MB RAM + $750/GB disk → 6 % (best) / 18 % (worst);
+  // $50/MB + $750/GB → 10 % / 31 %; $30 + $1500 → 3 % / 9 %; $50 + $1500 →
+  // 5 % / 15 %.
+  MemoryModelParams best;
+  best.disk_bytes = 1ull << 30;
+  best.compression = false;
+  best.lists = 1;
+  const MemoryModelResult best_mem = ComputeMemoryModel(best);
+
+  MemoryModelParams worst = best;
+  worst.compression = true;
+  const MemoryModelResult pre = ComputeMemoryModel(worst);
+  worst.lists = ListsForFileSize(pre.effective_storage_bytes, 8192);
+  const MemoryModelResult worst_mem = ComputeMemoryModel(worst);
+
+  EXPECT_NEAR(ComputeCostFraction(best_mem, 30, 750, best.disk_bytes), 0.06, 0.01);
+  EXPECT_NEAR(ComputeCostFraction(worst_mem, 30, 750, best.disk_bytes), 0.18, 0.015);
+  EXPECT_NEAR(ComputeCostFraction(best_mem, 50, 750, best.disk_bytes), 0.10, 0.01);
+  EXPECT_NEAR(ComputeCostFraction(worst_mem, 50, 750, best.disk_bytes), 0.31, 0.02);
+  EXPECT_NEAR(ComputeCostFraction(best_mem, 30, 1500, best.disk_bytes), 0.03, 0.005);
+  EXPECT_NEAR(ComputeCostFraction(worst_mem, 30, 1500, best.disk_bytes), 0.09, 0.01);
+  EXPECT_NEAR(ComputeCostFraction(best_mem, 50, 1500, best.disk_bytes), 0.05, 0.005);
+  EXPECT_NEAR(ComputeCostFraction(worst_mem, 50, 1500, best.disk_bytes), 0.15, 0.015);
+}
+
+TEST(MemoryModelTest, MeasuredFootprintScalesWithBlocks) {
+  SimClock clock;
+  MemDisk disk((64ull << 20) / 512, 512, &clock);
+  LldOptions options;
+  options.segment_bytes = 128 * 1024;
+  options.summary_bytes = 8192;
+  auto lld = *LogStructuredDisk::Format(&disk, options);
+  const uint64_t before = lld->MeasureMemory().block_map_bytes;
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  std::vector<uint8_t> data(4096, 1);
+  Bid pred = kBeginOfList;
+  for (int i = 0; i < 2000; ++i) {
+    auto bid = lld->NewBlock(*list, pred);
+    ASSERT_TRUE(lld->Write(*bid, data).ok());
+    pred = *bid;
+  }
+  const MemoryFootprint fp = lld->MeasureMemory();
+  EXPECT_GT(fp.block_map_bytes, before);
+  EXPECT_GT(fp.open_segment_bytes, 0u);
+  EXPECT_GT(fp.usage_table_bytes, 0u);
+  EXPECT_EQ(fp.Total(), fp.block_map_bytes + fp.list_table_bytes + fp.usage_table_bytes +
+                            fp.open_segment_bytes);
+}
+
+}  // namespace
+}  // namespace ld

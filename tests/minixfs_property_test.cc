@@ -1,0 +1,227 @@
+// Property-based tests at the file-system level: a random sequence of file
+// operations is mirrored into an in-memory reference model, and the two
+// must agree — across all three storage configurations (classic, LD with
+// one list per file, LD with small i-nodes), across cache drops, and across
+// remounts. A second family checks hard-link semantics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/disk/mem_disk.h"
+#include "src/lld/lld.h"
+#include "src/minixfs/minix_fs.h"
+#include "src/util/random.h"
+
+namespace ld {
+namespace {
+
+constexpr uint64_t kDiskBytes = 64ull << 20;
+
+LldOptions TestLldOptions() {
+  LldOptions options;
+  options.segment_bytes = 128 * 1024;
+  options.summary_bytes = 8192;
+  return options;
+}
+
+struct ModelFile {
+  std::vector<uint8_t> data;
+};
+
+enum class Config { kClassic, kLd, kLdSmallInodes };
+
+struct Rig {
+  SimClock clock;
+  std::unique_ptr<MemDisk> disk;
+  std::unique_ptr<LogStructuredDisk> lld;
+  std::unique_ptr<MinixFs> fs;
+  Config config;
+
+  explicit Rig(Config c) : config(c) {
+    disk = std::make_unique<MemDisk>(kDiskBytes / 512, 512, &clock);
+    MinixOptions options;
+    options.num_inodes = 1024;
+    if (c == Config::kClassic) {
+      fs = *MinixFs::FormatClassic(disk.get(), options);
+    } else {
+      lld = *LogStructuredDisk::Format(disk.get(), TestLldOptions());
+      fs = *MinixFs::FormatOnLd(lld.get(), options, /*list_per_file=*/true,
+                                /*small_inodes=*/c == Config::kLdSmallInodes);
+    }
+  }
+
+  void Remount() {
+    MinixOptions options;
+    options.num_inodes = 1024;
+    ASSERT_TRUE(fs->Shutdown().ok());
+    fs.reset();
+    if (config == Config::kClassic) {
+      fs = *MinixFs::MountClassic(disk.get(), options);
+    } else {
+      lld.reset();
+      lld = *LogStructuredDisk::Open(disk.get(), TestLldOptions());
+      fs = *MinixFs::MountOnLd(lld.get(), options);
+    }
+  }
+};
+
+class MinixFsPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MinixFsPropertyTest, RandomOpsMatchReferenceModel) {
+  const auto [seed, config_index] = GetParam();
+  Rig rig(static_cast<Config>(config_index));
+  Rng rng(seed * 2357 + 11);
+
+  std::map<std::string, ModelFile> model;
+  auto pick_existing = [&]() -> std::string {
+    auto it = model.begin();
+    std::advance(it, rng.Below(model.size()));
+    return it->first;
+  };
+  auto fresh_name = [&]() { return "/p" + std::to_string(rng.Next() % 100000); };
+
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(rng.Below(100));
+    if (op < 25 || model.empty()) {
+      // Create a file.
+      const std::string path = fresh_name();
+      auto ino = rig.fs->CreateFile(path);
+      if (model.count(path) != 0) {
+        EXPECT_EQ(ino.status().code(), ErrorCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(ino.ok()) << ino.status().ToString();
+        model[path] = ModelFile{};
+      }
+    } else if (op < 55) {
+      // Write a random extent of a random file.
+      const std::string path = pick_existing();
+      auto ino = rig.fs->OpenFile(path);
+      ASSERT_TRUE(ino.ok());
+      const uint64_t offset = rng.Below(96 * 1024);
+      const size_t len = 1 + rng.Below(24 * 1024);
+      std::vector<uint8_t> data(len);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(rig.fs->WriteFile(*ino, offset, data).ok());
+      auto& file = model[path].data;
+      if (file.size() < offset + len) {
+        file.resize(offset + len, 0);
+      }
+      std::copy(data.begin(), data.end(), file.begin() + offset);
+    } else if (op < 75) {
+      // Read a random extent and compare.
+      const std::string path = pick_existing();
+      auto ino = rig.fs->OpenFile(path);
+      ASSERT_TRUE(ino.ok());
+      const auto& file = model[path].data;
+      const uint64_t offset = rng.Below(file.size() + 1024);
+      std::vector<uint8_t> out(1 + rng.Below(16 * 1024));
+      auto n = rig.fs->ReadFile(*ino, offset, out);
+      ASSERT_TRUE(n.ok());
+      const size_t expect =
+          offset >= file.size() ? 0 : std::min<size_t>(out.size(), file.size() - offset);
+      ASSERT_EQ(*n, expect);
+      for (size_t i = 0; i < expect; ++i) {
+        ASSERT_EQ(out[i], file[offset + i]) << path << " @" << offset + i;
+      }
+    } else if (op < 85) {
+      // Truncate.
+      const std::string path = pick_existing();
+      auto ino = rig.fs->OpenFile(path);
+      auto& file = model[path].data;
+      const uint64_t new_size = file.empty() ? 0 : rng.Below(file.size() + 1);
+      ASSERT_TRUE(rig.fs->Truncate(*ino, new_size).ok());
+      file.resize(new_size);
+    } else if (op < 93) {
+      // Unlink.
+      const std::string path = pick_existing();
+      ASSERT_TRUE(rig.fs->Unlink(path).ok());
+      model.erase(path);
+    } else if (op < 97) {
+      // Sync or drop caches.
+      if (rng.Chance(0.5)) {
+        ASSERT_TRUE(rig.fs->SyncFs().ok());
+      } else {
+        ASSERT_TRUE(rig.fs->DropCaches().ok());
+      }
+    } else {
+      // Stat consistency.
+      const std::string path = pick_existing();
+      auto info = rig.fs->Stat(path);
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info->size, model[path].data.size());
+    }
+  }
+
+  // Remount and verify everything byte-for-byte.
+  rig.Remount();
+  auto entries = rig.fs->ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), model.size() + 2);  // "." and "..".
+  for (const auto& [path, file] : model) {
+    auto ino = rig.fs->OpenFile(path);
+    ASSERT_TRUE(ino.ok()) << path;
+    EXPECT_EQ(rig.fs->StatIno(*ino)->size, file.data.size());
+    std::vector<uint8_t> out(file.data.size());
+    if (!file.data.empty()) {
+      ASSERT_EQ(*rig.fs->ReadFile(*ino, 0, out), file.data.size());
+      EXPECT_EQ(out, file.data) << path;
+    }
+  }
+}
+
+std::string ConfigSeedName(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const char* name = "Classic";
+  if (std::get<1>(info.param) == 1) {
+    name = "Ld";
+  } else if (std::get<1>(info.param) == 2) {
+    name = "LdSmallInodes";
+  }
+  return std::string(name) + "Seed" + std::to_string(std::get<0>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndConfigs, MinixFsPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(0, 1, 2)),
+                         ConfigSeedName);
+
+TEST(MinixFsLinkTest, HardLinksShareData) {
+  Rig rig(Config::kLd);
+  auto ino = rig.fs->CreateFile("/orig");
+  std::vector<uint8_t> data = {'d', 'a', 't', 'a'};
+  ASSERT_TRUE(rig.fs->WriteFile(*ino, 0, data).ok());
+  ASSERT_TRUE(rig.fs->Link("/orig", "/alias").ok());
+  auto alias = rig.fs->OpenFile("/alias");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(*alias, *ino);
+  EXPECT_EQ(rig.fs->StatIno(*ino)->nlinks, 2);
+
+  // Writes through one name are visible through the other.
+  ASSERT_TRUE(rig.fs->WriteFile(*alias, 0, std::vector<uint8_t>{'D'}).ok());
+  std::vector<uint8_t> out(4);
+  ASSERT_EQ(*rig.fs->ReadFile(*ino, 0, out), 4u);
+  EXPECT_EQ(out[0], 'D');
+
+  // Unlinking one name keeps the file; the last unlink frees it.
+  ASSERT_TRUE(rig.fs->Unlink("/orig").ok());
+  EXPECT_TRUE(rig.fs->OpenFile("/alias").ok());
+  EXPECT_EQ(rig.fs->StatIno(*ino)->nlinks, 1);
+  ASSERT_TRUE(rig.fs->Unlink("/alias").ok());
+  EXPECT_FALSE(rig.fs->StatIno(*ino).ok());
+}
+
+TEST(MinixFsLinkTest, Validation) {
+  Rig rig(Config::kLd);
+  ASSERT_TRUE(rig.fs->Mkdir("/dir").ok());
+  EXPECT_EQ(rig.fs->Link("/dir", "/dirlink").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(rig.fs->Link("/missing", "/x").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(rig.fs->CreateFile("/a").ok());
+  ASSERT_TRUE(rig.fs->CreateFile("/b").ok());
+  EXPECT_EQ(rig.fs->Link("/a", "/b").code(), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,233 @@
+// Unit tests for src/util: Status/StatusOr, serialization, CRC, RNG, stats,
+// and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/util/table.h"
+
+namespace ld {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NoSpaceError("segment pool exhausted");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(s.ToString(), "NO_SPACE: segment pool exhausted");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(IoError("x").code(), ErrorCode::kIoError);
+  EXPECT_EQ(CorruptionError("x").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(FailedPreconditionError("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), ErrorCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return OkStatus();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RoundTripAllWidths) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU8(0xab);
+  enc.PutU16(0x1234);
+  enc.PutU24(0xabcdef);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU48(0x123456789abcULL);
+  enc.PutU64(0xfedcba9876543210ULL);
+  enc.PutString("hello");
+
+  Decoder dec(buf);
+  EXPECT_EQ(dec.GetU8(), 0xab);
+  EXPECT_EQ(dec.GetU16(), 0x1234);
+  EXPECT_EQ(dec.GetU24(), 0xabcdefu);
+  EXPECT_EQ(dec.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.GetU48(), 0x123456789abcULL);
+  EXPECT_EQ(dec.GetU64(), 0xfedcba9876543210ULL);
+  EXPECT_EQ(dec.GetString(), "hello");
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU32(0x04030201);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(SerializeTest, DecoderDetectsTruncation) {
+  std::vector<uint8_t> buf = {1, 2};
+  Decoder dec(buf);
+  dec.GetU32();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.ToStatus("test").code(), ErrorCode::kCorruption);
+}
+
+TEST(SerializeTest, SkipRespectsBounds) {
+  std::vector<uint8_t> buf = {1, 2, 3};
+  Decoder dec(buf);
+  dec.Skip(2);
+  EXPECT_TRUE(dec.ok());
+  dec.Skip(2);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s), 9)),
+            0xcbf43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  Rng rng(1);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, std::span<const uint8_t>(data).subspan(0, 400));
+  crc = Crc32Update(crc, std::span<const uint8_t>(data).subspan(400));
+  EXPECT_EQ(Crc32Final(crc), Crc32(data));
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::vector<uint8_t> data(64, 0x5a);
+  const uint32_t before = Crc32(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(before, Crc32(data));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.Chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.001);  // Sample stddev.
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(StatsTest, Percentile) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.01);
+  EXPECT_EQ(s.Percentile(0), 1.0);
+  EXPECT_EQ(s.Percentile(100), 100.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddSeparator();
+  t.AddRow({"b", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(2064.4), "2064");
+  EXPECT_EQ(TextTable::Num(8.52, 1), "8.5");
+  EXPECT_EQ(TextTable::Percent(0.31), "31%");
+}
+
+}  // namespace
+}  // namespace ld
