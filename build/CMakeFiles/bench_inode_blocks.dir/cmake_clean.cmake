@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inode_blocks.dir/bench/bench_inode_blocks.cc.o"
+  "CMakeFiles/bench_inode_blocks.dir/bench/bench_inode_blocks.cc.o.d"
+  "bench/bench_inode_blocks"
+  "bench/bench_inode_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inode_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

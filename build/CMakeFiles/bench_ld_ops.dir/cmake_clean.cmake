@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ld_ops.dir/bench/bench_ld_ops.cc.o"
+  "CMakeFiles/bench_ld_ops.dir/bench/bench_ld_ops.cc.o.d"
+  "bench/bench_ld_ops"
+  "bench/bench_ld_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ld_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

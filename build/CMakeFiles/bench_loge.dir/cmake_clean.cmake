@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loge.dir/bench/bench_loge.cc.o"
+  "CMakeFiles/bench_loge.dir/bench/bench_loge.cc.o.d"
+  "bench/bench_loge"
+  "bench/bench_loge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nvram.dir/bench/bench_nvram.cc.o"
+  "CMakeFiles/bench_nvram.dir/bench/bench_nvram.cc.o.d"
+  "bench/bench_nvram"
+  "bench/bench_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_segments.dir/bench/bench_partial_segments.cc.o"
+  "CMakeFiles/bench_partial_segments.dir/bench/bench_partial_segments.cc.o.d"
+  "bench/bench_partial_segments"
+  "bench/bench_partial_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rearrange.dir/bench/bench_rearrange.cc.o"
+  "CMakeFiles/bench_rearrange.dir/bench/bench_rearrange.cc.o.d"
+  "bench/bench_rearrange"
+  "bench/bench_rearrange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rearrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_small_file.dir/bench/bench_table4_small_file.cc.o"
+  "CMakeFiles/bench_table4_small_file.dir/bench/bench_table4_small_file.cc.o.d"
+  "bench/bench_table4_small_file"
+  "bench/bench_table4_small_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_small_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_large_file.dir/bench/bench_table5_large_file.cc.o"
+  "CMakeFiles/bench_table5_large_file.dir/bench/bench_table5_large_file.cc.o.d"
+  "bench/bench_table5_large_file"
+  "bench/bench_table5_large_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_large_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minix_on_lld.dir/minix_on_lld.cpp.o"
+  "CMakeFiles/minix_on_lld.dir/minix_on_lld.cpp.o.d"
+  "minix_on_lld"
+  "minix_on_lld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minix_on_lld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

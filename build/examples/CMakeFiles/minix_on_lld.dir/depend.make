@@ -1,0 +1,2 @@
+# Empty dependencies file for minix_on_lld.
+# This may be replaced when dependencies are built.

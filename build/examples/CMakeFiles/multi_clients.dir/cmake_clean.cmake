@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_clients.dir/multi_clients.cpp.o"
+  "CMakeFiles/multi_clients.dir/multi_clients.cpp.o.d"
+  "multi_clients"
+  "multi_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("disk")
+subdirs("compress")
+subdirs("ld")
+subdirs("lld")
+subdirs("flatld")
+subdirs("minixfs")
+subdirs("ffs")
+subdirs("btreefs")
+subdirs("logeld")
+subdirs("fatfs")
+subdirs("workload")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldbtree.dir/btree_store.cc.o"
+  "CMakeFiles/ldbtree.dir/btree_store.cc.o.d"
+  "libldbtree.a"
+  "libldbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

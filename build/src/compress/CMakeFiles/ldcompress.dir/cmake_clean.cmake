@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldcompress.dir/compressor.cc.o"
+  "CMakeFiles/ldcompress.dir/compressor.cc.o.d"
+  "CMakeFiles/ldcompress.dir/lzrw.cc.o"
+  "CMakeFiles/ldcompress.dir/lzrw.cc.o.d"
+  "libldcompress.a"
+  "libldcompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldcompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

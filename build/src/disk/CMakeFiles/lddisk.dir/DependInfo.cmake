@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/fault_disk.cc" "src/disk/CMakeFiles/lddisk.dir/fault_disk.cc.o" "gcc" "src/disk/CMakeFiles/lddisk.dir/fault_disk.cc.o.d"
+  "/root/repo/src/disk/geometry.cc" "src/disk/CMakeFiles/lddisk.dir/geometry.cc.o" "gcc" "src/disk/CMakeFiles/lddisk.dir/geometry.cc.o.d"
+  "/root/repo/src/disk/mem_disk.cc" "src/disk/CMakeFiles/lddisk.dir/mem_disk.cc.o" "gcc" "src/disk/CMakeFiles/lddisk.dir/mem_disk.cc.o.d"
+  "/root/repo/src/disk/sim_disk.cc" "src/disk/CMakeFiles/lddisk.dir/sim_disk.cc.o" "gcc" "src/disk/CMakeFiles/lddisk.dir/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lddisk.dir/fault_disk.cc.o"
+  "CMakeFiles/lddisk.dir/fault_disk.cc.o.d"
+  "CMakeFiles/lddisk.dir/geometry.cc.o"
+  "CMakeFiles/lddisk.dir/geometry.cc.o.d"
+  "CMakeFiles/lddisk.dir/mem_disk.cc.o"
+  "CMakeFiles/lddisk.dir/mem_disk.cc.o.d"
+  "CMakeFiles/lddisk.dir/sim_disk.cc.o"
+  "CMakeFiles/lddisk.dir/sim_disk.cc.o.d"
+  "liblddisk.a"
+  "liblddisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lddisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

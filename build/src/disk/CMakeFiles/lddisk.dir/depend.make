@@ -1,0 +1,2 @@
+# Empty dependencies file for lddisk.
+# This may be replaced when dependencies are built.

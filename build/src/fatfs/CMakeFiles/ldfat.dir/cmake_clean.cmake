@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldfat.dir/fat_fs.cc.o"
+  "CMakeFiles/ldfat.dir/fat_fs.cc.o.d"
+  "libldfat.a"
+  "libldfat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldfat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldffs.dir/ffs.cc.o"
+  "CMakeFiles/ldffs.dir/ffs.cc.o.d"
+  "libldffs.a"
+  "libldffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldflat.dir/flat_disk.cc.o"
+  "CMakeFiles/ldflat.dir/flat_disk.cc.o.d"
+  "libldflat.a"
+  "libldflat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldflat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

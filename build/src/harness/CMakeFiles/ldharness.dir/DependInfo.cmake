@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/ldharness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/ldharness.dir/report.cc.o.d"
+  "/root/repo/src/harness/setup.cc" "src/harness/CMakeFiles/ldharness.dir/setup.cc.o" "gcc" "src/harness/CMakeFiles/ldharness.dir/setup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ldworkload.dir/DependInfo.cmake"
+  "/root/repo/build/src/minixfs/CMakeFiles/ldminix.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffs/CMakeFiles/ldffs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lld/CMakeFiles/ldlld.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lddisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ldcompress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

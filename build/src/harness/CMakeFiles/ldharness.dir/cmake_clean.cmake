@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldharness.dir/report.cc.o"
+  "CMakeFiles/ldharness.dir/report.cc.o.d"
+  "CMakeFiles/ldharness.dir/setup.cc.o"
+  "CMakeFiles/ldharness.dir/setup.cc.o.d"
+  "libldharness.a"
+  "libldharness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldharness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

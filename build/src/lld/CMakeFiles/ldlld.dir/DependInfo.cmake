@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lld/block_map.cc" "src/lld/CMakeFiles/ldlld.dir/block_map.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/block_map.cc.o.d"
+  "/root/repo/src/lld/list_table.cc" "src/lld/CMakeFiles/ldlld.dir/list_table.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/list_table.cc.o.d"
+  "/root/repo/src/lld/lld.cc" "src/lld/CMakeFiles/ldlld.dir/lld.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/lld.cc.o.d"
+  "/root/repo/src/lld/lld_cleaner.cc" "src/lld/CMakeFiles/ldlld.dir/lld_cleaner.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/lld_cleaner.cc.o.d"
+  "/root/repo/src/lld/lld_recovery.cc" "src/lld/CMakeFiles/ldlld.dir/lld_recovery.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/lld_recovery.cc.o.d"
+  "/root/repo/src/lld/memory_model.cc" "src/lld/CMakeFiles/ldlld.dir/memory_model.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/memory_model.cc.o.d"
+  "/root/repo/src/lld/summary_record.cc" "src/lld/CMakeFiles/ldlld.dir/summary_record.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/summary_record.cc.o.d"
+  "/root/repo/src/lld/usage_table.cc" "src/lld/CMakeFiles/ldlld.dir/usage_table.cc.o" "gcc" "src/lld/CMakeFiles/ldlld.dir/usage_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lddisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ldcompress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldlld.dir/block_map.cc.o"
+  "CMakeFiles/ldlld.dir/block_map.cc.o.d"
+  "CMakeFiles/ldlld.dir/list_table.cc.o"
+  "CMakeFiles/ldlld.dir/list_table.cc.o.d"
+  "CMakeFiles/ldlld.dir/lld.cc.o"
+  "CMakeFiles/ldlld.dir/lld.cc.o.d"
+  "CMakeFiles/ldlld.dir/lld_cleaner.cc.o"
+  "CMakeFiles/ldlld.dir/lld_cleaner.cc.o.d"
+  "CMakeFiles/ldlld.dir/lld_recovery.cc.o"
+  "CMakeFiles/ldlld.dir/lld_recovery.cc.o.d"
+  "CMakeFiles/ldlld.dir/memory_model.cc.o"
+  "CMakeFiles/ldlld.dir/memory_model.cc.o.d"
+  "CMakeFiles/ldlld.dir/summary_record.cc.o"
+  "CMakeFiles/ldlld.dir/summary_record.cc.o.d"
+  "CMakeFiles/ldlld.dir/usage_table.cc.o"
+  "CMakeFiles/ldlld.dir/usage_table.cc.o.d"
+  "libldlld.a"
+  "libldlld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldlld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

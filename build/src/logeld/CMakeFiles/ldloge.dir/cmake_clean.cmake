@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldloge.dir/loge_disk.cc.o"
+  "CMakeFiles/ldloge.dir/loge_disk.cc.o.d"
+  "libldloge.a"
+  "libldloge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldloge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minixfs/backend.cc" "src/minixfs/CMakeFiles/ldminix.dir/backend.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/backend.cc.o.d"
+  "/root/repo/src/minixfs/buffer_cache.cc" "src/minixfs/CMakeFiles/ldminix.dir/buffer_cache.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/minixfs/classic_backend.cc" "src/minixfs/CMakeFiles/ldminix.dir/classic_backend.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/classic_backend.cc.o.d"
+  "/root/repo/src/minixfs/minix_fs.cc" "src/minixfs/CMakeFiles/ldminix.dir/minix_fs.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/minix_fs.cc.o.d"
+  "/root/repo/src/minixfs/minix_fs_ops.cc" "src/minixfs/CMakeFiles/ldminix.dir/minix_fs_ops.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/minix_fs_ops.cc.o.d"
+  "/root/repo/src/minixfs/minix_fsck.cc" "src/minixfs/CMakeFiles/ldminix.dir/minix_fsck.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/minix_fsck.cc.o.d"
+  "/root/repo/src/minixfs/minix_types.cc" "src/minixfs/CMakeFiles/ldminix.dir/minix_types.cc.o" "gcc" "src/minixfs/CMakeFiles/ldminix.dir/minix_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lddisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/lld/CMakeFiles/ldlld.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ldcompress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

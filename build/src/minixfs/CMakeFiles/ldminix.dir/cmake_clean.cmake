@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldminix.dir/backend.cc.o"
+  "CMakeFiles/ldminix.dir/backend.cc.o.d"
+  "CMakeFiles/ldminix.dir/buffer_cache.cc.o"
+  "CMakeFiles/ldminix.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/ldminix.dir/classic_backend.cc.o"
+  "CMakeFiles/ldminix.dir/classic_backend.cc.o.d"
+  "CMakeFiles/ldminix.dir/minix_fs.cc.o"
+  "CMakeFiles/ldminix.dir/minix_fs.cc.o.d"
+  "CMakeFiles/ldminix.dir/minix_fs_ops.cc.o"
+  "CMakeFiles/ldminix.dir/minix_fs_ops.cc.o.d"
+  "CMakeFiles/ldminix.dir/minix_fsck.cc.o"
+  "CMakeFiles/ldminix.dir/minix_fsck.cc.o.d"
+  "CMakeFiles/ldminix.dir/minix_types.cc.o"
+  "CMakeFiles/ldminix.dir/minix_types.cc.o.d"
+  "libldminix.a"
+  "libldminix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldminix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

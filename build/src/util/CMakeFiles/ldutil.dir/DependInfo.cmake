@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc32.cc" "src/util/CMakeFiles/ldutil.dir/crc32.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/crc32.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/ldutil.dir/log.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/log.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/ldutil.dir/random.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/random.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/util/CMakeFiles/ldutil.dir/serialize.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/serialize.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/ldutil.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/ldutil.dir/status.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/ldutil.dir/table.cc.o" "gcc" "src/util/CMakeFiles/ldutil.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldutil.dir/crc32.cc.o"
+  "CMakeFiles/ldutil.dir/crc32.cc.o.d"
+  "CMakeFiles/ldutil.dir/log.cc.o"
+  "CMakeFiles/ldutil.dir/log.cc.o.d"
+  "CMakeFiles/ldutil.dir/random.cc.o"
+  "CMakeFiles/ldutil.dir/random.cc.o.d"
+  "CMakeFiles/ldutil.dir/serialize.cc.o"
+  "CMakeFiles/ldutil.dir/serialize.cc.o.d"
+  "CMakeFiles/ldutil.dir/stats.cc.o"
+  "CMakeFiles/ldutil.dir/stats.cc.o.d"
+  "CMakeFiles/ldutil.dir/status.cc.o"
+  "CMakeFiles/ldutil.dir/status.cc.o.d"
+  "CMakeFiles/ldutil.dir/table.cc.o"
+  "CMakeFiles/ldutil.dir/table.cc.o.d"
+  "libldutil.a"
+  "libldutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

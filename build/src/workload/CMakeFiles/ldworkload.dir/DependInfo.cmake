@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/data_gen.cc" "src/workload/CMakeFiles/ldworkload.dir/data_gen.cc.o" "gcc" "src/workload/CMakeFiles/ldworkload.dir/data_gen.cc.o.d"
+  "/root/repo/src/workload/hot_cold.cc" "src/workload/CMakeFiles/ldworkload.dir/hot_cold.cc.o" "gcc" "src/workload/CMakeFiles/ldworkload.dir/hot_cold.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/workload/CMakeFiles/ldworkload.dir/microbench.cc.o" "gcc" "src/workload/CMakeFiles/ldworkload.dir/microbench.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ldworkload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ldworkload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minixfs/CMakeFiles/ldminix.dir/DependInfo.cmake"
+  "/root/repo/build/src/lld/CMakeFiles/ldlld.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lddisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ldcompress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

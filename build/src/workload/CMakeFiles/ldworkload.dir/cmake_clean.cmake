@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldworkload.dir/data_gen.cc.o"
+  "CMakeFiles/ldworkload.dir/data_gen.cc.o.d"
+  "CMakeFiles/ldworkload.dir/hot_cold.cc.o"
+  "CMakeFiles/ldworkload.dir/hot_cold.cc.o.d"
+  "CMakeFiles/ldworkload.dir/microbench.cc.o"
+  "CMakeFiles/ldworkload.dir/microbench.cc.o.d"
+  "CMakeFiles/ldworkload.dir/trace.cc.o"
+  "CMakeFiles/ldworkload.dir/trace.cc.o.d"
+  "libldworkload.a"
+  "libldworkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldworkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

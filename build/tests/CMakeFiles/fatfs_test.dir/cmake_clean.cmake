@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatfs_test.dir/fatfs_test.cc.o"
+  "CMakeFiles/fatfs_test.dir/fatfs_test.cc.o.d"
+  "fatfs_test"
+  "fatfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

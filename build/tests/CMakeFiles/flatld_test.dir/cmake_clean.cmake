@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatld_test.dir/flatld_test.cc.o"
+  "CMakeFiles/flatld_test.dir/flatld_test.cc.o.d"
+  "flatld_test"
+  "flatld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

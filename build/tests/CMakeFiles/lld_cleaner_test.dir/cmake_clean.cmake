@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lld_cleaner_test.dir/lld_cleaner_test.cc.o"
+  "CMakeFiles/lld_cleaner_test.dir/lld_cleaner_test.cc.o.d"
+  "lld_cleaner_test"
+  "lld_cleaner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lld_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lld_extensions_test.dir/lld_extensions_test.cc.o"
+  "CMakeFiles/lld_extensions_test.dir/lld_extensions_test.cc.o.d"
+  "lld_extensions_test"
+  "lld_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lld_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

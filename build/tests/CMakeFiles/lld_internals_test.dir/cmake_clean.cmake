@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lld_internals_test.dir/lld_internals_test.cc.o"
+  "CMakeFiles/lld_internals_test.dir/lld_internals_test.cc.o.d"
+  "lld_internals_test"
+  "lld_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lld_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

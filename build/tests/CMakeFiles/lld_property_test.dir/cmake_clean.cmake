@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lld_property_test.dir/lld_property_test.cc.o"
+  "CMakeFiles/lld_property_test.dir/lld_property_test.cc.o.d"
+  "lld_property_test"
+  "lld_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lld_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

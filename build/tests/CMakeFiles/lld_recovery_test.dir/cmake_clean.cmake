@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lld_recovery_test.dir/lld_recovery_test.cc.o"
+  "CMakeFiles/lld_recovery_test.dir/lld_recovery_test.cc.o.d"
+  "lld_recovery_test"
+  "lld_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lld_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loge_test.dir/loge_test.cc.o"
+  "CMakeFiles/loge_test.dir/loge_test.cc.o.d"
+  "loge_test"
+  "loge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

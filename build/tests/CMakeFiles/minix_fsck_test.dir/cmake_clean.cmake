@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minix_fsck_test.dir/minix_fsck_test.cc.o"
+  "CMakeFiles/minix_fsck_test.dir/minix_fsck_test.cc.o.d"
+  "minix_fsck_test"
+  "minix_fsck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minix_fsck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

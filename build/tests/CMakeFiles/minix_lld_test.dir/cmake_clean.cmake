@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minix_lld_test.dir/minix_lld_test.cc.o"
+  "CMakeFiles/minix_lld_test.dir/minix_lld_test.cc.o.d"
+  "minix_lld_test"
+  "minix_lld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minix_lld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

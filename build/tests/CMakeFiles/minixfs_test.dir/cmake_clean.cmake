@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minixfs_test.dir/minixfs_test.cc.o"
+  "CMakeFiles/minixfs_test.dir/minixfs_test.cc.o.d"
+  "minixfs_test"
+  "minixfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minixfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
