@@ -30,6 +30,7 @@ int Run() {
   struct Row {
     FsKind kind;
     LargeFileResult r;
+    DiskStats disk;
   };
   std::vector<Row> rows;
   TextTable t({"File System", "Write Seq.", "Read Seq.", "Write Rand.", "Read Rand.",
@@ -46,12 +47,17 @@ int Run() {
       std::fprintf(stderr, "bench failed: %s\n", result.status().ToString().c_str());
       return 1;
     }
-    rows.push_back({kind, *result});
+    rows.push_back({kind, *result, fut->disk->stats()});
     t.AddRow({FsKindName(kind), TextTable::Num(result->write_seq_kbps),
               TextTable::Num(result->read_seq_kbps), TextTable::Num(result->write_rand_kbps),
               TextTable::Num(result->read_rand_kbps), TextTable::Num(result->reread_seq_kbps)});
   }
   t.Print();
+
+  std::printf("\nDevice request queue:\n");
+  for (const Row& row : rows) {
+    PrintDiskQueueStats(FsKindName(row.kind), row.disk);
+  }
 
   const LargeFileResult& lld = rows[0].r;
   const LargeFileResult& minix = rows[1].r;

@@ -1,0 +1,49 @@
+#include "src/disk/block_device.h"
+
+#include <algorithm>
+
+namespace ld {
+
+// Default async implementations: service the request synchronously at submit
+// time and remember the completion so WaitFor/Poll/Drain behave uniformly.
+// Devices with a real queue (SimDisk) override these.
+
+StatusOr<IoTag> BlockDevice::SubmitRead(uint64_t sector, std::span<uint8_t> out) {
+  RETURN_IF_ERROR(Read(sector, out));
+  const IoTag tag = NextTag();
+  sync_completions_.push_back({tag, /*is_read=*/true, clock()->Now()});
+  return tag;
+}
+
+StatusOr<IoTag> BlockDevice::SubmitWrite(uint64_t sector, std::span<const uint8_t> data) {
+  RETURN_IF_ERROR(Write(sector, data));
+  const IoTag tag = NextTag();
+  sync_completions_.push_back({tag, /*is_read=*/false, clock()->Now()});
+  return tag;
+}
+
+Status BlockDevice::WaitFor(IoTag tag) {
+  auto it = std::find_if(sync_completions_.begin(), sync_completions_.end(),
+                         [tag](const IoCompletion& c) { return c.tag == tag; });
+  if (it != sync_completions_.end()) {
+    clock()->AdvanceTo(it->completion_seconds);
+    sync_completions_.erase(it);
+  }
+  return OkStatus();
+}
+
+std::vector<IoCompletion> BlockDevice::Poll() {
+  std::vector<IoCompletion> done;
+  done.swap(sync_completions_);
+  return done;
+}
+
+Status BlockDevice::Drain() {
+  for (const IoCompletion& c : sync_completions_) {
+    clock()->AdvanceTo(c.completion_seconds);
+  }
+  sync_completions_.clear();
+  return OkStatus();
+}
+
+}  // namespace ld

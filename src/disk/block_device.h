@@ -1,18 +1,44 @@
 // The raw device interface every LD implementation sits on.
 //
-// A BlockDevice transfers whole runs of contiguous sectors in one request;
-// timing (if any) is charged to the shared SimClock by the implementation.
+// A BlockDevice transfers whole runs of contiguous sectors in one request.
+// Two access styles are offered:
+//
+//  * Synchronous Read/Write: submit one request and block until it completes
+//    (the shared SimClock is advanced by the full service time).
+//  * Asynchronous SubmitRead/SubmitWrite + WaitFor/Poll/Drain: requests are
+//    tagged and queued; the caller may keep doing CPU work (advancing the
+//    clock) while requests are "in flight", and only waits — advancing the
+//    clock to the request's simulated completion time — when it needs the
+//    result to be durable. Because the simulator is single-threaded, data
+//    effects are applied eagerly at submit time (reads observe all previously
+//    submitted writes); only the *timing* is deferred.
+//
+// The synchronous calls are exactly submit + wait, so both styles charge
+// identical service time for a single outstanding request.
 
 #ifndef SRC_DISK_BLOCK_DEVICE_H_
 #define SRC_DISK_BLOCK_DEVICE_H_
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "src/disk/clock.h"
 #include "src/util/status.h"
 
 namespace ld {
+
+// Identifies one queued request; unique per device for the device's lifetime.
+using IoTag = uint64_t;
+inline constexpr IoTag kInvalidIoTag = 0;
+
+// Reported by Poll(): a request that has (logically) finished.
+struct IoCompletion {
+  IoTag tag = kInvalidIoTag;
+  bool is_read = false;
+  // Simulated time at which the device finished servicing the request.
+  double completion_seconds = 0.0;
+};
 
 // Cumulative counters a device keeps about its own activity.
 struct DiskStats {
@@ -25,6 +51,12 @@ struct DiskStats {
   double rotation_ms = 0.0;      // Total rotational latency.
   double transfer_ms = 0.0;      // Total media transfer time.
   double busy_ms = 0.0;          // Total service time (incl. overhead).
+
+  // Request-queue behaviour (devices without a queue leave these at zero).
+  uint64_t queued_requests = 0;  // Requests that passed through the queue.
+  uint64_t merged_requests = 0;  // Requests coalesced into a neighbour.
+  uint64_t max_queue_depth = 0;  // High-water mark of outstanding requests.
+  double queue_wait_ms = 0.0;    // Total time requests waited before service.
 
   uint64_t TotalOps() const { return read_ops + write_ops; }
   uint64_t BytesRead(uint32_t sector_size) const { return sectors_read * sector_size; }
@@ -46,9 +78,44 @@ class BlockDevice {
   // Writes `data.size()` bytes starting at `sector`; same size constraint.
   virtual Status Write(uint64_t sector, std::span<const uint8_t> data) = 0;
 
+  // --- Asynchronous request queue ------------------------------------------
+  //
+  // Submit* validates the request, applies its data effect immediately, and
+  // enqueues its timing. Errors that a synchronous call would return (bad
+  // alignment, out of range, injected device crash) are returned from Submit*
+  // itself; a returned tag's eventual completion is always successful.
+  //
+  // The default implementations service each request synchronously at submit
+  // time, so simple devices (MemDisk) and wrappers get the async API for
+  // free; queueing devices (SimDisk) override all five methods.
+
+  virtual StatusOr<IoTag> SubmitRead(uint64_t sector, std::span<uint8_t> out);
+  virtual StatusOr<IoTag> SubmitWrite(uint64_t sector, std::span<const uint8_t> data);
+
+  // Blocks until `tag` completes, advancing the clock to its completion time.
+  // Waiting on a tag that already completed (e.g. consumed by Drain) is a
+  // no-op returning OK.
+  virtual Status WaitFor(IoTag tag);
+
+  // Returns (and retires) completions whose completion time is <= Now().
+  // Never advances the clock.
+  virtual std::vector<IoCompletion> Poll();
+
+  // Blocks until every outstanding request completes, advancing the clock to
+  // the last completion time.
+  virtual Status Drain();
+
   virtual SimClock* clock() = 0;
   virtual const DiskStats& stats() const = 0;
   virtual void ResetStats() = 0;
+
+ protected:
+  // State backing the default (synchronous) Submit* implementations.
+  IoTag NextTag() { return next_tag_++; }
+
+ private:
+  IoTag next_tag_ = 1;
+  std::vector<IoCompletion> sync_completions_;
 };
 
 }  // namespace ld

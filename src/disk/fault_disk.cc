@@ -14,14 +14,7 @@ void FaultDisk::ClearFault() {
   torn_sectors_ = -1;
 }
 
-Status FaultDisk::Read(uint64_t sector, std::span<uint8_t> out) {
-  if (crashed_) {
-    return IoError("device crashed");
-  }
-  return inner_->Read(sector, out);
-}
-
-Status FaultDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
+Status FaultDisk::CheckWriteFault(uint64_t sector, std::span<const uint8_t> data) {
   if (crashed_) {
     return IoError("device crashed");
   }
@@ -42,7 +35,31 @@ Status FaultDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
     }
     writes_until_crash_--;
   }
+  return OkStatus();
+}
+
+Status FaultDisk::Read(uint64_t sector, std::span<uint8_t> out) {
+  if (crashed_) {
+    return IoError("device crashed");
+  }
+  return inner_->Read(sector, out);
+}
+
+Status FaultDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
+  RETURN_IF_ERROR(CheckWriteFault(sector, data));
   return inner_->Write(sector, data);
+}
+
+StatusOr<IoTag> FaultDisk::SubmitRead(uint64_t sector, std::span<uint8_t> out) {
+  if (crashed_) {
+    return IoError("device crashed");
+  }
+  return inner_->SubmitRead(sector, out);
+}
+
+StatusOr<IoTag> FaultDisk::SubmitWrite(uint64_t sector, std::span<const uint8_t> data) {
+  RETURN_IF_ERROR(CheckWriteFault(sector, data));
+  return inner_->SubmitWrite(sector, data);
 }
 
 }  // namespace ld

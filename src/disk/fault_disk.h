@@ -39,11 +39,25 @@ class FaultDisk : public BlockDevice {
   Status Read(uint64_t sector, std::span<uint8_t> out) override;
   Status Write(uint64_t sector, std::span<const uint8_t> data) override;
 
+  // Async requests are forwarded to the inner device; faults are injected at
+  // submit time, which models a crash that strikes while the write is in
+  // flight (a torn write persists only its prefix, and the submit fails).
+  StatusOr<IoTag> SubmitRead(uint64_t sector, std::span<uint8_t> out) override;
+  StatusOr<IoTag> SubmitWrite(uint64_t sector, std::span<const uint8_t> data) override;
+  Status WaitFor(IoTag tag) override { return inner_->WaitFor(tag); }
+  std::vector<IoCompletion> Poll() override { return inner_->Poll(); }
+  Status Drain() override { return inner_->Drain(); }
+
   SimClock* clock() override { return inner_->clock(); }
   const DiskStats& stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
 
  private:
+  // Applies the crash countdown for one write-sized request; on the crashing
+  // write, persists the torn prefix (if any) and returns the failure the
+  // caller must surface. Shared by the sync and async write paths.
+  Status CheckWriteFault(uint64_t sector, std::span<const uint8_t> data);
+
   BlockDevice* inner_;
   bool crashed_ = false;
   bool armed_ = false;

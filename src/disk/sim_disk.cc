@@ -22,14 +22,18 @@ uint32_t SimDisk::AngularSlot(uint64_t sector) const {
       geometry_.sectors_per_track);
 }
 
-Status SimDisk::ServiceRequest(uint64_t sector, uint64_t count, bool is_read) {
-  if (count == 0) {
-    return InvalidArgumentError("zero-length disk request");
+Status SimDisk::ValidateRequest(uint64_t sector, size_t bytes) const {
+  if (bytes == 0 || bytes % geometry_.sector_size != 0) {
+    return InvalidArgumentError("request size not sector-aligned");
   }
+  const uint64_t count = bytes / geometry_.sector_size;
   if (sector + count > num_sectors()) {
     return InvalidArgumentError("disk request beyond device end");
   }
+  return OkStatus();
+}
 
+double SimDisk::ServiceAt(double start_seconds, uint64_t sector, uint64_t count, bool is_read) {
   // Controller read-ahead buffer: a read that starts inside (or exactly at
   // the end of) the recently streamed window is served from the buffer;
   // only sectors beyond the window's end cost media-transfer time. This is
@@ -44,7 +48,6 @@ Status SimDisk::ServiceRequest(uint64_t sector, uint64_t count, bool is_read) {
     const double service_ms = geometry_.controller_overhead_ms + xfer_ms;
     stats_.transfer_ms += xfer_ms;
     stats_.busy_ms += service_ms;
-    clock_->Advance(service_ms / 1000.0);
     if (end > read_window_end_) {
       read_window_end_ = end;
     }
@@ -55,7 +58,7 @@ Status SimDisk::ServiceRequest(uint64_t sector, uint64_t count, bool is_read) {
     }
     const uint32_t sectors_per_cyl = geometry_.sectors_per_track * geometry_.heads;
     arm_cylinder_ = static_cast<uint32_t>((read_window_end_ - 1) / sectors_per_cyl);
-    return OkStatus();
+    return start_seconds + service_ms / 1000.0;
   }
   if (is_read) {
     read_window_start_ = sector;
@@ -71,7 +74,7 @@ Status SimDisk::ServiceRequest(uint64_t sector, uint64_t count, bool is_read) {
 
   // Times below are in milliseconds relative to an arbitrary epoch; the
   // rotational position is time modulo the rotation period.
-  double time_ms = clock_->Now() * 1000.0;
+  double time_ms = start_seconds * 1000.0;
   const double start_ms = time_ms;
 
   time_ms += geometry_.controller_overhead_ms;
@@ -131,8 +134,73 @@ Status SimDisk::ServiceRequest(uint64_t sector, uint64_t count, bool is_read) {
   }
 
   stats_.busy_ms += time_ms - start_ms;
-  clock_->AdvanceTo(time_ms / 1000.0);
-  return OkStatus();
+  return time_ms / 1000.0;
+}
+
+void SimDisk::ScheduleAll() {
+  if (pending_.empty()) {
+    return;
+  }
+  std::vector<PendingIo> batch(pending_.begin(), pending_.end());
+  pending_.clear();
+
+  if (queue_policy_ == QueuePolicy::kCScan && batch.size() > 1) {
+    // Circular elevator: sweep upward from the arm's current position, wrap
+    // to the lowest request, and continue upward.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const PendingIo& a, const PendingIo& b) { return a.sector < b.sector; });
+    const uint64_t head_sector = static_cast<uint64_t>(arm_cylinder_) *
+                                 geometry_.sectors_per_track * geometry_.heads;
+    auto pivot = std::find_if(batch.begin(), batch.end(), [head_sector](const PendingIo& r) {
+      return r.sector >= head_sector;
+    });
+    std::rotate(batch.begin(), pivot, batch.end());
+  }
+
+  size_t i = 0;
+  while (i < batch.size()) {
+    // Coalesce a run of physically adjacent same-direction requests into one
+    // media transfer.
+    size_t j = i + 1;
+    uint64_t run_end = batch[i].sector + batch[i].count;
+    double latest_submit = batch[i].submit_seconds;
+    while (j < batch.size() && batch[j].is_read == batch[i].is_read &&
+           batch[j].sector == run_end) {
+      run_end += batch[j].count;
+      latest_submit = std::max(latest_submit, batch[j].submit_seconds);
+      ++j;
+    }
+
+    const double start = std::max(busy_until_seconds_, latest_submit);
+    const double completion =
+        ServiceAt(start, batch[i].sector, run_end - batch[i].sector, batch[i].is_read);
+    busy_until_seconds_ = completion;
+
+    for (size_t k = i; k < j; ++k) {
+      completed_[batch[k].tag] = {batch[k].is_read, completion};
+      stats_.queue_wait_ms += (start - batch[k].submit_seconds) * 1000.0;
+      if (batch[k].is_read) {
+        stats_.read_ops++;
+        stats_.sectors_read += batch[k].count;
+      } else {
+        stats_.write_ops++;
+        stats_.sectors_written += batch[k].count;
+      }
+    }
+    stats_.merged_requests += (j - i) - 1;
+    i = j;
+  }
+}
+
+StatusOr<IoTag> SimDisk::Enqueue(uint64_t sector, uint64_t count, bool is_read) {
+  const IoTag tag = NextTag();
+  pending_.push_back({tag, sector, count, is_read, clock_->Now()});
+  stats_.queued_requests++;
+  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, pending_.size());
+  if (pending_.size() >= queue_depth_) {
+    ScheduleAll();
+  }
+  return tag;
 }
 
 uint8_t* SimDisk::ChunkFor(uint64_t byte_offset, bool allocate) {
@@ -147,15 +215,7 @@ uint8_t* SimDisk::ChunkFor(uint64_t byte_offset, bool allocate) {
   return chunks_[index].get();
 }
 
-Status SimDisk::Read(uint64_t sector, std::span<uint8_t> out) {
-  if (out.size() % sector_size() != 0) {
-    return InvalidArgumentError("read size not sector-aligned");
-  }
-  const uint64_t count = out.size() / sector_size();
-  RETURN_IF_ERROR(ServiceRequest(sector, count, /*is_read=*/true));
-  stats_.read_ops++;
-  stats_.sectors_read += count;
-
+void SimDisk::CopyOut(uint64_t sector, std::span<uint8_t> out) {
   uint64_t byte = sector * sector_size();
   size_t copied = 0;
   while (copied < out.size()) {
@@ -171,18 +231,9 @@ Status SimDisk::Read(uint64_t sector, std::span<uint8_t> out) {
     copied += n;
     byte += n;
   }
-  return OkStatus();
 }
 
-Status SimDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
-  if (data.size() % sector_size() != 0) {
-    return InvalidArgumentError("write size not sector-aligned");
-  }
-  const uint64_t count = data.size() / sector_size();
-  RETURN_IF_ERROR(ServiceRequest(sector, count, /*is_read=*/false));
-  stats_.write_ops++;
-  stats_.sectors_written += count;
-
+void SimDisk::CopyIn(uint64_t sector, std::span<const uint8_t> data) {
   uint64_t byte = sector * sector_size();
   size_t copied = 0;
   while (copied < data.size()) {
@@ -194,7 +245,81 @@ Status SimDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
     copied += n;
     byte += n;
   }
+}
+
+StatusOr<IoTag> SimDisk::SubmitRead(uint64_t sector, std::span<uint8_t> out) {
+  RETURN_IF_ERROR(ValidateRequest(sector, out.size()));
+  // Data effects are applied at submit time; only timing is deferred. Reads
+  // therefore observe every previously submitted write.
+  CopyOut(sector, out);
+  return Enqueue(sector, out.size() / sector_size(), /*is_read=*/true);
+}
+
+StatusOr<IoTag> SimDisk::SubmitWrite(uint64_t sector, std::span<const uint8_t> data) {
+  RETURN_IF_ERROR(ValidateRequest(sector, data.size()));
+  CopyIn(sector, data);
+  return Enqueue(sector, data.size() / sector_size(), /*is_read=*/false);
+}
+
+Status SimDisk::WaitFor(IoTag tag) {
+  ScheduleAll();
+  auto it = completed_.find(tag);
+  if (it == completed_.end()) {
+    return OkStatus();  // Already retired (e.g. by Drain).
+  }
+  clock_->AdvanceTo(it->second.completion_seconds);
+  completed_.erase(it);
   return OkStatus();
+}
+
+std::vector<IoCompletion> SimDisk::Poll() {
+  ScheduleAll();
+  std::vector<IoCompletion> done;
+  const double now = clock_->Now();
+  for (auto it = completed_.begin(); it != completed_.end();) {
+    if (it->second.completion_seconds <= now) {
+      done.push_back({it->first, it->second.is_read, it->second.completion_seconds});
+      it = completed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(done.begin(), done.end(), [](const IoCompletion& a, const IoCompletion& b) {
+    return a.completion_seconds < b.completion_seconds;
+  });
+  return done;
+}
+
+Status SimDisk::Drain() {
+  ScheduleAll();
+  double last = clock_->Now();
+  for (const auto& [tag, done] : completed_) {
+    last = std::max(last, done.completion_seconds);
+  }
+  clock_->AdvanceTo(last);
+  completed_.clear();
+  return OkStatus();
+}
+
+double SimDisk::ScheduledCompletion(IoTag tag) const {
+  auto it = completed_.find(tag);
+  return it == completed_.end() ? -1.0 : it->second.completion_seconds;
+}
+
+Status SimDisk::Read(uint64_t sector, std::span<uint8_t> out) {
+  if (out.size() % sector_size() != 0) {
+    return InvalidArgumentError("read size not sector-aligned");
+  }
+  ASSIGN_OR_RETURN(IoTag tag, SubmitRead(sector, out));
+  return WaitFor(tag);
+}
+
+Status SimDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
+  if (data.size() % sector_size() != 0) {
+    return InvalidArgumentError("write size not sector-aligned");
+  }
+  ASSIGN_OR_RETURN(IoTag tag, SubmitWrite(sector, data));
+  return WaitFor(tag);
 }
 
 }  // namespace ld

@@ -2,11 +2,25 @@
 // src/disk/geometry.h: seeks, head switches, rotational position, track skew,
 // and per-request controller overhead. Storage is allocated lazily in 1-MB
 // chunks so multi-gigabyte devices can be simulated cheaply.
+//
+// Requests go through a per-device queue: SubmitRead/SubmitWrite enqueue a
+// request (copying its data immediately — the simulator is single-threaded,
+// so reads always observe previously submitted writes) and the mechanical
+// service time is computed when the request is *scheduled*. The scheduler
+// runs whenever the queue reaches the configured depth or the caller waits
+// (WaitFor/Drain) or polls; it orders each batch FIFO or C-SCAN and merges
+// physically adjacent same-direction requests into one media transfer.
+//
+// Service start time is max(device busy-until, submit time), so a single
+// outstanding request is timed exactly as the pre-queue synchronous model:
+// the sync Read/Write wrappers (submit + wait) are timing-identical to it.
 
 #ifndef SRC_DISK_SIM_DISK_H_
 #define SRC_DISK_SIM_DISK_H_
 
+#include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/disk/block_device.h"
@@ -16,6 +30,12 @@ namespace ld {
 
 class SimDisk : public BlockDevice {
  public:
+  // How a scheduled batch is ordered before service.
+  enum class QueuePolicy {
+    kFifo,   // Submission order.
+    kCScan,  // Circular elevator: ascending sector from the arm, then wrap.
+  };
+
   // The clock must outlive the disk. It is shared so that file-system CPU
   // costs and disk service time accumulate on one timeline.
   SimDisk(const DiskGeometry& geometry, SimClock* clock);
@@ -26,27 +46,80 @@ class SimDisk : public BlockDevice {
   Status Read(uint64_t sector, std::span<uint8_t> out) override;
   Status Write(uint64_t sector, std::span<const uint8_t> data) override;
 
+  StatusOr<IoTag> SubmitRead(uint64_t sector, std::span<uint8_t> out) override;
+  StatusOr<IoTag> SubmitWrite(uint64_t sector, std::span<const uint8_t> data) override;
+  Status WaitFor(IoTag tag) override;
+  std::vector<IoCompletion> Poll() override;
+  Status Drain() override;
+
   SimClock* clock() override { return clock_; }
   const DiskStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = DiskStats{}; }
+  // Also marks the device idle: measurement resets (harness ResetMeasurement)
+  // rewind the shared clock, which would otherwise leave a stale busy-until
+  // time delaying every post-reset request.
+  void ResetStats() override {
+    stats_ = DiskStats{};
+    busy_until_seconds_ = 0.0;
+  }
 
   const DiskGeometry& geometry() const { return geometry_; }
+
+  // Scheduling knobs. Depth 1 degenerates to the synchronous model (every
+  // request is scheduled as soon as it is submitted).
+  void set_queue_policy(QueuePolicy policy) { queue_policy_ = policy; }
+  QueuePolicy queue_policy() const { return queue_policy_; }
+  void set_queue_depth(uint32_t depth) { queue_depth_ = depth == 0 ? 1 : depth; }
+  uint32_t queue_depth() const { return queue_depth_; }
 
   // Current arm position (cylinder index); exposed for tests.
   uint32_t arm_cylinder() const { return arm_cylinder_; }
 
+  // Completion time of `tag` if it has been scheduled but not yet retired;
+  // exposed for tests (returns a negative value for unknown tags).
+  double ScheduledCompletion(IoTag tag) const;
+
  private:
-  // Validates the request and advances the clock by its service time.
-  Status ServiceRequest(uint64_t sector, uint64_t count, bool is_read);
+  struct PendingIo {
+    IoTag tag;
+    uint64_t sector;
+    uint64_t count;
+    bool is_read;
+    double submit_seconds;
+  };
+  struct DoneIo {
+    bool is_read;
+    double completion_seconds;
+  };
+
+  Status ValidateRequest(uint64_t sector, size_t bytes) const;
+  StatusOr<IoTag> Enqueue(uint64_t sector, uint64_t count, bool is_read);
+
+  // Computes the mechanical service of one (possibly merged) transfer that
+  // begins no earlier than `start_seconds`, updating arm position, the
+  // controller read-ahead window, and timing stats. Returns the completion
+  // time in seconds. Never touches the clock.
+  double ServiceAt(double start_seconds, uint64_t sector, uint64_t count, bool is_read);
+
+  // Orders, merges, and services every pending request, assigning completion
+  // times (moves pending_ entries into completed_). Never touches the clock.
+  void ScheduleAll();
 
   // Angular slot (0..sectors_per_track-1) of an absolute sector, with skew.
   uint32_t AngularSlot(uint64_t sector) const;
 
   uint8_t* ChunkFor(uint64_t byte_offset, bool allocate);
+  void CopyOut(uint64_t sector, std::span<uint8_t> out);
+  void CopyIn(uint64_t sector, std::span<const uint8_t> data);
 
   DiskGeometry geometry_;
   SimClock* clock_;
   DiskStats stats_;
+
+  QueuePolicy queue_policy_ = QueuePolicy::kCScan;
+  uint32_t queue_depth_ = 8;
+  std::deque<PendingIo> pending_;
+  std::unordered_map<IoTag, DoneIo> completed_;
+  double busy_until_seconds_ = 0.0;
 
   uint32_t arm_cylinder_ = 0;
   // Controller read-buffer window [start, end): sectors recently streamed

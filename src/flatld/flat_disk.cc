@@ -280,6 +280,10 @@ Status FlatDisk::Flush(FailureSet failures) {
   if (failures == FailureSet::kMediaFailure) {
     return UnimplementedError("FlatDisk cannot survive media failure");
   }
+  // FlatDisk issues only synchronous writes itself, but the device queue may
+  // hold requests from other users of the device; a durability point must
+  // cover them too.
+  RETURN_IF_ERROR(device_->Drain());
   return PersistTable();
 }
 
@@ -301,7 +305,10 @@ Status FlatDisk::CancelReservation(uint64_t count, uint32_t size_bytes) {
   return OkStatus();
 }
 
-Status FlatDisk::Shutdown() { return PersistTable(); }
+Status FlatDisk::Shutdown() {
+  RETURN_IF_ERROR(device_->Drain());
+  return PersistTable();
+}
 
 StatusOr<uint32_t> FlatDisk::BlockSize(Bid bid) const {
   if (bid == kNilBid || bid >= entries_.size() || !entries_[bid].allocated) {

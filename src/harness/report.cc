@@ -13,6 +13,15 @@ void PrintBanner(const std::string& experiment_id, const std::string& descriptio
   std::printf("================================================================\n");
 }
 
+void PrintDiskQueueStats(const std::string& label, const DiskStats& stats) {
+  const double mean_wait =
+      stats.queued_requests == 0 ? 0.0 : stats.queue_wait_ms / static_cast<double>(stats.queued_requests);
+  std::printf("  %-24s queued %-8llu merged %-6llu max depth %-4llu mean wait %.3f ms\n",
+              label.c_str(), static_cast<unsigned long long>(stats.queued_requests),
+              static_cast<unsigned long long>(stats.merged_requests),
+              static_cast<unsigned long long>(stats.max_queue_depth), mean_wait);
+}
+
 std::string Compare(double measured, double paper, const std::string& unit, int precision) {
   std::string out = TextTable::Num(measured, precision);
   if (!unit.empty()) {

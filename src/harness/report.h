@@ -7,6 +7,8 @@
 
 #include <string>
 
+#include "src/disk/block_device.h"
+
 namespace ld {
 
 // Prints the standard bench banner.
@@ -16,6 +18,11 @@ void PrintBanner(const std::string& experiment_id, const std::string& descriptio
 // the paper's table did not survive into the available text, so only the
 // measured value is shown.
 std::string Compare(double measured, double paper, const std::string& unit, int precision = 0);
+
+// Prints one line of request-queue counters for a device: requests queued,
+// adjacent-request merges, queue-depth high-water mark, and mean wait before
+// service. `label` names the configuration the stats belong to.
+void PrintDiskQueueStats(const std::string& label, const DiskStats& stats);
 
 }  // namespace ld
 

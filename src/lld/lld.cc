@@ -253,18 +253,51 @@ StatusOr<uint32_t> LogStructuredDisk::AllocateFreeSegment(bool allow_clean) {
   return static_cast<uint32_t>(seg);
 }
 
+Status LogStructuredDisk::WaitForInflight() {
+  if (!inflight_active_) {
+    return OkStatus();
+  }
+  inflight_active_ = false;
+  const IoTag tag = inflight_tag_;
+  inflight_tag_ = kInvalidIoTag;
+  RETURN_IF_ERROR(device_->WaitFor(tag));
+  // Only now that the full image is durable may the scratch segment it
+  // supersedes be recycled.
+  if (inflight_scratch_free_ >= 0) {
+    usage_->segment(static_cast<uint32_t>(inflight_scratch_free_)).state = SegmentState::kFree;
+    inflight_scratch_free_ = -1;
+  }
+  return OkStatus();
+}
+
 Status LogStructuredDisk::FlushOpenSegmentFull() {
   if (open_data_used_ == 0 && open_records_.empty()) {
     return OkStatus();
   }
+  // At most one segment write in flight: the previous one must complete
+  // before its buffer can be reused as the next open segment.
+  RETURN_IF_ERROR(WaitForInflight());
   ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
   const uint64_t seq = next_seq_++;
   RETURN_IF_ERROR(BuildSummaryInto(open_buffer_, target, seq, open_data_used_));
 
-  const double before = device_->clock()->Now();
-  RETURN_IF_ERROR(
-      device_->Write(SegmentBaseByte(target) / device_->sector_size(), open_buffer_));
-  overlap_credit_seconds_ = device_->clock()->Now() - before;
+  // Double buffering: the sealed image moves to inflight_buffer_ and is
+  // submitted asynchronously; open_buffer_ (the previous in-flight buffer,
+  // now complete) starts accepting the next segment's writes immediately.
+  if (inflight_buffer_.size() != open_buffer_.size()) {
+    inflight_buffer_.assign(open_buffer_.size(), 0);
+  }
+  std::swap(open_buffer_, inflight_buffer_);
+  StatusOr<IoTag> tag =
+      device_->SubmitWrite(SegmentBaseByte(target) / device_->sector_size(), inflight_buffer_);
+  if (!tag.ok()) {
+    // Device failure (e.g. injected crash): restore the sealed image as the
+    // open segment so state stays consistent; no metadata was updated.
+    std::swap(open_buffer_, inflight_buffer_);
+    return tag.status();
+  }
+  inflight_tag_ = *tag;
+  inflight_active_ = true;
 
   SegmentUsage& seg = usage_->segment(target);
   seg.state = SegmentState::kFull;
@@ -281,7 +314,7 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   }
   UpdateRecordAuthority(target, open_records_);
   if (scratch_segment_ >= 0) {
-    usage_->segment(static_cast<uint32_t>(scratch_segment_)).state = SegmentState::kFree;
+    inflight_scratch_free_ = scratch_segment_;
     scratch_segment_ = -1;
   }
   open_data_used_ = 0;
@@ -291,6 +324,9 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   open_appended_.clear();
   dirty_since_flush_ = false;
   counters_.segments_written++;
+  if (!options_.pipeline_segment_writes) {
+    RETURN_IF_ERROR(WaitForInflight());
+  }
   return OkStatus();
 }
 
@@ -298,13 +334,16 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   if (open_data_used_ == 0 && open_records_.empty()) {
     return OkStatus();
   }
+  // A pipelined full-segment write may still be in flight (and may own a
+  // scratch segment pending recycling); it must be durable before a partial
+  // write — which the caller treats as a durability point — is issued.
+  RETURN_IF_ERROR(WaitForInflight());
   ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
   const uint64_t seq = next_seq_++;
   RETURN_IF_ERROR(BuildSummaryInto(open_buffer_, target, seq, open_data_used_));
 
   const uint32_t sector = device_->sector_size();
   const uint64_t base = SegmentBaseByte(target);
-  const double before = device_->clock()->Now();
   if (open_data_used_ > 0) {
     const uint64_t data_len = RoundUp(open_data_used_, sector);
     RETURN_IF_ERROR(device_->Write(
@@ -313,7 +352,6 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   RETURN_IF_ERROR(device_->Write(
       (base + data_capacity_) / sector,
       std::span<const uint8_t>(open_buffer_).subspan(data_capacity_, options_.summary_bytes)));
-  overlap_credit_seconds_ = device_->clock()->Now() - before;
 
   SegmentUsage& seg = usage_->segment(target);
   seg.state = SegmentState::kScratch;
@@ -394,15 +432,11 @@ void LogStructuredDisk::ChargeCompressCpu(uint64_t bytes) {
   if (options_.compress_kb_per_s <= 0) {
     return;
   }
-  double seconds = static_cast<double>(bytes) / (options_.compress_kb_per_s * 1024.0);
-  // One segment is compressed while the previous one is written (§3.3):
-  // CPU time up to the last disk write's duration is hidden.
-  const double hidden = std::min(seconds, overlap_credit_seconds_);
-  overlap_credit_seconds_ -= hidden;
-  seconds -= hidden;
-  if (seconds > 0) {
-    device_->clock()->Advance(seconds);
-  }
+  // Plain CPU time. The paper's §3.3 pipelining needs no special credit any
+  // more: while a sealed segment's write is in flight, this advance runs the
+  // clock concurrently with it, and the next WaitForInflight only advances
+  // to the write's (already fixed) completion time.
+  device_->clock()->Advance(static_cast<double>(bytes) / (options_.compress_kb_per_s * 1024.0));
 }
 
 void LogStructuredDisk::ChargeDecompressCpu(uint64_t bytes) {
@@ -984,7 +1018,9 @@ Status LogStructuredDisk::Flush(FailureSet failures) {
   }
   const double fill = OpenSegmentFill();
   if (fill >= options_.partial_segment_threshold) {
-    return FlushOpenSegmentFull();
+    // Flush() promises durability, so the pipelined write must complete.
+    RETURN_IF_ERROR(FlushOpenSegmentFull());
+    return WaitForInflight();
   }
   // NVRAM absorption: small pending state is durable in NVRAM; no partial
   // disk write needed (Baker et al. 1992 model, §5.3).
@@ -1025,6 +1061,8 @@ Status LogStructuredDisk::Shutdown() {
     return FailedPreconditionError("cannot shut down with open ARUs");
   }
   RETURN_IF_ERROR(FlushOpenSegmentFull());
+  RETURN_IF_ERROR(WaitForInflight());
+  RETURN_IF_ERROR(device_->Drain());
   RETURN_IF_ERROR(WriteCheckpoint());
   shut_down_ = true;
   return OkStatus();

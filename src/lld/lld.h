@@ -189,8 +189,13 @@ class LogStructuredDisk : public LogicalDisk {
   // Appends block data (already compressed if applicable) + its entry record.
   Status AppendBlockData(Bid bid, std::span<const uint8_t> stored, uint32_t orig_size,
                          bool compressed, bool internal);
-  // Writes the open segment to a fresh target as final and resets it.
+  // Seals the open segment, submits it to the device asynchronously (double
+  // buffering a fresh open segment), and resets the open state. The write is
+  // not durable until WaitForInflight().
   Status FlushOpenSegmentFull();
+  // Barrier for the pipelined segment write: advances the clock to its
+  // completion and performs deferred bookkeeping (scratch recycling).
+  Status WaitForInflight();
   // Writes the open segment to a scratch segment, keeping it open (§3.2).
   Status FlushOpenSegmentPartial();
   // Picks a free segment, running the cleaner when the pool is low.
@@ -285,6 +290,19 @@ class LogStructuredDisk : public LogicalDisk {
   std::vector<Appended> open_appended_;
   int64_t scratch_segment_ = -1;  // Holds the latest partial write, if any.
 
+  // Double-buffered segment pipeline (§3.3): a sealed segment's image is
+  // swapped into inflight_buffer_ and submitted asynchronously; open_buffer_
+  // keeps accepting writes (and the CPU that fills it — compression, list
+  // maintenance — genuinely overlaps the in-flight disk write). At most one
+  // segment write is in flight; WaitForInflight() is the barrier.
+  std::vector<uint8_t> inflight_buffer_;
+  IoTag inflight_tag_ = kInvalidIoTag;
+  bool inflight_active_ = false;
+  // Scratch segment superseded by the in-flight full write: it may only be
+  // recycled once the full image is durable, otherwise a crash between the
+  // two writes could leave neither copy on disk.
+  int64_t inflight_scratch_free_ = -1;
+
   // Logical clocks.
   OpTimestamp next_ts_ = 1;
   uint64_t next_seq_ = 1;
@@ -303,9 +321,6 @@ class LogStructuredDisk : public LogicalDisk {
   // the hot set); -1 = first-free placement.
   int64_t writer_placement_hint_ = -1;
   bool dirty_since_flush_ = false;
-  // Duration of the last segment disk write; compression CPU time up to this
-  // much is hidden behind it (§3.3's pipelining).
-  double overlap_credit_seconds_ = 0.0;
 
   LldCounters counters_;
   std::vector<uint8_t> io_scratch_;  // Reusable sector-aligned I/O buffer.

@@ -237,6 +237,9 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
   if (batch.blocks.empty() && batch.records.empty()) {
     return OkStatus();
   }
+  // Direct callers (ReorganizeLists, RearrangeHotBlocks) may arrive with a
+  // pipelined user-segment write still in flight; order it first.
+  RETURN_IF_ERROR(WaitForInflight());
   // A dedicated segment image, independent of the user's open segment, so
   // cleaned state is durable before any victim is reused.
   std::vector<uint8_t> buffer(options_.segment_bytes, 0);
@@ -266,19 +269,27 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
                                   std::span<uint8_t>(buffer).subspan(data_capacity_),
                                   std::span<uint8_t>(buffer).subspan(used, data_capacity_ - used),
                                   &ext_used));
+    // Cleaning overlaps foreground traffic: segment images are *submitted*
+    // to the device queue (data is captured at submit, so `buffer` can be
+    // reused for the next image immediately); the Drain() at the end of
+    // WriteCleanerBatch is the durability barrier before victims are freed.
     const uint64_t base = SegmentBaseByte(static_cast<uint32_t>(target));
     if (ext_used > 0) {
       // Data, extension, and summary in one whole-segment write.
-      RETURN_IF_ERROR(device_->Write(base / sector, buffer));
+      RETURN_IF_ERROR(device_->SubmitWrite(base / sector, buffer).status());
     } else {
       if (used > 0) {
         const uint64_t data_len = (static_cast<uint64_t>(used) + sector - 1) / sector * sector;
-        RETURN_IF_ERROR(device_->Write(base / sector,
-                                       std::span<const uint8_t>(buffer).subspan(0, data_len)));
+        RETURN_IF_ERROR(
+            device_->SubmitWrite(base / sector, std::span<const uint8_t>(buffer).subspan(0, data_len))
+                .status());
       }
-      RETURN_IF_ERROR(device_->Write(
-          (base + data_capacity_) / sector,
-          std::span<const uint8_t>(buffer).subspan(data_capacity_, options_.summary_bytes)));
+      RETURN_IF_ERROR(
+          device_
+              ->SubmitWrite((base + data_capacity_) / sector,
+                            std::span<const uint8_t>(buffer).subspan(data_capacity_,
+                                                                     options_.summary_bytes))
+              .status());
     }
 
     SegmentUsage& seg = usage_->segment(static_cast<uint32_t>(target));
@@ -346,13 +357,19 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
   for (const auto& r : batch.records) {
     RETURN_IF_ERROR(append_record(r));
   }
-  return flush_segment();
+  RETURN_IF_ERROR(flush_segment());
+  // Durability barrier: every submitted cleaner segment must be on disk
+  // before the caller frees the victims it copied from.
+  return device_->Drain();
 }
 
 Status LogStructuredDisk::CleanSegments(uint32_t count) {
   if (cleaning_) {
     return OkStatus();  // Re-entrant call from our own allocation path.
   }
+  // The cleaner frees and reuses segments; a pipelined segment write must be
+  // durable before any segment holding superseded copies can be recycled.
+  RETURN_IF_ERROR(WaitForInflight());
   cleaning_ = true;
 
   // The cleaner writes copied state into fresh segments *before* freeing the

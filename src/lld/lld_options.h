@@ -58,6 +58,13 @@ struct LldOptions {
   double compress_kb_per_s = 1600.0;
   double decompress_kb_per_s = 1400.0;
 
+  // Pipeline full-segment writes (§3.3): seal the open segment into a second
+  // buffer, submit it to the device queue asynchronously, and keep accepting
+  // writes — CPU (compression, list maintenance) overlaps the in-flight disk
+  // write. When false, every full-segment write completes synchronously
+  // (useful for timing A/B tests; recovery state is identical either way).
+  bool pipeline_segment_writes = true;
+
   // Reorder live blocks into list order when cleaning (paper §3.5).
   bool cluster_on_clean = true;
 

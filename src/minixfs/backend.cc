@@ -18,6 +18,10 @@ Status MinixBackend::WriteBlocks(uint32_t bno, uint32_t count, std::span<const u
   return OkStatus();
 }
 
+Status MinixBackend::PrefetchBlocks(uint32_t bno, uint32_t count, std::span<uint8_t> out) {
+  return ReadBlocks(bno, count, out);
+}
+
 Status MinixBackend::ReadInodeBlock(uint32_t, std::span<uint8_t>) {
   return UnimplementedError("backend has no small-i-node support");
 }

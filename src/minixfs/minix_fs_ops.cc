@@ -305,10 +305,12 @@ Status MinixFs::ReadFileBlockCached(DiskInode* inode, uint32_t idx, uint32_t bno
   if (!backend_->readahead() || ra <= 1) {
     return GetBlock(bno, /*load=*/true).status();
   }
-  // Naive MINIX-style read-ahead: prefetch the next blocks of the file while
-  // their block numbers stay physically consecutive, in one request.
+  // MINIX-style read-ahead: the demand block is read synchronously (the
+  // caller needs it now); the following blocks of the file, while their
+  // block numbers stay physically consecutive, are *queued* on the device so
+  // their transfer overlaps the caller's processing.
   const uint32_t file_blocks = (inode->size + sb_.block_size - 1) / sb_.block_size;
-  std::vector<uint32_t> run{bno};
+  std::vector<uint32_t> run;
   for (uint32_t i = 1; i < ra && idx + i < file_blocks; ++i) {
     auto next = BMap(inode, idx + i, /*alloc=*/false);
     if (!next.ok() || next.value() != bno + i || cache_->Contains(next.value())) {
@@ -316,9 +318,13 @@ Status MinixFs::ReadFileBlockCached(DiskInode* inode, uint32_t idx, uint32_t bno
     }
     run.push_back(next.value());
   }
+  RETURN_IF_ERROR(GetBlock(bno, /*load=*/true).status());
+  if (run.empty()) {
+    return OkStatus();
+  }
   stats_.readahead_requests++;
-  std::vector<uint8_t> buf(static_cast<size_t>(run.size()) * sb_.block_size);
-  RETURN_IF_ERROR(backend_->ReadBlocks(bno, static_cast<uint32_t>(run.size()), buf));
+  std::vector<uint8_t> buf(run.size() * sb_.block_size);
+  RETURN_IF_ERROR(backend_->PrefetchBlocks(run.front(), static_cast<uint32_t>(run.size()), buf));
   for (size_t i = 0; i < run.size(); ++i) {
     cache_->Insert(run[i],
                    std::span<const uint8_t>(buf).subspan(i * sb_.block_size, sb_.block_size));

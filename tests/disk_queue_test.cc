@@ -1,0 +1,246 @@
+// Tests for the SimDisk request queue: submit/complete semantics, FIFO vs.
+// C-SCAN scheduling, adjacent-request merging, drain-on-shutdown, the queue
+// counters in DiskStats, and the contract that the synchronous Read/Write
+// wrappers (submit + wait) time exactly like the pre-queue synchronous model
+// for a single outstanding request.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/disk/geometry.h"
+#include "src/disk/mem_disk.h"
+#include "src/disk/sim_disk.h"
+#include "src/util/random.h"
+
+namespace ld {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(bytes);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+TEST(DiskQueueTest, SubmittedWritesAreVisibleToReadsBeforeDrain) {
+  SimClock clock;
+  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
+  disk.set_queue_depth(16);
+  const std::vector<uint8_t> data = Pattern(4096, 1);
+  auto tag = disk.SubmitWrite(500, data);
+  ASSERT_TRUE(tag.ok());
+  // The simulator applies data effects at submit: a read sees the write even
+  // while the write's timing is still queued.
+  std::vector<uint8_t> readback(4096);
+  auto rtag = disk.SubmitRead(500, readback);
+  ASSERT_TRUE(rtag.ok());
+  EXPECT_EQ(data, readback);
+  ASSERT_TRUE(disk.Drain().ok());
+}
+
+TEST(DiskQueueTest, FifoSchedulesInSubmissionOrder) {
+  SimClock clock;
+  SimDisk disk(DiskGeometry::HpC3010Partition(64 << 20), &clock);
+  disk.set_queue_policy(SimDisk::QueuePolicy::kFifo);
+  disk.set_queue_depth(16);
+  const std::vector<uint8_t> data = Pattern(4096, 2);
+  const std::vector<uint64_t> sectors = {50000, 800, 90000, 20000};
+  std::vector<IoTag> tags;
+  for (uint64_t s : sectors) {
+    auto tag = disk.SubmitWrite(s, data);
+    ASSERT_TRUE(tag.ok());
+    tags.push_back(*tag);
+  }
+  (void)disk.Poll();  // Forces scheduling; nothing has completed at t=0.
+  double prev = 0.0;
+  for (IoTag tag : tags) {
+    const double c = disk.ScheduledCompletion(tag);
+    ASSERT_GT(c, prev);  // Strictly later than the previously submitted one.
+    prev = c;
+  }
+  ASSERT_TRUE(disk.Drain().ok());
+}
+
+TEST(DiskQueueTest, CScanServicesInAscendingSectorOrderAndBeatsFifo) {
+  const DiskGeometry geometry = DiskGeometry::HpC3010Partition(64 << 20);
+  const std::vector<uint8_t> data = Pattern(4096, 3);
+  const std::vector<uint64_t> sectors = {50000, 800, 90000, 20000};
+
+  SimClock fifo_clock;
+  SimDisk fifo(geometry, &fifo_clock);
+  fifo.set_queue_policy(SimDisk::QueuePolicy::kFifo);
+  fifo.set_queue_depth(16);
+  for (uint64_t s : sectors) {
+    ASSERT_TRUE(fifo.SubmitWrite(s, data).ok());
+  }
+  ASSERT_TRUE(fifo.Drain().ok());
+
+  SimClock cscan_clock;
+  SimDisk cscan(geometry, &cscan_clock);
+  cscan.set_queue_policy(SimDisk::QueuePolicy::kCScan);
+  cscan.set_queue_depth(16);
+  std::vector<IoTag> tags;
+  for (uint64_t s : sectors) {
+    auto tag = cscan.SubmitWrite(s, data);
+    ASSERT_TRUE(tag.ok());
+    tags.push_back(*tag);
+  }
+  (void)cscan.Poll();
+  // Elevator order: ascending sector starting from the arm (cylinder 0).
+  EXPECT_LT(cscan.ScheduledCompletion(tags[1]), cscan.ScheduledCompletion(tags[3]));  // 800 < 20000
+  EXPECT_LT(cscan.ScheduledCompletion(tags[3]), cscan.ScheduledCompletion(tags[0]));  // 20000 < 50000
+  EXPECT_LT(cscan.ScheduledCompletion(tags[0]), cscan.ScheduledCompletion(tags[2]));  // 50000 < 90000
+  ASSERT_TRUE(cscan.Drain().ok());
+
+  // One monotone sweep seeks less than FIFO's zig-zag over the same batch.
+  EXPECT_LT(cscan.stats().seek_ms, fifo.stats().seek_ms);
+  EXPECT_LT(cscan_clock.Now(), fifo_clock.Now());
+}
+
+TEST(DiskQueueTest, AdjacentRequestsMergeIntoOneTransfer) {
+  const DiskGeometry geometry = DiskGeometry::HpC3010Partition(64 << 20);
+  const std::vector<uint8_t> data = Pattern(4096, 4);
+  const uint64_t start_sector = 4000;
+  const int kRequests = 8;
+  const uint64_t sectors_per_request = 4096 / geometry.sector_size;
+
+  SimClock merged_clock;
+  SimDisk merged(geometry, &merged_clock);
+  merged.set_queue_policy(SimDisk::QueuePolicy::kCScan);
+  merged.set_queue_depth(16);
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(merged.SubmitWrite(start_sector + i * sectors_per_request, data).ok());
+  }
+  ASSERT_TRUE(merged.Drain().ok());
+  EXPECT_EQ(merged.stats().merged_requests, static_cast<uint64_t>(kRequests - 1));
+  // Per-request accounting is preserved across the merge.
+  EXPECT_EQ(merged.stats().write_ops, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(merged.stats().sectors_written, kRequests * sectors_per_request);
+
+  // The same requests issued synchronously pay per-request overhead and a
+  // missed rotation between back-to-back writes; the merged batch is one
+  // sequential transfer.
+  SimClock sync_clock;
+  SimDisk sync(geometry, &sync_clock);
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(sync.Write(start_sector + i * sectors_per_request, data).ok());
+  }
+  EXPECT_EQ(sync.stats().merged_requests, 0u);
+  EXPECT_LT(merged_clock.Now(), sync_clock.Now());
+}
+
+TEST(DiskQueueTest, DrainRetiresEverythingAndAdvancesToLastCompletion) {
+  SimClock clock;
+  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
+  disk.set_queue_depth(16);
+  const std::vector<uint8_t> data = Pattern(4096, 5);
+  std::vector<IoTag> tags;
+  for (uint64_t s : {3000u, 9000u, 6000u}) {
+    auto tag = disk.SubmitWrite(s, data);
+    ASSERT_TRUE(tag.ok());
+    tags.push_back(*tag);
+  }
+  (void)disk.Poll();
+  double last = 0.0;
+  for (IoTag tag : tags) {
+    last = std::max(last, disk.ScheduledCompletion(tag));
+  }
+  ASSERT_GT(last, 0.0);
+  ASSERT_TRUE(disk.Drain().ok());
+  EXPECT_DOUBLE_EQ(clock.Now(), last);
+  EXPECT_TRUE(disk.Poll().empty());
+  // Waiting on an already-retired tag is a no-op.
+  for (IoTag tag : tags) {
+    EXPECT_TRUE(disk.WaitFor(tag).ok());
+  }
+  EXPECT_DOUBLE_EQ(clock.Now(), last);
+  // A second drain with an empty queue is a no-op too.
+  ASSERT_TRUE(disk.Drain().ok());
+  EXPECT_DOUBLE_EQ(clock.Now(), last);
+}
+
+TEST(DiskQueueTest, SyncWrappersTimeExactlyLikeSubmitPlusWait) {
+  const DiskGeometry geometry = DiskGeometry::HpC3010Partition(64 << 20);
+  const std::vector<uint8_t> data = Pattern(8192, 6);
+
+  SimClock sync_clock;
+  SimDisk sync(geometry, &sync_clock);
+  SimClock async_clock;
+  SimDisk async(geometry, &async_clock);
+  async.set_queue_depth(16);
+
+  std::vector<uint8_t> out(8192);
+  for (uint64_t s : {100u, 44000u, 100u, 9000u, 9016u}) {
+    ASSERT_TRUE(sync.Write(s, data).ok());
+    auto tag = async.SubmitWrite(s, data);
+    ASSERT_TRUE(tag.ok());
+    ASSERT_TRUE(async.WaitFor(*tag).ok());
+    ASSERT_DOUBLE_EQ(sync_clock.Now(), async_clock.Now());
+
+    ASSERT_TRUE(sync.Read(s, out).ok());
+    auto rtag = async.SubmitRead(s, out);
+    ASSERT_TRUE(rtag.ok());
+    ASSERT_TRUE(async.WaitFor(*rtag).ok());
+    ASSERT_DOUBLE_EQ(sync_clock.Now(), async_clock.Now());
+  }
+  // The whole mechanical breakdown matches, not just the total.
+  EXPECT_DOUBLE_EQ(sync.stats().seek_ms, async.stats().seek_ms);
+  EXPECT_DOUBLE_EQ(sync.stats().rotation_ms, async.stats().rotation_ms);
+  EXPECT_DOUBLE_EQ(sync.stats().transfer_ms, async.stats().transfer_ms);
+  EXPECT_DOUBLE_EQ(sync.stats().busy_ms, async.stats().busy_ms);
+  EXPECT_EQ(sync.stats().seeks, async.stats().seeks);
+}
+
+TEST(DiskQueueTest, QueueCountersTrackDepthAndWait) {
+  SimClock clock;
+  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
+  disk.set_queue_policy(SimDisk::QueuePolicy::kFifo);
+  disk.set_queue_depth(16);
+  const std::vector<uint8_t> data = Pattern(4096, 7);
+  for (uint64_t s : {2000u, 30000u, 15000u, 7000u}) {
+    ASSERT_TRUE(disk.SubmitWrite(s, data).ok());
+  }
+  ASSERT_TRUE(disk.Drain().ok());
+  EXPECT_EQ(disk.stats().queued_requests, 4u);
+  EXPECT_EQ(disk.stats().max_queue_depth, 4u);
+  // All four were submitted at t=0; later ones waited for the device.
+  EXPECT_GT(disk.stats().queue_wait_ms, 0.0);
+}
+
+TEST(DiskQueueTest, QueueDepthReachedTriggersScheduling) {
+  SimClock clock;
+  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
+  disk.set_queue_policy(SimDisk::QueuePolicy::kFifo);
+  disk.set_queue_depth(2);
+  const std::vector<uint8_t> data = Pattern(4096, 8);
+  auto first = disk.SubmitWrite(1000, data);
+  ASSERT_TRUE(first.ok());
+  EXPECT_LT(disk.ScheduledCompletion(*first), 0.0);  // Still pending.
+  auto second = disk.SubmitWrite(5000, data);
+  ASSERT_TRUE(second.ok());
+  // Hitting the configured depth scheduled the batch.
+  EXPECT_GT(disk.ScheduledCompletion(*first), 0.0);
+  EXPECT_GT(disk.ScheduledCompletion(*second), disk.ScheduledCompletion(*first));
+  ASSERT_TRUE(disk.Drain().ok());
+}
+
+TEST(DiskQueueTest, MemDiskDefaultAsyncPathWorks) {
+  SimClock clock;
+  MemDisk disk(/*num_sectors=*/4096, /*sector_size=*/512, &clock);
+  const std::vector<uint8_t> data = Pattern(4096, 9);
+  auto tag = disk.SubmitWrite(64, data);
+  ASSERT_TRUE(tag.ok());
+  std::vector<uint8_t> out(4096);
+  auto rtag = disk.SubmitRead(64, out);
+  ASSERT_TRUE(rtag.ok());
+  EXPECT_EQ(data, out);
+  EXPECT_TRUE(disk.WaitFor(*tag).ok());
+  EXPECT_TRUE(disk.Drain().ok());
+  EXPECT_TRUE(disk.Poll().empty());
+}
+
+}  // namespace
+}  // namespace ld
