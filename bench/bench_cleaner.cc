@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/harness/report.h"
 #include "src/harness/setup.h"
 #include "src/util/table.h"
@@ -28,11 +28,11 @@ StatusOr<CleanCost> RunHotColdAt(double utilization, CleaningPolicy policy) {
   // Raw LLD (no file system on top): utilization is then exactly live
   // bytes / data capacity.
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(96ull << 20), &clock);
+  auto disk = MakeDevice(DeviceOptions::HpC3010(96ull << 20), &clock);
   LldOptions options;
   options.cleaning_policy = policy;
   ASSIGN_OR_RETURN(std::unique_ptr<LogStructuredDisk> lld,
-                   LogStructuredDisk::Format(&disk, options));
+                   LogStructuredDisk::Format(disk.get(), options));
 
   HotColdParams hc;
   hc.num_blocks = static_cast<uint64_t>(lld->TotalDataCapacity() * utilization / 4096);
@@ -53,11 +53,11 @@ StatusOr<CleanCost> RunHotColdAt(double utilization, CleaningPolicy policy) {
 // Sequential read bandwidth over a list whose segments were heavily cleaned.
 StatusOr<double> ClusterReadBandwidth(bool cluster_on_clean) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(96ull << 20), &clock);
+  auto disk = MakeDevice(DeviceOptions::HpC3010(96ull << 20), &clock);
   LldOptions options;
   options.cluster_on_clean = cluster_on_clean;
   ASSIGN_OR_RETURN(std::unique_ptr<LogStructuredDisk> lld_owner,
-                   LogStructuredDisk::Format(&disk, options));
+                   LogStructuredDisk::Format(disk.get(), options));
   LogStructuredDisk* lld = lld_owner.get();
 
   // Three interleaved lists; delete one so the cleaner must run, leaving

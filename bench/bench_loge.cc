@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/flatld/flat_disk.h"
 #include "src/harness/report.h"
 #include "src/lld/lld.h"
@@ -38,8 +38,8 @@ struct WriteResult {
 template <typename Maker, typename Reopener>
 StatusOr<WriteResult> RunOne(Maker make, Reopener reopen, bool flush_each) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(kPartitionBytes), &clock);
-  ASSIGN_OR_RETURN(auto ld, make(&disk));
+  auto disk = MakeDevice(DeviceOptions::HpC3010(kPartitionBytes), &clock);
+  ASSIGN_OR_RETURN(auto ld, make(disk.get()));
 
   ListHints hints;
   ASSIGN_OR_RETURN(Lid list, ld->NewList(kBeginOfListOfLists, hints));
@@ -71,7 +71,7 @@ StatusOr<WriteResult> RunOne(Maker make, Reopener reopen, bool flush_each) {
   result.kbps = kWrites * 4.0 / (clock.Now() - start);
 
   const double before = clock.Now();
-  RETURN_IF_ERROR(reopen(&disk));
+  RETURN_IF_ERROR(reopen(disk.get()));
   result.recovery_seconds = clock.Now() - before;
   return result;
 }
@@ -80,22 +80,22 @@ int Run() {
   // LLD with segment batching (sync-per-write would defeat the log; the
   // write-dominated workload the paper means is stream-of-writes).
   auto lld = RunOne(
-      [](SimDisk* disk) { return LogStructuredDisk::Format(disk, LldOptions{}); },
-      [](SimDisk* disk) -> Status {
+      [](BlockDevice* disk) { return LogStructuredDisk::Format(disk, LldOptions{}); },
+      [](BlockDevice* disk) -> Status {
         RecoveryStats stats;
         return LogStructuredDisk::Open(disk, LldOptions{}, &stats).status();
       },
       /*flush_each=*/false);
   auto loge = RunOne(
-      [](SimDisk* disk) { return LogeDisk::Format(disk, LogeOptions{}); },
-      [](SimDisk* disk) -> Status {
+      [](BlockDevice* disk) { return LogeDisk::Format(disk, LogeOptions{}); },
+      [](BlockDevice* disk) -> Status {
         LogeRecoveryStats stats;
         return LogeDisk::Open(disk, LogeOptions{}, &stats).status();
       },
       /*flush_each=*/false);
   auto flat = RunOne(
-      [](SimDisk* disk) { return FlatDisk::Format(disk, FlatOptions{}); },
-      [](SimDisk* disk) -> Status { return FlatDisk::Open(disk, FlatOptions{}).status(); },
+      [](BlockDevice* disk) { return FlatDisk::Format(disk, FlatOptions{}); },
+      [](BlockDevice* disk) -> Status { return FlatDisk::Open(disk, FlatOptions{}).status(); },
       /*flush_each=*/false);
   if (!lld.ok() || !loge.ok() || !flat.ok()) {
     std::fprintf(stderr, "bench failed: %s %s %s\n", lld.status().ToString().c_str(),

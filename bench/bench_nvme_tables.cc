@@ -1,0 +1,336 @@
+// Tables 3–6 re-run on two device geometries: the paper's mechanical HP
+// C3010 and an NVMe-style flash device (no seek/rotation, deep queue, fixed
+// latency + shared bandwidth). The paper's argument for LLD is built on
+// mechanical-disk economics — writes dominate, seeks are expensive, and a
+// log turns random writes into sequential ones. On flash there is no arm to
+// amortize, so this bench reports where LLD's win over update-in-place
+// MINIX shrinks or inverts.
+//
+// A final section exercises the multi-channel mechanical device: with the
+// cleaner active, 4 independent actuators must beat 1 on aggregate
+// throughput, with the per-channel busy breakdown proving overlap.
+//
+//   --smoke   tiny workloads (CI bit-rot guard; numbers not meaningful)
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/disk/device_factory.h"
+#include "src/harness/report.h"
+#include "src/harness/setup.h"
+#include "src/lld/lld.h"
+#include "src/lld/memory_model.h"
+#include "src/util/random.h"
+#include "src/util/table.h"
+#include "src/workload/microbench.h"
+
+namespace ld {
+namespace {
+
+bool g_smoke = false;
+
+struct Backend {
+  const char* name;
+  DeviceOptions options;
+};
+
+std::vector<Backend> Backends() {
+  return {
+      {"HP C3010", DeviceOptions::HpC3010(400ull << 20)},
+      // Capacity 0 = match the partition the harness derives, so both
+      // backends run the identical workload at identical capacity.
+      {"NVMe", DeviceOptions::Nvme(0)},
+  };
+}
+
+SetupParams ParamsFor(const DeviceOptions& device) {
+  SetupParams params;
+  if (g_smoke) {
+    params.partition_bytes = 64ull << 20;
+    params.num_inodes = 2048;
+  }
+  params.device = device;
+  return params;
+}
+
+// --- Table 3: memory cost --------------------------------------------------
+
+void Table3() {
+  std::printf("\n== Table 3: memory added per GB of disk ==\n");
+  std::printf("Device-independent: LLD's block map / list map sizes depend on\n");
+  std::printf("block count, not on what services the I/O (see bench_table3_cost\n");
+  std::printf("for the full cost table). Anchors for 1 GB:\n");
+  MemoryModelParams p;
+  p.disk_bytes = 1ull << 30;
+  const MemoryModelResult m = ComputeMemoryModel(p);
+  std::printf("  %.1f MB of RAM per GB of disk (paper best case: 1.5 MB)\n",
+              m.total_bytes / 1024.0 / 1024.0);
+}
+
+// --- Table 4: small files --------------------------------------------------
+
+struct SmallRow {
+  double create = 0, read = 0, del = 0;
+};
+
+bool Table4(std::vector<std::vector<SmallRow>>* out) {
+  std::printf("\n== Table 4: small-file performance (files/sec) ==\n");
+  TextTable t({"Device", "File System", "Create", "Read", "Delete"});
+  for (const Backend& backend : Backends()) {
+    std::vector<SmallRow> rows;
+    for (FsKind kind : {FsKind::kMinixLld, FsKind::kMinix}) {
+      auto fut = MakeFsUnderTest(kind, ParamsFor(backend.options));
+      if (!fut.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n", fut.status().ToString().c_str());
+        return false;
+      }
+      SmallFileParams params;
+      params.num_files = g_smoke ? 300 : 10000;
+      params.file_bytes = 1024;
+      auto result = RunSmallFileBenchmark(fut->fs.get(), fut->clock.get(), params);
+      if (!result.ok()) {
+        std::fprintf(stderr, "bench failed: %s\n", result.status().ToString().c_str());
+        return false;
+      }
+      rows.push_back({result->create_per_sec, result->read_per_sec, result->delete_per_sec});
+      t.AddRow({backend.name, FsKindName(kind), TextTable::Num(result->create_per_sec, 1),
+                TextTable::Num(result->read_per_sec, 1),
+                TextTable::Num(result->delete_per_sec, 1)});
+    }
+    out->push_back(rows);
+  }
+  t.Print();
+  return true;
+}
+
+// --- Table 5: large file ---------------------------------------------------
+
+bool Table5(std::vector<std::vector<LargeFileResult>>* out) {
+  std::printf("\n== Table 5: large-file performance (KB/s) ==\n");
+  TextTable t({"Device", "File System", "Write Seq.", "Read Seq.", "Write Rand.", "Read Rand."});
+  for (const Backend& backend : Backends()) {
+    std::vector<LargeFileResult> rows;
+    for (FsKind kind : {FsKind::kMinixLld, FsKind::kMinix}) {
+      auto fut = MakeFsUnderTest(kind, ParamsFor(backend.options));
+      if (!fut.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n", fut.status().ToString().c_str());
+        return false;
+      }
+      LargeFileParams params;
+      params.file_bytes = g_smoke ? (8ull << 20) : (80ull << 20);
+      auto result = RunLargeFileBenchmark(fut->fs.get(), fut->clock.get(), params);
+      if (!result.ok()) {
+        std::fprintf(stderr, "bench failed: %s\n", result.status().ToString().c_str());
+        return false;
+      }
+      rows.push_back(*result);
+      t.AddRow({backend.name, FsKindName(kind), TextTable::Num(result->write_seq_kbps),
+                TextTable::Num(result->read_seq_kbps), TextTable::Num(result->write_rand_kbps),
+                TextTable::Num(result->read_rand_kbps)});
+    }
+    out->push_back(rows);
+  }
+  t.Print();
+  return true;
+}
+
+// --- Table 6: per-operation durable write cost -----------------------------
+
+struct DurableCosts {
+  double create_ms = 0, overwrite_ms = 0, append_ms = 0;
+};
+
+bool Table6(std::vector<std::vector<DurableCosts>>* out) {
+  std::printf("\n== Table 6: durable cost per operation (ms, each op Sync'd) ==\n");
+  const int kOps = g_smoke ? 20 : 200;
+  TextTable t({"Device", "File System", "Create", "Overwrite", "Append"});
+  for (const Backend& backend : Backends()) {
+    std::vector<DurableCosts> rows;
+    for (FsKind kind : {FsKind::kMinixLldSmallInodes, FsKind::kMinix}) {
+      SetupParams params = ParamsFor(backend.options);
+      params.partition_bytes = g_smoke ? (64ull << 20) : (128ull << 20);
+      auto fut = MakeFsUnderTest(kind, params);
+      if (!fut.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n", fut.status().ToString().c_str());
+        return false;
+      }
+      MinixFs* fs = fut->fs.get();
+      SimClock* clock = fut->clock.get();
+      DurableCosts cost;
+
+      (void)fs->SyncFs();
+      double mark = clock->Now();
+      for (int i = 0; i < kOps; ++i) {
+        (void)fs->CreateFile("/c" + std::to_string(i));
+        (void)fs->SyncFs();
+      }
+      cost.create_ms = (clock->Now() - mark) * 1000.0 / kOps;
+
+      auto big = fs->CreateFile("/big");
+      std::vector<uint8_t> chunk(256 * 1024, 0x42);
+      const uint64_t big_bytes = g_smoke ? (2ull << 20) : (24ull << 20);
+      for (uint64_t off = 0; off < big_bytes; off += chunk.size()) {
+        (void)fs->WriteFile(*big, off, chunk);
+      }
+      (void)fs->SyncFs();
+      std::vector<uint8_t> block(4096, 0x17);
+      mark = clock->Now();
+      for (int i = 0; i < kOps; ++i) {
+        (void)fs->WriteFile(*big, static_cast<uint64_t>(i) * 4096, block);
+        (void)fs->SyncFs();
+      }
+      cost.overwrite_ms = (clock->Now() - mark) * 1000.0 / kOps;
+
+      uint64_t end = fs->StatIno(*big)->size;
+      mark = clock->Now();
+      for (int i = 0; i < kOps; ++i) {
+        (void)fs->WriteFile(*big, end, block);
+        end += block.size();
+        (void)fs->SyncFs();
+      }
+      cost.append_ms = (clock->Now() - mark) * 1000.0 / kOps;
+
+      rows.push_back(cost);
+      t.AddRow({backend.name, FsKindName(kind), TextTable::Num(cost.create_ms, 2),
+                TextTable::Num(cost.overwrite_ms, 2), TextTable::Num(cost.append_ms, 2)});
+    }
+    out->push_back(rows);
+  }
+  t.Print();
+  return true;
+}
+
+// --- Channel scaling (mechanical device, cleaner active) -------------------
+
+struct ScalingRun {
+  double elapsed = 0;
+  double busy_sum_ms = 0;
+  uint64_t segments_cleaned = 0;
+  std::vector<double> channel_busy_ms;
+};
+
+StatusOr<ScalingRun> RunScaling(uint32_t channels) {
+  SimClock clock;
+  auto disk = MakeDevice(DeviceOptions::HpC3010(64ull << 20, channels), &clock);
+  LldOptions options;
+  options.segment_bytes = 128 * 1024;
+  options.summary_bytes = 8192;
+  ASSIGN_OR_RETURN(auto lld, LogStructuredDisk::Format(disk.get(), options));
+
+  ASSIGN_OR_RETURN(Lid list, lld->NewList(kBeginOfListOfLists, ListHints{}));
+  const uint64_t num_blocks = lld->TotalDataCapacity() * 7 / 10 / 4096;
+  std::vector<Bid> bids;
+  std::vector<uint8_t> data(4096, 0x6b);
+  Bid pred = kBeginOfList;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    ASSIGN_OR_RETURN(Bid bid, lld->NewBlock(list, pred));
+    pred = bid;
+    RETURN_IF_ERROR(lld->Write(bid, data));
+    bids.push_back(bid);
+  }
+  RETURN_IF_ERROR(lld->Flush());
+  disk->ResetStats();
+
+  Rng rng(97);
+  const int kWrites = g_smoke ? 6000 : 12000;
+  const double start = clock.Now();
+  for (int w = 0; w < kWrites; ++w) {
+    RETURN_IF_ERROR(lld->Write(bids[rng.Below(bids.size())], data));
+  }
+  RETURN_IF_ERROR(lld->Flush());
+
+  ScalingRun r;
+  r.elapsed = clock.Now() - start;
+  for (size_t c = 0; c < disk->stats().channel_count(); ++c) {
+    r.channel_busy_ms.push_back(disk->stats().channel(c).busy_ms);
+    r.busy_sum_ms += disk->stats().channel(c).busy_ms;
+  }
+  r.segments_cleaned = lld->counters().segments_cleaned;
+  return r;
+}
+
+bool ChannelScaling() {
+  std::printf("\n== Channel scaling: cleaner-active overwrites, 1 vs 4 actuators ==\n");
+  auto one = RunScaling(1);
+  auto four = RunScaling(4);
+  if (!one.ok() || !four.ok()) {
+    std::fprintf(stderr, "scaling run failed: %s %s\n", one.status().ToString().c_str(),
+                 four.status().ToString().c_str());
+    return false;
+  }
+  std::printf("  1 channel:  %.2f s elapsed, %llu segments cleaned\n", one->elapsed,
+              static_cast<unsigned long long>(one->segments_cleaned));
+  std::printf("  4 channels: %.2f s elapsed, %llu segments cleaned\n", four->elapsed,
+              static_cast<unsigned long long>(four->segments_cleaned));
+  for (size_t c = 0; c < four->channel_busy_ms.size(); ++c) {
+    std::printf("    channel %zu busy: %.0f ms\n", c, four->channel_busy_ms[c]);
+  }
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+    return ok;
+  };
+  bool all = true;
+  all &= check("4 channels give higher aggregate throughput than 1",
+               four->elapsed < one->elapsed);
+  all &= check("channel busy times sum past wall time (true overlap)",
+               four->busy_sum_ms > four->elapsed * 1000.0);
+  return all;
+}
+
+// --- Verdict ---------------------------------------------------------------
+
+void Verdict(const std::vector<std::vector<SmallRow>>& t4,
+             const std::vector<std::vector<LargeFileResult>>& t5,
+             const std::vector<std::vector<DurableCosts>>& t6) {
+  std::printf("\n== Where LLD's win over update-in-place moves on NVMe ==\n");
+  auto ratio_line = [](const char* what, double hp, double nv) {
+    const char* tag = nv < 1.0 ? "INVERTS" : (nv < hp * 0.67 ? "SHRINKS" : "HOLDS");
+    std::printf("  %-38s HP C3010 %5.1fx -> NVMe %5.1fx  [%s]\n", what, hp, nv, tag);
+  };
+  ratio_line("small-file create (LLD/MINIX)", t4[0][0].create / t4[0][1].create,
+             t4[1][0].create / t4[1][1].create);
+  ratio_line("large-file random write (LLD/MINIX)",
+             t5[0][0].write_rand_kbps / t5[0][1].write_rand_kbps,
+             t5[1][0].write_rand_kbps / t5[1][1].write_rand_kbps);
+  ratio_line("large-file random read (LLD/MINIX)",
+             t5[0][0].read_rand_kbps / t5[0][1].read_rand_kbps,
+             t5[1][0].read_rand_kbps / t5[1][1].read_rand_kbps);
+  // Durable costs are "lower is better": invert so >1 still favours LLD.
+  ratio_line("durable overwrite cost (MINIX/LLD)", t6[0][1].overwrite_ms / t6[0][0].overwrite_ms,
+             t6[1][1].overwrite_ms / t6[1][0].overwrite_ms);
+  std::printf(
+      "\nReading: LLD's mechanical-disk advantage comes from batching seeks\n"
+      "away; with no arm the batching still helps (fewer, larger requests)\n"
+      "but the multiplier drops toward the cleaner's write amplification.\n");
+}
+
+int Run() {
+  Table3();
+  std::vector<std::vector<SmallRow>> t4;
+  std::vector<std::vector<LargeFileResult>> t5;
+  std::vector<std::vector<DurableCosts>> t6;
+  if (!Table4(&t4) || !Table5(&t5) || !Table6(&t6)) {
+    return 1;
+  }
+  Verdict(t4, t5, t6);
+  if (!ChannelScaling()) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ld
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      ld::g_smoke = true;
+    }
+  }
+  ld::PrintBanner("Tables 3-6 on two geometries — HP C3010 vs NVMe",
+                  "The paper's evaluation re-run on a mechanical disk and an\n"
+                  "NVMe-style device, plus multi-actuator channel scaling with\n"
+                  "the cleaner active.");
+  return ld::Run();
+}

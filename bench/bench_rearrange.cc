@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/harness/report.h"
 #include "src/lld/lld.h"
 #include "src/util/random.h"
@@ -24,7 +24,7 @@ struct Phase {
   double seek_ms_per_read;
 };
 
-Phase MeasureReads(LogStructuredDisk* lld, SimDisk* disk, SimClock* clock,
+Phase MeasureReads(LogStructuredDisk* lld, BlockDevice* disk, SimClock* clock,
                    const std::vector<Bid>& hot, const std::vector<Bid>& cold, Rng* rng) {
   const int kReads = 4000;
   std::vector<uint8_t> out(4096);
@@ -43,10 +43,10 @@ Phase MeasureReads(LogStructuredDisk* lld, SimDisk* disk, SimClock* clock,
 
 int Run() {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(256ull << 20), &clock);
+  auto disk = MakeDevice(DeviceOptions::HpC3010(256ull << 20), &clock);
   LldOptions options;
   options.track_read_heat = true;
-  auto lld_or = LogStructuredDisk::Format(&disk, options);
+  auto lld_or = LogStructuredDisk::Format(disk.get(), options);
   if (!lld_or.ok()) {
     std::fprintf(stderr, "format failed\n");
     return 1;
@@ -75,13 +75,13 @@ int Run() {
   }
   (void)lld->Flush();
 
-  const Phase before = MeasureReads(lld.get(), &disk, &clock, hot, cold, &rng);
+  const Phase before = MeasureReads(lld.get(), disk.get(), &clock, hot, cold, &rng);
   auto moved = lld->RearrangeHotBlocks(static_cast<uint32_t>(hot.size()));
   if (!moved.ok()) {
     std::fprintf(stderr, "rearrange failed: %s\n", moved.status().ToString().c_str());
     return 1;
   }
-  const Phase after = MeasureReads(lld.get(), &disk, &clock, hot, cold, &rng);
+  const Phase after = MeasureReads(lld.get(), disk.get(), &clock, hot, cold, &rng);
 
   TextTable t({"Layout", "ms/read", "seek ms/read"});
   t.AddRow({"Hot blocks scattered", TextTable::Num(before.ms_per_read, 2),

@@ -7,7 +7,6 @@
 
 #include <cstdio>
 
-#include "src/disk/sim_disk.h"
 #include "src/harness/report.h"
 #include "src/harness/setup.h"
 #include "src/util/table.h"
@@ -68,7 +67,7 @@ int Run() {
 
   // ---- Loge-style model: recovery must read the entire disk. ----
   // Sequential read of every sector at media rate (generous to Loge).
-  const DiskGeometry geo = fut->disk->geometry();
+  const DiskGeometry geo = DiskGeometry::HpC3010Partition(params.partition_bytes);
   const double media_kbps = geo.sectors_per_track * geo.sector_size / 1024.0 /
                             (geo.RotationPeriodMs() / 1000.0);
   const double loge_seconds = geo.CapacityBytes() / 1024.0 / media_kbps;

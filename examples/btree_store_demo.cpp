@@ -10,13 +10,13 @@
 
 #include "src/btreefs/btree_store.h"
 #include "src/disk/fault_disk.h"
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/lld/lld.h"
 
 int main() {
   ld::SimClock clock;
-  ld::SimDisk sim(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
-  ld::FaultDisk disk(&sim);
+  auto sim = ld::MakeDevice(ld::DeviceOptions::HpC3010(64 << 20), &clock);
+  ld::FaultDisk disk(sim.get());
   ld::LldOptions options;
   auto lld = *ld::LogStructuredDisk::Format(&disk, options);
   auto store = *ld::BTreeStore::Format(lld.get());
@@ -44,7 +44,7 @@ int main() {
   // Range scan: the leaf chain sits on an LD list in key order, so LD
   // clusters it physically and the scan reads sequentially.
   (void)store->Sync();
-  sim.ResetStats();
+  sim->ResetStats();
   uint64_t scanned = 0;
   (void)store->Scan(5000, 5999, [&](uint64_t, std::span<const uint8_t>) {
     scanned++;
@@ -52,7 +52,7 @@ int main() {
   });
   std::printf("Scanned %llu records in [5000, 5999] with %llu disk reads\n",
               static_cast<unsigned long long>(scanned),
-              static_cast<unsigned long long>(sim.stats().read_ops));
+              static_cast<unsigned long long>(sim->stats().read_ops));
 
   // Crash mid-update: every Put (including multi-node splits) is one atomic
   // recovery unit, so the reopened tree is always structurally perfect.

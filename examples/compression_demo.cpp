@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "src/compress/lzrw.h"
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/lld/lld.h"
 #include "src/workload/data_gen.h"
 
@@ -18,11 +18,11 @@ using ld::Lid;
 
 int main() {
   ld::SimClock clock;
-  ld::SimDisk disk(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
+  auto disk = ld::MakeDevice(ld::DeviceOptions::HpC3010(64 << 20), &clock);
   ld::Lzrw1Compressor compressor;
   ld::LldOptions options;
   options.compressor = &compressor;
-  auto lld = *ld::LogStructuredDisk::Format(&disk, options);
+  auto lld = *ld::LogStructuredDisk::Format(disk.get(), options);
 
   // One compressed list, one plain list.
   ld::ListHints packed_hints;
@@ -73,7 +73,7 @@ int main() {
 
   // Crash-safety includes compressed blocks.
   (void)lld->Shutdown();
-  auto reopened = *ld::LogStructuredDisk::Open(&disk, options);
+  auto reopened = *ld::LogStructuredDisk::Open(disk.get(), options);
   (void)reopened->Read(packed_bids[0], a);
   std::printf("After reopen, compressed block 0 still decompresses correctly: %s\n",
               [&] {

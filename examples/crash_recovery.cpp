@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/disk/fault_disk.h"
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/lld/lld.h"
 
 using ld::Bid;
@@ -40,8 +40,8 @@ ld::Status WriteBalance(ld::LogicalDisk* lld, Bid account, uint32_t value) {
 // the two writes. Returns the total money after recovery.
 uint32_t TransferWithCrash(bool use_aru) {
   ld::SimClock clock;
-  ld::SimDisk sim(ld::DiskGeometry::HpC3010Partition(32 << 20), &clock);
-  ld::FaultDisk disk(&sim);
+  auto sim = ld::MakeDevice(ld::DeviceOptions::HpC3010(32 << 20), &clock);
+  ld::FaultDisk disk(sim.get());
   ld::LldOptions options;
   auto lld = *ld::LogStructuredDisk::Format(&disk, options);
   Lid list = *lld->NewList(ld::kBeginOfListOfLists, ld::ListHints{});

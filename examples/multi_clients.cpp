@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "src/btreefs/btree_store.h"
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/fatfs/fat_fs.h"
 #include "src/lld/lld.h"
 #include "src/minixfs/minix_fs.h"
@@ -26,8 +26,8 @@ int main() {
   ld::SimClock clock;
 
   // --- Client 1: the UNIX-style file system -------------------------------
-  ld::SimDisk disk1(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
-  auto lld1 = *ld::LogStructuredDisk::Format(&disk1, ld::LldOptions{});
+  auto disk1 = ld::MakeDevice(ld::DeviceOptions::HpC3010(64 << 20), &clock);
+  auto lld1 = *ld::LogStructuredDisk::Format(disk1.get(), ld::LldOptions{});
   auto minix = *ld::MinixFs::FormatOnLd(lld1.get(), ld::MinixOptions{},
                                         /*list_per_file=*/true);
   (void)minix->Mkdir("/home");
@@ -40,8 +40,8 @@ int main() {
                                               lld1->counters().partial_segments_written));
 
   // --- Client 2: the DOS-style file system, FAT eliminated ----------------
-  ld::SimDisk disk2(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
-  auto lld2 = *ld::LogStructuredDisk::Format(&disk2, ld::LldOptions{});
+  auto disk2 = ld::MakeDevice(ld::DeviceOptions::HpC3010(64 << 20), &clock);
+  auto lld2 = *ld::LogStructuredDisk::Format(disk2.get(), ld::LldOptions{});
   auto fat = *ld::FatFs::Format(lld2.get());
   (void)fat->Create("AUTOEXEC.BAT");
   (void)fat->Write("AUTOEXEC.BAT", 0, Bytes("@echo the FAT is gone"));
@@ -51,8 +51,8 @@ int main() {
   std::printf("                %-28s    File Allocation Table does not exist\n", "");
 
   // --- Client 3: the database file system ---------------------------------
-  ld::SimDisk disk3(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
-  auto lld3 = *ld::LogStructuredDisk::Format(&disk3, ld::LldOptions{});
+  auto disk3 = ld::MakeDevice(ld::DeviceOptions::HpC3010(64 << 20), &clock);
+  auto lld3 = *ld::LogStructuredDisk::Format(disk3.get(), ld::LldOptions{});
   auto db = *ld::BTreeStore::Format(lld3.get());
   for (uint64_t key = 0; key < 2000; ++key) {
     (void)db->Put(key, Bytes("row-" + std::to_string(key)));

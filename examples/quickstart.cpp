@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/lld/lld.h"
 
 using ld::Bid;
@@ -39,11 +39,11 @@ T Check(ld::StatusOr<T> value, const char* what) {
 int main() {
   // A 64-MB partition of the simulated disk the paper used.
   ld::SimClock clock;
-  ld::SimDisk disk(ld::DiskGeometry::HpC3010Partition(64 << 20), &clock);
+  auto disk = ld::MakeDevice(ld::DeviceOptions::HpC3010(64 << 20), &clock);
 
   // 1. Format a log-structured LD on it.
   ld::LldOptions options;  // 4-KB blocks, 512-KB segments, as in the paper.
-  auto lld = Check(ld::LogStructuredDisk::Format(&disk, options), "Format");
+  auto lld = Check(ld::LogStructuredDisk::Format(disk.get(), options), "Format");
   std::printf("Formatted LLD: %u segments of %u KB (%.1f MB of data capacity)\n",
               lld->num_segments(), options.segment_bytes / 1024,
               lld->TotalDataCapacity() / 1048576.0);
@@ -102,7 +102,7 @@ int main() {
 
   // 8. Reopen: state comes back exactly.
   ld::RecoveryStats stats;
-  auto reopened = Check(ld::LogStructuredDisk::Open(&disk, options, &stats), "Open");
+  auto reopened = Check(ld::LogStructuredDisk::Open(disk.get(), options, &stats), "Open");
   std::printf("Reopened (%s)\n", stats.used_checkpoint ? "from checkpoint" : "via log recovery");
   Check(reopened->Read(blocks[2], data), "Read after reopen");
   std::printf("Block %u after reopen: \"%s\"\n", blocks[2],

@@ -4,6 +4,18 @@
 
 namespace ld {
 
+const ChannelStats& DiskStats::channel(size_t i) const {
+  static const ChannelStats kZero{};
+  return i < channels_.size() ? channels_[i] : kZero;
+}
+
+ChannelStats& DiskStats::MutableChannel(size_t i) {
+  if (i >= channels_.size()) {
+    channels_.resize(i + 1);
+  }
+  return channels_[i];
+}
+
 // Default async implementations: service the request synchronously at submit
 // time and remember the completion so WaitFor/Poll/Drain behave uniformly.
 // Devices with a real queue (SimDisk) override these.

@@ -15,6 +15,12 @@
 //
 // The synchronous calls are exactly submit + wait, so both styles charge
 // identical service time for a single outstanding request.
+//
+// Devices may expose multiple independent *channels* (actuators on a
+// multi-arm disk, flash channels on an SSD). Sector ranges are statically
+// partitioned across channels; requests on different channels are serviced
+// concurrently. ChannelOf() reveals the static mapping so log-structured
+// layers can place data to exploit the parallelism.
 
 #ifndef SRC_DISK_BLOCK_DEVICE_H_
 #define SRC_DISK_BLOCK_DEVICE_H_
@@ -32,12 +38,32 @@ namespace ld {
 using IoTag = uint64_t;
 inline constexpr IoTag kInvalidIoTag = 0;
 
+// How a queueing device orders each scheduled batch before service.
+// Devices without a mechanical arm may ignore the policy.
+enum class QueuePolicy {
+  kFifo,   // Submission order.
+  kCScan,  // Circular elevator: ascending sector from the arm, then wrap.
+};
+
 // Reported by Poll(): a request that has (logically) finished.
 struct IoCompletion {
   IoTag tag = kInvalidIoTag;
   bool is_read = false;
   // Simulated time at which the device finished servicing the request.
   double completion_seconds = 0.0;
+};
+
+// Per-channel activity breakdown. Devices with one channel still populate
+// channel 0 if they track channels at all; devices that don't leave the
+// vector empty and DiskStats::channel() returns zeros.
+struct ChannelStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t sectors_read = 0;
+  uint64_t sectors_written = 0;
+  double busy_ms = 0.0;          // Channel service time (incl. overhead).
+  double queue_wait_ms = 0.0;    // Time requests waited on this channel.
+  uint64_t queued_requests = 0;  // Requests routed to this channel.
 };
 
 // Cumulative counters a device keeps about its own activity.
@@ -61,6 +87,19 @@ struct DiskStats {
   uint64_t TotalOps() const { return read_ops + write_ops; }
   uint64_t BytesRead(uint32_t sector_size) const { return sectors_read * sector_size; }
   uint64_t BytesWritten(uint32_t sector_size) const { return sectors_written * sector_size; }
+
+  // --- Per-channel breakdown (stable accessor) -----------------------------
+  //
+  // Access goes through channel() rather than a public vector so single-
+  // channel devices (and old consumers) need no changes: out-of-range
+  // indices read as all-zero.
+  size_t channel_count() const { return channels_.size(); }
+  const ChannelStats& channel(size_t i) const;
+  // For devices: grows the vector on demand.
+  ChannelStats& MutableChannel(size_t i);
+
+ private:
+  std::vector<ChannelStats> channels_;
 };
 
 class BlockDevice {
@@ -87,7 +126,7 @@ class BlockDevice {
   //
   // The default implementations service each request synchronously at submit
   // time, so simple devices (MemDisk) and wrappers get the async API for
-  // free; queueing devices (SimDisk) override all five methods.
+  // free; queueing devices (SimDisk, NvmeDevice) override all five methods.
 
   virtual StatusOr<IoTag> SubmitRead(uint64_t sector, std::span<uint8_t> out);
   virtual StatusOr<IoTag> SubmitWrite(uint64_t sector, std::span<const uint8_t> data);
@@ -104,6 +143,32 @@ class BlockDevice {
   // Blocks until every outstanding request completes, advancing the clock to
   // the last completion time.
   virtual Status Drain();
+
+  // --- Scheduling knobs ----------------------------------------------------
+  //
+  // Defaults are no-ops so benches and tests can A/B any backend without
+  // downcasting; queueing devices override them. queue_depth() == 1 means
+  // every request is scheduled as soon as it is submitted (the synchronous
+  // model).
+
+  virtual void set_queue_policy(QueuePolicy /*policy*/) {}
+  virtual QueuePolicy queue_policy() const { return QueuePolicy::kFifo; }
+  virtual void set_queue_depth(uint32_t /*depth*/) {}
+  virtual uint32_t queue_depth() const { return 1; }
+
+  // --- Channel topology ----------------------------------------------------
+
+  // Number of independent channels/actuators. Requests on distinct channels
+  // proceed concurrently; requests on the same channel serialize.
+  virtual uint32_t num_channels() const { return 1; }
+
+  // The channel that statically owns `sector`. Stable for the device's
+  // lifetime; log-structured layers use it for placement.
+  virtual uint32_t ChannelOf(uint64_t /*sector*/) const { return 0; }
+
+  // Completion time of `tag` if it has been scheduled but not yet retired;
+  // negative for unknown/unsupported. Exposed for tests.
+  virtual double ScheduledCompletion(IoTag /*tag*/) const { return -1.0; }
 
   virtual SimClock* clock() = 0;
   virtual const DiskStats& stats() const = 0;

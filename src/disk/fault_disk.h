@@ -48,6 +48,18 @@ class FaultDisk : public BlockDevice {
   std::vector<IoCompletion> Poll() override { return inner_->Poll(); }
   Status Drain() override { return inner_->Drain(); }
 
+  // Scheduling knobs and channel topology pass straight through so fault
+  // injection composes with multi-channel devices and queue A/B tests.
+  void set_queue_policy(QueuePolicy policy) override { inner_->set_queue_policy(policy); }
+  QueuePolicy queue_policy() const override { return inner_->queue_policy(); }
+  void set_queue_depth(uint32_t depth) override { inner_->set_queue_depth(depth); }
+  uint32_t queue_depth() const override { return inner_->queue_depth(); }
+  uint32_t num_channels() const override { return inner_->num_channels(); }
+  uint32_t ChannelOf(uint64_t sector) const override { return inner_->ChannelOf(sector); }
+  double ScheduledCompletion(IoTag tag) const override {
+    return inner_->ScheduledCompletion(tag);
+  }
+
   SimClock* clock() override { return inner_->clock(); }
   const DiskStats& stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }

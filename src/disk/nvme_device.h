@@ -1,0 +1,120 @@
+// Simulated NVMe-style flash device: no seek or rotation model, a deep
+// tagged queue (hundreds of outstanding requests), and a timing model of
+// fixed per-request latency plus bandwidth shared across in-flight
+// transfers.
+//
+// Timing model. Each request becomes *active* a fixed latency after it is
+// submitted (reads pay flash-read latency, writes the program-buffer
+// latency) and then drains its payload over a link of bandwidth B shared
+// equally by the n currently active transfers (processor-sharing fluid
+// model). A batch of pending requests is simulated event-by-event —
+// arrivals join the active set, the earliest-finishing transfer leaves it —
+// so k concurrent same-size transfers each take ~k times the unloaded
+// transfer time while aggregate bandwidth stays at B. Transfers scheduled
+// in different batches (separated by a WaitFor/Poll/Drain) do not share
+// bandwidth with each other; this window-based approximation keeps
+// scheduling lazy, exactly like SimDisk's.
+//
+// Like every simulated device here, data effects apply eagerly at submit;
+// only timing is deferred. Sync Read/Write are submit + wait.
+
+#ifndef SRC_DISK_NVME_DEVICE_H_
+#define SRC_DISK_NVME_DEVICE_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/disk/block_device.h"
+#include "src/disk/chunked_storage.h"
+
+namespace ld {
+
+struct NvmeConfig {
+  uint64_t capacity_bytes = 0;
+  uint32_t sector_size = 512;
+  // Fixed per-request latency before the transfer starts draining.
+  double read_latency_us = 80.0;   // Flash read + FTL lookup.
+  double write_latency_us = 20.0;  // DRAM program buffer ack.
+  // Link/media bandwidth shared by all in-flight transfers.
+  double bandwidth_mb_per_s = 3200.0;
+  // Requests pend until this many are outstanding (or the caller waits).
+  uint32_t queue_depth = 256;
+};
+
+class NvmeDevice : public BlockDevice {
+ public:
+  NvmeDevice(const NvmeConfig& config, SimClock* clock);
+
+  uint32_t sector_size() const override { return config_.sector_size; }
+  uint64_t num_sectors() const override { return num_sectors_; }
+
+  Status Read(uint64_t sector, std::span<uint8_t> out) override;
+  Status Write(uint64_t sector, std::span<const uint8_t> data) override;
+
+  StatusOr<IoTag> SubmitRead(uint64_t sector, std::span<uint8_t> out) override;
+  StatusOr<IoTag> SubmitWrite(uint64_t sector, std::span<const uint8_t> data) override;
+  Status WaitFor(IoTag tag) override;
+  std::vector<IoCompletion> Poll() override;
+  Status Drain() override;
+
+  // An NVMe device has no arm to schedule around; the policy knob is
+  // accepted (so benches can A/B uniformly) but does not change timing.
+  void set_queue_policy(QueuePolicy policy) override { queue_policy_ = policy; }
+  QueuePolicy queue_policy() const override { return queue_policy_; }
+  void set_queue_depth(uint32_t depth) override { queue_depth_ = depth == 0 ? 1 : depth; }
+  uint32_t queue_depth() const override { return queue_depth_; }
+
+  double ScheduledCompletion(IoTag tag) const override;
+
+  SimClock* clock() override { return clock_; }
+  const DiskStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_ = DiskStats{};
+    link_free_seconds_ = 0.0;
+  }
+
+  const NvmeConfig& config() const { return config_; }
+
+ private:
+  struct PendingIo {
+    IoTag tag;
+    uint64_t count;
+    bool is_read;
+    double submit_seconds;
+  };
+  struct DoneIo {
+    bool is_read;
+    double completion_seconds;
+  };
+
+  Status ValidateRequest(uint64_t sector, size_t bytes) const;
+
+  // Runs the processor-sharing fluid simulation over every pending request,
+  // assigning completion times (moves pending_ entries into completed_).
+  // Never touches the clock.
+  void ScheduleAll();
+
+  double LatencySeconds(bool is_read) const {
+    return (is_read ? config_.read_latency_us : config_.write_latency_us) * 1e-6;
+  }
+  double BytesPerSecond() const { return config_.bandwidth_mb_per_s * 1e6; }
+
+  NvmeConfig config_;
+  SimClock* clock_;
+  uint64_t num_sectors_;
+  DiskStats stats_;
+
+  QueuePolicy queue_policy_ = QueuePolicy::kFifo;
+  uint32_t queue_depth_;
+  std::deque<PendingIo> pending_;
+  std::unordered_map<IoTag, DoneIo> completed_;
+  // Instant the link finished the last scheduled batch (for stats only; the
+  // window approximation means it does not delay the next batch).
+  double link_free_seconds_ = 0.0;
+
+  ChunkedStorage storage_;
+};
+
+}  // namespace ld
+
+#endif  // SRC_DISK_NVME_DEVICE_H_

@@ -2,15 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 
 namespace ld {
 
-SimDisk::SimDisk(const DiskGeometry& geometry, SimClock* clock)
-    : geometry_(geometry), clock_(clock) {
-  const uint64_t total_bytes = geometry_.CapacityBytes();
-  chunks_.resize((total_bytes + kChunkBytes - 1) / kChunkBytes);
+SimDisk::SimDisk(const DiskGeometry& geometry, SimClock* clock, uint32_t num_channels)
+    : geometry_(geometry), clock_(clock), storage_(geometry.CapacityBytes()) {
+  const uint32_t nch = std::clamp<uint32_t>(num_channels, 1, geometry_.cylinders);
+  cylinders_per_channel_ = geometry_.cylinders / nch;
+  channels_.resize(nch);
+  for (uint32_t ch = 0; ch < nch; ++ch) {
+    // Each arm parks at the first cylinder of its band.
+    channels_[ch].arm_cylinder = ch * cylinders_per_channel_;
+  }
+}
+
+void SimDisk::ResetStats() {
+  stats_ = DiskStats{};
+  for (Channel& ch : channels_) {
+    ch.busy_until_seconds = 0.0;
+  }
+}
+
+uint32_t SimDisk::ChannelOf(uint64_t sector) const {
+  const uint32_t sectors_per_cyl = geometry_.sectors_per_track * geometry_.heads;
+  const uint32_t cyl = static_cast<uint32_t>(sector / sectors_per_cyl);
+  const uint32_t ch = cyl / cylinders_per_channel_;
+  return std::min<uint32_t>(ch, static_cast<uint32_t>(channels_.size()) - 1);
 }
 
 uint32_t SimDisk::AngularSlot(uint64_t sector) const {
@@ -33,39 +50,44 @@ Status SimDisk::ValidateRequest(uint64_t sector, size_t bytes) const {
   return OkStatus();
 }
 
-double SimDisk::ServiceAt(double start_seconds, uint64_t sector, uint64_t count, bool is_read) {
+double SimDisk::ServiceAt(uint32_t ch_index, double start_seconds, uint64_t sector,
+                          uint64_t count, bool is_read) {
+  Channel& ch = channels_[ch_index];
+  ChannelStats& cstats = stats_.MutableChannel(ch_index);
+
   // Controller read-ahead buffer: a read that starts inside (or exactly at
   // the end of) the recently streamed window is served from the buffer;
   // only sectors beyond the window's end cost media-transfer time. This is
   // how real controllers make sequential reads cheap even when requests
   // overlap at sector granularity (sub-sector-aligned blocks re-read their
   // boundary sector).
-  if (is_read && geometry_.read_ahead_buffer && sector >= read_window_start_ &&
-      sector <= read_window_end_) {
+  if (is_read && geometry_.read_ahead_buffer && sector >= ch.read_window_start &&
+      sector <= ch.read_window_end) {
     const uint64_t end = sector + count;
-    const uint64_t new_sectors = end > read_window_end_ ? end - read_window_end_ : 0;
+    const uint64_t new_sectors = end > ch.read_window_end ? end - ch.read_window_end : 0;
     const double xfer_ms = static_cast<double>(new_sectors) * geometry_.SectorTimeMs();
     const double service_ms = geometry_.controller_overhead_ms + xfer_ms;
     stats_.transfer_ms += xfer_ms;
     stats_.busy_ms += service_ms;
-    if (end > read_window_end_) {
-      read_window_end_ = end;
+    cstats.busy_ms += service_ms;
+    if (end > ch.read_window_end) {
+      ch.read_window_end = end;
     }
     // Bound the modeled buffer to 256 KB of trailing data.
     const uint64_t kWindowSectors = 512;
-    if (read_window_end_ - read_window_start_ > kWindowSectors) {
-      read_window_start_ = read_window_end_ - kWindowSectors;
+    if (ch.read_window_end - ch.read_window_start > kWindowSectors) {
+      ch.read_window_start = ch.read_window_end - kWindowSectors;
     }
     const uint32_t sectors_per_cyl = geometry_.sectors_per_track * geometry_.heads;
-    arm_cylinder_ = static_cast<uint32_t>((read_window_end_ - 1) / sectors_per_cyl);
+    ch.arm_cylinder = static_cast<uint32_t>((ch.read_window_end - 1) / sectors_per_cyl);
     return start_seconds + service_ms / 1000.0;
   }
   if (is_read) {
-    read_window_start_ = sector;
-    read_window_end_ = sector + count;
+    ch.read_window_start = sector;
+    ch.read_window_end = sector + count;
   } else {
-    read_window_start_ = UINT64_MAX;  // Writes invalidate the read buffer.
-    read_window_end_ = UINT64_MAX;
+    ch.read_window_start = UINT64_MAX;  // Writes invalidate the read buffer.
+    ch.read_window_end = UINT64_MAX;
   }
 
   const double period_ms = geometry_.RotationPeriodMs();
@@ -82,14 +104,14 @@ double SimDisk::ServiceAt(double start_seconds, uint64_t sector, uint64_t count,
   // Initial seek to the first cylinder of the transfer.
   const uint32_t sectors_per_cyl = spt * geometry_.heads;
   uint32_t target_cyl = static_cast<uint32_t>(sector / sectors_per_cyl);
-  const uint32_t distance = target_cyl > arm_cylinder_ ? target_cyl - arm_cylinder_
-                                                       : arm_cylinder_ - target_cyl;
+  const uint32_t distance = target_cyl > ch.arm_cylinder ? target_cyl - ch.arm_cylinder
+                                                         : ch.arm_cylinder - target_cyl;
   if (distance > 0) {
     const double seek_ms = geometry_.SeekTimeMs(distance);
     time_ms += seek_ms;
     stats_.seeks++;
     stats_.seek_ms += seek_ms;
-    arm_cylinder_ = target_cyl;
+    ch.arm_cylinder = target_cyl;
   }
 
   // Transfer track by track, waiting for the head to reach each chunk's
@@ -104,12 +126,12 @@ double SimDisk::ServiceAt(double start_seconds, uint64_t sector, uint64_t count,
 
     if (prev_track != UINT64_MAX && track != prev_track) {
       const uint32_t cyl = static_cast<uint32_t>(track / geometry_.heads);
-      if (cyl != arm_cylinder_) {
-        const uint32_t d = cyl > arm_cylinder_ ? cyl - arm_cylinder_ : arm_cylinder_ - cyl;
+      if (cyl != ch.arm_cylinder) {
+        const uint32_t d = cyl > ch.arm_cylinder ? cyl - ch.arm_cylinder : ch.arm_cylinder - cyl;
         const double seek_ms = geometry_.SeekTimeMs(d);
         time_ms += seek_ms;
         stats_.seek_ms += seek_ms;
-        arm_cylinder_ = cyl;
+        ch.arm_cylinder = cyl;
       } else {
         time_ms += geometry_.head_switch_ms;
       }
@@ -134,22 +156,24 @@ double SimDisk::ServiceAt(double start_seconds, uint64_t sector, uint64_t count,
   }
 
   stats_.busy_ms += time_ms - start_ms;
+  cstats.busy_ms += time_ms - start_ms;
   return time_ms / 1000.0;
 }
 
-void SimDisk::ScheduleAll() {
-  if (pending_.empty()) {
+void SimDisk::ScheduleChannel(uint32_t ch_index) {
+  Channel& ch = channels_[ch_index];
+  if (ch.pending.empty()) {
     return;
   }
-  std::vector<PendingIo> batch(pending_.begin(), pending_.end());
-  pending_.clear();
+  std::vector<PendingIo> batch(ch.pending.begin(), ch.pending.end());
+  ch.pending.clear();
 
   if (queue_policy_ == QueuePolicy::kCScan && batch.size() > 1) {
     // Circular elevator: sweep upward from the arm's current position, wrap
     // to the lowest request, and continue upward.
     std::stable_sort(batch.begin(), batch.end(),
                      [](const PendingIo& a, const PendingIo& b) { return a.sector < b.sector; });
-    const uint64_t head_sector = static_cast<uint64_t>(arm_cylinder_) *
+    const uint64_t head_sector = static_cast<uint64_t>(ch.arm_cylinder) *
                                  geometry_.sectors_per_track * geometry_.heads;
     auto pivot = std::find_if(batch.begin(), batch.end(), [head_sector](const PendingIo& r) {
       return r.sector >= head_sector;
@@ -157,6 +181,7 @@ void SimDisk::ScheduleAll() {
     std::rotate(batch.begin(), pivot, batch.end());
   }
 
+  ChannelStats& cstats = stats_.MutableChannel(ch_index);
   size_t i = 0;
   while (i < batch.size()) {
     // Coalesce a run of physically adjacent same-direction requests into one
@@ -171,20 +196,25 @@ void SimDisk::ScheduleAll() {
       ++j;
     }
 
-    const double start = std::max(busy_until_seconds_, latest_submit);
+    const double start = std::max(ch.busy_until_seconds, latest_submit);
     const double completion =
-        ServiceAt(start, batch[i].sector, run_end - batch[i].sector, batch[i].is_read);
-    busy_until_seconds_ = completion;
+        ServiceAt(ch_index, start, batch[i].sector, run_end - batch[i].sector, batch[i].is_read);
+    ch.busy_until_seconds = completion;
 
     for (size_t k = i; k < j; ++k) {
       completed_[batch[k].tag] = {batch[k].is_read, completion};
       stats_.queue_wait_ms += (start - batch[k].submit_seconds) * 1000.0;
+      cstats.queue_wait_ms += (start - batch[k].submit_seconds) * 1000.0;
       if (batch[k].is_read) {
         stats_.read_ops++;
         stats_.sectors_read += batch[k].count;
+        cstats.read_ops++;
+        cstats.sectors_read += batch[k].count;
       } else {
         stats_.write_ops++;
         stats_.sectors_written += batch[k].count;
+        cstats.write_ops++;
+        cstats.sectors_written += batch[k].count;
       }
     }
     stats_.merged_requests += (j - i) - 1;
@@ -192,72 +222,47 @@ void SimDisk::ScheduleAll() {
   }
 }
 
+void SimDisk::ScheduleAll() {
+  for (uint32_t ch = 0; ch < channels_.size(); ++ch) {
+    ScheduleChannel(ch);
+  }
+}
+
+uint64_t SimDisk::TotalPending() const {
+  uint64_t total = 0;
+  for (const Channel& ch : channels_) {
+    total += ch.pending.size();
+  }
+  return total;
+}
+
 StatusOr<IoTag> SimDisk::Enqueue(uint64_t sector, uint64_t count, bool is_read) {
   const IoTag tag = NextTag();
-  pending_.push_back({tag, sector, count, is_read, clock_->Now()});
+  // A transfer straddling a band boundary is owned entirely by the channel
+  // of its first sector.
+  const uint32_t ch_index = ChannelOf(sector);
+  Channel& ch = channels_[ch_index];
+  ch.pending.push_back({tag, sector, count, is_read, clock_->Now()});
   stats_.queued_requests++;
-  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, pending_.size());
-  if (pending_.size() >= queue_depth_) {
-    ScheduleAll();
+  stats_.MutableChannel(ch_index).queued_requests++;
+  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, TotalPending());
+  if (ch.pending.size() >= queue_depth_) {
+    ScheduleChannel(ch_index);
   }
   return tag;
-}
-
-uint8_t* SimDisk::ChunkFor(uint64_t byte_offset, bool allocate) {
-  const uint64_t index = byte_offset / kChunkBytes;
-  if (chunks_[index] == nullptr) {
-    if (!allocate) {
-      return nullptr;
-    }
-    chunks_[index] = std::make_unique<uint8_t[]>(kChunkBytes);
-    std::memset(chunks_[index].get(), 0, kChunkBytes);
-  }
-  return chunks_[index].get();
-}
-
-void SimDisk::CopyOut(uint64_t sector, std::span<uint8_t> out) {
-  uint64_t byte = sector * sector_size();
-  size_t copied = 0;
-  while (copied < out.size()) {
-    const uint64_t within = byte % kChunkBytes;
-    const size_t n = static_cast<size_t>(
-        std::min<uint64_t>(kChunkBytes - within, out.size() - copied));
-    uint8_t* chunk = ChunkFor(byte, /*allocate=*/false);
-    if (chunk != nullptr) {
-      std::memcpy(out.data() + copied, chunk + within, n);
-    } else {
-      std::memset(out.data() + copied, 0, n);  // Never-written area reads as zeros.
-    }
-    copied += n;
-    byte += n;
-  }
-}
-
-void SimDisk::CopyIn(uint64_t sector, std::span<const uint8_t> data) {
-  uint64_t byte = sector * sector_size();
-  size_t copied = 0;
-  while (copied < data.size()) {
-    const uint64_t within = byte % kChunkBytes;
-    const size_t n = static_cast<size_t>(
-        std::min<uint64_t>(kChunkBytes - within, data.size() - copied));
-    uint8_t* chunk = ChunkFor(byte, /*allocate=*/true);
-    std::memcpy(chunk + within, data.data() + copied, n);
-    copied += n;
-    byte += n;
-  }
 }
 
 StatusOr<IoTag> SimDisk::SubmitRead(uint64_t sector, std::span<uint8_t> out) {
   RETURN_IF_ERROR(ValidateRequest(sector, out.size()));
   // Data effects are applied at submit time; only timing is deferred. Reads
   // therefore observe every previously submitted write.
-  CopyOut(sector, out);
+  storage_.CopyOut(sector * sector_size(), out);
   return Enqueue(sector, out.size() / sector_size(), /*is_read=*/true);
 }
 
 StatusOr<IoTag> SimDisk::SubmitWrite(uint64_t sector, std::span<const uint8_t> data) {
   RETURN_IF_ERROR(ValidateRequest(sector, data.size()));
-  CopyIn(sector, data);
+  storage_.CopyIn(sector * sector_size(), data);
   return Enqueue(sector, data.size() / sector_size(), /*is_read=*/false);
 }
 

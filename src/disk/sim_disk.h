@@ -3,15 +3,23 @@
 // and per-request controller overhead. Storage is allocated lazily in 1-MB
 // chunks so multi-gigabyte devices can be simulated cheaply.
 //
-// Requests go through a per-device queue: SubmitRead/SubmitWrite enqueue a
+// Requests go through per-channel queues: SubmitRead/SubmitWrite enqueue a
 // request (copying its data immediately — the simulator is single-threaded,
 // so reads always observe previously submitted writes) and the mechanical
 // service time is computed when the request is *scheduled*. The scheduler
-// runs whenever the queue reaches the configured depth or the caller waits
-// (WaitFor/Drain) or polls; it orders each batch FIFO or C-SCAN and merges
-// physically adjacent same-direction requests into one media transfer.
+// runs whenever a channel's queue reaches the configured depth or the caller
+// waits (WaitFor/Drain) or polls; it orders each batch FIFO or C-SCAN and
+// merges physically adjacent same-direction requests into one media transfer.
 //
-// Service start time is max(device busy-until, submit time), so a single
+// Multi-channel operation models a multi-actuator drive: cylinders are
+// statically partitioned into `num_channels` contiguous bands, each with its
+// own arm, C-SCAN state, read-ahead window, and busy-until timeline.
+// Requests on different channels are serviced concurrently; a request is
+// owned entirely by the channel of its *first* sector (transfers straddling a
+// band boundary are rare and are serviced by that one arm). With one channel
+// the timing model is identical to the single-arm device.
+//
+// Service start time is max(channel busy-until, submit time), so a single
 // outstanding request is timed exactly as the pre-queue synchronous model:
 // the sync Read/Write wrappers (submit + wait) are timing-identical to it.
 
@@ -19,26 +27,20 @@
 #define SRC_DISK_SIM_DISK_H_
 
 #include <deque>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/disk/block_device.h"
+#include "src/disk/chunked_storage.h"
 #include "src/disk/geometry.h"
 
 namespace ld {
 
 class SimDisk : public BlockDevice {
  public:
-  // How a scheduled batch is ordered before service.
-  enum class QueuePolicy {
-    kFifo,   // Submission order.
-    kCScan,  // Circular elevator: ascending sector from the arm, then wrap.
-  };
-
   // The clock must outlive the disk. It is shared so that file-system CPU
   // costs and disk service time accumulate on one timeline.
-  SimDisk(const DiskGeometry& geometry, SimClock* clock);
+  SimDisk(const DiskGeometry& geometry, SimClock* clock, uint32_t num_channels = 1);
 
   uint32_t sector_size() const override { return geometry_.sector_size; }
   uint64_t num_sectors() const override { return geometry_.TotalSectors(); }
@@ -54,29 +56,33 @@ class SimDisk : public BlockDevice {
 
   SimClock* clock() override { return clock_; }
   const DiskStats& stats() const override { return stats_; }
-  // Also marks the device idle: measurement resets (harness ResetMeasurement)
-  // rewind the shared clock, which would otherwise leave a stale busy-until
-  // time delaying every post-reset request.
-  void ResetStats() override {
-    stats_ = DiskStats{};
-    busy_until_seconds_ = 0.0;
-  }
+  // Also marks every channel idle: measurement resets (harness
+  // ResetMeasurement) rewind the shared clock, which would otherwise leave a
+  // stale busy-until time delaying every post-reset request.
+  void ResetStats() override;
 
   const DiskGeometry& geometry() const { return geometry_; }
 
   // Scheduling knobs. Depth 1 degenerates to the synchronous model (every
   // request is scheduled as soon as it is submitted).
-  void set_queue_policy(QueuePolicy policy) { queue_policy_ = policy; }
-  QueuePolicy queue_policy() const { return queue_policy_; }
-  void set_queue_depth(uint32_t depth) { queue_depth_ = depth == 0 ? 1 : depth; }
-  uint32_t queue_depth() const { return queue_depth_; }
+  void set_queue_policy(QueuePolicy policy) override { queue_policy_ = policy; }
+  QueuePolicy queue_policy() const override { return queue_policy_; }
+  void set_queue_depth(uint32_t depth) override { queue_depth_ = depth == 0 ? 1 : depth; }
+  uint32_t queue_depth() const override { return queue_depth_; }
 
-  // Current arm position (cylinder index); exposed for tests.
-  uint32_t arm_cylinder() const { return arm_cylinder_; }
+  uint32_t num_channels() const override {
+    return static_cast<uint32_t>(channels_.size());
+  }
+  uint32_t ChannelOf(uint64_t sector) const override;
+
+  // Current arm position (cylinder index) of `channel`; exposed for tests.
+  uint32_t arm_cylinder(uint32_t channel = 0) const {
+    return channels_[channel].arm_cylinder;
+  }
 
   // Completion time of `tag` if it has been scheduled but not yet retired;
   // exposed for tests (returns a negative value for unknown tags).
-  double ScheduledCompletion(IoTag tag) const;
+  double ScheduledCompletion(IoTag tag) const override;
 
  private:
   struct PendingIo {
@@ -90,26 +96,39 @@ class SimDisk : public BlockDevice {
     bool is_read;
     double completion_seconds;
   };
+  // One independent actuator: its own queue, arm, read-ahead window, and
+  // busy-until timeline over a contiguous band of cylinders.
+  struct Channel {
+    std::deque<PendingIo> pending;
+    double busy_until_seconds = 0.0;
+    uint32_t arm_cylinder = 0;
+    // Controller read-buffer window [start, end): sectors recently streamed
+    // past the head that a sequential reader can fetch without mechanical
+    // delay. Invalidated by writes.
+    uint64_t read_window_start = UINT64_MAX;
+    uint64_t read_window_end = UINT64_MAX;
+  };
 
   Status ValidateRequest(uint64_t sector, size_t bytes) const;
   StatusOr<IoTag> Enqueue(uint64_t sector, uint64_t count, bool is_read);
 
-  // Computes the mechanical service of one (possibly merged) transfer that
-  // begins no earlier than `start_seconds`, updating arm position, the
-  // controller read-ahead window, and timing stats. Returns the completion
-  // time in seconds. Never touches the clock.
-  double ServiceAt(double start_seconds, uint64_t sector, uint64_t count, bool is_read);
+  // Computes the mechanical service of one (possibly merged) transfer on
+  // channel `ch` that begins no earlier than `start_seconds`, updating the
+  // channel's arm position and read-ahead window plus timing stats. Returns
+  // the completion time in seconds. Never touches the clock.
+  double ServiceAt(uint32_t ch, double start_seconds, uint64_t sector, uint64_t count,
+                   bool is_read);
 
-  // Orders, merges, and services every pending request, assigning completion
-  // times (moves pending_ entries into completed_). Never touches the clock.
+  // Orders, merges, and services every pending request on channel `ch`,
+  // assigning completion times (moves pending entries into completed_).
+  // Never touches the clock.
+  void ScheduleChannel(uint32_t ch);
   void ScheduleAll();
+
+  uint64_t TotalPending() const;
 
   // Angular slot (0..sectors_per_track-1) of an absolute sector, with skew.
   uint32_t AngularSlot(uint64_t sector) const;
-
-  uint8_t* ChunkFor(uint64_t byte_offset, bool allocate);
-  void CopyOut(uint64_t sector, std::span<uint8_t> out);
-  void CopyIn(uint64_t sector, std::span<const uint8_t> data);
 
   DiskGeometry geometry_;
   SimClock* clock_;
@@ -117,19 +136,11 @@ class SimDisk : public BlockDevice {
 
   QueuePolicy queue_policy_ = QueuePolicy::kCScan;
   uint32_t queue_depth_ = 8;
-  std::deque<PendingIo> pending_;
+  std::vector<Channel> channels_;
+  uint32_t cylinders_per_channel_ = 0;
   std::unordered_map<IoTag, DoneIo> completed_;
-  double busy_until_seconds_ = 0.0;
 
-  uint32_t arm_cylinder_ = 0;
-  // Controller read-buffer window [start, end): sectors recently streamed
-  // past the head that a sequential reader can fetch without mechanical
-  // delay. Invalidated by writes.
-  uint64_t read_window_start_ = UINT64_MAX;
-  uint64_t read_window_end_ = UINT64_MAX;
-
-  static constexpr uint64_t kChunkBytes = 1 << 20;
-  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  ChunkedStorage storage_;
 };
 
 }  // namespace ld

@@ -30,8 +30,9 @@ StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
   FsUnderTest t;
   t.name = FsKindName(kind);
   t.clock = std::make_unique<SimClock>();
-  t.disk = std::make_unique<SimDisk>(DiskGeometry::HpC3010Partition(params.partition_bytes),
-                                     t.clock.get());
+  DeviceOptions device = params.device;
+  device.geometry = DiskGeometry::HpC3010Partition(params.partition_bytes);
+  t.disk = MakeDevice(device, t.clock.get());
 
   MinixOptions options;
   options.block_size = params.minix_block_size;

@@ -8,7 +8,7 @@
 #include <memory>
 #include <string>
 
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/ffs/ffs.h"
 #include "src/lld/lld.h"
 #include "src/minixfs/minix_fs.h"
@@ -25,11 +25,11 @@ enum class FsKind {
 
 const char* FsKindName(FsKind kind);
 
-// A complete file system under test with its simulated disk and clock.
+// A complete file system under test with its simulated device and clock.
 struct FsUnderTest {
   std::string name;
   std::unique_ptr<SimClock> clock;
-  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<BlockDevice> disk;
   std::unique_ptr<LogStructuredDisk> lld;  // Null for non-LD systems.
   std::unique_ptr<MinixFs> fs;
 
@@ -40,6 +40,11 @@ struct FsUnderTest {
 
 struct SetupParams {
   uint64_t partition_bytes = 400ull << 20;  // The paper's 400-MB partition.
+  // Storage backend. `device.geometry` is always derived from
+  // partition_bytes (and an unset NVMe capacity matches it); set
+  // `device.backend`/`device.channels`/queue knobs to run the same file
+  // system on a different device.
+  DeviceOptions device = DeviceOptions::HpC3010(400ull << 20);
   uint32_t minix_block_size = 4096;
   uint32_t num_inodes = 16384;
   uint64_t cache_bytes = 6144 * 1024;

@@ -246,26 +246,55 @@ StatusOr<uint32_t> LogStructuredDisk::AllocateFreeSegment(bool allow_clean) {
       }
     }
   }
-  const int64_t seg = usage_->PickFree();
+  const int64_t seg = PickFreeSegmentStriped();
   if (seg < 0) {
     return NoSpaceError("no free segments");
   }
   return static_cast<uint32_t>(seg);
 }
 
-Status LogStructuredDisk::WaitForInflight() {
-  if (!inflight_active_) {
-    return OkStatus();
+int64_t LogStructuredDisk::PickFreeSegmentStriped() {
+  const uint32_t nch = device_->num_channels();
+  if (nch <= 1) {
+    return usage_->PickFree();
   }
-  inflight_active_ = false;
-  const IoTag tag = inflight_tag_;
-  inflight_tag_ = kInvalidIoTag;
-  RETURN_IF_ERROR(device_->WaitFor(tag));
-  // Only now that the full image is durable may the scratch segment it
-  // supersedes be recycled.
-  if (inflight_scratch_free_ >= 0) {
-    usage_->segment(static_cast<uint32_t>(inflight_scratch_free_)).state = SegmentState::kFree;
-    inflight_scratch_free_ = -1;
+  // Round-robin across channels: prefer the first free segment in the
+  // cursor's channel band so consecutive sealed segments land on different
+  // actuators; fall through to the next channel (and finally to any free
+  // segment) when a band is exhausted.
+  const uint32_t sector = device_->sector_size();
+  for (uint32_t probe = 0; probe < nch; ++probe) {
+    const uint32_t want = (next_stripe_channel_ + probe) % nch;
+    for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+      if (usage_->segment(s).state != SegmentState::kFree) {
+        continue;
+      }
+      if (device_->ChannelOf(SegmentBaseByte(s) / sector) == want) {
+        next_stripe_channel_ = (want + 1) % nch;
+        return s;
+      }
+    }
+  }
+  return usage_->PickFree();
+}
+
+size_t LogStructuredDisk::MaxInflight() const {
+  return options_.pipeline_segment_writes
+             ? std::max<size_t>(1, device_->num_channels())
+             : 1;
+}
+
+Status LogStructuredDisk::ReapInflightTo(size_t max_outstanding) {
+  while (inflight_writes_.size() > max_outstanding) {
+    InflightWrite w = std::move(inflight_writes_.front());
+    inflight_writes_.pop_front();
+    RETURN_IF_ERROR(device_->WaitFor(w.tag));
+    // Only now that the full image is durable may the scratch segment it
+    // supersedes be recycled.
+    if (w.scratch_free >= 0) {
+      usage_->segment(static_cast<uint32_t>(w.scratch_free)).state = SegmentState::kFree;
+    }
+    spare_buffers_.push_back(std::move(w.buffer));
   }
   return OkStatus();
 }
@@ -274,30 +303,32 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   if (open_data_used_ == 0 && open_records_.empty()) {
     return OkStatus();
   }
-  // At most one segment write in flight: the previous one must complete
-  // before its buffer can be reused as the next open segment.
-  RETURN_IF_ERROR(WaitForInflight());
+  // Keep at most one in-flight write per channel: the oldest must complete
+  // before another is issued, which also bounds buffer memory.
+  RETURN_IF_ERROR(ReapInflightTo(MaxInflight() - 1));
   ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
   const uint64_t seq = next_seq_++;
   RETURN_IF_ERROR(BuildSummaryInto(open_buffer_, target, seq, open_data_used_));
 
-  // Double buffering: the sealed image moves to inflight_buffer_ and is
-  // submitted asynchronously; open_buffer_ (the previous in-flight buffer,
-  // now complete) starts accepting the next segment's writes immediately.
-  if (inflight_buffer_.size() != open_buffer_.size()) {
-    inflight_buffer_.assign(open_buffer_.size(), 0);
+  // Double buffering: the sealed image moves into an InflightWrite and is
+  // submitted asynchronously; a recycled (or fresh) buffer becomes the open
+  // segment and starts accepting the next segment's writes immediately.
+  std::vector<uint8_t> sealed = std::move(open_buffer_);
+  if (!spare_buffers_.empty()) {
+    open_buffer_ = std::move(spare_buffers_.back());
+    spare_buffers_.pop_back();
+  } else {
+    open_buffer_.assign(sealed.size(), 0);
   }
-  std::swap(open_buffer_, inflight_buffer_);
   StatusOr<IoTag> tag =
-      device_->SubmitWrite(SegmentBaseByte(target) / device_->sector_size(), inflight_buffer_);
+      device_->SubmitWrite(SegmentBaseByte(target) / device_->sector_size(), sealed);
   if (!tag.ok()) {
     // Device failure (e.g. injected crash): restore the sealed image as the
     // open segment so state stays consistent; no metadata was updated.
-    std::swap(open_buffer_, inflight_buffer_);
+    spare_buffers_.push_back(std::move(open_buffer_));
+    open_buffer_ = std::move(sealed);
     return tag.status();
   }
-  inflight_tag_ = *tag;
-  inflight_active_ = true;
 
   SegmentUsage& seg = usage_->segment(target);
   seg.state = SegmentState::kFull;
@@ -313,10 +344,14 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
     }
   }
   UpdateRecordAuthority(target, open_records_);
+  InflightWrite inflight;
+  inflight.buffer = std::move(sealed);
+  inflight.tag = *tag;
   if (scratch_segment_ >= 0) {
-    inflight_scratch_free_ = scratch_segment_;
+    inflight.scratch_free = scratch_segment_;
     scratch_segment_ = -1;
   }
+  inflight_writes_.push_back(std::move(inflight));
   open_data_used_ = 0;
   open_dead_bytes_ = 0;
   open_records_.clear();

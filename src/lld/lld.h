@@ -25,6 +25,7 @@
 #ifndef SRC_LLD_LLD_H_
 #define SRC_LLD_LLD_H_
 
+#include <deque>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -193,13 +194,23 @@ class LogStructuredDisk : public LogicalDisk {
   // buffering a fresh open segment), and resets the open state. The write is
   // not durable until WaitForInflight().
   Status FlushOpenSegmentFull();
-  // Barrier for the pipelined segment write: advances the clock to its
-  // completion and performs deferred bookkeeping (scratch recycling).
-  Status WaitForInflight();
+  // Retires the oldest in-flight segment writes until at most
+  // `max_outstanding` remain, advancing the clock to their completion and
+  // performing deferred bookkeeping (scratch recycling, buffer reuse).
+  Status ReapInflightTo(size_t max_outstanding);
+  // Full barrier for the pipelined segment writes.
+  Status WaitForInflight() { return ReapInflightTo(0); }
+  // How many segment writes may be in flight at once: one per device
+  // channel when pipelining (each striped to its own actuator), else one.
+  size_t MaxInflight() const;
   // Writes the open segment to a scratch segment, keeping it open (§3.2).
   Status FlushOpenSegmentPartial();
   // Picks a free segment, running the cleaner when the pool is low.
   StatusOr<uint32_t> AllocateFreeSegment(bool allow_clean);
+  // Free-segment choice that stripes consecutive picks round-robin across
+  // the device's channels (first-free within the preferred channel's band);
+  // degenerates to UsageTable::PickFree on single-channel devices.
+  int64_t PickFreeSegmentStriped();
   // Serializes the current records into the summary area of `buffer`.
   Status BuildSummaryInto(std::span<uint8_t> buffer, uint32_t segment_index, uint64_t seq,
                           uint32_t data_bytes);
@@ -290,18 +301,25 @@ class LogStructuredDisk : public LogicalDisk {
   std::vector<Appended> open_appended_;
   int64_t scratch_segment_ = -1;  // Holds the latest partial write, if any.
 
-  // Double-buffered segment pipeline (§3.3): a sealed segment's image is
-  // swapped into inflight_buffer_ and submitted asynchronously; open_buffer_
-  // keeps accepting writes (and the CPU that fills it — compression, list
-  // maintenance — genuinely overlaps the in-flight disk write). At most one
-  // segment write is in flight; WaitForInflight() is the barrier.
-  std::vector<uint8_t> inflight_buffer_;
-  IoTag inflight_tag_ = kInvalidIoTag;
-  bool inflight_active_ = false;
-  // Scratch segment superseded by the in-flight full write: it may only be
-  // recycled once the full image is durable, otherwise a crash between the
-  // two writes could leave neither copy on disk.
-  int64_t inflight_scratch_free_ = -1;
+  // Pipelined segment writes (§3.3): a sealed segment's image moves into an
+  // InflightWrite and is submitted asynchronously; open_buffer_ keeps
+  // accepting writes (and the CPU that fills it — compression, list
+  // maintenance — genuinely overlaps the in-flight disk writes). Up to
+  // MaxInflight() writes are outstanding — one per device channel, each
+  // striped to its own actuator — and ReapInflightTo() is the barrier.
+  struct InflightWrite {
+    std::vector<uint8_t> buffer;
+    IoTag tag = kInvalidIoTag;
+    // Scratch segment superseded by this full write: it may only be
+    // recycled once the full image is durable, otherwise a crash between
+    // the two writes could leave neither copy on disk.
+    int64_t scratch_free = -1;
+  };
+  std::deque<InflightWrite> inflight_writes_;
+  // Segment-sized buffers recycled from retired in-flight writes.
+  std::vector<std::vector<uint8_t>> spare_buffers_;
+  // Next channel the striped allocator prefers (round-robin cursor).
+  uint32_t next_stripe_channel_ = 0;
 
   // Logical clocks.
   OpTimestamp next_ts_ = 1;

@@ -253,9 +253,13 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     if (records.empty()) {
       return OkStatus();
     }
+    // Default placement stripes cleaner output round-robin across channels
+    // (like foreground segment writes) so copied-out segments overlap with
+    // victim reads on other actuators; an explicit placement hint
+    // (RearrangeHotBlocks) still wins.
     const int64_t target = writer_placement_hint_ >= 0
                                ? usage_->PickFreeNear(static_cast<uint32_t>(writer_placement_hint_))
-                               : usage_->PickFree();
+                               : PickFreeSegmentStriped();
     if (target < 0) {
       return NoSpaceError("cleaner: no free segment for copied state");
     }

@@ -1,0 +1,43 @@
+// Shared helpers for device-layer tests: environment-driven parametrization
+// so CI can run the same binaries under both QueuePolicy values and several
+// channel counts (LD_QUEUE_POLICY=fifo|cscan, LD_CHANNELS=N). Tests that
+// pin a specific policy/channel count for their assertions construct their
+// own DeviceOptions instead.
+
+#ifndef TESTS_DEVICE_TEST_UTIL_H_
+#define TESTS_DEVICE_TEST_UTIL_H_
+
+#include <cstdlib>
+#include <string_view>
+
+#include "src/disk/device_factory.h"
+
+namespace ld {
+
+inline QueuePolicy EnvQueuePolicy(QueuePolicy fallback) {
+  const char* v = std::getenv("LD_QUEUE_POLICY");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) == "fifo" ? QueuePolicy::kFifo : QueuePolicy::kCScan;
+}
+
+inline uint32_t EnvChannels(uint32_t fallback) {
+  const char* v = std::getenv("LD_CHANNELS");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const int n = std::atoi(v);
+  return n > 0 ? static_cast<uint32_t>(n) : fallback;
+}
+
+// HP C3010 options honoring the environment overrides.
+inline DeviceOptions EnvHpC3010(uint64_t partition_bytes) {
+  DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, EnvChannels(1));
+  options.queue_policy = EnvQueuePolicy(options.queue_policy);
+  return options;
+}
+
+}  // namespace ld
+
+#endif  // TESTS_DEVICE_TEST_UTIL_H_

@@ -1,17 +1,20 @@
-// Tests for the SimDisk request queue: submit/complete semantics, FIFO vs.
-// C-SCAN scheduling, adjacent-request merging, drain-on-shutdown, the queue
-// counters in DiskStats, and the contract that the synchronous Read/Write
-// wrappers (submit + wait) time exactly like the pre-queue synchronous model
-// for a single outstanding request.
+// Tests for the simulated-disk request queue: submit/complete semantics,
+// FIFO vs. C-SCAN scheduling, adjacent-request merging, drain-on-shutdown,
+// the queue counters in DiskStats, the contract that the synchronous
+// Read/Write wrappers (submit + wait) time exactly like the pre-queue
+// synchronous model for a single outstanding request, and fault injection on
+// the async path. Ordering-sensitive tests pin channels = 1 (a single arm);
+// the rest honor LD_QUEUE_POLICY / LD_CHANNELS so CI can sweep the matrix.
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "src/disk/device_factory.h"
+#include "src/disk/fault_disk.h"
 #include "src/disk/geometry.h"
-#include "src/disk/mem_disk.h"
-#include "src/disk/sim_disk.h"
 #include "src/util/random.h"
+#include "tests/device_test_util.h"
 
 namespace ld {
 namespace {
@@ -25,78 +28,82 @@ std::vector<uint8_t> Pattern(size_t bytes, uint64_t seed) {
   return data;
 }
 
+// A single-arm HP C3010 with the given queue policy (for tests whose
+// assertions depend on one serialized service order).
+DeviceOptions OneArm(uint64_t partition_bytes, QueuePolicy policy) {
+  DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, /*channels=*/1);
+  options.queue_policy = policy;
+  return options;
+}
+
 TEST(DiskQueueTest, SubmittedWritesAreVisibleToReadsBeforeDrain) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
-  disk.set_queue_depth(16);
+  auto disk = MakeDevice(EnvHpC3010(16 << 20), &clock);
+  disk->set_queue_depth(16);
   const std::vector<uint8_t> data = Pattern(4096, 1);
-  auto tag = disk.SubmitWrite(500, data);
+  auto tag = disk->SubmitWrite(500, data);
   ASSERT_TRUE(tag.ok());
   // The simulator applies data effects at submit: a read sees the write even
   // while the write's timing is still queued.
   std::vector<uint8_t> readback(4096);
-  auto rtag = disk.SubmitRead(500, readback);
+  auto rtag = disk->SubmitRead(500, readback);
   ASSERT_TRUE(rtag.ok());
   EXPECT_EQ(data, readback);
-  ASSERT_TRUE(disk.Drain().ok());
+  ASSERT_TRUE(disk->Drain().ok());
 }
 
 TEST(DiskQueueTest, FifoSchedulesInSubmissionOrder) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(64 << 20), &clock);
-  disk.set_queue_policy(SimDisk::QueuePolicy::kFifo);
-  disk.set_queue_depth(16);
+  auto disk = MakeDevice(OneArm(64 << 20, QueuePolicy::kFifo), &clock);
+  disk->set_queue_depth(16);
   const std::vector<uint8_t> data = Pattern(4096, 2);
   const std::vector<uint64_t> sectors = {50000, 800, 90000, 20000};
   std::vector<IoTag> tags;
   for (uint64_t s : sectors) {
-    auto tag = disk.SubmitWrite(s, data);
+    auto tag = disk->SubmitWrite(s, data);
     ASSERT_TRUE(tag.ok());
     tags.push_back(*tag);
   }
-  (void)disk.Poll();  // Forces scheduling; nothing has completed at t=0.
+  (void)disk->Poll();  // Forces scheduling; nothing has completed at t=0.
   double prev = 0.0;
   for (IoTag tag : tags) {
-    const double c = disk.ScheduledCompletion(tag);
+    const double c = disk->ScheduledCompletion(tag);
     ASSERT_GT(c, prev);  // Strictly later than the previously submitted one.
     prev = c;
   }
-  ASSERT_TRUE(disk.Drain().ok());
+  ASSERT_TRUE(disk->Drain().ok());
 }
 
 TEST(DiskQueueTest, CScanServicesInAscendingSectorOrderAndBeatsFifo) {
-  const DiskGeometry geometry = DiskGeometry::HpC3010Partition(64 << 20);
   const std::vector<uint8_t> data = Pattern(4096, 3);
   const std::vector<uint64_t> sectors = {50000, 800, 90000, 20000};
 
   SimClock fifo_clock;
-  SimDisk fifo(geometry, &fifo_clock);
-  fifo.set_queue_policy(SimDisk::QueuePolicy::kFifo);
-  fifo.set_queue_depth(16);
+  auto fifo = MakeDevice(OneArm(64 << 20, QueuePolicy::kFifo), &fifo_clock);
+  fifo->set_queue_depth(16);
   for (uint64_t s : sectors) {
-    ASSERT_TRUE(fifo.SubmitWrite(s, data).ok());
+    ASSERT_TRUE(fifo->SubmitWrite(s, data).ok());
   }
-  ASSERT_TRUE(fifo.Drain().ok());
+  ASSERT_TRUE(fifo->Drain().ok());
 
   SimClock cscan_clock;
-  SimDisk cscan(geometry, &cscan_clock);
-  cscan.set_queue_policy(SimDisk::QueuePolicy::kCScan);
-  cscan.set_queue_depth(16);
+  auto cscan = MakeDevice(OneArm(64 << 20, QueuePolicy::kCScan), &cscan_clock);
+  cscan->set_queue_depth(16);
   std::vector<IoTag> tags;
   for (uint64_t s : sectors) {
-    auto tag = cscan.SubmitWrite(s, data);
+    auto tag = cscan->SubmitWrite(s, data);
     ASSERT_TRUE(tag.ok());
     tags.push_back(*tag);
   }
-  (void)cscan.Poll();
+  (void)cscan->Poll();
   // Elevator order: ascending sector starting from the arm (cylinder 0).
-  EXPECT_LT(cscan.ScheduledCompletion(tags[1]), cscan.ScheduledCompletion(tags[3]));  // 800 < 20000
-  EXPECT_LT(cscan.ScheduledCompletion(tags[3]), cscan.ScheduledCompletion(tags[0]));  // 20000 < 50000
-  EXPECT_LT(cscan.ScheduledCompletion(tags[0]), cscan.ScheduledCompletion(tags[2]));  // 50000 < 90000
-  ASSERT_TRUE(cscan.Drain().ok());
+  EXPECT_LT(cscan->ScheduledCompletion(tags[1]), cscan->ScheduledCompletion(tags[3]));  // 800 < 20000
+  EXPECT_LT(cscan->ScheduledCompletion(tags[3]), cscan->ScheduledCompletion(tags[0]));  // 20000 < 50000
+  EXPECT_LT(cscan->ScheduledCompletion(tags[0]), cscan->ScheduledCompletion(tags[2]));  // 50000 < 90000
+  ASSERT_TRUE(cscan->Drain().ok());
 
   // One monotone sweep seeks less than FIFO's zig-zag over the same batch.
-  EXPECT_LT(cscan.stats().seek_ms, fifo.stats().seek_ms);
+  EXPECT_LT(cscan->stats().seek_ms, fifo->stats().seek_ms);
   EXPECT_LT(cscan_clock.Now(), fifo_clock.Now());
 }
 
@@ -108,137 +115,210 @@ TEST(DiskQueueTest, AdjacentRequestsMergeIntoOneTransfer) {
   const uint64_t sectors_per_request = 4096 / geometry.sector_size;
 
   SimClock merged_clock;
-  SimDisk merged(geometry, &merged_clock);
-  merged.set_queue_policy(SimDisk::QueuePolicy::kCScan);
-  merged.set_queue_depth(16);
+  auto merged = MakeDevice(OneArm(64 << 20, QueuePolicy::kCScan), &merged_clock);
+  merged->set_queue_depth(16);
   for (int i = 0; i < kRequests; ++i) {
-    ASSERT_TRUE(merged.SubmitWrite(start_sector + i * sectors_per_request, data).ok());
+    ASSERT_TRUE(merged->SubmitWrite(start_sector + i * sectors_per_request, data).ok());
   }
-  ASSERT_TRUE(merged.Drain().ok());
-  EXPECT_EQ(merged.stats().merged_requests, static_cast<uint64_t>(kRequests - 1));
+  ASSERT_TRUE(merged->Drain().ok());
+  EXPECT_EQ(merged->stats().merged_requests, static_cast<uint64_t>(kRequests - 1));
   // Per-request accounting is preserved across the merge.
-  EXPECT_EQ(merged.stats().write_ops, static_cast<uint64_t>(kRequests));
-  EXPECT_EQ(merged.stats().sectors_written, kRequests * sectors_per_request);
+  EXPECT_EQ(merged->stats().write_ops, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(merged->stats().sectors_written, kRequests * sectors_per_request);
 
   // The same requests issued synchronously pay per-request overhead and a
   // missed rotation between back-to-back writes; the merged batch is one
   // sequential transfer.
   SimClock sync_clock;
-  SimDisk sync(geometry, &sync_clock);
+  auto sync = MakeDevice(OneArm(64 << 20, QueuePolicy::kCScan), &sync_clock);
   for (int i = 0; i < kRequests; ++i) {
-    ASSERT_TRUE(sync.Write(start_sector + i * sectors_per_request, data).ok());
+    ASSERT_TRUE(sync->Write(start_sector + i * sectors_per_request, data).ok());
   }
-  EXPECT_EQ(sync.stats().merged_requests, 0u);
+  EXPECT_EQ(sync->stats().merged_requests, 0u);
   EXPECT_LT(merged_clock.Now(), sync_clock.Now());
 }
 
 TEST(DiskQueueTest, DrainRetiresEverythingAndAdvancesToLastCompletion) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
-  disk.set_queue_depth(16);
+  auto disk = MakeDevice(EnvHpC3010(16 << 20), &clock);
+  disk->set_queue_depth(16);
   const std::vector<uint8_t> data = Pattern(4096, 5);
   std::vector<IoTag> tags;
   for (uint64_t s : {3000u, 9000u, 6000u}) {
-    auto tag = disk.SubmitWrite(s, data);
+    auto tag = disk->SubmitWrite(s, data);
     ASSERT_TRUE(tag.ok());
     tags.push_back(*tag);
   }
-  (void)disk.Poll();
+  (void)disk->Poll();
   double last = 0.0;
   for (IoTag tag : tags) {
-    last = std::max(last, disk.ScheduledCompletion(tag));
+    last = std::max(last, disk->ScheduledCompletion(tag));
   }
   ASSERT_GT(last, 0.0);
-  ASSERT_TRUE(disk.Drain().ok());
+  ASSERT_TRUE(disk->Drain().ok());
   EXPECT_DOUBLE_EQ(clock.Now(), last);
-  EXPECT_TRUE(disk.Poll().empty());
+  EXPECT_TRUE(disk->Poll().empty());
   // Waiting on an already-retired tag is a no-op.
   for (IoTag tag : tags) {
-    EXPECT_TRUE(disk.WaitFor(tag).ok());
+    EXPECT_TRUE(disk->WaitFor(tag).ok());
   }
   EXPECT_DOUBLE_EQ(clock.Now(), last);
   // A second drain with an empty queue is a no-op too.
-  ASSERT_TRUE(disk.Drain().ok());
+  ASSERT_TRUE(disk->Drain().ok());
   EXPECT_DOUBLE_EQ(clock.Now(), last);
 }
 
 TEST(DiskQueueTest, SyncWrappersTimeExactlyLikeSubmitPlusWait) {
-  const DiskGeometry geometry = DiskGeometry::HpC3010Partition(64 << 20);
   const std::vector<uint8_t> data = Pattern(8192, 6);
 
   SimClock sync_clock;
-  SimDisk sync(geometry, &sync_clock);
+  auto sync = MakeDevice(EnvHpC3010(64 << 20), &sync_clock);
   SimClock async_clock;
-  SimDisk async(geometry, &async_clock);
-  async.set_queue_depth(16);
+  auto async = MakeDevice(EnvHpC3010(64 << 20), &async_clock);
+  async->set_queue_depth(16);
 
   std::vector<uint8_t> out(8192);
   for (uint64_t s : {100u, 44000u, 100u, 9000u, 9016u}) {
-    ASSERT_TRUE(sync.Write(s, data).ok());
-    auto tag = async.SubmitWrite(s, data);
+    ASSERT_TRUE(sync->Write(s, data).ok());
+    auto tag = async->SubmitWrite(s, data);
     ASSERT_TRUE(tag.ok());
-    ASSERT_TRUE(async.WaitFor(*tag).ok());
+    ASSERT_TRUE(async->WaitFor(*tag).ok());
     ASSERT_DOUBLE_EQ(sync_clock.Now(), async_clock.Now());
 
-    ASSERT_TRUE(sync.Read(s, out).ok());
-    auto rtag = async.SubmitRead(s, out);
+    ASSERT_TRUE(sync->Read(s, out).ok());
+    auto rtag = async->SubmitRead(s, out);
     ASSERT_TRUE(rtag.ok());
-    ASSERT_TRUE(async.WaitFor(*rtag).ok());
+    ASSERT_TRUE(async->WaitFor(*rtag).ok());
     ASSERT_DOUBLE_EQ(sync_clock.Now(), async_clock.Now());
   }
   // The whole mechanical breakdown matches, not just the total.
-  EXPECT_DOUBLE_EQ(sync.stats().seek_ms, async.stats().seek_ms);
-  EXPECT_DOUBLE_EQ(sync.stats().rotation_ms, async.stats().rotation_ms);
-  EXPECT_DOUBLE_EQ(sync.stats().transfer_ms, async.stats().transfer_ms);
-  EXPECT_DOUBLE_EQ(sync.stats().busy_ms, async.stats().busy_ms);
-  EXPECT_EQ(sync.stats().seeks, async.stats().seeks);
+  EXPECT_DOUBLE_EQ(sync->stats().seek_ms, async->stats().seek_ms);
+  EXPECT_DOUBLE_EQ(sync->stats().rotation_ms, async->stats().rotation_ms);
+  EXPECT_DOUBLE_EQ(sync->stats().transfer_ms, async->stats().transfer_ms);
+  EXPECT_DOUBLE_EQ(sync->stats().busy_ms, async->stats().busy_ms);
+  EXPECT_EQ(sync->stats().seeks, async->stats().seeks);
 }
 
 TEST(DiskQueueTest, QueueCountersTrackDepthAndWait) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
-  disk.set_queue_policy(SimDisk::QueuePolicy::kFifo);
-  disk.set_queue_depth(16);
+  auto disk = MakeDevice(OneArm(16 << 20, QueuePolicy::kFifo), &clock);
+  disk->set_queue_depth(16);
   const std::vector<uint8_t> data = Pattern(4096, 7);
   for (uint64_t s : {2000u, 30000u, 15000u, 7000u}) {
-    ASSERT_TRUE(disk.SubmitWrite(s, data).ok());
+    ASSERT_TRUE(disk->SubmitWrite(s, data).ok());
   }
-  ASSERT_TRUE(disk.Drain().ok());
-  EXPECT_EQ(disk.stats().queued_requests, 4u);
-  EXPECT_EQ(disk.stats().max_queue_depth, 4u);
+  ASSERT_TRUE(disk->Drain().ok());
+  EXPECT_EQ(disk->stats().queued_requests, 4u);
+  EXPECT_EQ(disk->stats().max_queue_depth, 4u);
   // All four were submitted at t=0; later ones waited for the device.
-  EXPECT_GT(disk.stats().queue_wait_ms, 0.0);
+  EXPECT_GT(disk->stats().queue_wait_ms, 0.0);
+  // The per-channel breakdown covers the same requests.
+  uint64_t channel_requests = 0;
+  for (size_t c = 0; c < disk->stats().channel_count(); ++c) {
+    channel_requests += disk->stats().channel(c).queued_requests;
+  }
+  EXPECT_EQ(channel_requests, 4u);
 }
 
 TEST(DiskQueueTest, QueueDepthReachedTriggersScheduling) {
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(16 << 20), &clock);
-  disk.set_queue_policy(SimDisk::QueuePolicy::kFifo);
-  disk.set_queue_depth(2);
+  auto disk = MakeDevice(OneArm(16 << 20, QueuePolicy::kFifo), &clock);
+  disk->set_queue_depth(2);
   const std::vector<uint8_t> data = Pattern(4096, 8);
-  auto first = disk.SubmitWrite(1000, data);
+  auto first = disk->SubmitWrite(1000, data);
   ASSERT_TRUE(first.ok());
-  EXPECT_LT(disk.ScheduledCompletion(*first), 0.0);  // Still pending.
-  auto second = disk.SubmitWrite(5000, data);
+  EXPECT_LT(disk->ScheduledCompletion(*first), 0.0);  // Still pending.
+  auto second = disk->SubmitWrite(5000, data);
   ASSERT_TRUE(second.ok());
   // Hitting the configured depth scheduled the batch.
-  EXPECT_GT(disk.ScheduledCompletion(*first), 0.0);
-  EXPECT_GT(disk.ScheduledCompletion(*second), disk.ScheduledCompletion(*first));
-  ASSERT_TRUE(disk.Drain().ok());
+  EXPECT_GT(disk->ScheduledCompletion(*first), 0.0);
+  EXPECT_GT(disk->ScheduledCompletion(*second), disk->ScheduledCompletion(*first));
+  ASSERT_TRUE(disk->Drain().ok());
 }
 
 TEST(DiskQueueTest, MemDiskDefaultAsyncPathWorks) {
   SimClock clock;
-  MemDisk disk(/*num_sectors=*/4096, /*sector_size=*/512, &clock);
+  auto disk = MakeDevice(DeviceOptions::Mem(4096, 512), &clock);
   const std::vector<uint8_t> data = Pattern(4096, 9);
-  auto tag = disk.SubmitWrite(64, data);
+  auto tag = disk->SubmitWrite(64, data);
   ASSERT_TRUE(tag.ok());
   std::vector<uint8_t> out(4096);
-  auto rtag = disk.SubmitRead(64, out);
+  auto rtag = disk->SubmitRead(64, out);
   ASSERT_TRUE(rtag.ok());
   EXPECT_EQ(data, out);
-  EXPECT_TRUE(disk.WaitFor(*tag).ok());
-  EXPECT_TRUE(disk.Drain().ok());
+  EXPECT_TRUE(disk->WaitFor(*tag).ok());
+  EXPECT_TRUE(disk->Drain().ok());
+  EXPECT_TRUE(disk->Poll().empty());
+}
+
+// --- FaultDisk on the async path -------------------------------------------
+
+TEST(FaultDiskAsyncTest, SubmitWriteCrashesAndTearsLikeSyncWrite) {
+  SimClock clock;
+  auto inner = MakeDevice(EnvHpC3010(16 << 20), &clock);
+  inner->set_queue_depth(16);
+  FaultDisk disk(inner.get());
+  const std::vector<uint8_t> data = Pattern(4 * 512, 10);
+
+  disk.CrashAfterWrites(2, /*torn_sectors=*/1);
+  ASSERT_TRUE(disk.SubmitWrite(100, data).ok());
+  // Second submitted write crashes at submit (the crash strikes while the
+  // request is in flight) and persists only its first sector.
+  auto torn = disk.SubmitWrite(200, data);
+  EXPECT_EQ(torn.status().code(), ErrorCode::kIoError);
+  EXPECT_TRUE(disk.crashed());
+  // While crashed, every async request fails without reaching the queue.
+  std::vector<uint8_t> out(512);
+  EXPECT_EQ(disk.SubmitRead(100, out).status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(disk.SubmitWrite(300, data).status().code(), ErrorCode::kIoError);
+
+  disk.ClearFault();
+  ASSERT_TRUE(disk.Drain().ok());
+  // The pre-crash write persisted fully; the torn one only its prefix.
+  std::vector<uint8_t> sector(512);
+  ASSERT_TRUE(disk.Read(100, sector).ok());
+  EXPECT_EQ(sector[0], data[0]);
+  ASSERT_TRUE(disk.Read(200, sector).ok());
+  EXPECT_EQ(sector[0], data[0]);
+  ASSERT_TRUE(disk.Read(201, sector).ok());
+  EXPECT_EQ(sector[0], 0x00);  // Beyond the torn prefix.
+}
+
+TEST(FaultDiskAsyncTest, ForwardsQueueKnobsChannelsAndCompletions) {
+  SimClock clock;
+  auto inner = MakeDevice(DeviceOptions::HpC3010(16 << 20, /*channels=*/4), &clock);
+  FaultDisk disk(inner.get());
+
+  EXPECT_EQ(disk.num_channels(), 4u);
+  EXPECT_EQ(disk.ChannelOf(0), inner->ChannelOf(0));
+  const uint64_t last = inner->num_sectors() - 1;
+  EXPECT_EQ(disk.ChannelOf(last), inner->ChannelOf(last));
+  EXPECT_GT(disk.ChannelOf(last), 0u);
+
+  disk.set_queue_policy(QueuePolicy::kFifo);
+  EXPECT_EQ(inner->queue_policy(), QueuePolicy::kFifo);
+  disk.set_queue_depth(32);
+  EXPECT_EQ(inner->queue_depth(), 32u);
+
+  const std::vector<uint8_t> data = Pattern(4096, 11);
+  auto tag = disk.SubmitWrite(64, data);
+  ASSERT_TRUE(tag.ok());
+  (void)disk.Poll();  // Forces scheduling through the wrapper.
+  EXPECT_GT(disk.ScheduledCompletion(*tag), 0.0);
+  EXPECT_DOUBLE_EQ(disk.ScheduledCompletion(*tag), inner->ScheduledCompletion(*tag));
+  ASSERT_TRUE(disk.Drain().ok());
+}
+
+TEST(FaultDiskAsyncTest, WaitForAndPollPassThrough) {
+  SimClock clock;
+  auto inner = MakeDevice(EnvHpC3010(16 << 20), &clock);
+  inner->set_queue_depth(16);
+  FaultDisk disk(inner.get());
+  const std::vector<uint8_t> data = Pattern(4096, 12);
+  auto tag = disk.SubmitWrite(500, data);
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(disk.WaitFor(*tag).ok());
+  EXPECT_GT(clock.Now(), 0.0);
   EXPECT_TRUE(disk.Poll().empty());
 }
 

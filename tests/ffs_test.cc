@@ -4,8 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/disk/device_factory.h"
 #include "src/disk/mem_disk.h"
-#include "src/disk/sim_disk.h"
 #include "src/ffs/ffs.h"
 
 namespace ld {
@@ -77,11 +77,11 @@ TEST(FfsTest, SynchronousMetadataWritesOnCreate) {
   // On a SimDisk, a create must cost real disk writes (the i-node table
   // block and directory block go out synchronously).
   SimClock clock;
-  SimDisk disk(DiskGeometry::HpC3010Partition(kDiskBytes), &clock);
-  auto fs = *FormatFfs(&disk, FfsParams{});
-  disk.ResetStats();
+  auto disk = MakeDevice(DeviceOptions::HpC3010(kDiskBytes), &clock);
+  auto fs = *FormatFfs(disk.get(), FfsParams{});
+  disk->ResetStats();
   ASSERT_TRUE(fs->CreateFile("/sync-me").ok());
-  EXPECT_GE(disk.stats().write_ops, 2u);
+  EXPECT_GE(disk->stats().write_ops, 2u);
 }
 
 TEST(FfsTest, PersistsAcrossRemount) {

@@ -13,7 +13,7 @@
 #include "src/disk/fault_disk.h"
 #include "src/disk/geometry.h"
 #include "src/disk/mem_disk.h"
-#include "src/disk/sim_disk.h"
+#include "src/disk/device_factory.h"
 #include "src/lld/lld.h"
 
 namespace ld {
@@ -134,18 +134,17 @@ TEST(LldPipelineTest, RecoveryStateByteIdenticalPipelineOnVsOff) {
 }
 
 TEST(LldPipelineTest, CompressionHeavySequentialWriteIsStrictlyFasterPipelined) {
-  // Real mechanical timing (SimDisk) so the disk write has a duration that
-  // compression CPU can hide behind.
-  const DiskGeometry geometry = DiskGeometry::HpC3010Partition(64ull << 20);
+  // Real mechanical timing (the HP C3010 backend) so the disk write has a
+  // duration that compression CPU can hide behind.
   Lzrw1Compressor compressor;
 
   auto run = [&](bool pipeline) -> double {
     SimClock clock;
-    SimDisk disk(geometry, &clock);
+    auto disk = MakeDevice(DeviceOptions::HpC3010(64ull << 20), &clock);
     LldOptions options;  // Default 512-KB segments, as in the paper's runs.
     options.compressor = &compressor;
     options.pipeline_segment_writes = pipeline;
-    auto lld = LogStructuredDisk::Format(&disk, options);
+    auto lld = LogStructuredDisk::Format(disk.get(), options);
     EXPECT_TRUE(lld.ok());
     ListHints hints;
     hints.compress = true;
