@@ -29,6 +29,7 @@ ld_bench(bench_rearrange)
 ld_bench(bench_loge)
 ld_bench(bench_trace)
 ld_bench(bench_nvme_tables)
+ld_bench(bench_faults)
 
 # Per-operation CPU microbenchmarks of the LD interface (google-benchmark).
 find_package(benchmark REQUIRED)

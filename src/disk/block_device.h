@@ -84,6 +84,15 @@ struct DiskStats {
   uint64_t max_queue_depth = 0;  // High-water mark of outstanding requests.
   double queue_wait_ms = 0.0;    // Total time requests waited before service.
 
+  // Device health. The error counters are bumped by the device (or a fault
+  // wrapper) when a request fails; the retry/recovery counters are bumped by
+  // the ReliableIo shim that sits between a client and the device.
+  uint64_t read_errors = 0;          // Read requests that failed.
+  uint64_t write_errors = 0;         // Write requests that failed.
+  uint64_t read_retries = 0;         // Extra read attempts issued by the shim.
+  uint64_t write_retries = 0;        // Extra write attempts issued by the shim.
+  uint64_t transient_recoveries = 0; // Requests that succeeded after retrying.
+
   uint64_t TotalOps() const { return read_ops + write_ops; }
   uint64_t BytesRead(uint32_t sector_size) const { return sectors_read * sector_size; }
   uint64_t BytesWritten(uint32_t sector_size) const { return sectors_written * sector_size; }
@@ -173,6 +182,11 @@ class BlockDevice {
   virtual SimClock* clock() = 0;
   virtual const DiskStats& stats() const = 0;
   virtual void ResetStats() = 0;
+
+  // Mutable view of stats() for layers stacked on top of the device (fault
+  // wrappers counting errors, the ReliableIo retry shim). Devices that track
+  // stats return their own struct; wrappers forward to the wrapped device.
+  virtual DiskStats* mutable_stats() { return nullptr; }
 
  protected:
   // State backing the default (synchronous) Submit* implementations.

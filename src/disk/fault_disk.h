@@ -1,24 +1,70 @@
-// Fault-injection wrapper used by recovery tests and the recovery benchmark.
+// Fault-injection wrapper used by recovery/robustness tests and benches.
 //
-// A FaultDisk forwards requests to an underlying device until a scheduled
-// crash point; the crash can also tear the in-flight write (persist only a
-// prefix of its sectors), which is how a power failure interrupts a long
-// segment write. After the crash every request fails with IO_ERROR until
-// ClearFault() — simulating the restart, after which recovery reads the disk
-// image the crash left behind.
+// A FaultDisk forwards requests to an underlying device and injects media
+// faults on the way through:
+//
+//  * Crash scheduling: CrashAfterWrites() fails the Nth write from now,
+//    optionally persisting only a torn prefix of its sectors — a power
+//    failure mid-segment-write. After the crash every request fails until
+//    ClearFault() (the "reboot").
+//  * Latent sector errors: sectors in the latent set fail every read with
+//    IO_ERROR until they are rewritten (a rewrite remaps the sector, the
+//    way real firmware heals a grown defect). Latent errors survive
+//    ClearFault(): a reboot does not heal media.
+//  * Transient errors: whole requests fail with IO_ERROR at a configured
+//    probability, in bursts of bounded length, then succeed on retry.
+//  * Silent corruption: written sectors are bit-flipped at a configured
+//    probability, or explicitly via CorruptSector(). The flipped bytes are
+//    stored on the inner device, so corruption persists across
+//    ClearFault() and is only discovered by checksum verification above.
+//
+// Random faults are driven by a seeded Rng (FaultPlan::seed), so every
+// fault schedule is deterministic and reproducible.
 
 #ifndef SRC_DISK_FAULT_DISK_H_
 #define SRC_DISK_FAULT_DISK_H_
 
 #include <cstdint>
+#include <unordered_set>
 
 #include "src/disk/block_device.h"
+#include "src/util/random.h"
 
 namespace ld {
 
+// Probabilistic fault schedule. All probabilities default to zero, so a
+// default FaultPlan injects nothing; crash scheduling composes on top.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // Per-request probability that a read/write fails with a transient
+  // IO_ERROR. A triggered fault starts a burst: the next `burst` requests of
+  // that kind also fail, where burst is drawn uniformly from
+  // [1, max_transient_burst]. The request after a burst always succeeds (no
+  // new burst may trigger on it), so max_transient_burst is a hard bound on
+  // consecutive transient failures and retry loops with a larger attempt
+  // budget are guaranteed to get through.
+  double transient_read_error_rate = 0.0;
+  double transient_write_error_rate = 0.0;
+  uint32_t max_transient_burst = 1;
+
+  // Per-write probability that one sector of the written range develops a
+  // latent error: the write itself succeeds, but later reads covering that
+  // sector fail with IO_ERROR until it is rewritten.
+  double latent_error_rate = 0.0;
+
+  // Per-written-sector probability of a silent single-bit flip in the data
+  // as it lands on media. Undetectable at the device interface.
+  double bit_flip_rate = 0.0;
+};
+
 class FaultDisk : public BlockDevice {
  public:
-  explicit FaultDisk(BlockDevice* inner) : inner_(inner) {}
+  explicit FaultDisk(BlockDevice* inner) : inner_(inner), rng_(1) {}
+
+  // Installs a probabilistic fault schedule (and reseeds the fault Rng).
+  void SetFaultPlan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return plan_; }
 
   // Crashes on the Nth write from now (1 = the next write). If
   // `torn_sectors` >= 0, that write persists only its first `torn_sectors`
@@ -28,10 +74,28 @@ class FaultDisk : public BlockDevice {
   // Immediately enter the crashed state.
   void CrashNow() { crashed_ = true; }
 
-  // Leave the crashed state (the "reboot").
+  // Leave the crashed state (the "reboot"). Clears crash scheduling and any
+  // in-progress transient burst, but *preserves* latent sector errors and
+  // corrupted sector contents: a reboot does not heal media.
   void ClearFault();
 
   bool crashed() const { return crashed_; }
+
+  // --- Explicit media-fault injection -------------------------------------
+
+  // Marks `sector` with a latent error: reads covering it fail with
+  // IO_ERROR until the sector is rewritten.
+  void InjectLatentError(uint64_t sector) { latent_sectors_.insert(sector); }
+  bool HasLatentError(uint64_t sector) const { return latent_sectors_.count(sector) != 0; }
+  size_t latent_error_count() const { return latent_sectors_.size(); }
+
+  // Silently corrupts the stored contents of `sector` by XOR-ing
+  // `xor_mask` into the byte at `byte_offset`. The damage is written to the
+  // inner device (bypassing fault checks), so it persists across reboots.
+  Status CorruptSector(uint64_t sector, uint32_t byte_offset = 0, uint8_t xor_mask = 0x01);
+
+  // Number of silent bit flips injected so far (random plus explicit).
+  uint64_t corruptions_injected() const { return corruptions_injected_; }
 
   uint32_t sector_size() const override { return inner_->sector_size(); }
   uint64_t num_sectors() const override { return inner_->num_sectors(); }
@@ -63,18 +127,38 @@ class FaultDisk : public BlockDevice {
   SimClock* clock() override { return inner_->clock(); }
   const DiskStats& stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
+  DiskStats* mutable_stats() override { return inner_->mutable_stats(); }
 
  private:
-  // Applies the crash countdown for one write-sized request; on the crashing
-  // write, persists the torn prefix (if any) and returns the failure the
-  // caller must surface. Shared by the sync and async write paths.
+  // Fault checks shared by the sync and async paths. Each returns OK or the
+  // injected failure, and counts the failure in the device health stats.
+  Status CheckReadFault(uint64_t sector, size_t bytes);
   Status CheckWriteFault(uint64_t sector, std::span<const uint8_t> data);
+  Status CountReadError(Status s);
+  Status CountWriteError(Status s);
+
+  // Applies post-acceptance write effects: heals rewritten latent sectors,
+  // develops new latent errors, and bit-flips sectors as they land. Returns
+  // the (possibly corrupted) bytes to store.
+  void ApplyWriteEffects(uint64_t sector, std::span<const uint8_t> data);
 
   BlockDevice* inner_;
   bool crashed_ = false;
   bool armed_ = false;
   uint64_t writes_until_crash_ = 0;
   int64_t torn_sectors_ = -1;
+
+  FaultPlan plan_;
+  Rng rng_;
+  uint32_t read_burst_left_ = 0;
+  uint32_t write_burst_left_ = 0;
+  // Set when a burst drains: the next request of that kind may not start a
+  // fresh burst, keeping max_transient_burst a hard bound.
+  bool read_cooldown_ = false;
+  bool write_cooldown_ = false;
+  std::unordered_set<uint64_t> latent_sectors_;
+  uint64_t corruptions_injected_ = 0;
+  std::vector<uint8_t> scratch_;  // Sector buffer for corruption writes.
 };
 
 }  // namespace ld

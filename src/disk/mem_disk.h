@@ -23,6 +23,7 @@ class MemDisk : public BlockDevice {
 
   SimClock* clock() override { return clock_; }
   const DiskStats& stats() const override { return stats_; }
+  DiskStats* mutable_stats() override { return &stats_; }
   void ResetStats() override { stats_ = DiskStats{}; }
 
  private:

@@ -68,6 +68,7 @@ class NvmeDevice : public BlockDevice {
 
   SimClock* clock() override { return clock_; }
   const DiskStats& stats() const override { return stats_; }
+  DiskStats* mutable_stats() override { return &stats_; }
   void ResetStats() override {
     stats_ = DiskStats{};
     link_free_seconds_ = 0.0;

@@ -56,6 +56,7 @@ class SimDisk : public BlockDevice {
 
   SimClock* clock() override { return clock_; }
   const DiskStats& stats() const override { return stats_; }
+  DiskStats* mutable_stats() override { return &stats_; }
   // Also marks every channel idle: measurement resets (harness
   // ResetMeasurement) rewind the shared clock, which would otherwise leave a
   // stale busy-until time delaying every post-reset request.

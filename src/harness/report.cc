@@ -22,6 +22,16 @@ void PrintDiskQueueStats(const std::string& label, const DiskStats& stats) {
               static_cast<unsigned long long>(stats.max_queue_depth), mean_wait);
 }
 
+void PrintDiskHealthStats(const std::string& label, const DiskStats& stats) {
+  std::printf(
+      "  %-24s errors r/w %llu/%llu  retries r/w %llu/%llu  recovered %llu\n",
+      label.c_str(), static_cast<unsigned long long>(stats.read_errors),
+      static_cast<unsigned long long>(stats.write_errors),
+      static_cast<unsigned long long>(stats.read_retries),
+      static_cast<unsigned long long>(stats.write_retries),
+      static_cast<unsigned long long>(stats.transient_recoveries));
+}
+
 std::string Compare(double measured, double paper, const std::string& unit, int precision) {
   std::string out = TextTable::Num(measured, precision);
   if (!unit.empty()) {

@@ -24,6 +24,11 @@ std::string Compare(double measured, double paper, const std::string& unit, int 
 // service. `label` names the configuration the stats belong to.
 void PrintDiskQueueStats(const std::string& label, const DiskStats& stats);
 
+// Prints one line of device-health counters: requests that failed at the
+// device, extra attempts issued by the ReliableIo retry shim, and requests
+// that succeeded only after retrying. All zeros on a fault-free run.
+void PrintDiskHealthStats(const std::string& label, const DiskStats& stats);
+
 }  // namespace ld
 
 #endif  // SRC_HARNESS_REPORT_H_

@@ -23,7 +23,7 @@ uint64_t RoundUp(uint64_t value, uint64_t multiple) {
 }  // namespace
 
 LogStructuredDisk::LogStructuredDisk(BlockDevice* device, const LldOptions& options)
-    : device_(device), options_(options) {}
+    : device_(device), options_(options), io_(device, options.retry) {}
 
 Status LogStructuredDisk::ComputeLayout() {
   const uint32_t sector = device_->sector_size();
@@ -61,7 +61,11 @@ uint64_t LogStructuredDisk::SegmentBaseByte(uint32_t segment) const {
 
 namespace {
 constexpr uint32_t kSuperMagic = 0x4c445342;  // "LDSB"
-constexpr uint32_t kSuperVersion = 1;
+// Version 2 adds per-block payload CRCs to the summary stream. The records
+// self-describe (a flag bit), so v1 volumes open fine — their blocks simply
+// aren't verifiable until rewritten.
+constexpr uint32_t kSuperVersion = 2;
+constexpr uint32_t kSuperMinVersion = 1;
 }  // namespace
 
 Status LogStructuredDisk::WriteSuperblock() {
@@ -81,16 +85,17 @@ Status LogStructuredDisk::WriteSuperblock() {
 
   std::vector<uint8_t> sector(device_->sector_size(), 0);
   std::memcpy(sector.data(), payload.data(), payload.size());
-  return device_->Write(0, sector);
+  return io_.Write(0, sector);
 }
 
 Status LogStructuredDisk::ReadAndCheckSuperblock() {
   std::vector<uint8_t> sector(device_->sector_size());
-  RETURN_IF_ERROR(device_->Read(0, sector));
+  RETURN_IF_ERROR(io_.Read(0, sector));
   Decoder dec(sector);
   const uint32_t magic = dec.GetU32();
   const uint32_t version = dec.GetU32();
-  if (!dec.ok() || magic != kSuperMagic || version != kSuperVersion) {
+  if (!dec.ok() || magic != kSuperMagic || version < kSuperMinVersion ||
+      version > kSuperVersion) {
     return CorruptionError("device is not an LLD volume");
   }
   const uint32_t block_size = dec.GetU32();
@@ -133,7 +138,7 @@ StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Format(
   std::vector<uint8_t> zeros(options.summary_bytes, 0);
   for (uint32_t seg = 0; seg < lld->usage_->num_segments(); ++seg) {
     const uint64_t summary_byte = lld->SegmentBaseByte(seg) + lld->data_capacity_;
-    RETURN_IF_ERROR(device->Write(summary_byte / device->sector_size(), zeros));
+    RETURN_IF_ERROR(lld->io_.Write(summary_byte / device->sector_size(), zeros));
   }
   return lld;
 }
@@ -198,9 +203,13 @@ Status LogStructuredDisk::AppendBlockData(Bid bid, std::span<const uint8_t> stor
   std::memcpy(open_buffer_.data() + offset, stored.data(), stored.size());
   open_data_used_ += static_cast<uint32_t>(stored.size());
 
+  // Checksum the *stored* form (post-compression): that is what reads and
+  // the scrubber can re-hash straight off the media.
+  const uint32_t payload_crc = PayloadCrc(stored);
   SummaryRecord record =
       SummaryRecord::BlockEntry(ts, bid, entry.list, offset, static_cast<uint32_t>(stored.size()),
-                                orig_size, compressed, /*ends_aru=*/true);
+                                orig_size, compressed, /*ends_aru=*/true, payload_crc,
+                                /*has_payload_crc=*/true);
   if (!internal && InAru()) {
     record.aru_id = current_aru_;
     record.ends_aru = false;
@@ -213,6 +222,8 @@ Status LogStructuredDisk::AppendBlockData(Bid bid, std::span<const uint8_t> stor
   entry.stored_size = static_cast<uint32_t>(stored.size());
   entry.compressed = compressed;
   entry.write_ts = ts;
+  entry.payload_crc = payload_crc;
+  entry.has_payload_crc = true;
   counters_.stored_bytes_written += stored.size();
   return OkStatus();
 }
@@ -288,7 +299,11 @@ Status LogStructuredDisk::ReapInflightTo(size_t max_outstanding) {
   while (inflight_writes_.size() > max_outstanding) {
     InflightWrite w = std::move(inflight_writes_.front());
     inflight_writes_.pop_front();
-    RETURN_IF_ERROR(device_->WaitFor(w.tag));
+    if (Status s = device_->WaitFor(w.tag); !s.ok()) {
+      // A lost in-flight segment write: the block map already points into
+      // that segment, so the in-memory state can no longer be made durable.
+      return HandleWriteFailure(s);
+    }
     // Only now that the full image is durable may the scratch segment it
     // supersedes be recycled.
     if (w.scratch_free >= 0) {
@@ -321,13 +336,14 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
     open_buffer_.assign(sealed.size(), 0);
   }
   StatusOr<IoTag> tag =
-      device_->SubmitWrite(SegmentBaseByte(target) / device_->sector_size(), sealed);
+      io_.SubmitWrite(SegmentBaseByte(target) / device_->sector_size(), sealed);
   if (!tag.ok()) {
-    // Device failure (e.g. injected crash): restore the sealed image as the
-    // open segment so state stays consistent; no metadata was updated.
+    // Device failure surviving the retry shim: restore the sealed image as
+    // the open segment so state stays consistent (no metadata was updated),
+    // then go read-only — the log can no longer accept this segment.
     spare_buffers_.push_back(std::move(open_buffer_));
     open_buffer_ = std::move(sealed);
-    return tag.status();
+    return HandleWriteFailure(tag.status());
   }
 
   SegmentUsage& seg = usage_->segment(target);
@@ -381,12 +397,18 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   const uint64_t base = SegmentBaseByte(target);
   if (open_data_used_ > 0) {
     const uint64_t data_len = RoundUp(open_data_used_, sector);
-    RETURN_IF_ERROR(device_->Write(
-        base / sector, std::span<const uint8_t>(open_buffer_).subspan(0, data_len)));
+    if (Status s = io_.Write(base / sector,
+                             std::span<const uint8_t>(open_buffer_).subspan(0, data_len));
+        !s.ok()) {
+      return HandleWriteFailure(s);
+    }
   }
-  RETURN_IF_ERROR(device_->Write(
-      (base + data_capacity_) / sector,
-      std::span<const uint8_t>(open_buffer_).subspan(data_capacity_, options_.summary_bytes)));
+  if (Status s = io_.Write(
+          (base + data_capacity_) / sector,
+          std::span<const uint8_t>(open_buffer_).subspan(data_capacity_, options_.summary_bytes));
+      !s.ok()) {
+    return HandleWriteFailure(s);
+  }
 
   SegmentUsage& seg = usage_->segment(target);
   seg.state = SegmentState::kScratch;
@@ -452,8 +474,28 @@ Status LogStructuredDisk::ReadStored(const BlockMapEntry& entry, std::span<uint8
   if (io_scratch_.size() < span_bytes) {
     io_scratch_.resize(span_bytes);
   }
-  RETURN_IF_ERROR(device_->Read(first_sector, std::span<uint8_t>(io_scratch_).subspan(0, span_bytes)));
+  RETURN_IF_ERROR(io_.Read(first_sector, std::span<uint8_t>(io_scratch_).subspan(0, span_bytes)));
   std::memcpy(out.data(), io_scratch_.data() + (start_byte - first_sector * sector), out.size());
+  return OkStatus();
+}
+
+Status LogStructuredDisk::EnterDegradedMode(const Status& cause) {
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_cause_ = cause.ToString();
+    LD_LOG(kWarn) << "LLD entering degraded (read-only) mode: " << degraded_cause_;
+  }
+  return DegradedError("device lost a write; LLD is read-only (" + degraded_cause_ + ")");
+}
+
+Status LogStructuredDisk::CheckWritable() const {
+  if (shut_down_) {
+    return FailedPreconditionError("LLD is shut down");
+  }
+  if (degraded_) {
+    return DegradedError("LLD is read-only after a device write failure (" + degraded_cause_ +
+                         ")");
+  }
   return OkStatus();
 }
 
@@ -528,12 +570,27 @@ Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
     return OkStatus();
   }
 
+  // Verifies on-disk payload bytes against the CRC logged when the block was
+  // appended, so silent media corruption surfaces as a typed error instead
+  // of wrong data. Open-segment copies live in memory and are not checked.
+  auto verify_payload = [&](std::span<const uint8_t> stored_bytes) -> Status {
+    if (!options_.verify_read_checksums || !entry->has_payload_crc) {
+      return OkStatus();
+    }
+    if (PayloadCrc(stored_bytes) != entry->payload_crc) {
+      counters_.read_crc_failures++;
+      return CorruptionError("block " + std::to_string(bid) + " payload crc mismatch");
+    }
+    return OkStatus();
+  };
+
   if (!entry->compressed) {
     if (entry->phys.IsOpen()) {
       std::memcpy(out.data(), open_buffer_.data() + entry->phys.offset, out.size());
       return OkStatus();
     }
-    return ReadStored(*entry, out);
+    RETURN_IF_ERROR(ReadStored(*entry, out));
+    return verify_payload(out);
   }
 
   std::vector<uint8_t> stored(entry->stored_size);
@@ -541,6 +598,7 @@ Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
     std::memcpy(stored.data(), open_buffer_.data() + entry->phys.offset, stored.size());
   } else {
     RETURN_IF_ERROR(ReadStored(*entry, stored));
+    RETURN_IF_ERROR(verify_payload(stored));
   }
   if (options_.compressor == nullptr) {
     return FailedPreconditionError("compressed block but no compressor configured");
@@ -551,9 +609,7 @@ Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
 }
 
 Status LogStructuredDisk::Write(Bid bid, std::span<const uint8_t> data) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(BlockMapEntry * entry, block_map_.Lookup(bid));
   if (data.size() != entry->size_class) {
     return InvalidArgumentError("write does not match block size class");
@@ -595,9 +651,7 @@ Status LogStructuredDisk::Write(Bid bid, std::span<const uint8_t> data) {
 }
 
 StatusOr<Bid> LogStructuredDisk::NewBlock(Lid lid, Bid pred_bid, uint32_t size_bytes) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   const uint32_t size = size_bytes == 0 ? options_.block_size : size_bytes;
   if (size == 0 || size > data_capacity_ || size > kMaxBlockSize) {
     return InvalidArgumentError("unsupported block size " + std::to_string(size));
@@ -703,9 +757,7 @@ Status LogStructuredDisk::UnlinkFromList(Bid bid, Lid lid, Bid pred_bid_hint) {
 }
 
 Status LogStructuredDisk::DeleteBlock(Bid bid, Lid lid, Bid pred_bid_hint) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   RETURN_IF_ERROR(list_table_.Lookup(lid).status());
   ASSIGN_OR_RETURN(BlockMapEntry * entry, block_map_.Lookup(bid));
   if (entry->list != lid) {
@@ -720,9 +772,7 @@ Status LogStructuredDisk::DeleteBlock(Bid bid, Lid lid, Bid pred_bid_hint) {
 // ---- LogicalDisk: lists ---------------------------------------------------------
 
 StatusOr<Lid> LogStructuredDisk::NewList(Lid pred_lid, ListHints hints) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(Lid lid, list_table_.Allocate(pred_lid, hints));
   const OpTimestamp ts = NextTs();
   const bool ends = RecordEndsAru();
@@ -742,9 +792,7 @@ StatusOr<Lid> LogStructuredDisk::NewList(Lid pred_lid, ListHints hints) {
 }
 
 Status LogStructuredDisk::DeleteList(Lid lid, Lid pred_lid_hint) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(ListEntry * list, list_table_.Lookup(lid));
   if (pred_lid_hint != kNilLid) {
     if (list->lol_prev == pred_lid_hint) {
@@ -776,9 +824,7 @@ Status LogStructuredDisk::DeleteList(Lid lid, Lid pred_lid_hint) {
 
 Status LogStructuredDisk::MoveSublist(Bid first, Bid last, Lid from_lid, Lid to_lid,
                                       Bid pred_bid) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(ListEntry * from, list_table_.Lookup(from_lid));
   ASSIGN_OR_RETURN(ListEntry * to, list_table_.Lookup(to_lid));
   // Validate the chain first..last inside from_lid, collecting its members.
@@ -884,9 +930,7 @@ Status LogStructuredDisk::MoveSublist(Bid first, Bid last, Lid from_lid, Lid to_
 }
 
 Status LogStructuredDisk::MoveList(Lid lid, Lid new_pred_lid) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   const Lid old_prev = list_table_.IsAllocated(lid) ? list_table_.entry(lid).lol_prev : kNilLid;
   RETURN_IF_ERROR(list_table_.Move(lid, new_pred_lid));
   const OpTimestamp ts = NextTs();
@@ -917,9 +961,7 @@ Status LogStructuredDisk::FlushList(Lid lid) {
 // ---- LogicalDisk: ARUs & durability -----------------------------------------------
 
 Status LogStructuredDisk::BeginARU() {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   if (InAru()) {
     return FailedPreconditionError("an ARU is already selected; use BeginConcurrentARU");
   }
@@ -936,9 +978,7 @@ Status LogStructuredDisk::EndARU() {
 }
 
 StatusOr<LogicalDisk::AruId> LogStructuredDisk::BeginConcurrentARU() {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   const AruId id = next_aru_id_++;
   open_arus_.insert(id);
   current_aru_ = id;
@@ -983,9 +1023,7 @@ Status LogStructuredDisk::AbandonARU(AruId id) {
 }
 
 Status LogStructuredDisk::SwapContents(Bid a, Bid b) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   if (a == b) {
     return InvalidArgumentError("swapping a block with itself");
   }
@@ -1038,9 +1076,7 @@ StatusOr<Bid> LogStructuredDisk::BlockAtIndex(Lid lid, uint64_t index) {
 }
 
 Status LogStructuredDisk::Flush(FailureSet failures) {
-  if (shut_down_) {
-    return FailedPreconditionError("LLD is shut down");
-  }
+  RETURN_IF_ERROR(CheckWritable());
   counters_.flushes++;
   if (failures == FailureSet::kNone) {
     return OkStatus();
@@ -1091,6 +1127,10 @@ Status LogStructuredDisk::CancelReservation(uint64_t count, uint32_t size_bytes)
 Status LogStructuredDisk::Shutdown() {
   if (shut_down_) {
     return OkStatus();
+  }
+  if (degraded_) {
+    // Nothing can be made durable; the next Open() must re-scan the log.
+    return DegradedError("cannot shut down cleanly (" + degraded_cause_ + ")");
   }
   if (!open_arus_.empty()) {
     return FailedPreconditionError("cannot shut down with open ARUs");

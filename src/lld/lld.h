@@ -58,6 +58,7 @@ struct LldCounters {
   uint64_t pred_hint_misses = 0;
   uint64_t blocks_compressed = 0;
   uint64_t compression_saved_bytes = 0;
+  uint64_t read_crc_failures = 0;     // Reads that failed payload-CRC verification.
 };
 
 // What recovery did after a crash (paper §4.2 measures this).
@@ -69,6 +70,23 @@ struct RecoveryStats {
   uint64_t records_dropped_uncommitted = 0;
   uint64_t live_blocks = 0;
   double seconds = 0.0;  // Simulated time the sweep took.
+
+  // Media damage the sweep encountered (and, for the torn tail, tolerated):
+  // summaries whose CRC failed with a plausible header, and summaries the
+  // device could not read at all (after retries).
+  uint32_t summaries_corrupt = 0;
+  uint32_t summaries_unreadable = 0;
+};
+
+// What one Lld::Scrub() pass found and repaired.
+struct ScrubReport {
+  uint32_t segments_scanned = 0;   // Full segments whose summaries were verified.
+  uint32_t suspect_segments = 0;   // Summaries unreadable or CRC-invalid.
+  uint64_t blocks_scanned = 0;     // Live on-disk blocks read back.
+  uint64_t blocks_relocated = 0;   // Blocks rewritten off suspect segments.
+  uint64_t blocks_corrupt = 0;     // Payload-CRC mismatches (data lost).
+  uint64_t blocks_unreadable = 0;  // Persistent read errors (data lost).
+  uint64_t records_relogged = 0;   // Metadata records re-logged from memory.
 };
 
 // In-memory footprint of LLD's data structures (paper Table 2).
@@ -148,6 +166,16 @@ class LogStructuredDisk : public LogicalDisk {
   // number of blocks moved.
   StatusOr<uint32_t> RearrangeHotBlocks(uint32_t max_blocks);
 
+  // Read-repair pass (lld_scrub.cc): verifies every full segment's summary
+  // and every live on-disk block's payload CRC, relocates all live blocks
+  // off segments whose summaries are damaged (through the cleaner's writer),
+  // re-logs their metadata from the in-memory tables, and retires them —
+  // after which a crash+recovery no longer trips on the damage. Damaged
+  // *payloads* are reported (blocks_corrupt / blocks_unreadable); their
+  // contents cannot be recomputed from a single copy, so reads keep
+  // returning typed errors for them. Requires no open ARUs.
+  StatusOr<ScrubReport> Scrub();
+
   // ---- Introspection (tests & benchmarks) ---------------------------------
   const LldCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = LldCounters{}; }
@@ -162,6 +190,16 @@ class LogStructuredDisk : public LogicalDisk {
   MemoryFootprint MeasureMemory() const;
   // Fill fraction of the in-memory open segment's data area.
   double OpenSegmentFill() const;
+  // True after an unrecoverable device write failure: LLD is read-only and
+  // every mutating call returns a DEGRADED status (see DESIGN.md
+  // "Failure model").
+  bool degraded() const { return degraded_; }
+  // Byte addresses of a segment and of its summary region — introspection
+  // for fault-injection tests and benches that damage precise locations.
+  uint64_t SegmentStartByte(uint32_t segment) const { return SegmentBaseByte(segment); }
+  uint64_t SegmentSummaryStartByte(uint32_t segment) const {
+    return SegmentBaseByte(segment) + data_capacity_;
+  }
   // Bytes of data a segment can hold.
   uint32_t SegmentDataCapacity() const { return data_capacity_; }
   uint64_t TotalDataCapacity() const {
@@ -229,6 +267,16 @@ class LogStructuredDisk : public LogicalDisk {
   Status UnlinkFromList(Bid bid, Lid lid, Bid pred_bid_hint);
   // Reads the stored bytes of an on-disk block copy.
   Status ReadStored(const BlockMapEntry& entry, std::span<uint8_t> out);
+  // Marks LLD degraded after an unrecoverable device write failure and
+  // returns the DEGRADED status mutating callers must surface.
+  Status EnterDegradedMode(const Status& cause);
+  // Routes a device write failure: IO_ERROR (the device lost the write even
+  // after retries) degrades LLD; other failures pass through unchanged.
+  Status HandleWriteFailure(const Status& s) {
+    return s.code() == ErrorCode::kIoError ? EnterDegradedMode(s) : s;
+  }
+  // Shared guard for every mutating entry point.
+  Status CheckWritable() const;
   // Charges (de)compression CPU time to the simulated clock.
   void ChargeCompressCpu(uint64_t bytes);
   void ChargeListCpu();
@@ -245,6 +293,12 @@ class LogStructuredDisk : public LogicalDisk {
     // copied entry must carry the same tag, or cleaning would smuggle
     // uncommitted data into the committed state.
     uint32_t aru_id = 0;
+    // Payload CRC carried *verbatim* from the source record — never
+    // recomputed from the copied bytes, so bytes that rotted before the
+    // copy stay detectably corrupt instead of being laundered into a fresh
+    // valid checksum.
+    uint32_t payload_crc = 0;
+    bool has_payload_crc = false;
   };
   // Live state harvested from one or more victim segments: current copies of
   // data blocks plus metadata records that must survive the segment's reuse
@@ -274,6 +328,8 @@ class LogStructuredDisk : public LogicalDisk {
 
   BlockDevice* device_;
   LldOptions options_;
+  // Retry shim all device accesses go through (sync and submit paths).
+  ReliableIo io_;
 
   // Layout (derived from options + device).
   uint32_t data_capacity_ = 0;        // segment_bytes - summary_bytes.
@@ -333,6 +389,11 @@ class LogStructuredDisk : public LogicalDisk {
 
   uint64_t reserved_bytes_ = 0;
   bool shut_down_ = false;
+  // Set when the device lost a write even after retries: the in-memory state
+  // no longer converges to the on-disk log, so LLD stops mutating (reads
+  // still work) rather than risk undefined behavior. See CheckWritable().
+  bool degraded_ = false;
+  std::string degraded_cause_;
   bool cleaning_ = false;         // Re-entrancy guard.
   // When >= 0, the cleaner's segment writer places its output as close to
   // this segment index as possible (used by RearrangeHotBlocks to center

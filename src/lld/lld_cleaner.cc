@@ -29,7 +29,7 @@ namespace ld {
 Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
   const uint32_t sector = device_->sector_size();
   std::vector<uint8_t> summary(options_.summary_bytes);
-  RETURN_IF_ERROR(device_->Read((SegmentBaseByte(victim) + data_capacity_) / sector, summary));
+  RETURN_IF_ERROR(io_.Read((SegmentBaseByte(victim) + data_capacity_) / sector, summary));
   SummaryHeader header;
   const Status head = DecodeSummaryHeader(summary, &header);
   if (head.code() == ErrorCode::kNotFound) {
@@ -42,7 +42,7 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
     const uint64_t first = (SegmentBaseByte(victim) + ext_start) / sector * sector;
     const uint64_t end = SegmentBaseByte(victim) + data_capacity_;
     std::vector<uint8_t> raw((end - first + sector - 1) / sector * sector);
-    RETURN_IF_ERROR(device_->Read(first / sector, raw));
+    RETURN_IF_ERROR(io_.Read(first / sector, raw));
     const size_t skip = (SegmentBaseByte(victim) + ext_start) - first;
     ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
   }
@@ -73,7 +73,7 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
         (static_cast<uint64_t>(header.data_bytes) + sector - 1) / sector * sector,
         data_capacity_);
     std::vector<uint8_t> data(data_len);
-    RETURN_IF_ERROR(device_->Read(SegmentBaseByte(victim) / sector, data));
+    RETURN_IF_ERROR(io_.Read(SegmentBaseByte(victim) / sector, data));
     for (const SummaryRecord* r : live) {
       // ARU hygiene: an entry written inside a still-open unit keeps its
       // tag (committing it here would smuggle uncommitted data into the
@@ -88,6 +88,10 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
       if (r->aru_id != 0 && open_arus_.count(r->aru_id) != 0) {
         b.aru_id = r->aru_id;
       }
+      // Checksums travel verbatim with the bytes: recomputing one here would
+      // launder any corruption picked up since the block was written.
+      b.payload_crc = r->payload_crc;
+      b.has_payload_crc = r->has_payload_crc;
       b.stored.assign(data.begin() + r->offset, data.begin() + r->offset + r->stored_size);
       counters_.cleaner_bytes_copied += b.stored.size();
       batch->blocks.push_back(std::move(b));
@@ -280,20 +284,26 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     const uint64_t base = SegmentBaseByte(static_cast<uint32_t>(target));
     if (ext_used > 0) {
       // Data, extension, and summary in one whole-segment write.
-      RETURN_IF_ERROR(device_->SubmitWrite(base / sector, buffer).status());
+      if (Status s = io_.SubmitWrite(base / sector, buffer).status(); !s.ok()) {
+        return HandleWriteFailure(s);
+      }
     } else {
       if (used > 0) {
         const uint64_t data_len = (static_cast<uint64_t>(used) + sector - 1) / sector * sector;
-        RETURN_IF_ERROR(
-            device_->SubmitWrite(base / sector, std::span<const uint8_t>(buffer).subspan(0, data_len))
-                .status());
+        if (Status s =
+                io_.SubmitWrite(base / sector, std::span<const uint8_t>(buffer).subspan(0, data_len))
+                    .status();
+            !s.ok()) {
+          return HandleWriteFailure(s);
+        }
       }
-      RETURN_IF_ERROR(
-          device_
-              ->SubmitWrite((base + data_capacity_) / sector,
-                            std::span<const uint8_t>(buffer).subspan(data_capacity_,
-                                                                     options_.summary_bytes))
-              .status());
+      if (Status s = io_.SubmitWrite((base + data_capacity_) / sector,
+                                     std::span<const uint8_t>(buffer).subspan(
+                                         data_capacity_, options_.summary_bytes))
+                         .status();
+          !s.ok()) {
+        return HandleWriteFailure(s);
+      }
     }
 
     SegmentUsage& seg = usage_->segment(static_cast<uint32_t>(target));
@@ -311,6 +321,8 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
       usage_->RemoveLive(e.phys.segment, e.stored_size);
       e.phys = PhysAddr{static_cast<uint32_t>(target), r.offset};
       e.write_ts = r.ts;
+      e.payload_crc = r.payload_crc;
+      e.has_payload_crc = r.has_payload_crc;
       usage_->AddLive(static_cast<uint32_t>(target), r.stored_size, r.ts);
     }
     records.clear();
@@ -350,7 +362,8 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     used += static_cast<uint32_t>(b.stored.size());
     SummaryRecord entry = SummaryRecord::BlockEntry(
         NextTs(), b.bid, block_map_.entry(b.bid).list, offset,
-        static_cast<uint32_t>(b.stored.size()), b.orig_size, b.compressed, /*ends_aru=*/true);
+        static_cast<uint32_t>(b.stored.size()), b.orig_size, b.compressed, /*ends_aru=*/true,
+        b.payload_crc, b.has_payload_crc);
     if (b.aru_id != 0) {
       entry.aru_id = b.aru_id;
       entry.ends_aru = false;
@@ -364,7 +377,10 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
   RETURN_IF_ERROR(flush_segment());
   // Durability barrier: every submitted cleaner segment must be on disk
   // before the caller frees the victims it copied from.
-  return device_->Drain();
+  if (Status s = device_->Drain(); !s.ok()) {
+    return HandleWriteFailure(s);
+  }
+  return OkStatus();
 }
 
 Status LogStructuredDisk::CleanSegments(uint32_t count) {
@@ -509,6 +525,8 @@ StatusOr<uint32_t> LogStructuredDisk::RearrangeHotBlocks(uint32_t max_blocks) {
     b.bid = bid;
     b.orig_size = e.size_class;
     b.compressed = e.compressed;
+    b.payload_crc = e.payload_crc;
+    b.has_payload_crc = e.has_payload_crc;
     b.stored.resize(e.stored_size);
     RETURN_IF_ERROR(ReadStored(e, b.stored));
     batch.blocks.push_back(std::move(b));
@@ -549,6 +567,8 @@ StatusOr<uint32_t> LogStructuredDisk::ReorganizeLists(uint32_t max_segments) {
       b.bid = bid;
       b.orig_size = e.size_class;
       b.compressed = e.compressed;
+      b.payload_crc = e.payload_crc;
+      b.has_payload_crc = e.has_payload_crc;
       b.stored.resize(e.stored_size);
       RETURN_IF_ERROR(ReadStored(e, b.stored));
       bytes += e.stored_size;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/compress/compressor.h"
+#include "src/disk/reliable_io.h"
 
 namespace ld {
 
@@ -85,6 +86,17 @@ struct LldOptions {
   // as surviving power failure, as Baker et al. do, so crash-recovery tests
   // must run with nvram_bytes = 0.
   uint64_t nvram_bytes = 0;
+
+  // Media-fault tolerance (DESIGN.md "Failure model"). Every device access
+  // goes through a ReliableIo shim that retries transient IO_ERRORs with
+  // capped exponential backoff; a request that succeeds first try pays
+  // nothing, so fault-free runs are unaffected.
+  RetryPolicy retry;
+
+  // Verify per-block payload CRCs on every Read of on-disk data, surfacing
+  // silent media corruption as a typed CORRUPTION error. Blocks written
+  // before the checksum format extension simply aren't verifiable.
+  bool verify_read_checksums = true;
 
   // CPU cost charged per list-maintenance operation (microseconds), modeling
   // the prototype's user-level list bookkeeping. 0 disables the model; the

@@ -20,7 +20,10 @@
 namespace ld {
 
 namespace {
-constexpr uint32_t kCheckpointMagic = 0x4c444350;  // "LDCP"
+// "LDC1": bumped from "LDCP" when per-block payload checksums were added to
+// the checkpointed block map. A pre-checksum marker fails the magic test and
+// startup falls back to log recovery, which handles both record layouts.
+constexpr uint32_t kCheckpointMagic = 0x4c444331;
 }  // namespace
 
 // ---- Checkpoint ------------------------------------------------------------
@@ -50,6 +53,8 @@ Status LogStructuredDisk::WriteCheckpoint() {
     enc.PutU64(e.write_ts);
     enc.PutU32(e.link_seg);
     enc.PutU32(e.alloc_seg);
+    enc.PutU32(e.payload_crc);
+    enc.PutU8(e.has_payload_crc ? 1 : 0);
   }
 
   // List table.
@@ -92,7 +97,7 @@ Status LogStructuredDisk::WriteCheckpoint() {
   }
   std::vector<uint8_t> padded(((payload.size() + sector - 1) / sector) * sector, 0);
   std::memcpy(padded.data(), payload.data(), payload.size());
-  RETURN_IF_ERROR(device_->Write(payload_start / sector, padded));
+  RETURN_IF_ERROR(io_.Write(payload_start / sector, padded));
 
   // Marker written last: its single-sector write commits the checkpoint.
   std::vector<uint8_t> marker_payload;
@@ -103,7 +108,7 @@ Status LogStructuredDisk::WriteCheckpoint() {
   menc.PutU32(Crc32(marker_payload));
   std::vector<uint8_t> marker(sector, 0);
   std::memcpy(marker.data(), marker_payload.data(), marker_payload.size());
-  return device_->Write(checkpoint_start_byte_ / sector, marker);
+  return io_.Write(checkpoint_start_byte_ / sector, marker);
 }
 
 Status LogStructuredDisk::InvalidateCheckpoint() {
@@ -116,14 +121,14 @@ Status LogStructuredDisk::InvalidateCheckpoint() {
   menc.PutU32(Crc32(marker_payload));
   std::vector<uint8_t> marker(sector, 0);
   std::memcpy(marker.data(), marker_payload.data(), marker_payload.size());
-  return device_->Write(checkpoint_start_byte_ / sector, marker);
+  return io_.Write(checkpoint_start_byte_ / sector, marker);
 }
 
 Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
   *valid = false;
   const uint32_t sector = device_->sector_size();
   std::vector<uint8_t> marker(sector);
-  RETURN_IF_ERROR(device_->Read(checkpoint_start_byte_ / sector, marker));
+  RETURN_IF_ERROR(io_.Read(checkpoint_start_byte_ / sector, marker));
   Decoder mdec(marker);
   const uint32_t magic = mdec.GetU32();
   const uint8_t flag = mdec.GetU8();
@@ -140,7 +145,7 @@ Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
 
   const uint64_t payload_start = checkpoint_start_byte_ + sector;
   std::vector<uint8_t> padded(((payload_size + 4 + sector - 1) / sector) * sector);
-  RETURN_IF_ERROR(device_->Read(payload_start / sector, padded));
+  RETURN_IF_ERROR(io_.Read(payload_start / sector, padded));
   std::span<const uint8_t> payload(padded.data(), payload_size + 4);
   if (Crc32(payload.subspan(0, payload_size)) !=
       (static_cast<uint32_t>(payload[payload_size]) |
@@ -174,6 +179,8 @@ Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
     e.write_ts = dec.GetU64();
     e.link_seg = dec.GetU32();
     e.alloc_seg = dec.GetU32();
+    e.payload_crc = dec.GetU32();
+    e.has_payload_crc = dec.GetU8() != 0;
   }
 
   list_table_.Clear();
@@ -233,18 +240,50 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
   std::vector<ScannedSegment> scanned;
   std::vector<bool> has_summary(num_segments, false);
 
+  // Summaries that could not be read or validated. Classification is
+  // deferred until the whole sweep is done: segments are submitted to the
+  // device in seq order, so the durable, valid summaries always form a seq
+  // prefix of the log. A suspect claiming a seq *beyond* that prefix was in
+  // flight at the crash and is discarded like any torn write ("the segment
+  // never happened"); a suspect inside the prefix — or one whose header is
+  // too damaged to claim anything — is media corruption of committed state,
+  // and silently dropping it would resurrect stale block versions. That case
+  // surfaces as CORRUPTION (Scrub can retire such segments while the disk is
+  // healthy; recovery must not guess).
+  struct SuspectSegment {
+    uint32_t index = 0;
+    bool seq_known = false;
+    uint64_t claimed_seq = 0;
+    bool unreadable = false;  // I/O error (vs. failed validation).
+  };
+  std::vector<SuspectSegment> suspects;
+
   // One sweep over the disk, reading the fixed-location summaries (§3.6).
   std::vector<uint8_t> summary(options_.summary_bytes);
   for (uint32_t seg = 0; seg < num_segments; ++seg) {
     stats->summaries_scanned++;
-    RETURN_IF_ERROR(device_->Read((SegmentBaseByte(seg) + data_capacity_) / sector, summary));
+    if (Status s = io_.Read((SegmentBaseByte(seg) + data_capacity_) / sector, summary);
+        !s.ok()) {
+      if (s.code() != ErrorCode::kIoError) {
+        return s;
+      }
+      suspects.push_back({seg, false, 0, /*unreadable=*/true});
+      continue;
+    }
     SummaryHeader header;
     const Status head = DecodeSummaryHeader(summary, &header);
     if (head.code() == ErrorCode::kNotFound) {
+      // No magic. An untouched (or scrub-retired) summary region is all
+      // zeros; any other content means the magic itself was damaged.
+      const bool all_zero =
+          std::all_of(summary.begin(), summary.end(), [](uint8_t b) { return b == 0; });
+      if (!all_zero) {
+        suspects.push_back({seg, false, 0, false});
+      }
       continue;  // Never written.
     }
-    if (!head.ok() || header.ext_bytes > data_capacity_) {
-      LD_LOG(kInfo) << "recovery: ignoring torn segment " << seg;
+    if (!head.ok() || header.ext_bytes > data_capacity_ || header.segment_index != seg) {
+      suspects.push_back({seg, false, 0, false});
       continue;
     }
     // Record-heavy segments spill records into the end of their data area.
@@ -254,26 +293,54 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
       const uint64_t first = (SegmentBaseByte(seg) + ext_start) / sector * sector;
       const uint64_t end = SegmentBaseByte(seg) + data_capacity_;
       std::vector<uint8_t> raw((end - first + sector - 1) / sector * sector);
-      RETURN_IF_ERROR(device_->Read(first / sector, raw));
+      if (Status s = io_.Read(first / sector, raw); !s.ok()) {
+        if (s.code() != ErrorCode::kIoError) {
+          return s;
+        }
+        suspects.push_back({seg, true, header.seq, /*unreadable=*/true});
+        continue;
+      }
       const size_t skip = (SegmentBaseByte(seg) + ext_start) - first;
       ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
     }
     std::vector<SummaryRecord> records;
     const Status decode = DecodeSummary(summary, ext, &header, &records);
     if (!decode.ok()) {
-      // Torn segment write: the whole segment never happened.
-      LD_LOG(kInfo) << "recovery: ignoring torn segment " << seg;
-      continue;
-    }
-    if (header.segment_index != seg) {
-      LD_LOG(kWarn) << "recovery: summary in segment " << seg << " claims index "
-                    << header.segment_index << "; ignoring";
+      suspects.push_back({seg, true, header.seq, false});
       continue;
     }
     stats->summaries_valid++;
     has_summary[seg] = true;
     scanned.push_back(ScannedSegment{seg, header.seq, std::move(records)});
   }
+
+  // Classify the suspects against the valid prefix (see above).
+  uint64_t max_valid_seq = 0;
+  for (const auto& seg : scanned) {
+    max_valid_seq = std::max(max_valid_seq, seg.seq);
+  }
+  Status corrupt_log = OkStatus();
+  for (const auto& s : suspects) {
+    if (s.seq_known && s.claimed_seq > max_valid_seq) {
+      // In flight at the crash: discarding it yields the consistent prefix.
+      LD_LOG(kInfo) << "recovery: ignoring torn segment " << s.index;
+      continue;
+    }
+    if (s.unreadable) {
+      stats->summaries_unreadable++;
+    } else {
+      stats->summaries_corrupt++;
+    }
+    LD_LOG(kWarn) << "recovery: segment " << s.index << " summary "
+                  << (s.unreadable ? "unreadable" : "corrupt") << " inside the committed log";
+    if (corrupt_log.ok()) {
+      corrupt_log = CorruptionError(
+          "recovery: segment " + std::to_string(s.index) + " summary " +
+          (s.unreadable ? "unreadable" : "corrupt") +
+          " inside the committed log; refusing to resurrect stale state");
+    }
+  }
+  RETURN_IF_ERROR(corrupt_log);
 
   // Replay in write order.
   std::sort(scanned.begin(), scanned.end(),
@@ -317,12 +384,18 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
         }
         case SummaryRecordType::kBlockEntry: {
           BlockMapEntry& e = block_map_.EnsureAllocated(r.bid);
-          e.list = r.lid;
+          if (!r.has_payload_crc) {
+            // CRC-bearing entries store the checksum where the legacy
+            // layout kept the list id; the list comes from kBlockAlloc.
+            e.list = r.lid;
+          }
           e.size_class = r.orig_size;
           e.phys = PhysAddr{seg.index, r.offset};
           e.stored_size = r.stored_size;
           e.compressed = r.compressed;
           e.write_ts = r.ts;
+          e.payload_crc = r.payload_crc;
+          e.has_payload_crc = r.has_payload_crc;
           break;
         }
         case SummaryRecordType::kLinkTuple: {

@@ -1,0 +1,254 @@
+// Media scrub: read-repair for latent errors and silent corruption.
+//
+// The log structure makes LLD its own repair engine: every live block is
+// reachable through the block map, every live metadata record through the
+// authority fields, so a scrub pass can re-verify all of it and relocate
+// whatever sits on damaged media through the normal cleaner write path.
+//
+//   1. Quiesce: flush the open segment (full) and drain in-flight writes, so
+//      the in-memory tables describe exactly the durable state.
+//   2. Verify every written segment's summary. Summaries that cannot be read
+//      or fail their CRC are *suspects*: recovery would refuse such a log
+//      (mid-log corruption), so the whole segment must be retired now.
+//   3. Read every live on-disk block back (with retries) and check its
+//      payload CRC. Blocks on suspect segments are relocated: healthy ones
+//      verbatim; corrupt ones verbatim with their *original* CRC (the damage
+//      stays typed, never laundered); unreadable ones as zeros with a
+//      deliberately poisoned CRC so reads keep failing typed. Damaged blocks
+//      on healthy segments are left in place and reported — without a
+//      redundant copy they are not recomputable.
+//   4. Re-log, from the in-memory tables, every metadata record whose
+//      authoritative copy lived in a suspect summary, and write countermand
+//      tombstones for any dead block/list still mentioned by the surviving
+//      summaries (the suspect may have held the only tombstone).
+//   5. Write the batch through the cleaner writer (durable before reuse),
+//      then zero the suspect summaries and mark their segments free.
+//
+// If the relocation batch is durable but a crash prevents step 5, recovery
+// still sees the suspect summary and reports CORRUPTION; re-opening after a
+// repeat scrub of a fresh format is the (documented) manual path out.
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/lld/lld.h"
+#include "src/util/log.h"
+
+namespace ld {
+
+StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
+  RETURN_IF_ERROR(CheckWritable());
+  if (!open_arus_.empty()) {
+    return FailedPreconditionError("close open atomic recovery units before scrubbing");
+  }
+  // Quiesce: after this, memory and durable state agree.
+  RETURN_IF_ERROR(FlushOpenSegmentFull());
+  RETURN_IF_ERROR(WaitForInflight());
+
+  const uint32_t sector = device_->sector_size();
+  ScrubReport report;
+  std::unordered_set<uint32_t> suspects;
+  std::unordered_set<Bid> mentioned_bids;
+  std::unordered_set<Lid> mentioned_lids;
+
+  // Step 2: verify every written summary; collect entity mentions from the
+  // valid ones (needed for the countermand tombstones in step 4).
+  std::vector<uint8_t> summary(options_.summary_bytes);
+  for (uint32_t seg = 0; seg < usage_->num_segments(); ++seg) {
+    const SegmentState state = usage_->segment(seg).state;
+    if (state != SegmentState::kFull && state != SegmentState::kScratch) {
+      continue;
+    }
+    report.segments_scanned++;
+    const auto suspect = [&](const char* why) {
+      LD_LOG(kWarn) << "scrub: segment " << seg << " summary " << why;
+      suspects.insert(seg);
+      report.suspect_segments++;
+    };
+    if (Status s = io_.Read(SegmentSummaryStartByte(seg) / sector, summary); !s.ok()) {
+      if (s.code() != ErrorCode::kIoError) {
+        return s;
+      }
+      suspect("unreadable");
+      continue;
+    }
+    SummaryHeader header;
+    const Status head = DecodeSummaryHeader(summary, &header);
+    if (!head.ok() || header.ext_bytes > data_capacity_ || header.segment_index != seg) {
+      suspect("corrupt");
+      continue;
+    }
+    std::vector<uint8_t> ext;
+    if (header.ext_bytes > 0) {
+      const uint64_t ext_start = data_capacity_ - header.ext_bytes;
+      const uint64_t first = (SegmentBaseByte(seg) + ext_start) / sector * sector;
+      const uint64_t end = SegmentBaseByte(seg) + data_capacity_;
+      std::vector<uint8_t> raw((end - first + sector - 1) / sector * sector);
+      if (Status s = io_.Read(first / sector, raw); !s.ok()) {
+        if (s.code() != ErrorCode::kIoError) {
+          return s;
+        }
+        suspect("extension unreadable");
+        continue;
+      }
+      const size_t skip = (SegmentBaseByte(seg) + ext_start) - first;
+      ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
+    }
+    std::vector<SummaryRecord> records;
+    if (!DecodeSummary(summary, ext, &header, &records).ok()) {
+      suspect("corrupt");
+      continue;
+    }
+    for (const auto& r : records) {
+      switch (r.type) {
+        case SummaryRecordType::kBlockEntry:
+        case SummaryRecordType::kBlockAlloc:
+        case SummaryRecordType::kLinkTuple:
+        case SummaryRecordType::kBlockFree:
+          mentioned_bids.insert(r.bid);
+          break;
+        case SummaryRecordType::kListHead:
+        case SummaryRecordType::kListCreate:
+        case SummaryRecordType::kListMove:
+        case SummaryRecordType::kListDelete:
+          mentioned_lids.insert(r.lid);
+          break;
+        case SummaryRecordType::kAruCommit:
+          break;
+      }
+    }
+  }
+
+  // Step 3: verify every live on-disk block; relocate whatever lives on a
+  // suspect segment so the segment can be retired.
+  CleanerBatch batch;
+  for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
+    if (!block_map_.IsAllocated(bid)) {
+      continue;
+    }
+    const BlockMapEntry& e = block_map_.entry(bid);
+    if (!e.phys.IsOnDisk()) {
+      continue;
+    }
+    report.blocks_scanned++;
+    const bool on_suspect = suspects.count(e.phys.segment) != 0;
+
+    CleanedBlock b;
+    b.bid = bid;
+    b.orig_size = e.size_class;
+    b.compressed = e.compressed;
+    b.payload_crc = e.payload_crc;
+    b.has_payload_crc = e.has_payload_crc;
+    b.stored.resize(e.stored_size);
+
+    bool damaged = false;
+    if (Status s = ReadStored(e, b.stored); !s.ok()) {
+      if (s.code() != ErrorCode::kIoError) {
+        return s;
+      }
+      report.blocks_unreadable++;
+      damaged = true;
+      if (on_suspect) {
+        // The segment is being retired, so *something* must be written for
+        // this block. Zeros with a CRC guaranteed not to match them keep
+        // every future read failing as typed CORRUPTION instead of
+        // resurrecting garbage.
+        std::fill(b.stored.begin(), b.stored.end(), 0);
+        b.payload_crc = ~PayloadCrc(b.stored) & 0xffffffu;
+        b.has_payload_crc = true;
+      }
+    } else if (e.has_payload_crc && PayloadCrc(b.stored) != e.payload_crc) {
+      // Carried verbatim (bytes and original CRC): relocation must never
+      // launder corruption into a fresh valid checksum.
+      report.blocks_corrupt++;
+      damaged = true;
+    }
+    if (damaged && !on_suspect) {
+      LD_LOG(kWarn) << "scrub: block " << bid << " in healthy segment " << e.phys.segment
+                    << " is damaged and has no redundant copy";
+      continue;  // Report only: nothing here can repair it.
+    }
+    if (on_suspect) {
+      batch.blocks.push_back(std::move(b));
+    }
+  }
+
+  // Step 4: re-log metadata whose authoritative record sits in a suspect
+  // summary. The quiesce in step 1 makes the in-memory tables a faithful
+  // source (the cleaner must use the victim's own records because unflushed
+  // state may be newer; after a full flush there is no such state).
+  if (!suspects.empty()) {
+    for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
+      if (!block_map_.IsAllocated(bid)) {
+        continue;
+      }
+      const BlockMapEntry& e = block_map_.entry(bid);
+      if (options_.maintain_lists && suspects.count(e.link_seg) != 0) {
+        batch.records.push_back(SummaryRecord::LinkTuple(NextTs(), bid, e.successor, true));
+        report.records_relogged++;
+      }
+      if (suspects.count(e.alloc_seg) != 0) {
+        batch.records.push_back(
+            SummaryRecord::BlockAlloc(NextTs(), bid, e.list, e.size_class, true));
+        report.records_relogged++;
+      }
+    }
+    for (Lid lid = 1; lid <= list_table_.max_lid(); ++lid) {
+      if (!list_table_.IsAllocated(lid)) {
+        continue;
+      }
+      const ListEntry& e = list_table_.entry(lid);
+      if (suspects.count(e.head_seg) != 0) {
+        batch.records.push_back(SummaryRecord::ListHead(NextTs(), lid, e.first, true));
+        report.records_relogged++;
+      }
+      if (suspects.count(e.create_seg) != 0) {
+        batch.records.push_back(
+            SummaryRecord::ListCreate(NextTs(), lid, e.hints, e.lol_next, true));
+        report.records_relogged++;
+      }
+    }
+    // Countermand tombstones: a suspect summary may have held the only
+    // tombstone for an entity that surviving summaries still mention; a
+    // fresh tombstone (newest seq) keeps recovery from resurrecting it.
+    for (Bid bid : mentioned_bids) {
+      if (!block_map_.IsAllocated(bid)) {
+        batch.records.push_back(SummaryRecord::BlockFree(NextTs(), bid, true));
+        report.records_relogged++;
+      }
+    }
+    for (Lid lid : mentioned_lids) {
+      if (!list_table_.IsAllocated(lid)) {
+        batch.records.push_back(SummaryRecord::ListDelete(NextTs(), lid, true));
+        report.records_relogged++;
+      }
+    }
+  }
+
+  // Step 5: make the repairs durable, then retire the suspects.
+  report.blocks_relocated = batch.blocks.size();
+  if (!batch.blocks.empty() || !batch.records.empty()) {
+    OrderByLists(&batch.blocks);
+    cleaning_ = true;
+    const Status status = WriteCleanerBatch(std::move(batch));
+    cleaning_ = false;
+    RETURN_IF_ERROR(status);
+  }
+  if (!suspects.empty()) {
+    std::vector<uint8_t> zeros(options_.summary_bytes, 0);
+    for (uint32_t seg : suspects) {
+      if (Status s = io_.Write(SegmentSummaryStartByte(seg) / sector, zeros); !s.ok()) {
+        return HandleWriteFailure(s);
+      }
+      SegmentUsage& u = usage_->segment(seg);
+      u.state = SegmentState::kFree;
+      u.live_bytes = 0;
+      u.newest_ts = 0;
+      u.seq = 0;
+      counters_.segments_cleaned++;
+    }
+  }
+  return report;
+}
+
+}  // namespace ld

@@ -13,12 +13,21 @@ constexpr uint8_t kFlagCompressed = 0x02;
 constexpr uint8_t kFlagCluster = 0x04;
 constexpr uint8_t kFlagCompressList = 0x08;
 constexpr uint8_t kFlagInterlist = 0x10;
+// Format extension: the record carries a 24-bit payload checksum in place of
+// the owning-list id (kBlockEntry only). Records written before the
+// extension have the bit clear and decode with has_payload_crc == false.
+constexpr uint8_t kFlagPayloadCrc = 0x20;
 
 }  // namespace
 
+uint32_t PayloadCrc(std::span<const uint8_t> bytes) {
+  return Crc32Final(Crc32Update(Crc32Init(), bytes)) & 0xffffffu;
+}
+
 SummaryRecord SummaryRecord::BlockEntry(OpTimestamp ts, Bid bid, Lid lid, uint32_t offset,
                                         uint32_t stored_size, uint32_t orig_size, bool compressed,
-                                        bool ends_aru) {
+                                        bool ends_aru, uint32_t payload_crc,
+                                        bool has_payload_crc) {
   SummaryRecord r;
   r.type = SummaryRecordType::kBlockEntry;
   r.ts = ts;
@@ -29,6 +38,8 @@ SummaryRecord SummaryRecord::BlockEntry(OpTimestamp ts, Bid bid, Lid lid, uint32
   r.stored_size = stored_size;
   r.orig_size = orig_size;
   r.compressed = compressed;
+  r.payload_crc = payload_crc;
+  r.has_payload_crc = has_payload_crc;
   return r;
 }
 
@@ -137,15 +148,23 @@ void SummaryRecord::EncodeTo(Encoder* enc) const {
   if (hints.interlist_cluster) {
     flags |= kFlagInterlist;
   }
+  if (type == SummaryRecordType::kBlockEntry && has_payload_crc) {
+    flags |= kFlagPayloadCrc;
+  }
   enc->PutU8(flags);
   enc->PutU24(aru_id);
   switch (type) {
     case SummaryRecordType::kBlockEntry:
       enc->PutU24(bid);
-      enc->PutU24(lid);
+      if (!has_payload_crc) {
+        enc->PutU24(lid);  // Legacy layout: list id instead of checksum.
+      }
       enc->PutU24(offset);
       enc->PutU16(static_cast<uint16_t>(stored_size));
       enc->PutU16(static_cast<uint16_t>(orig_size));
+      if (has_payload_crc) {
+        enc->PutU24(payload_crc);
+      }
       break;
     case SummaryRecordType::kLinkTuple:
       enc->PutU24(bid);
@@ -191,10 +210,16 @@ StatusOr<SummaryRecord> SummaryRecord::DecodeFrom(Decoder* dec) {
     case SummaryRecordType::kBlockEntry:
       r.type = SummaryRecordType::kBlockEntry;
       r.bid = dec->GetU24();
-      r.lid = dec->GetU24();
+      if ((flags & kFlagPayloadCrc) == 0) {
+        r.lid = dec->GetU24();
+      }
       r.offset = dec->GetU24();
       r.stored_size = dec->GetU16();
       r.orig_size = dec->GetU16();
+      if ((flags & kFlagPayloadCrc) != 0) {
+        r.payload_crc = dec->GetU24();
+        r.has_payload_crc = true;
+      }
       break;
     case SummaryRecordType::kLinkTuple:
       r.type = SummaryRecordType::kLinkTuple;
@@ -244,6 +269,8 @@ size_t SummaryRecord::EncodedSize() const {
   constexpr size_t kCommon = 1 + 6 + 1 + 3;  // type + ts + flags + aru_id
   switch (type) {
     case SummaryRecordType::kBlockEntry:
+      // bid + (lid | crc24) + offset + stored + orig: both layouts are the
+      // same size, so checksummed logs pack exactly like legacy ones.
       return kCommon + 3 + 3 + 3 + 2 + 2;
     case SummaryRecordType::kLinkTuple:
     case SummaryRecordType::kListHead:

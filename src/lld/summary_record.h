@@ -32,6 +32,9 @@ enum class SummaryRecordType : uint8_t {
   kListMove = 9,     // List-of-lists successor update for a list.
 };
 
+// The 24-bit payload checksum stored in CRC-bearing block entries.
+uint32_t PayloadCrc(std::span<const uint8_t> bytes);
+
 struct SummaryRecord {
   SummaryRecordType type = SummaryRecordType::kBlockEntry;
   OpTimestamp ts = 0;
@@ -53,6 +56,18 @@ struct SummaryRecord {
   bool compressed = false;
   Lid lid = kNilLid;         // Owning list (kBlockEntry / kListCreate / ...).
 
+  // 24-bit payload checksum (truncated CRC32 of the stored bytes — the
+  // compressed form if compressed). CRC-bearing entries reuse the three
+  // bytes the owning-list id occupied in the legacy layout (recovery takes
+  // the list from the block's kBlockAlloc record instead), so both layouts
+  // encode to the same 24 bytes and segment packing is unchanged. Entries
+  // written before the checksum format extension decode with
+  // has_payload_crc == false and are simply not verifiable. Relocation
+  // (cleaner, scrub) carries the original CRC verbatim so silent corruption
+  // can never be laundered into a fresh valid checksum.
+  uint32_t payload_crc = 0;
+  bool has_payload_crc = false;
+
   // kLinkTuple: successor of `bid` becomes `link_to`.
   // kListHead:  first block of `lid` becomes `link_to`.
   Bid link_to = kNilBid;
@@ -63,7 +78,8 @@ struct SummaryRecord {
 
   static SummaryRecord BlockEntry(OpTimestamp ts, Bid bid, Lid lid, uint32_t offset,
                                   uint32_t stored_size, uint32_t orig_size, bool compressed,
-                                  bool ends_aru);
+                                  bool ends_aru, uint32_t payload_crc = 0,
+                                  bool has_payload_crc = false);
   static SummaryRecord LinkTuple(OpTimestamp ts, Bid bid, Bid new_successor, bool ends_aru);
   static SummaryRecord ListHead(OpTimestamp ts, Lid lid, Bid new_first, bool ends_aru);
   static SummaryRecord ListCreate(OpTimestamp ts, Lid lid, ListHints hints, Lid lol_next,

@@ -1,6 +1,7 @@
 #include "src/minixfs/buffer_cache.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace ld {
 
@@ -29,12 +30,17 @@ Status BufferCache::EvictOne() {
   auto it = blocks_.find(victim);
   if (it != blocks_.end()) {
     if (it->second->dirty) {
-      if (cluster_writes_) {
-        RETURN_IF_ERROR(WriteClusterAround(victim));
-      } else {
-        RETURN_IF_ERROR(write_(victim, 1, it->second->data));
-        it->second->dirty = false;
+      const Status written = cluster_writes_ ? WriteClusterAround(victim)
+                                             : write_(victim, 1, it->second->data);
+      if (!written.ok()) {
+        // Put the victim back at the cold end: dropping it from the LRU
+        // while it stays in blocks_ would orphan the dirty block (its data
+        // could never be written out or evicted again).
+        lru_.push_back(victim);
+        lru_pos_[victim] = std::prev(lru_.end());
+        return written;
       }
+      it->second->dirty = false;
     }
     blocks_.erase(it);
   }

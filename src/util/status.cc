@@ -22,6 +22,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "FAILED_PRECONDITION";
     case ErrorCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case ErrorCode::kDegraded:
+      return "DEGRADED";
   }
   return "UNKNOWN";
 }
@@ -57,6 +59,9 @@ Status FailedPreconditionError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+Status DegradedError(std::string message) {
+  return Status(ErrorCode::kDegraded, std::move(message));
 }
 
 }  // namespace ld

@@ -24,6 +24,7 @@ enum class ErrorCode {
   kCorruption,        // On-disk structure failed validation.
   kFailedPrecondition,// Operation illegal in the current state.
   kUnimplemented,     // Feature not supported by this implementation.
+  kDegraded,          // Device lost writes; layer is read-only until repaired.
 };
 
 // Human-readable name for an error code ("NO_SPACE", ...).
@@ -63,6 +64,7 @@ Status IoError(std::string message);
 Status CorruptionError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
+Status DegradedError(std::string message);
 
 // StatusOr<T> holds either a value or a non-OK Status.
 template <typename T>

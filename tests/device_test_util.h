@@ -31,6 +31,17 @@ inline uint32_t EnvChannels(uint32_t fallback) {
   return n > 0 ? static_cast<uint32_t>(n) : fallback;
 }
 
+// Base seed for fault-injection tests (LD_FAULT_SEED=N): the CI fault
+// matrix varies it so the same binaries cover several fault schedules.
+inline uint64_t EnvFaultSeed(uint64_t fallback) {
+  const char* v = std::getenv("LD_FAULT_SEED");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const long long n = std::atoll(v);
+  return n >= 0 ? static_cast<uint64_t>(n) : fallback;
+}
+
 // HP C3010 options honoring the environment overrides.
 inline DeviceOptions EnvHpC3010(uint64_t partition_bytes) {
   DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, EnvChannels(1));

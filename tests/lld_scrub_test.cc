@@ -1,0 +1,325 @@
+// Media-fault tolerance end to end: payload-CRC detection on reads, the
+// ReliableIo retry shim, degraded (read-only) mode after unrecoverable write
+// failures, Scrub() read-repair, and typed recovery failure on mid-log
+// summary corruption. Companion to lld_recovery_test.cc (crash scheduling)
+// and fault_disk_test.cc (injector semantics).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/disk/fault_disk.h"
+#include "src/disk/mem_disk.h"
+#include "src/lld/lld.h"
+#include "tests/device_test_util.h"
+
+namespace ld {
+namespace {
+
+constexpr uint64_t kDiskBytes = 64ull << 20;
+constexpr uint32_t kSectorSize = 512;
+
+LldOptions TestOptions() {
+  LldOptions options;
+  options.segment_bytes = 128 * 1024;
+  options.summary_bytes = 8192;
+  return options;
+}
+
+std::vector<uint8_t> Pattern(uint32_t size, uint32_t tag) {
+  std::vector<uint8_t> data(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    data[i] = static_cast<uint8_t>(tag * 131 + i);
+  }
+  return data;
+}
+
+struct ScrubRig {
+  SimClock clock;
+  std::unique_ptr<MemDisk> mem;
+  std::unique_ptr<FaultDisk> disk;
+
+  ScrubRig() {
+    mem = std::make_unique<MemDisk>(kDiskBytes / kSectorSize, kSectorSize, &clock);
+    disk = std::make_unique<FaultDisk>(mem.get());
+  }
+
+  std::unique_ptr<LogStructuredDisk> Format() {
+    auto lld = LogStructuredDisk::Format(disk.get(), TestOptions());
+    EXPECT_TRUE(lld.ok()) << lld.status().ToString();
+    return std::move(lld).value();
+  }
+
+  // Writes `count` 4-KB blocks into a fresh list and flushes them durable.
+  std::vector<Bid> FillBlocks(LogStructuredDisk* lld, Lid list, uint32_t count,
+                              uint32_t tag_base = 0) {
+    std::vector<Bid> bids;
+    Bid pred = kBeginOfList;
+    for (uint32_t i = 0; i < count; ++i) {
+      auto bid = lld->NewBlock(list, pred);
+      EXPECT_TRUE(bid.ok());
+      EXPECT_TRUE(lld->Write(*bid, Pattern(4096, tag_base + i)).ok());
+      bids.push_back(*bid);
+      pred = *bid;
+    }
+    EXPECT_TRUE(lld->Flush().ok());
+    return bids;
+  }
+
+  // First sector of `bid`'s on-disk copy; the block must be flushed.
+  uint64_t BlockSector(LogStructuredDisk* lld, Bid bid) {
+    const BlockMapEntry& e = lld->block_map().entry(bid);
+    EXPECT_TRUE(e.phys.IsOnDisk());
+    return (lld->SegmentStartByte(e.phys.segment) + e.phys.offset) / kSectorSize;
+  }
+
+  // A flushed block that landed in a kFull segment (not the scratch copy).
+  Bid PickFullSegmentBlock(LogStructuredDisk* lld, const std::vector<Bid>& bids) {
+    for (Bid bid : bids) {
+      const BlockMapEntry& e = lld->block_map().entry(bid);
+      if (e.phys.IsOnDisk() &&
+          lld->usage_table().segment(e.phys.segment).state == SegmentState::kFull) {
+        return bid;
+      }
+    }
+    ADD_FAILURE() << "no block in a full segment";
+    return kNilBid;
+  }
+};
+
+TEST(LldScrubTest, ReadDetectsSilentPayloadCorruption) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 40);
+
+  const Bid victim = rig.PickFullSegmentBlock(lld.get(), bids);
+  ASSERT_TRUE(rig.disk->CorruptSector(rig.BlockSector(lld.get(), victim), 100, 0x40).ok());
+
+  std::vector<uint8_t> out(4096);
+  EXPECT_EQ(lld->Read(victim, out).code(), ErrorCode::kCorruption);
+  EXPECT_GE(lld->counters().read_crc_failures, 1u);
+  // Unrelated blocks are unaffected.
+  for (Bid bid : bids) {
+    if (bid == victim) {
+      continue;
+    }
+    ASSERT_TRUE(lld->Read(bid, out).ok()) << "block " << bid;
+  }
+}
+
+TEST(LldScrubTest, RetriesRecoverTransientReadErrors) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 40);
+
+  FaultPlan plan;
+  plan.seed = EnvFaultSeed(11);
+  plan.transient_read_error_rate = 0.1;
+  // Bursts of at most 3 consecutive failures stay within ReliableIo's
+  // default budget of 4 attempts, so every read must come back clean.
+  plan.max_transient_burst = 3;
+  rig.disk->SetFaultPlan(plan);
+
+  std::vector<uint8_t> out(4096);
+  for (int round = 0; round < 5; ++round) {
+    for (size_t i = 0; i < bids.size(); ++i) {
+      ASSERT_TRUE(lld->Read(bids[i], out).ok()) << "round " << round << " block " << i;
+      EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)));
+    }
+  }
+  const DiskStats& stats = rig.disk->stats();
+  EXPECT_GT(stats.read_retries, 0u);
+  EXPECT_GT(stats.transient_recoveries, 0u);
+  EXPECT_GT(stats.read_errors, 0u);
+}
+
+TEST(LldScrubTest, UnrecoverableWriteFailureEntersDegradedMode) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 10);
+
+  FaultPlan plan;
+  plan.seed = EnvFaultSeed(23);
+  plan.transient_write_error_rate = 1.0;
+  plan.max_transient_burst = 64;  // Bursts usually outlast the 4-attempt budget.
+  rig.disk->SetFaultPlan(plan);
+
+  // Keep flushing until a write burst exhausts the retries (each burst is
+  // longer than the budget with probability > 15/16, so a handful of tries
+  // suffices for any seed).
+  Status flushed = OkStatus();
+  for (int attempt = 0; attempt < 50 && !lld->degraded(); ++attempt) {
+    auto extra = lld->NewBlock(*list, bids.back());
+    ASSERT_TRUE(extra.ok());
+    ASSERT_TRUE(lld->Write(*extra, Pattern(4096, 99)).ok());  // In-memory: no I/O yet.
+    flushed = lld->Flush();
+  }
+  ASSERT_TRUE(lld->degraded());
+  EXPECT_EQ(flushed.code(), ErrorCode::kDegraded);
+  EXPECT_GT(rig.disk->stats().write_retries, 0u);
+
+  // Mutations are refused with the distinct status; reads still serve.
+  EXPECT_EQ(lld->Write(bids[0], Pattern(4096, 7)).code(), ErrorCode::kDegraded);
+  EXPECT_EQ(lld->NewBlock(*list, kBeginOfList).status().code(), ErrorCode::kDegraded);
+  EXPECT_EQ(lld->Scrub().status().code(), ErrorCode::kDegraded);
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(lld->Read(bids[0], out).ok());
+  EXPECT_EQ(out, Pattern(4096, 0));
+  // No clean shutdown: the checkpoint must not claim durability it lost.
+  EXPECT_EQ(lld->Shutdown().code(), ErrorCode::kDegraded);
+}
+
+TEST(LldScrubTest, CleanScrubFindsNothing) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 40);
+
+  auto report = lld->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->segments_scanned, 0u);
+  EXPECT_GT(report->blocks_scanned, 0u);
+  EXPECT_EQ(report->suspect_segments, 0u);
+  EXPECT_EQ(report->blocks_relocated, 0u);
+  EXPECT_EQ(report->blocks_corrupt, 0u);
+  EXPECT_EQ(report->blocks_unreadable, 0u);
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    ASSERT_TRUE(lld->Read(bids[i], out).ok()) << i;
+    EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)));
+  }
+}
+
+TEST(LldScrubTest, ScrubRefusesOpenArus) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  ASSERT_TRUE(lld->BeginARU().ok());
+  EXPECT_EQ(lld->Scrub().status().code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(lld->EndARU().ok());
+  EXPECT_TRUE(lld->Scrub().ok());
+}
+
+TEST(LldScrubTest, ScrubRetiresSegmentWithCorruptSummary) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 40);
+
+  const Bid probe = rig.PickFullSegmentBlock(lld.get(), bids);
+  const uint32_t seg = lld->block_map().entry(probe).phys.segment;
+  // Smash the summary magic: recovery would refuse this log outright.
+  ASSERT_TRUE(
+      rig.disk->CorruptSector(lld->SegmentSummaryStartByte(seg) / kSectorSize, 0, 0xff).ok());
+
+  auto report = lld->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->suspect_segments, 1u);
+  EXPECT_GT(report->blocks_relocated, 0u);
+  EXPECT_EQ(report->blocks_corrupt, 0u);
+  EXPECT_GT(report->records_relogged, 0u);
+  EXPECT_EQ(lld->usage_table().segment(seg).state, SegmentState::kFree);
+
+  // Every block still reads correctly from its relocated copy...
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    ASSERT_TRUE(lld->Read(bids[i], out).ok()) << i;
+    EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)));
+  }
+  // ...and the repair survives a crash: recovery no longer trips on the
+  // damage, and the list structure is intact.
+  rig.disk->CrashNow();
+  rig.disk->ClearFault();
+  auto reopened = LogStructuredDisk::Open(rig.disk.get(), TestOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (size_t i = 0; i < bids.size(); ++i) {
+    ASSERT_TRUE((*reopened)->Read(bids[i], out).ok()) << i;
+    EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(*(*reopened)->ListBlocks(*list), bids);
+}
+
+TEST(LldScrubTest, ScrubReportsUnrepairableBlockOnHealthySegment) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 40);
+
+  const Bid victim = rig.PickFullSegmentBlock(lld.get(), bids);
+  ASSERT_TRUE(rig.disk->CorruptSector(rig.BlockSector(lld.get(), victim), 5, 0x01).ok());
+
+  auto report = lld->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->suspect_segments, 0u);
+  EXPECT_EQ(report->blocks_corrupt, 1u);
+  EXPECT_EQ(report->blocks_relocated, 0u);
+  // With no redundant copy the damage is permanent — but stays typed.
+  std::vector<uint8_t> out(4096);
+  EXPECT_EQ(lld->Read(victim, out).code(), ErrorCode::kCorruption);
+}
+
+TEST(LldScrubTest, ScrubPoisonsUnreadableBlocksOnRetiredSegment) {
+  ScrubRig rig;
+  auto lld = rig.Format();
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  auto bids = rig.FillBlocks(lld.get(), *list, 40);
+
+  const Bid victim = rig.PickFullSegmentBlock(lld.get(), bids);
+  const uint32_t seg = lld->block_map().entry(victim).phys.segment;
+  ASSERT_TRUE(
+      rig.disk->CorruptSector(lld->SegmentSummaryStartByte(seg) / kSectorSize, 0, 0xff).ok());
+  rig.disk->InjectLatentError(rig.BlockSector(lld.get(), victim));
+
+  auto report = lld->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->suspect_segments, 1u);
+  EXPECT_GE(report->blocks_unreadable, 1u);
+  EXPECT_GT(report->blocks_relocated, 0u);
+
+  // The unreadable block's relocated stand-in keeps failing typed; blocks
+  // that were healthy relocated with their data intact.
+  std::vector<uint8_t> out(4096);
+  EXPECT_EQ(lld->Read(victim, out).code(), ErrorCode::kCorruption);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    if (bids[i] == victim) {
+      continue;
+    }
+    ASSERT_TRUE(lld->Read(bids[i], out).ok()) << i;
+    EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)));
+  }
+}
+
+TEST(LldScrubTest, MidLogSummaryCorruptionFailsOpenTyped) {
+  ScrubRig rig;
+  uint32_t oldest_seg = 0;
+  {
+    auto lld = rig.Format();
+    auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+    rig.FillBlocks(lld.get(), *list, 120);
+
+    // The written segment with the lowest seq: corrupting it is mid-log
+    // damage (not a discardable torn tail).
+    uint64_t oldest_seq = ~0ull;
+    for (uint32_t i = 0; i < lld->num_segments(); ++i) {
+      const SegmentUsage& u = lld->usage_table().segment(i);
+      if (u.state == SegmentState::kFull && u.seq < oldest_seq) {
+        oldest_seq = u.seq;
+        oldest_seg = i;
+      }
+    }
+    ASSERT_NE(oldest_seq, ~0ull);
+    ASSERT_TRUE(rig.disk
+                    ->CorruptSector(lld->SegmentSummaryStartByte(oldest_seg) / kSectorSize,
+                                    0, 0xff)
+                    .ok());
+    rig.disk->CrashNow();
+  }
+  rig.disk->ClearFault();
+  auto reopened = LogStructuredDisk::Open(rig.disk.get(), TestOptions());
+  EXPECT_EQ(reopened.status().code(), ErrorCode::kCorruption) << reopened.status().ToString();
+}
+
+}  // namespace
+}  // namespace ld
