@@ -33,10 +33,11 @@ constexpr uint32_t kBlockSize = 4096;
 uint64_t DiskBytes() { return g_smoke ? (32ull << 20) : (128ull << 20); }
 uint32_t NumBlocks() { return g_smoke ? 600 : 4000; }
 
-LldOptions BenchOptions() {
+LldOptions BenchOptions(bool parity = false) {
   LldOptions options;
   options.segment_bytes = 256 * 1024;
   options.summary_bytes = 8192;
+  options.segment_parity = parity;
   return options;
 }
 
@@ -56,10 +57,10 @@ struct Rig {
   Lid list = kNilLid;
   std::vector<Bid> bids;
 
-  bool Init() {
+  bool Init(bool parity = false) {
     mem = std::make_unique<MemDisk>(DiskBytes() / kSectorSize, kSectorSize, &clock);
     disk = std::make_unique<FaultDisk>(mem.get());
-    auto formatted = LogStructuredDisk::Format(disk.get(), BenchOptions());
+    auto formatted = LogStructuredDisk::Format(disk.get(), BenchOptions(parity));
     if (!formatted.ok()) {
       std::fprintf(stderr, "format failed: %s\n", formatted.status().ToString().c_str());
       return false;
@@ -136,10 +137,12 @@ StatusOr<ScenarioResult> RunScenario(const std::string& name, const FaultPlan& p
 }
 
 // Damages summaries, payloads, and sectors of a populated instance, then
-// lets Scrub() repair what is repairable.
-int RunScrubExperiment() {
+// lets Scrub() repair what is repairable. With `parity`, the segment parity
+// block turns single-fault payload damage from a reported loss into a
+// reconstruction; the double-fault latent segment must stay typed.
+int RunScrubExperiment(bool parity) {
   Rig rig;
-  if (!rig.Init()) {
+  if (!rig.Init(parity)) {
     return 1;
   }
   Bid pred = kBeginOfList;
@@ -205,6 +208,8 @@ int RunScrubExperiment() {
   t.AddRow({"suspect segments retired", TextTable::Num(report->suspect_segments)});
   t.AddRow({"live blocks scanned", TextTable::Num(static_cast<double>(report->blocks_scanned))});
   t.AddRow({"blocks relocated", TextTable::Num(static_cast<double>(report->blocks_relocated))});
+  t.AddRow({"blocks reconstructed (parity)",
+            TextTable::Num(static_cast<double>(report->blocks_reconstructed))});
   t.AddRow({"blocks corrupt (unrepairable)",
             TextTable::Num(static_cast<double>(report->blocks_corrupt))});
   t.AddRow({"blocks unreadable (poisoned)",
@@ -241,12 +246,24 @@ int RunScrubExperiment() {
                report->suspect_segments == suspects.size());
   all &= check("all live blocks on retired segments were relocated",
                report->blocks_relocated > 0);
-  all &= check("damaged payloads stayed typed (corrupt + unreadable == damage planted)",
-               report->blocks_corrupt + report->blocks_unreadable ==
-                   kPayloadFaults + latent_planted);
-  all &= check("undamaged blocks all read back intact",
-               intact + typed == rig.bids.size() &&
-                   typed == kPayloadFaults + latent_planted);
+  if (parity) {
+    // Single-fault payload flips reconstruct from the segment parity block;
+    // the latent segment carries TWO unreadable blocks, so its lanes are
+    // double-poisoned and both must stay typed losses, never laundered.
+    all &= check("single-fault payload flips were reconstructed from parity",
+                 report->blocks_reconstructed == kPayloadFaults);
+    all &= check("double-fault latent blocks stayed typed (not laundered)",
+                 report->blocks_corrupt + report->blocks_unreadable == latent_planted);
+    all &= check("undamaged + reconstructed blocks all read back intact",
+                 intact + typed == rig.bids.size() && typed == latent_planted);
+  } else {
+    all &= check("damaged payloads stayed typed (corrupt + unreadable == damage planted)",
+                 report->blocks_corrupt + report->blocks_unreadable ==
+                     kPayloadFaults + latent_planted);
+    all &= check("undamaged blocks all read back intact",
+                 intact + typed == rig.bids.size() &&
+                     typed == kPayloadFaults + latent_planted);
+  }
   return all ? 0 : 1;
 }
 
@@ -322,11 +339,17 @@ int Run() {
                results[3].typed_read_failures > 0 || results[3].stats.read_errors == 0);
 
   std::printf("\n");
-  PrintBanner("Scrub — read-repair over damaged media",
+  PrintBanner("Scrub — read-repair over damaged media (parity off)",
               "Summaries rotted, payload bits flipped, latent errors grown;\n"
               "Scrub() relocates live data off retired segments and re-logs\n"
               "their metadata; unrepairable damage stays typed.");
-  const int scrub_rc = RunScrubExperiment();
+  int scrub_rc = RunScrubExperiment(/*parity=*/false);
+  std::printf("\n");
+  PrintBanner("Scrub — parity reconstruction (segment_parity on)",
+              "Same damage plan over a parity-formatted log: single-fault\n"
+              "payload flips are reconstructed from the per-segment XOR block\n"
+              "and relocated; the double-fault latent segment stays typed.");
+  scrub_rc |= RunScrubExperiment(/*parity=*/true);
   return (all && scrub_rc == 0) ? 0 : 1;
 }
 

@@ -26,6 +26,12 @@ void FsUnderTest::ResetMeasurement() {
   }
 }
 
+StatusOr<MinixFsckReport> FsUnderTest::Fsck(bool scrub) {
+  MinixFsckOptions options;
+  options.scrub = scrub;
+  return fs->Fsck(options);
+}
+
 StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
   FsUnderTest t;
   t.name = FsKindName(kind);

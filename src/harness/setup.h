@@ -36,6 +36,12 @@ struct FsUnderTest {
   // Resets clock and device counters after setup so measurements exclude
   // formatting.
   void ResetMeasurement();
+
+  // Runs the file system's consistency check; with `scrub` it is
+  // "fsck --scrub": the LD's media scrub runs first and the report carries
+  // what it repaired and whether the volume is degraded. Non-LD systems
+  // reject scrub with UNIMPLEMENTED.
+  StatusOr<MinixFsckReport> Fsck(bool scrub = false);
 };
 
 struct SetupParams {

@@ -21,6 +21,19 @@
 
 namespace ld {
 
+// What one Scrub() pass over the media found and repaired.
+struct ScrubReport {
+  uint32_t segments_scanned = 0;   // Full segments whose summaries were verified.
+  uint32_t suspect_segments = 0;   // Summaries unreadable or CRC-invalid.
+  uint64_t blocks_scanned = 0;     // Live on-disk blocks read back.
+  uint64_t blocks_relocated = 0;   // Blocks rewritten (off suspect segments, or
+                                   // reconstructed and moved to fresh media).
+  uint64_t blocks_corrupt = 0;     // Payload-CRC mismatches (data lost).
+  uint64_t blocks_unreadable = 0;  // Persistent read errors (data lost).
+  uint64_t records_relogged = 0;   // Metadata records re-logged from memory.
+  uint64_t blocks_reconstructed = 0;  // Damaged blocks rebuilt from parity.
+};
+
 class LogicalDisk {
  public:
   virtual ~LogicalDisk() = default;
@@ -128,6 +141,22 @@ class LogicalDisk {
   // NO_SPACE (the UNIX delayed-write problem, §2.2).
   virtual Status ReserveBlocks(uint64_t count, uint32_t size_bytes = 0) = 0;
   virtual Status CancelReservation(uint64_t count, uint32_t size_bytes = 0) = 0;
+
+  // ---- Media health -------------------------------------------------------
+
+  // Read-repair pass over the whole volume: verify every piece of durable
+  // state, repair or relocate what the implementation can, and report the
+  // rest. Exposed on the interface so file-system checkers (fsck) can drive
+  // a media scrub through their own entry points without knowing the LD
+  // implementation. Implementations without media redundancy or
+  // verification return UNIMPLEMENTED.
+  virtual StatusOr<ScrubReport> Scrub() {
+    return UnimplementedError("media scrub not supported");
+  }
+
+  // True once the implementation has hit an unrecoverable device failure
+  // and degraded to read-only service.
+  virtual bool degraded() const { return false; }
 
   // ---- Lifecycle & introspection ------------------------------------------
 

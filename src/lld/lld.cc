@@ -168,15 +168,23 @@ StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Open(
 // ---- Open-segment management --------------------------------------------------
 
 Status LogStructuredDisk::EnsureRoom(uint32_t data_bytes, size_t record_bytes) {
-  const bool data_fits = open_data_used_ + data_bytes <= data_capacity_;
-  const bool records_fit =
-      open_record_bytes_ + record_bytes + kSummaryOverhead <= options_.summary_bytes;
+  // With segment parity on, the seal will place a parity block after the
+  // sector-rounded data area and log one extra record; both must be
+  // reserved here or the seal could overflow the segment.
+  const uint32_t parity_reserve = ParityReserve(std::max(open_max_stored_, data_bytes));
+  const size_t parity_record =
+      parity_reserve > 0 ? SummaryRecord::SegmentParity(0, 0, 0, 0, 0).EncodedSize() : 0;
+  const bool data_fits =
+      RoundUp(open_data_used_ + data_bytes, device_->sector_size()) + parity_reserve <=
+      data_capacity_;
+  const bool records_fit = open_record_bytes_ + record_bytes + parity_record + kSummaryOverhead <=
+                           options_.summary_bytes;
   if (data_fits && records_fit) {
     return OkStatus();
   }
   RETURN_IF_ERROR(FlushOpenSegmentFull());
-  if (data_bytes > data_capacity_ ||
-      record_bytes + kSummaryOverhead > options_.summary_bytes) {
+  if (RoundUp(data_bytes, device_->sector_size()) + ParityReserve(data_bytes) > data_capacity_ ||
+      record_bytes + parity_record + kSummaryOverhead > options_.summary_bytes) {
     return InvalidArgumentError("request larger than a segment");
   }
   return OkStatus();
@@ -217,6 +225,7 @@ Status LogStructuredDisk::AppendBlockData(Bid bid, std::span<const uint8_t> stor
   open_records_.push_back(record);
   open_record_bytes_ += record.EncodedSize();
   open_appended_.push_back(Appended{bid, offset, static_cast<uint32_t>(stored.size())});
+  open_max_stored_ = std::max(open_max_stored_, static_cast<uint32_t>(stored.size()));
 
   entry.phys = PhysAddr{PhysAddr::kOpenSegment, offset};
   entry.stored_size = static_cast<uint32_t>(stored.size());
@@ -323,6 +332,10 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   RETURN_IF_ERROR(ReapInflightTo(MaxInflight() - 1));
   ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
   const uint64_t seq = next_seq_++;
+  SegmentUsage parity_info;
+  const bool has_parity =
+      AddSegmentParity(open_buffer_, open_data_used_, open_max_stored_, &open_records_,
+                       &parity_info);
   RETURN_IF_ERROR(BuildSummaryInto(open_buffer_, target, seq, open_data_used_));
 
   // Double buffering: the sealed image moves into an InflightWrite and is
@@ -349,6 +362,15 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   SegmentUsage& seg = usage_->segment(target);
   seg.state = SegmentState::kFull;
   seg.seq = seq;
+  if (has_parity) {
+    seg.has_parity = true;
+    seg.parity_offset = parity_info.parity_offset;
+    seg.parity_bytes = parity_info.parity_bytes;
+    seg.parity_covered = parity_info.parity_covered;
+    seg.parity_crc = parity_info.parity_crc;
+  } else {
+    seg.ClearParity();
+  }
   for (const Appended& a : open_appended_) {
     if (!block_map_.IsAllocated(a.bid)) {
       continue;
@@ -373,6 +395,7 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   open_records_.clear();
   open_record_bytes_ = 0;
   open_appended_.clear();
+  open_max_stored_ = 0;
   dirty_since_flush_ = false;
   counters_.segments_written++;
   if (!options_.pipeline_segment_writes) {
@@ -413,6 +436,9 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   SegmentUsage& seg = usage_->segment(target);
   seg.state = SegmentState::kScratch;
   seg.seq = seq;
+  // Partial (scratch) writes carry no parity: the segment is superseded by
+  // its eventual full write, which does.
+  seg.ClearParity();
   UpdateRecordAuthority(target, open_records_);
   if (scratch_segment_ >= 0) {
     usage_->segment(static_cast<uint32_t>(scratch_segment_)).state = SegmentState::kFree;
@@ -476,6 +502,137 @@ Status LogStructuredDisk::ReadStored(const BlockMapEntry& entry, std::span<uint8
   }
   RETURN_IF_ERROR(io_.Read(first_sector, std::span<uint8_t>(io_scratch_).subspan(0, span_bytes)));
   std::memcpy(out.data(), io_scratch_.data() + (start_byte - first_sector * sector), out.size());
+  return OkStatus();
+}
+
+// ---- Segment parity ----------------------------------------------------------
+
+uint32_t LogStructuredDisk::ParityBytesFor(uint32_t max_stored) const {
+  // One sector beyond the sector-rounded largest block: any damaged extent
+  // that is one block widened to sector boundaries spans at most
+  // RoundUp(max_stored, sector) + sector bytes, so with this lane period no
+  // two bytes of the extent share a lane and all of them are solvable.
+  const uint32_t sector = device_->sector_size();
+  return static_cast<uint32_t>(RoundUp(std::max(max_stored, 1u), sector)) + sector;
+}
+
+uint32_t LogStructuredDisk::ParityReserve(uint32_t max_stored) const {
+  if (!options_.segment_parity || max_stored == 0) {
+    return 0;
+  }
+  return ParityBytesFor(max_stored);
+}
+
+bool LogStructuredDisk::AddSegmentParity(std::span<uint8_t> buffer, uint32_t data_used,
+                                         uint32_t max_stored,
+                                         std::vector<SummaryRecord>* records,
+                                         SegmentUsage* usage) {
+  if (!options_.segment_parity || data_used == 0 || max_stored == 0) {
+    return false;
+  }
+  const uint32_t sector = device_->sector_size();
+  const uint32_t covered = static_cast<uint32_t>(RoundUp(data_used, sector));
+  const uint32_t parity_bytes = ParityBytesFor(max_stored);
+  if (static_cast<uint64_t>(covered) + parity_bytes > data_capacity_) {
+    // EnsureRoom reserves this space; a segment sealed without the reserve
+    // (e.g. written before the option was turned on) just goes out bare.
+    return false;
+  }
+  uint8_t* parity = buffer.data() + covered;
+  std::memset(parity, 0, parity_bytes);
+  for (uint32_t o = 0; o < covered; ++o) {
+    parity[o % parity_bytes] ^= buffer[o];
+  }
+  const uint32_t parity_crc = PayloadCrc(std::span<const uint8_t>(parity, parity_bytes));
+  records->push_back(
+      SummaryRecord::SegmentParity(NextTs(), covered, parity_bytes, covered, parity_crc));
+  usage->has_parity = true;
+  usage->parity_offset = covered;
+  usage->parity_bytes = parity_bytes;
+  usage->parity_covered = covered;
+  usage->parity_crc = parity_crc;
+  return true;
+}
+
+Status LogStructuredDisk::ReconstructExtent(uint32_t segment, uint32_t offset,
+                                            std::span<uint8_t> out) {
+  const SegmentUsage& seg = usage_->segment(segment);
+  if (!seg.has_parity) {
+    return FailedPreconditionError("segment has no parity block");
+  }
+  const uint32_t sector = device_->sector_size();
+  const uint64_t base = SegmentBaseByte(segment);
+  const uint32_t period = seg.parity_bytes;
+  // Widen the damaged range to sector boundaries: an unreadable sector loses
+  // every byte it holds, so the whole aligned extent must be re-derived.
+  const uint32_t ext_start = offset / sector * sector;
+  const uint32_t ext_end = std::min(
+      static_cast<uint32_t>(RoundUp(offset + out.size(), sector)), seg.parity_covered);
+  if (offset + out.size() > seg.parity_covered) {
+    return FailedPreconditionError("extent outside the parity-covered area");
+  }
+  if (ext_end - ext_start > period) {
+    return FailedPreconditionError("damaged extent wider than the parity lane period");
+  }
+
+  // The parity block itself must be intact before it is trusted.
+  std::vector<uint8_t> parity(period);
+  {
+    std::vector<uint8_t> span(RoundUp(period, sector));
+    RETURN_IF_ERROR(io_.Read((base + seg.parity_offset) / sector, std::span<uint8_t>(span)));
+    std::memcpy(parity.data(), span.data(), period);
+  }
+  if (PayloadCrc(parity) != seg.parity_crc) {
+    return CorruptionError("segment parity block is itself damaged");
+  }
+
+  // XOR every covered byte outside the damaged extent into its lane. What
+  // remains in each lane touched by the extent is exactly that extent byte
+  // (the extent fits one lane period, so no two of its bytes collide).
+  auto absorb = [&](uint32_t from, uint32_t to) -> Status {
+    std::vector<uint8_t> chunk;
+    uint32_t at = from;
+    while (at < to) {
+      const uint32_t len = std::min(to - at, 1u << 20);
+      chunk.resize(len);
+      RETURN_IF_ERROR(io_.Read((base + at) / sector, std::span<uint8_t>(chunk)));
+      for (uint32_t i = 0; i < len; ++i) {
+        parity[(at + i) % period] ^= chunk[i];
+      }
+      at += len;
+    }
+    return OkStatus();
+  };
+  RETURN_IF_ERROR(absorb(0, ext_start));
+  RETURN_IF_ERROR(absorb(ext_end, seg.parity_covered));
+
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = parity[(offset + i) % period];
+  }
+  return OkStatus();
+}
+
+Status LogStructuredDisk::TryReconstructStored(Bid bid, const BlockMapEntry& entry,
+                                               std::span<uint8_t> out, const Status& damage) {
+  if (!entry.phys.IsOnDisk() || !entry.has_payload_crc ||
+      !usage_->segment(entry.phys.segment).has_parity) {
+    return damage;
+  }
+  if (Status s = ReconstructExtent(entry.phys.segment, entry.phys.offset, out); !s.ok()) {
+    LD_LOG(kWarn) << "parity reconstruction of block " << bid << " failed: " << s.ToString();
+    return damage;
+  }
+  // Only a reconstruction that round-trips the block's original checksum is
+  // the lost data; anything else means a second fault ate the redundancy.
+  if (PayloadCrc(out) != entry.payload_crc) {
+    LD_LOG(kWarn) << "parity reconstruction of block " << bid
+                  << " did not match its payload crc (second fault in segment "
+                  << entry.phys.segment << ")";
+    return damage;
+  }
+  counters_.blocks_reconstructed++;
+  LD_LOG(kInfo) << "reconstructed block " << bid << " from segment "
+                << entry.phys.segment << " parity";
   return OkStatus();
 }
 
@@ -584,21 +741,48 @@ Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
     return OkStatus();
   };
 
+  // A read that fails with damage (unreadable sectors or a CRC mismatch) is
+  // retried through parity reconstruction when the segment carries a parity
+  // block; a verified reconstruction also gets relocated through the log so
+  // the repaired copy is durable and later reads leave the rotted media
+  // behind. In degraded mode the data is still served, just not rewritten.
+  auto read_with_repair = [&](std::span<uint8_t> stored_bytes, bool compressed) -> Status {
+    Status s = ReadStored(*entry, stored_bytes);
+    if (s.ok()) {
+      s = verify_payload(stored_bytes);
+    }
+    if (s.ok() ||
+        (s.code() != ErrorCode::kCorruption && s.code() != ErrorCode::kIoError)) {
+      return s;
+    }
+    const uint32_t orig_size = entry->size_class;
+    RETURN_IF_ERROR(TryReconstructStored(bid, *entry, stored_bytes, s));
+    if (CheckWritable().ok() && !cleaning_) {
+      if (Status reloc = AppendBlockData(bid, stored_bytes, orig_size, compressed,
+                                         /*internal=*/true);
+          !reloc.ok()) {
+        LD_LOG(kWarn) << "could not relocate reconstructed block " << bid << ": "
+                      << reloc.ToString();
+      } else {
+        dirty_since_flush_ = true;
+      }
+    }
+    return OkStatus();
+  };
+
   if (!entry->compressed) {
     if (entry->phys.IsOpen()) {
       std::memcpy(out.data(), open_buffer_.data() + entry->phys.offset, out.size());
       return OkStatus();
     }
-    RETURN_IF_ERROR(ReadStored(*entry, out));
-    return verify_payload(out);
+    return read_with_repair(out, /*compressed=*/false);
   }
 
   std::vector<uint8_t> stored(entry->stored_size);
   if (entry->phys.IsOpen()) {
     std::memcpy(stored.data(), open_buffer_.data() + entry->phys.offset, stored.size());
   } else {
-    RETURN_IF_ERROR(ReadStored(*entry, stored));
-    RETURN_IF_ERROR(verify_payload(stored));
+    RETURN_IF_ERROR(read_with_repair(stored, /*compressed=*/true));
   }
   if (options_.compressor == nullptr) {
     return FailedPreconditionError("compressed block but no compressor configured");

@@ -59,6 +59,9 @@ struct LldCounters {
   uint64_t blocks_compressed = 0;
   uint64_t compression_saved_bytes = 0;
   uint64_t read_crc_failures = 0;     // Reads that failed payload-CRC verification.
+  // Damaged blocks rebuilt from segment parity (read path + scrub). Each one
+  // is also relocated through the log so the repaired copy is durable.
+  uint64_t blocks_reconstructed = 0;
 };
 
 // What recovery did after a crash (paper §4.2 measures this).
@@ -76,17 +79,12 @@ struct RecoveryStats {
   // device could not read at all (after retries).
   uint32_t summaries_corrupt = 0;
   uint32_t summaries_unreadable = 0;
-};
 
-// What one Lld::Scrub() pass found and repaired.
-struct ScrubReport {
-  uint32_t segments_scanned = 0;   // Full segments whose summaries were verified.
-  uint32_t suspect_segments = 0;   // Summaries unreadable or CRC-invalid.
-  uint64_t blocks_scanned = 0;     // Live on-disk blocks read back.
-  uint64_t blocks_relocated = 0;   // Blocks rewritten off suspect segments.
-  uint64_t blocks_corrupt = 0;     // Payload-CRC mismatches (data lost).
-  uint64_t blocks_unreadable = 0;  // Persistent read errors (data lost).
-  uint64_t records_relogged = 0;   // Metadata records re-logged from memory.
+  // Scrub retirements the sweep finished: damaged mid-log summaries covered
+  // by a logged kScrubIntent record, whose segments were freed instead of
+  // refused with CORRUPTION (the crash landed between the relocation batch
+  // and the summary zeroing).
+  uint32_t retirements_completed = 0;
 };
 
 // In-memory footprint of LLD's data structures (paper Table 2).
@@ -173,8 +171,10 @@ class LogStructuredDisk : public LogicalDisk {
   // after which a crash+recovery no longer trips on the damage. Damaged
   // *payloads* are reported (blocks_corrupt / blocks_unreadable); their
   // contents cannot be recomputed from a single copy, so reads keep
-  // returning typed errors for them. Requires no open ARUs.
-  StatusOr<ScrubReport> Scrub();
+  // returning typed errors for them. Requires no open ARUs. With
+  // LldOptions::segment_parity, a single damaged extent per segment is
+  // *reconstructed* from the segment's parity block and relocated instead.
+  StatusOr<ScrubReport> Scrub() override;
 
   // ---- Introspection (tests & benchmarks) ---------------------------------
   const LldCounters& counters() const { return counters_; }
@@ -193,7 +193,7 @@ class LogStructuredDisk : public LogicalDisk {
   // True after an unrecoverable device write failure: LLD is read-only and
   // every mutating call returns a DEGRADED status (see DESIGN.md
   // "Failure model").
-  bool degraded() const { return degraded_; }
+  bool degraded() const override { return degraded_; }
   // Byte addresses of a segment and of its summary region — introspection
   // for fault-injection tests and benches that damage precise locations.
   uint64_t SegmentStartByte(uint32_t segment) const { return SegmentBaseByte(segment); }
@@ -253,6 +253,39 @@ class LogStructuredDisk : public LogicalDisk {
   Status BuildSummaryInto(std::span<uint8_t> buffer, uint32_t segment_index, uint64_t seq,
                           uint32_t data_bytes);
 
+  // ---- Segment parity (segment_parity option) ------------------------------
+  // XOR lane period for a segment whose largest stored block is `max_stored`:
+  // one sector more than the sector-rounded block, so any sector-aligned
+  // extent containing one block stays within a single lane period and is
+  // therefore reconstructible.
+  uint32_t ParityBytesFor(uint32_t max_stored) const;
+  // Data-area bytes EnsureRoom must keep in reserve for the parity block
+  // (alignment padding + lane period), given the largest stored block the
+  // sealed segment would contain. 0 when parity is off or no data.
+  uint32_t ParityReserve(uint32_t max_stored) const;
+  // Computes the parity block over `buffer`'s data area ([0, data_used),
+  // padded to the sector boundary), stores it in the buffer at the padded
+  // offset, appends the kSegmentParity record, and reports the geometry in
+  // `usage`. Returns false (leaving everything untouched) when the segment
+  // carries no data or parity is off.
+  bool AddSegmentParity(std::span<uint8_t> buffer, uint32_t data_used, uint32_t max_stored,
+                        std::vector<SummaryRecord>* records, SegmentUsage* usage);
+  // Rebuilds the bytes of the sector-aligned extent around
+  // [offset, offset + out.size()) of `segment`'s data area from the
+  // segment's parity block, writing just the requested byte range into
+  // `out`. Fails (typed) when the segment has no parity, the parity block
+  // itself is damaged, or a second extent of the covered area is unreadable.
+  // The caller must verify the result against the block's original payload
+  // CRC before trusting it.
+  Status ReconstructExtent(uint32_t segment, uint32_t offset, std::span<uint8_t> out);
+  // Read-path repair: reconstructs entry's stored bytes via parity, verifies
+  // them against the entry's payload CRC, and relocates the repaired copy
+  // through the log (skipped in degraded mode — the copy in `out` is still
+  // returned). On success bumps blocks_reconstructed. On any failure returns
+  // `damage` unchanged.
+  Status TryReconstructStored(Bid bid, const BlockMapEntry& entry, std::span<uint8_t> out,
+                              const Status& damage);
+
   // ---- Helpers -------------------------------------------------------------
   OpTimestamp NextTs() { return next_ts_++; }
   bool InAru() const { return current_aru_ != 0; }
@@ -308,8 +341,22 @@ class LogStructuredDisk : public LogicalDisk {
     std::vector<CleanedBlock> blocks;
     std::vector<SummaryRecord> records;
   };
-  // Reads a victim and appends its live blocks and records to `batch`.
-  Status HarvestVictim(uint32_t victim, CleanerBatch* batch);
+  // A victim's data-area read, deferred so the reads of a whole cleaning
+  // round can go to the device as one async batch (they overlap across
+  // channels instead of serializing). `slices` records which harvested
+  // blocks carve their bytes out of `data` once the read completes.
+  struct VictimDataRead {
+    uint32_t victim = 0;
+    std::vector<uint8_t> data;  // Sector-rounded used data area.
+    struct Slice {
+      size_t block_index = 0;  // Into CleanerBatch::blocks.
+      uint32_t offset = 0;     // Byte offset of the block in `data`.
+    };
+    std::vector<Slice> slices;
+  };
+  // Decodes a victim's summary and appends its live blocks (bytes pending in
+  // `*pending` until the batched read completes) and records to `batch`.
+  Status HarvestVictim(uint32_t victim, CleanerBatch* batch, VictimDataRead* pending);
   // Sorts blocks into list order for cluster-on-clean.
   void OrderByLists(std::vector<CleanedBlock>* blocks);
   // Writes a batch into fresh segments through a dedicated writer (so victims
@@ -355,6 +402,8 @@ class LogStructuredDisk : public LogicalDisk {
     uint32_t stored;
   };
   std::vector<Appended> open_appended_;
+  // Largest stored block in the open segment: sizes the parity lane period.
+  uint32_t open_max_stored_ = 0;
   int64_t scratch_segment_ = -1;  // Holds the latest partial write, if any.
 
   // Pipelined segment writes (§3.3): a sealed segment's image moves into an

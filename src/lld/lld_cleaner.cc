@@ -26,7 +26,8 @@
 
 namespace ld {
 
-Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
+Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
+                                        VictimDataRead* pending) {
   const uint32_t sector = device_->sector_size();
   std::vector<uint8_t> summary(options_.summary_bytes);
   RETURN_IF_ERROR(io_.Read((SegmentBaseByte(victim) + data_capacity_) / sector, summary));
@@ -68,12 +69,15 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
   }
 
   if (!live.empty()) {
-    // One read of the used data area, then slice out the live blocks.
+    // One read of the used data area covers every live block; the read is
+    // *deferred* into `pending` so the caller can submit all victims' reads
+    // as one async batch (they overlap across channels), then slice the
+    // blocks out once the batch completes.
     const uint64_t data_len = std::min<uint64_t>(
         (static_cast<uint64_t>(header.data_bytes) + sector - 1) / sector * sector,
         data_capacity_);
-    std::vector<uint8_t> data(data_len);
-    RETURN_IF_ERROR(io_.Read(SegmentBaseByte(victim) / sector, data));
+    pending->victim = victim;
+    pending->data.resize(data_len);
     for (const SummaryRecord* r : live) {
       // ARU hygiene: an entry written inside a still-open unit keeps its
       // tag (committing it here would smuggle uncommitted data into the
@@ -92,8 +96,9 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
       // launder any corruption picked up since the block was written.
       b.payload_crc = r->payload_crc;
       b.has_payload_crc = r->has_payload_crc;
-      b.stored.assign(data.begin() + r->offset, data.begin() + r->offset + r->stored_size);
+      b.stored.resize(r->stored_size);
       counters_.cleaner_bytes_copied += b.stored.size();
+      pending->slices.push_back({batch->blocks.size(), r->offset});
       batch->blocks.push_back(std::move(b));
     }
     counters_.blocks_cleaned += live.size();
@@ -160,6 +165,11 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch) {
         break;
       case SummaryRecordType::kAruCommit:
         break;  // Old ARU markers are dropped.
+      case SummaryRecordType::kSegmentParity:
+        break;  // Described the dying segment image: dropped with it.
+      case SummaryRecordType::kScrubIntent:
+        break;  // Only meaningful to the recovery that follows the scrub
+                // that wrote it; a surviving one is stale and dropped.
     }
   }
   // Re-logged records keep an open unit's tag and are dropped for an
@@ -250,8 +260,15 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
   std::vector<SummaryRecord> records;
   size_t record_bytes = 0;
   uint32_t used = 0;
+  uint32_t image_max_stored = 0;  // Largest stored block in the current image.
   const uint32_t sector = device_->sector_size();
   const size_t overhead = SummaryHeader::kEncodedSize + 16;
+  // Per-image parity reservation: bytes at the end of the data fill for the
+  // parity block, plus its summary record. Zero with segment_parity off, so
+  // the capacity math below is unchanged from the parity-free layout.
+  const auto parity_record_size = [] {
+    return SummaryRecord::SegmentParity(0, 0, 0, 0, 0).EncodedSize();
+  };
 
   auto flush_segment = [&]() -> Status {
     if (records.empty()) {
@@ -268,6 +285,11 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
       return NoSpaceError("cleaner: no free segment for copied state");
     }
     const uint64_t seq = next_seq_++;
+    // Cleaner-written segments carry parity like foreground ones; the record
+    // must join `records` before the summary is encoded.
+    SegmentUsage parity_info;
+    const bool has_parity =
+        AddSegmentParity(buffer, used, image_max_stored, &records, &parity_info);
     SummaryHeader header;
     header.seq = seq;
     header.segment_index = static_cast<uint32_t>(target);
@@ -289,7 +311,12 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
       }
     } else {
       if (used > 0) {
-        const uint64_t data_len = (static_cast<uint64_t>(used) + sector - 1) / sector * sector;
+        // The parity block sits just past the sector-rounded data fill, so
+        // the data write is extended to carry it in the same request.
+        const uint64_t data_len =
+            has_parity
+                ? static_cast<uint64_t>(parity_info.parity_offset) + parity_info.parity_bytes
+                : (static_cast<uint64_t>(used) + sector - 1) / sector * sector;
         if (Status s =
                 io_.SubmitWrite(base / sector, std::span<const uint8_t>(buffer).subspan(0, data_len))
                     .status();
@@ -309,6 +336,15 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     SegmentUsage& seg = usage_->segment(static_cast<uint32_t>(target));
     seg.state = SegmentState::kFull;
     seg.seq = seq;
+    if (has_parity) {
+      seg.has_parity = true;
+      seg.parity_offset = parity_info.parity_offset;
+      seg.parity_bytes = parity_info.parity_bytes;
+      seg.parity_covered = parity_info.parity_covered;
+      seg.parity_crc = parity_info.parity_crc;
+    } else {
+      seg.ClearParity();
+    }
     if (ext_used > 0) {
       usage_->AddLive(static_cast<uint32_t>(target), ext_used, next_ts_);
     }
@@ -328,16 +364,33 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     records.clear();
     record_bytes = 0;
     used = 0;
+    image_max_stored = 0;
     std::memset(buffer.data(), 0, buffer.size());
     counters_.segments_written++;
     return OkStatus();
   };
 
+  // Footprint of the parity reservation inside the data area: alignment pad
+  // up to the sector-rounded fill, plus the parity block itself. 0 when
+  // parity is off (the capacity math reduces to the parity-free layout).
+  auto parity_footprint = [&](uint64_t fill, uint32_t max_stored) -> uint64_t {
+    const uint32_t reserve = ParityReserve(max_stored);
+    if (reserve == 0) {
+      return 0;
+    }
+    const uint64_t covered = (fill + sector - 1) / sector * sector;
+    return (covered - fill) + reserve;
+  };
+
   auto append_record = [&](const SummaryRecord& r) -> Status {
     // Records fill the summary tail first and may spill into the unused end
-    // of the data area (leaving one sector of slack).
-    const uint64_t capacity = (options_.summary_bytes - overhead) +
-                              (static_cast<uint64_t>(data_capacity_) - used) - sector;
+    // of the data area (leaving one sector of slack, after the parity
+    // reservation).
+    const size_t parity_rec = ParityReserve(image_max_stored) > 0 ? parity_record_size() : 0;
+    const uint64_t capacity =
+        (options_.summary_bytes - overhead - parity_rec) +
+        (static_cast<uint64_t>(data_capacity_) - used - parity_footprint(used, image_max_stored)) -
+        sector;
     if (record_bytes + r.EncodedSize() > capacity) {
       RETURN_IF_ERROR(flush_segment());
     }
@@ -349,8 +402,12 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
   for (auto& b : batch.blocks) {
     SummaryRecord proto;
     proto.type = SummaryRecordType::kBlockEntry;
-    if (used + b.stored.size() > data_capacity_ ||
-        record_bytes + proto.EncodedSize() + overhead > options_.summary_bytes) {
+    const uint32_t next_max =
+        std::max<uint32_t>(image_max_stored, static_cast<uint32_t>(b.stored.size()));
+    const size_t parity_rec = ParityReserve(next_max) > 0 ? parity_record_size() : 0;
+    if (used + b.stored.size() + parity_footprint(used + b.stored.size(), next_max) >
+            data_capacity_ ||
+        record_bytes + proto.EncodedSize() + parity_rec + overhead > options_.summary_bytes) {
       RETURN_IF_ERROR(flush_segment());
     }
     // The block may have been superseded while the cleaner was buffering.
@@ -360,6 +417,7 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     const uint32_t offset = used;
     std::memcpy(buffer.data() + offset, b.stored.data(), b.stored.size());
     used += static_cast<uint32_t>(b.stored.size());
+    image_max_stored = std::max<uint32_t>(image_max_stored, static_cast<uint32_t>(b.stored.size()));
     SummaryRecord entry = SummaryRecord::BlockEntry(
         NextTs(), b.bid, block_map_.entry(b.bid).list, offset,
         static_cast<uint32_t>(b.stored.size()), b.orig_size, b.compressed, /*ends_aru=*/true,
@@ -409,6 +467,7 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
 
   CleanerBatch batch;
   std::vector<uint32_t> victims;
+  std::vector<VictimDataRead> reads;
   uint64_t batch_live = 0;
   uint64_t batch_record_bytes = 0;
   while (victims.size() < max_victims) {
@@ -445,11 +504,15 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     }
     usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kCleaning;
     const size_t records_before = batch.records.size();
-    const Status status = HarvestVictim(static_cast<uint32_t>(victim), &batch);
+    VictimDataRead pending;
+    const Status status = HarvestVictim(static_cast<uint32_t>(victim), &batch, &pending);
     if (!status.ok()) {
       usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kFull;
       cleaning_ = false;
       return status;
+    }
+    if (!pending.data.empty()) {
+      reads.push_back(std::move(pending));
     }
     for (size_t i = records_before; i < batch.records.size(); ++i) {
       batch_record_bytes += batch.records[i].EncodedSize();
@@ -464,6 +527,46 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
   if (victims.empty()) {
     cleaning_ = false;
     return OkStatus();
+  }
+
+  // Submit every victim's data-area read as one async batch: on a
+  // multi-channel device the reads overlap instead of serializing one
+  // blocking read per victim. The blocks slice their bytes out afterwards
+  // (before OrderByLists, which permutes the slice targets).
+  {
+    const uint32_t sector = device_->sector_size();
+    Status failure = OkStatus();
+    std::vector<IoTag> tags(reads.size(), kInvalidIoTag);
+    for (size_t i = 0; i < reads.size(); ++i) {
+      StatusOr<IoTag> tag = io_.SubmitRead(SegmentBaseByte(reads[i].victim) / sector,
+                                           std::span<uint8_t>(reads[i].data));
+      if (!tag.ok()) {
+        failure = tag.status();
+        break;
+      }
+      tags[i] = *tag;
+    }
+    for (size_t i = 0; i < reads.size(); ++i) {
+      if (tags[i] == kInvalidIoTag) {
+        continue;
+      }
+      if (Status s = device_->WaitFor(tags[i]); !s.ok() && failure.ok()) {
+        failure = s;
+      }
+    }
+    if (!failure.ok()) {
+      for (uint32_t v : victims) {
+        usage_->segment(v).state = SegmentState::kFull;
+      }
+      cleaning_ = false;
+      return failure;
+    }
+    for (const VictimDataRead& r : reads) {
+      for (const VictimDataRead::Slice& s : r.slices) {
+        CleanedBlock& b = batch.blocks[s.block_index];
+        std::memcpy(b.stored.data(), r.data.data() + s.offset, b.stored.size());
+      }
+    }
   }
 
   OrderByLists(&batch.blocks);
@@ -485,6 +588,7 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     }
     seg.state = SegmentState::kFree;
     seg.newest_ts = 0;
+    seg.ClearParity();
     counters_.segments_cleaned++;
   }
   cleaning_ = false;

@@ -98,6 +98,16 @@ struct LldOptions {
   // before the checksum format extension simply aren't verifiable.
   bool verify_read_checksums = true;
 
+  // Write a per-segment XOR parity block when a segment is sealed, letting
+  // the read path and Scrub *reconstruct* a single damaged extent (up to one
+  // stored block, plus a sector of alignment slack) in an otherwise-healthy
+  // segment instead of only reporting it. Costs one parity write per sealed
+  // segment and shrinks the data area by the parity footprint; off by
+  // default so fault-free benchmark tables are unchanged. Volumes mix
+  // freely: segments without a kSegmentParity record simply aren't
+  // reconstructible (PR 3 behaviour).
+  bool segment_parity = false;
+
   // CPU cost charged per list-maintenance operation (microseconds), modeling
   // the prototype's user-level list bookkeeping. 0 disables the model; the
   // list-overhead benchmark sets it to show the paper's ~15 % create/delete

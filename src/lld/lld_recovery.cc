@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/lld/lld.h"
@@ -20,10 +21,11 @@
 namespace ld {
 
 namespace {
-// "LDC1": bumped from "LDCP" when per-block payload checksums were added to
-// the checkpointed block map. A pre-checksum marker fails the magic test and
-// startup falls back to log recovery, which handles both record layouts.
-constexpr uint32_t kCheckpointMagic = 0x4c444331;
+// "LDC2": bumped from "LDC1" when per-segment parity geometry was added to
+// the checkpointed usage table (and from "LDCP" before that, for per-block
+// payload checksums). An old marker fails the magic test and startup falls
+// back to log recovery, which handles every record layout.
+constexpr uint32_t kCheckpointMagic = 0x4c444332;
 }  // namespace
 
 // ---- Checkpoint ------------------------------------------------------------
@@ -81,6 +83,11 @@ Status LogStructuredDisk::WriteCheckpoint() {
     enc.PutU32(u.live_bytes);
     enc.PutU64(u.newest_ts);
     enc.PutU64(u.seq);
+    enc.PutU8(u.has_parity ? 1 : 0);
+    enc.PutU32(u.parity_offset);
+    enc.PutU32(u.parity_bytes);
+    enc.PutU32(u.parity_covered);
+    enc.PutU32(u.parity_crc);
   }
   const uint64_t body_size = payload.size();  // CRC excluded from the marker's size.
   enc.PutU32(Crc32(payload));
@@ -211,6 +218,11 @@ Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
     u.live_bytes = dec.GetU32();
     u.newest_ts = dec.GetU64();
     u.seq = dec.GetU64();
+    u.has_parity = dec.GetU8() != 0;
+    u.parity_offset = dec.GetU32();
+    u.parity_bytes = dec.GetU32();
+    u.parity_covered = dec.GetU32();
+    u.parity_crc = dec.GetU32();
     // A scratch segment cannot survive a shutdown (Shutdown writes full).
     if (u.state == SegmentState::kScratch) {
       u.state = SegmentState::kFree;
@@ -249,7 +261,9 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
   // too damaged to claim anything — is media corruption of committed state,
   // and silently dropping it would resurrect stale block versions. That case
   // surfaces as CORRUPTION (Scrub can retire such segments while the disk is
-  // healthy; recovery must not guess).
+  // healthy; recovery must not guess) — unless a logged kScrubIntent vouches
+  // that the segment was already fully relocated, in which case recovery
+  // completes the interrupted retirement instead.
   struct SuspectSegment {
     uint32_t index = 0;
     bool seq_known = false;
@@ -314,6 +328,21 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
     scanned.push_back(ScannedSegment{seg, header.seq, std::move(records)});
   }
 
+  // Scrub intents: a kScrubIntent record in a valid summary says "segment X
+  // (whose retired summary carried seq S) has been fully relocated; its
+  // summary is garbage awaiting the zeroing write". A crash between the
+  // intent and the zeroing leaves the damaged summary behind — exactly the
+  // shape recovery would otherwise refuse as mid-log corruption.
+  std::unordered_map<uint32_t, uint64_t> intent_seqs;  // segment -> newest intent seq
+  for (const auto& seg : scanned) {
+    for (const auto& r : seg.records) {
+      if (r.type == SummaryRecordType::kScrubIntent) {
+        uint64_t& newest = intent_seqs[r.bid];
+        newest = std::max(newest, r.intent_seq);
+      }
+    }
+  }
+
   // Classify the suspects against the valid prefix (see above).
   uint64_t max_valid_seq = 0;
   for (const auto& seg : scanned) {
@@ -324,6 +353,21 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
     if (s.seq_known && s.claimed_seq > max_valid_seq) {
       // In flight at the crash: discarding it yields the consistent prefix.
       LD_LOG(kInfo) << "recovery: ignoring torn segment " << s.index;
+      continue;
+    }
+    if (auto it = intent_seqs.find(s.index);
+        it != intent_seqs.end() && (!s.seq_known || s.claimed_seq <= it->second)) {
+      // Covered by a scrub intent: the scrub already relocated everything
+      // live here before logging the intent, so complete the interrupted
+      // retirement — zero the summary and let the segment come back free. A
+      // summary too damaged to claim a seq is covered too (the intent is the
+      // only witness left); a *newer* seq than the intent means the segment
+      // was reused after retirement and the damage is fresh, so the intent
+      // must not retire it — fall through to the refusal below.
+      LD_LOG(kInfo) << "recovery: completing scrub retirement of segment " << s.index;
+      std::vector<uint8_t> zeros(options_.summary_bytes, 0);
+      RETURN_IF_ERROR(io_.Write(SegmentSummaryStartByte(s.index) / sector, zeros));
+      stats->retirements_completed++;
       continue;
     }
     if (s.unreadable) {
@@ -363,6 +407,13 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
   uint64_t max_seq = 0;
   uint32_t max_aru = 0;
   std::vector<uint64_t> segment_seqs(num_segments, 0);
+  // Parity geometry per segment, from each segment's own kSegmentParity
+  // record; applied after RebuildDerivedState (which resets the table).
+  struct ParityInfo {
+    bool has = false;
+    uint32_t offset = 0, bytes = 0, covered = 0, crc = 0;
+  };
+  std::vector<ParityInfo> parity(num_segments);
   for (const auto& seg : scanned) {
     segment_seqs[seg.index] = seg.seq;
     max_seq = std::max(max_seq, seg.seq);
@@ -431,6 +482,17 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
           break;
         case SummaryRecordType::kAruCommit:
           break;
+        case SummaryRecordType::kSegmentParity: {
+          ParityInfo& p = parity[seg.index];
+          p.has = true;
+          p.offset = r.offset;
+          p.bytes = r.stored_size;
+          p.covered = r.orig_size;
+          p.crc = r.payload_crc;
+          break;
+        }
+        case SummaryRecordType::kScrubIntent:
+          break;  // Consumed above, during suspect classification.
       }
     }
   }
@@ -443,6 +505,16 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
   list_table_.RebuildFreeList();
   list_table_.RelinkListOfLists();
   RebuildDerivedState(segment_seqs, has_summary);
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    if (parity[s].has) {
+      SegmentUsage& u = usage_->segment(s);
+      u.has_parity = true;
+      u.parity_offset = parity[s].offset;
+      u.parity_bytes = parity[s].bytes;
+      u.parity_covered = parity[s].covered;
+      u.parity_crc = parity[s].crc;
+    }
+  }
 
   stats->live_blocks = block_map_.allocated_count();
   stats->seconds = device_->clock()->Now() - start;

@@ -11,22 +11,34 @@
 //      or fail their CRC are *suspects*: recovery would refuse such a log
 //      (mid-log corruption), so the whole segment must be retired now.
 //   3. Read every live on-disk block back (with retries) and check its
-//      payload CRC. Blocks on suspect segments are relocated: healthy ones
-//      verbatim; corrupt ones verbatim with their *original* CRC (the damage
-//      stays typed, never laundered); unreadable ones as zeros with a
-//      deliberately poisoned CRC so reads keep failing typed. Damaged blocks
-//      on healthy segments are left in place and reported — without a
-//      redundant copy they are not recomputable.
+//      payload CRC. A damaged block whose segment carries a parity block is
+//      *reconstructed* (XOR of parity and the rest of the covered area,
+//      verified against the block's original CRC) and relocated through the
+//      normal log append path. Blocks on suspect segments are relocated:
+//      healthy/reconstructed ones verbatim; corrupt ones verbatim with
+//      their *original* CRC (the damage stays typed, never laundered);
+//      unreadable ones as zeros with a deliberately poisoned CRC so reads
+//      keep failing typed. Damaged blocks on healthy segments without
+//      parity (or with a second fault eating the redundancy) are left in
+//      place and reported.
 //   4. Re-log, from the in-memory tables, every metadata record whose
 //      authoritative copy lived in a suspect summary, and write countermand
 //      tombstones for any dead block/list still mentioned by the surviving
 //      summaries (the suspect may have held the only tombstone).
 //   5. Write the batch through the cleaner writer (durable before reuse),
-//      then zero the suspect summaries and mark their segments free.
+//      then log a kScrubIntent record per suspect (durable as its own
+//      batch), and only then zero the suspect summaries and mark their
+//      segments free.
 //
-// If the relocation batch is durable but a crash prevents step 5, recovery
-// still sees the suspect summary and reports CORRUPTION; re-opening after a
-// repeat scrub of a fresh format is the (documented) manual path out.
+// The intent records close what used to be a documented crash window: a
+// crash after the relocation batch is durable but before a suspect summary
+// is zeroed leaves mid-log damage that recovery would refuse with
+// CORRUPTION. Recovery now matches the damaged summary against the logged
+// intents (segment index + the retired summary's sequence number) and
+// *completes* the retirement — zeroing the summary and freeing the segment —
+// exactly as the interrupted scrub would have. A segment reused after
+// retirement carries a newer sequence than the intent, so a stale intent can
+// never retire live data.
 
 #include <algorithm>
 #include <unordered_set>
@@ -114,6 +126,8 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
           mentioned_lids.insert(r.lid);
           break;
         case SummaryRecordType::kAruCommit:
+        case SummaryRecordType::kSegmentParity:
+        case SummaryRecordType::kScrubIntent:
           break;
       }
     }
@@ -142,33 +156,51 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
     b.stored.resize(e.stored_size);
 
     bool damaged = false;
+    bool unreadable = false;
+    Status damage = OkStatus();
     if (Status s = ReadStored(e, b.stored); !s.ok()) {
       if (s.code() != ErrorCode::kIoError) {
         return s;
       }
-      report.blocks_unreadable++;
       damaged = true;
-      if (on_suspect) {
-        // The segment is being retired, so *something* must be written for
-        // this block. Zeros with a CRC guaranteed not to match them keep
-        // every future read failing as typed CORRUPTION instead of
-        // resurrecting garbage.
-        std::fill(b.stored.begin(), b.stored.end(), 0);
-        b.payload_crc = ~PayloadCrc(b.stored) & 0xffffffu;
-        b.has_payload_crc = true;
-      }
+      unreadable = true;
+      damage = s;
     } else if (e.has_payload_crc && PayloadCrc(b.stored) != e.payload_crc) {
-      // Carried verbatim (bytes and original CRC): relocation must never
-      // launder corruption into a fresh valid checksum.
-      report.blocks_corrupt++;
       damaged = true;
+      damage = CorruptionError("scrub: block payload crc mismatch");
     }
-    if (damaged && !on_suspect) {
+
+    bool reconstructed = false;
+    if (damaged) {
+      // Parity first: a verified reconstruction recovers the lost bytes and
+      // the block is relocated below with its original (verbatim) CRC, which
+      // the reconstruction was checked against.
+      if (TryReconstructStored(bid, e, b.stored, damage).ok()) {
+        reconstructed = true;
+        report.blocks_reconstructed++;
+      } else if (unreadable) {
+        report.blocks_unreadable++;
+        if (on_suspect) {
+          // The segment is being retired, so *something* must be written for
+          // this block. Zeros with a CRC guaranteed not to match them keep
+          // every future read failing as typed CORRUPTION instead of
+          // resurrecting garbage.
+          std::fill(b.stored.begin(), b.stored.end(), 0);
+          b.payload_crc = ~PayloadCrc(b.stored) & 0xffffffu;
+          b.has_payload_crc = true;
+        }
+      } else {
+        // Carried verbatim (bytes and original CRC): relocation must never
+        // launder corruption into a fresh valid checksum.
+        report.blocks_corrupt++;
+      }
+    }
+    if (damaged && !reconstructed && !on_suspect) {
       LD_LOG(kWarn) << "scrub: block " << bid << " in healthy segment " << e.phys.segment
                     << " is damaged and has no redundant copy";
       continue;  // Report only: nothing here can repair it.
     }
-    if (on_suspect) {
+    if (on_suspect || reconstructed) {
       batch.blocks.push_back(std::move(b));
     }
   }
@@ -235,6 +267,20 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
     RETURN_IF_ERROR(status);
   }
   if (!suspects.empty()) {
+    // Log one retirement intent per suspect (its own durable batch, written
+    // only after the relocation batch above drained): from here on a crash
+    // at any point lets recovery finish the retirement instead of refusing
+    // the damaged summary as mid-log corruption.
+    CleanerBatch intents;
+    for (uint32_t seg : suspects) {
+      intents.records.push_back(
+          SummaryRecord::ScrubIntent(NextTs(), seg, usage_->segment(seg).seq));
+    }
+    cleaning_ = true;
+    const Status intent_status = WriteCleanerBatch(std::move(intents));
+    cleaning_ = false;
+    RETURN_IF_ERROR(intent_status);
+
     std::vector<uint8_t> zeros(options_.summary_bytes, 0);
     for (uint32_t seg : suspects) {
       if (Status s = io_.Write(SegmentSummaryStartByte(seg) / sector, zeros); !s.ok()) {
@@ -245,6 +291,7 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
       u.live_bytes = 0;
       u.newest_ts = 0;
       u.seq = 0;
+      u.ClearParity();
       counters_.segments_cleaned++;
     }
   }

@@ -129,6 +129,31 @@ SummaryRecord SummaryRecord::AruCommit(OpTimestamp ts, uint32_t aru_id) {
   return r;
 }
 
+SummaryRecord SummaryRecord::SegmentParity(OpTimestamp ts, uint32_t offset,
+                                           uint32_t parity_bytes, uint32_t covered_bytes,
+                                           uint32_t parity_crc) {
+  SummaryRecord r;
+  r.type = SummaryRecordType::kSegmentParity;
+  r.ts = ts;
+  r.ends_aru = true;
+  r.offset = offset;
+  r.stored_size = parity_bytes;
+  r.orig_size = covered_bytes;
+  r.payload_crc = parity_crc;
+  r.has_payload_crc = true;
+  return r;
+}
+
+SummaryRecord SummaryRecord::ScrubIntent(OpTimestamp ts, uint32_t segment_index, uint64_t seq) {
+  SummaryRecord r;
+  r.type = SummaryRecordType::kScrubIntent;
+  r.ts = ts;
+  r.ends_aru = true;
+  r.bid = segment_index;
+  r.intent_seq = seq;
+  return r;
+}
+
 void SummaryRecord::EncodeTo(Encoder* enc) const {
   enc->PutU8(static_cast<uint8_t>(type));
   enc->PutU48(ts);
@@ -191,6 +216,19 @@ void SummaryRecord::EncodeTo(Encoder* enc) const {
       enc->PutU16(static_cast<uint16_t>(orig_size));
       break;
     case SummaryRecordType::kAruCommit:
+      break;
+    case SummaryRecordType::kSegmentParity:
+      // Parity length and covered span need 24 bits: a parity block spans
+      // RoundUp(kMaxBlockSize, sector) + sector > 64 KB, and covered bytes
+      // range over the whole data area.
+      enc->PutU24(offset);
+      enc->PutU24(stored_size);
+      enc->PutU24(orig_size);
+      enc->PutU24(payload_crc);
+      break;
+    case SummaryRecordType::kScrubIntent:
+      enc->PutU24(bid);
+      enc->PutU48(intent_seq);
       break;
   }
 }
@@ -258,6 +296,19 @@ StatusOr<SummaryRecord> SummaryRecord::DecodeFrom(Decoder* dec) {
     case SummaryRecordType::kAruCommit:
       r.type = SummaryRecordType::kAruCommit;
       break;
+    case SummaryRecordType::kSegmentParity:
+      r.type = SummaryRecordType::kSegmentParity;
+      r.offset = dec->GetU24();
+      r.stored_size = dec->GetU24();
+      r.orig_size = dec->GetU24();
+      r.payload_crc = dec->GetU24();
+      r.has_payload_crc = true;
+      break;
+    case SummaryRecordType::kScrubIntent:
+      r.type = SummaryRecordType::kScrubIntent;
+      r.bid = dec->GetU24();
+      r.intent_seq = dec->GetU48();
+      break;
     default:
       return CorruptionError("unknown summary record type " + std::to_string(type));
   }
@@ -284,6 +335,10 @@ size_t SummaryRecord::EncodedSize() const {
       return kCommon + 3 + 3 + 2;
     case SummaryRecordType::kAruCommit:
       return kCommon;
+    case SummaryRecordType::kSegmentParity:
+      return kCommon + 3 + 3 + 3 + 3;
+    case SummaryRecordType::kScrubIntent:
+      return kCommon + 3 + 6;
   }
   return kCommon;
 }
@@ -350,6 +405,9 @@ Status DecodeSummaryHeader(std::span<const uint8_t> tail, SummaryHeader* header)
 Status DecodeSummary(std::span<const uint8_t> tail, std::span<const uint8_t> ext,
                      SummaryHeader* header, std::vector<SummaryRecord>* records) {
   RETURN_IF_ERROR(DecodeSummaryHeader(tail, header));
+  if (tail.size() < SummaryHeader::kEncodedSize) {
+    return CorruptionError("segment summary tail shorter than its header");
+  }
   if (header->ext_bytes > 0 && ext.size() < header->ext_bytes) {
     return InvalidArgumentError("summary extension not supplied");
   }
@@ -367,6 +425,12 @@ Status DecodeSummary(std::span<const uint8_t> tail, std::span<const uint8_t> ext
 
   Decoder dec(stream);
   records->clear();
+  // The CRC is only checked after the records decode, so a damaged header
+  // must not be trusted for allocation: every record is at least its common
+  // prefix (11 bytes), so a count the stream cannot possibly hold is damage.
+  if (header->record_count > stream.size() / 11) {
+    return CorruptionError("segment summary record count exceeds stream");
+  }
   records->reserve(header->record_count);
   for (uint32_t i = 0; i < header->record_count; ++i) {
     ASSIGN_OR_RETURN(SummaryRecord r, SummaryRecord::DecodeFrom(&dec));

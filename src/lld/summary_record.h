@@ -30,6 +30,8 @@ enum class SummaryRecordType : uint8_t {
   kAruCommit = 7,    // Explicit EndARU marker.
   kBlockAlloc = 8,   // Block-number allocation (bid, owning list, size class).
   kListMove = 9,     // List-of-lists successor update for a list.
+  kSegmentParity = 10,  // XOR parity block covering this segment's data area.
+  kScrubIntent = 11,    // Scrub retirement intent for a suspect segment.
 };
 
 // The 24-bit payload checksum stored in CRC-bearing block entries.
@@ -72,6 +74,19 @@ struct SummaryRecord {
   // kListHead:  first block of `lid` becomes `link_to`.
   Bid link_to = kNilBid;
 
+  // kSegmentParity reuses offset (parity block's byte offset in the
+  // segment), stored_size (parity length in bytes), orig_size (bytes of the
+  // data area the parity covers, i.e. XOR lanes wrap at stored_size over
+  // [0, orig_size)), and payload_crc (24-bit CRC of the parity bytes
+  // themselves, so a rotted parity block is detected before it is trusted).
+  //
+  // kScrubIntent: `bid` reuses its 24 bits for the retired segment's index;
+  // `intent_seq` is the newest summary sequence number scrub observed for
+  // that segment. Recovery treats a damaged summary on that segment whose
+  // claimed sequence is <= intent_seq as a retirement in progress and
+  // completes it instead of refusing with CORRUPTION.
+  uint64_t intent_seq = 0;
+
   // kListCreate
   ListHints hints;
   Lid lol_next = kNilLid;    // Position in the list of lists (successor).
@@ -91,6 +106,9 @@ struct SummaryRecord {
   static SummaryRecord BlockAlloc(OpTimestamp ts, Bid bid, Lid lid, uint32_t size_class,
                                   bool ends_aru);
   static SummaryRecord AruCommit(OpTimestamp ts, uint32_t aru_id);
+  static SummaryRecord SegmentParity(OpTimestamp ts, uint32_t offset, uint32_t parity_bytes,
+                                     uint32_t covered_bytes, uint32_t parity_crc);
+  static SummaryRecord ScrubIntent(OpTimestamp ts, uint32_t segment_index, uint64_t seq);
 
   void EncodeTo(Encoder* enc) const;
   static StatusOr<SummaryRecord> DecodeFrom(Decoder* dec);

@@ -25,6 +25,21 @@ struct SegmentUsage {
   uint32_t live_bytes = 0;
   OpTimestamp newest_ts = 0;  // Newest block timestamp written into it.
   uint64_t seq = 0;           // Sequence number of the summary written there.
+
+  // Parity-block geometry for the segment, mirrored from its kSegmentParity
+  // summary record (and rebuilt from the summaries during recovery) so the
+  // read path can reconstruct without re-reading the summary. has_parity is
+  // false for segments written with segment_parity off.
+  bool has_parity = false;
+  uint32_t parity_offset = 0;   // Byte offset of the parity block in the segment.
+  uint32_t parity_bytes = 0;    // Parity length (the XOR lane period).
+  uint32_t parity_covered = 0;  // Data-area bytes the parity covers: [0, covered).
+  uint32_t parity_crc = 0;      // 24-bit CRC of the parity bytes themselves.
+
+  void ClearParity() {
+    has_parity = false;
+    parity_offset = parity_bytes = parity_covered = parity_crc = 0;
+  }
 };
 
 class UsageTable {

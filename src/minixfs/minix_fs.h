@@ -59,6 +59,22 @@ struct MinixStatInfo {
   uint32_t mtime = 0;
 };
 
+// fsck options. `scrub` is the "--scrub" mode: before the namespace walk,
+// drive the storage backend's media scrub (LogicalDisk::Scrub) so latent
+// media damage is repaired — or at least surfaced — by the same tool an
+// administrator would already reach for after a crash.
+struct MinixFsckOptions {
+  bool scrub = false;
+};
+
+struct MinixFsckReport {
+  bool scrubbed = false;  // A media scrub ran (LD backends with scrub support).
+  bool degraded = false;  // The LD has failed to read-only service.
+  ScrubReport scrub;      // What the scrub verified, repaired, and lost.
+  // Blocks whose contents are gone for good (reads keep failing typed).
+  uint64_t LostBlocks() const { return scrub.blocks_corrupt + scrub.blocks_unreadable; }
+};
+
 struct MinixFsStats {
   uint64_t creates = 0;
   uint64_t unlinks = 0;
@@ -134,6 +150,12 @@ class MinixFs {
   // entries point at live i-nodes, and that link counts match the
   // namespace. Returns CORRUPTION with a description on the first failure.
   Status CheckConsistency();
+
+  // Full fsck entry point: optional media scrub (MinixFsckOptions::scrub)
+  // followed by CheckConsistency. The report says what the scrub repaired
+  // and whether the volume is degraded; a failed consistency walk (or a
+  // scrub that cannot run) surfaces as the Status.
+  StatusOr<MinixFsckReport> Fsck(const MinixFsckOptions& options);
 
   const MinixFsStats& stats() const { return stats_; }
   const BufferCache& cache() const { return *cache_; }

@@ -139,4 +139,30 @@ Status MinixFs::CheckConsistency() {
   return OkStatus();
 }
 
+StatusOr<MinixFsckReport> MinixFs::Fsck(const MinixFsckOptions& options) {
+  MinixFsckReport report;
+  if (LogicalDisk* ld = backend_->logical_disk(); ld != nullptr) {
+    report.degraded = ld->degraded();
+    if (options.scrub) {
+      // The scrub verifies *durable* state, so everything dirty must be on
+      // the log first (this also commits the sync-interval ARU — LLD's
+      // scrub requires no open units).
+      RETURN_IF_ERROR(SyncFs());
+      StatusOr<ScrubReport> scrubbed = ld->Scrub();
+      if (scrubbed.status().code() == ErrorCode::kUnimplemented) {
+        // An LD without media verification: nothing to scrub, walk anyway.
+      } else {
+        RETURN_IF_ERROR(scrubbed.status());
+        report.scrubbed = true;
+        report.scrub = *scrubbed;
+      }
+      report.degraded = ld->degraded();
+    }
+  } else if (options.scrub) {
+    return UnimplementedError("fsck --scrub needs a Logical Disk backend");
+  }
+  RETURN_IF_ERROR(CheckConsistency());
+  return report;
+}
+
 }  // namespace ld

@@ -42,6 +42,18 @@ inline uint64_t EnvFaultSeed(uint64_t fallback) {
   return n >= 0 ? static_cast<uint64_t>(n) : fallback;
 }
 
+// Per-segment parity toggle (LD_SEGMENT_PARITY=0|1): the CI fault matrix
+// runs the crash/corruption sweeps with the XOR parity block both absent
+// and present. Tests whose expectations depend on one setting pin
+// `LldOptions::segment_parity` explicitly instead.
+inline bool EnvSegmentParity(bool fallback) {
+  const char* v = std::getenv("LD_SEGMENT_PARITY");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) != "0";
+}
+
 // HP C3010 options honoring the environment overrides.
 inline DeviceOptions EnvHpC3010(uint64_t partition_bytes) {
   DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, EnvChannels(1));

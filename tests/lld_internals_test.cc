@@ -16,7 +16,7 @@ namespace {
 // ---- Summary codec ------------------------------------------------------------
 
 SummaryRecord SampleRecord(Rng& rng) {
-  switch (rng.Below(8)) {
+  switch (rng.Below(10)) {
     case 0:
       return SummaryRecord::BlockEntry(rng.Below(1 << 20), 1 + rng.Below(1000),
                                        1 + rng.Below(100), rng.Below(1 << 18),
@@ -44,6 +44,15 @@ SummaryRecord SampleRecord(Rng& rng) {
       return SummaryRecord::BlockAlloc(rng.Below(1 << 20), 1 + rng.Below(1000),
                                        1 + rng.Below(100),
                                        static_cast<uint32_t>(64 + rng.Below(4096)), true);
+    case 7:
+      // Parity lengths exceed 16 bits (up to ~64 KB + a sector), so the
+      // sample exercises the full 24-bit field range.
+      return SummaryRecord::SegmentParity(rng.Below(1 << 20), rng.Below(1 << 18),
+                                          static_cast<uint32_t>(512 + rng.Below(1 << 17)),
+                                          rng.Below(1 << 18), rng.Below(1 << 24));
+    case 8:
+      return SummaryRecord::ScrubIntent(rng.Below(1 << 20), rng.Below(1 << 20),
+                                        rng.Below(1u << 30) * 65536ull + rng.Below(65536));
     default:
       return SummaryRecord::AruCommit(rng.Below(1 << 20), 1 + rng.Below(50));
   }
@@ -75,6 +84,16 @@ void ExpectRecordsEqual(const SummaryRecord& a, const SummaryRecord& b) {
       break;
     case SummaryRecordType::kBlockAlloc:
       EXPECT_EQ(a.orig_size, b.orig_size);
+      break;
+    case SummaryRecordType::kSegmentParity:
+      EXPECT_EQ(a.offset, b.offset);
+      EXPECT_EQ(a.stored_size, b.stored_size);
+      EXPECT_EQ(a.orig_size, b.orig_size);
+      EXPECT_EQ(a.payload_crc, b.payload_crc);
+      EXPECT_EQ(a.has_payload_crc, b.has_payload_crc);
+      break;
+    case SummaryRecordType::kScrubIntent:
+      EXPECT_EQ(a.intent_seq, b.intent_seq);
       break;
     default:
       break;
@@ -180,6 +199,59 @@ TEST(SummaryCodecTest, EncodedSizeMatchesReality) {
     Encoder enc(&buf);
     r.EncodeTo(&enc);
     EXPECT_EQ(buf.size(), r.EncodedSize());
+  }
+}
+
+// Property sweep over randomized record mixes — all flag/type combinations
+// SampleRecord can produce (payload-CRC-bearing entries × parity records ×
+// scrub intents × the legacy types): the codec must (a) round-trip exactly,
+// (b) reject every truncation of the encoded image, and (c) reject a bit
+// flip anywhere in the encoded bytes. (b) and (c) are what recovery leans
+// on when it classifies torn and rotted summaries.
+TEST(SummaryCodecTest, PropertyRandomizedRoundTripTruncationAndBitFlips) {
+  for (uint64_t seed = 0; seed < 48; ++seed) {
+    Rng rng(1000 + seed * 7919);
+    std::vector<SummaryRecord> records;
+    const int n = 1 + static_cast<int>(rng.Below(24));
+    size_t record_bytes = 0;
+    for (int i = 0; i < n; ++i) {
+      records.push_back(SampleRecord(rng));
+      record_bytes += records.back().EncodedSize();
+    }
+    SummaryHeader header;
+    header.seq = 1 + rng.Below(100000);
+    header.segment_index = rng.Below(64);
+    header.data_bytes = rng.Below(1 << 17);
+    std::vector<uint8_t> tail(8192);
+    ASSERT_TRUE(EncodeSummary(header, records, tail).ok());
+
+    // (a) Round-trip.
+    SummaryHeader decoded;
+    std::vector<SummaryRecord> out;
+    ASSERT_TRUE(DecodeSummary(tail, &decoded, &out).ok());
+    EXPECT_EQ(decoded.seq, header.seq);
+    ASSERT_EQ(out.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      ExpectRecordsEqual(records[i], out[i]);
+    }
+
+    // Every byte of [0, used) is covered by the header or record checksum.
+    const size_t used = SummaryHeader::kEncodedSize + record_bytes;
+    ASSERT_LE(used, tail.size());
+
+    // (b) Truncation anywhere inside the used image must not decode.
+    const size_t cut = rng.Below(used);
+    std::vector<uint8_t> truncated(tail.begin(), tail.begin() + cut);
+    SummaryHeader h2;
+    std::vector<SummaryRecord> out2;
+    EXPECT_FALSE(DecodeSummary(truncated, &h2, &out2).ok()) << "seed " << seed;
+
+    // (c) A single bit flip inside the used image must not decode clean.
+    std::vector<uint8_t> flipped = tail;
+    flipped[rng.Below(used)] ^= static_cast<uint8_t>(1u << rng.Below(8));
+    SummaryHeader h3;
+    std::vector<SummaryRecord> out3;
+    EXPECT_FALSE(DecodeSummary(flipped, &h3, &out3).ok()) << "seed " << seed;
   }
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "src/disk/fault_disk.h"
@@ -22,6 +23,9 @@ LldOptions TestOptions() {
   LldOptions options;
   options.segment_bytes = 128 * 1024;
   options.summary_bytes = 8192;
+  // The CI fault matrix flips this (LD_SEGMENT_PARITY); the shadow-model
+  // assertions below hold for both settings.
+  options.segment_parity = EnvSegmentParity(false);
   return options;
 }
 
@@ -54,6 +58,13 @@ struct CrashRig {
     auto lld = LogStructuredDisk::Open(disk.get(), TestOptions(), stats);
     EXPECT_TRUE(lld.ok()) << lld.status().ToString();
     return std::move(lld).value();
+  }
+
+  // First sector of `bid`'s on-disk copy; the block must be flushed.
+  uint64_t BlockSector(LogStructuredDisk* lld, Bid bid) {
+    const BlockMapEntry& e = lld->block_map().entry(bid);
+    EXPECT_TRUE(e.phys.IsOnDisk());
+    return (lld->SegmentStartByte(e.phys.segment) + e.phys.offset) / 512;
   }
 };
 
@@ -538,6 +549,260 @@ TEST(LldRecoveryTest, RandomizedCrashCorruptionSweep) {
                                     << crash_at << ")";
       }
     }
+  }
+}
+
+// Differential parity conformance sweep: the same scripted workload runs
+// with segment parity off and on, is power-cut right after each of its Flush
+// points, and then the live on-disk copy of the *same logical block* takes
+// the same bit flip in both images. Both variants must recover without any
+// CORRUPTION refusal and agree on the surviving logical contents against the
+// shadow tag map; the only permitted difference is the flipped block itself,
+// which stays typed-corrupt without parity but may come back byte-exact
+// (reconstructed) with it.
+TEST(LldRecoveryTest, DifferentialParityCrashConformanceSweep) {
+  const uint64_t base_seed = EnvFaultSeed(42);
+  enum class Outcome { kValue, kCorrupt };
+  struct RunResult {
+    Bid victim = kNilBid;
+    std::map<Bid, Outcome> outcomes;
+    uint64_t reconstructed = 0;
+  };
+  uint64_t reconstructed_total = 0;
+
+  constexpr int kFlushPoints = 8;  // Two per workload group.
+  for (int round = 0; round < 2; ++round) {
+    for (int crash_flush = 1; crash_flush <= kFlushPoints; ++crash_flush) {
+      // One draw per schedule, shared by both variants: the workload itself
+      // consumes no randomness, so the fault targets the same logical state.
+      Rng rng(base_seed * 7919 + static_cast<uint64_t>(round) * 613 + crash_flush);
+      const uint32_t victim_pick = rng.Below(1u << 30);
+      const uint32_t flip_byte = rng.Below(512);
+      const uint8_t flip_mask = static_cast<uint8_t>(1u << rng.Below(8));
+
+      // The victim is picked from the parity-off run's *sealed* blocks (only
+      // sealed copies live at a stable on-disk location); the parity-on run
+      // is forced onto the same logical victim. Parity only shrinks segment
+      // capacity, so anything sealed without it is sealed with it too.
+      const auto run = [&](bool parity, Bid forced_victim) {
+        LldOptions options = TestOptions();
+        options.segment_parity = parity;
+        RunResult result;
+        CrashRig rig;
+        auto formatted = LogStructuredDisk::Format(rig.disk.get(), options);
+        EXPECT_TRUE(formatted.ok()) << formatted.status().ToString();
+        auto lld = std::move(formatted).value();
+
+        std::map<Bid, uint32_t> tags;  // Shadow model: bid -> durable tag.
+        auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+        EXPECT_TRUE(list.ok());
+        Bid pred = kBeginOfList;
+        const auto put = [&](uint32_t tag) -> Bid {
+          auto bid = lld->NewBlock(*list, pred);
+          EXPECT_TRUE(bid.ok());
+          pred = *bid;
+          EXPECT_TRUE(lld->Write(*bid, Pattern(4096, tag)).ok());
+          tags[*bid] = tag;
+          return *bid;
+        };
+        int flushes = 0;
+        const auto flush_and_stop = [&]() {
+          EXPECT_TRUE(lld->Flush().ok());
+          return ++flushes == crash_flush;
+        };
+        for (uint32_t g = 0; g < 4; ++g) {
+          Bid first = kNilBid;
+          for (uint32_t i = 0; i < 10; ++i) {
+            const Bid bid = put(100 * g + i);
+            if (i == 0) {
+              first = bid;
+            }
+          }
+          if (flush_and_stop()) {
+            break;
+          }
+          EXPECT_TRUE(lld->BeginARU().ok());
+          put(100 * g + 20);
+          put(100 * g + 21);
+          EXPECT_TRUE(lld->EndARU().ok());
+          EXPECT_TRUE(lld->Write(first, Pattern(4096, 100 * g + 50)).ok());
+          tags[first] = 100 * g + 50;
+          if (flush_and_stop()) {
+            break;
+          }
+        }
+        // Every tagged block is durable here (we stop right after a Flush),
+        // so the durability frontier is identical across the two variants.
+        result.victim = forced_victim;
+        if (forced_victim == kNilBid) {
+          std::vector<Bid> candidates;
+          for (const auto& [bid, tag] : tags) {
+            if (lld->block_map().entry(bid).phys.IsOnDisk()) {
+              candidates.push_back(bid);
+            }
+          }
+          if (!candidates.empty()) {
+            result.victim = candidates[victim_pick % candidates.size()];
+          }
+        }
+        uint64_t victim_sector = 0;
+        if (result.victim != kNilBid) {
+          victim_sector = rig.BlockSector(lld.get(), result.victim);
+        }
+        rig.disk->CrashNow();
+        if (result.victim != kNilBid) {
+          EXPECT_TRUE(rig.disk->CorruptSector(victim_sector, flip_byte, flip_mask).ok());
+        }
+
+        lld.reset();
+        rig.disk->ClearFault();
+        auto reopened = LogStructuredDisk::Open(rig.disk.get(), options);
+        // Zero CORRUPTION refusals: the flip sits in a data area, never in a
+        // summary, so recovery must always come up.
+        if (!reopened.ok()) {
+          ADD_FAILURE() << "parity=" << parity << " round=" << round
+                        << " flush=" << crash_flush << ": " << reopened.status().ToString();
+          return result;
+        }
+        std::vector<uint8_t> out(4096);
+        for (const auto& [bid, tag] : tags) {
+          const Status s = (*reopened)->Read(bid, out);
+          if (s.ok()) {
+            EXPECT_EQ(out, Pattern(4096, tag))
+                << "block " << bid << " recovered bytes it never held durable";
+            result.outcomes[bid] = Outcome::kValue;
+          } else {
+            EXPECT_EQ(s.code(), ErrorCode::kCorruption) << s.ToString();
+            EXPECT_EQ(bid, result.victim) << "unflipped block " << bid << " damaged";
+            result.outcomes[bid] = Outcome::kCorrupt;
+          }
+        }
+        result.reconstructed = (*reopened)->counters().blocks_reconstructed;
+        return result;
+      };
+
+      const RunResult off = run(/*parity=*/false, kNilBid);
+      const RunResult on = run(/*parity=*/true, off.victim);
+      if (HasFatalFailure()) {
+        return;
+      }
+
+      // Differential: identical logical survivors, modulo reconstruction.
+      ASSERT_EQ(off.victim, on.victim);
+      ASSERT_EQ(off.outcomes.size(), on.outcomes.size());
+      for (const auto& [bid, off_outcome] : off.outcomes) {
+        const auto it = on.outcomes.find(bid);
+        ASSERT_NE(it, on.outcomes.end()) << "block " << bid << " missing with parity on";
+        if (bid == off.victim) {
+          // Without parity the flipped sealed copy stays typed-corrupt; with
+          // parity the very same damage must come back byte-exact.
+          EXPECT_EQ(off_outcome, Outcome::kCorrupt);
+          EXPECT_EQ(it->second, Outcome::kValue)
+              << "round=" << round << " flush=" << crash_flush << " victim " << bid
+              << " not reconstructed";
+        } else {
+          EXPECT_EQ(off_outcome, it->second) << "block " << bid << " diverged";
+          EXPECT_EQ(off_outcome, Outcome::kValue);
+        }
+      }
+      EXPECT_EQ(off.reconstructed, 0u);
+      reconstructed_total += on.reconstructed;
+    }
+  }
+  // The sweep must actually exercise the tentpole: at least one flip landed
+  // in a sealed parity-covered segment and came back byte-exact.
+  EXPECT_GE(reconstructed_total, 1u);
+}
+
+// Crash-inside-scrub conformance: a segment with a rotted summary is being
+// retired by Scrub() when the power goes out, at every possible device-write
+// index (sometimes with a torn final write). Before the scrub intent record
+// is durable, recovery may still refuse the mid-log damage — but only with
+// the typed CORRUPTION status, and once any crash index recovers, every
+// later one must too (the refusals form a strict prefix). After the intent
+// is durable there are zero refusals: recovery completes the retirement
+// itself and every block reads back byte-exact from its relocated copy.
+TEST(LldRecoveryTest, CrashDuringScrubRetirementCompletesViaIntent) {
+  for (const bool parity : {false, true}) {
+    LldOptions options = TestOptions();
+    options.segment_parity = parity;
+    bool reopen_succeeded_once = false;
+    bool retirement_completed_once = false;
+    bool scrub_completed = false;
+    for (uint64_t crash_at = 1; !scrub_completed; ++crash_at) {
+      ASSERT_LT(crash_at, 200u) << "scrub never ran to completion";
+      CrashRig rig;
+      auto formatted = LogStructuredDisk::Format(rig.disk.get(), options);
+      ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+      auto lld = std::move(formatted).value();
+      auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+      ASSERT_TRUE(list.ok());
+      std::vector<Bid> bids;
+      Bid pred = kBeginOfList;
+      for (uint32_t i = 0; i < 40; ++i) {
+        auto bid = lld->NewBlock(*list, pred);
+        ASSERT_TRUE(bid.ok());
+        ASSERT_TRUE(lld->Write(*bid, Pattern(4096, i)).ok());
+        bids.push_back(*bid);
+        pred = *bid;
+      }
+      ASSERT_TRUE(lld->Flush().ok());
+
+      // Rot the *oldest* full summary: mid-log damage, never a torn tail.
+      uint32_t suspect = 0;
+      uint64_t oldest_seq = ~0ull;
+      for (uint32_t i = 0; i < lld->num_segments(); ++i) {
+        const SegmentUsage& u = lld->usage_table().segment(i);
+        if (u.state == SegmentState::kFull && u.seq < oldest_seq) {
+          oldest_seq = u.seq;
+          suspect = i;
+        }
+      }
+      ASSERT_NE(oldest_seq, ~0ull);
+      ASSERT_TRUE(
+          rig.disk->CorruptSector(lld->SegmentSummaryStartByte(suspect) / 512, 0, 0xff).ok());
+
+      const int64_t torn = static_cast<int64_t>(crash_at % 4) - 1;  // -1 (none) .. 2.
+      rig.disk->CrashAfterWrites(crash_at, torn <= 0 ? -1 : torn);
+      const auto scrub = lld->Scrub();
+      if (scrub.ok()) {
+        scrub_completed = true;  // Crash index past the last scrub write.
+      } else {
+        ASSERT_TRUE(rig.disk->crashed()) << scrub.status().ToString();
+      }
+
+      lld.reset();
+      rig.disk->ClearFault();
+      RecoveryStats stats;
+      auto reopened = LogStructuredDisk::Open(rig.disk.get(), options, &stats);
+      if (!reopened.ok()) {
+        EXPECT_EQ(reopened.status().code(), ErrorCode::kCorruption)
+            << reopened.status().ToString();
+        // The intent record closes the window for good: no refusal may
+        // follow a successful recovery at an earlier crash index.
+        EXPECT_FALSE(reopen_succeeded_once)
+            << "parity=" << parity << " crash_at=" << crash_at
+            << ": recovery regressed to refusing after the intent was durable";
+        continue;
+      }
+      reopen_succeeded_once = true;
+      if (stats.retirements_completed > 0) {
+        retirement_completed_once = true;
+        EXPECT_EQ((*reopened)->usage_table().segment(suspect).state, SegmentState::kFree);
+      }
+      // The relocation batch is durable before the intent, so recovery that
+      // gets past the damage always serves every block byte-exact.
+      std::vector<uint8_t> out(4096);
+      for (size_t i = 0; i < bids.size(); ++i) {
+        ASSERT_TRUE((*reopened)->Read(bids[i], out).ok())
+            << "parity=" << parity << " crash_at=" << crash_at << " block " << i;
+        EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)));
+      }
+      EXPECT_EQ(*(*reopened)->ListBlocks(*list), bids);
+    }
+    EXPECT_TRUE(retirement_completed_once)
+        << "parity=" << parity
+        << ": no crash index exercised recovery's intent-driven retirement";
   }
 }
 

@@ -14,6 +14,7 @@
 #include "src/lld/lld.h"
 #include "src/minixfs/minix_fs.h"
 #include "src/util/random.h"
+#include "tests/device_test_util.h"
 
 namespace ld {
 namespace {
@@ -24,6 +25,9 @@ LldOptions TestLldOptions() {
   LldOptions options;
   options.segment_bytes = 128 * 1024;
   options.summary_bytes = 8192;
+  // Flipped by the CI fault matrix (LD_SEGMENT_PARITY); the crash sweeps
+  // below hold either way. Scrub tests pin their own setting.
+  options.segment_parity = EnvSegmentParity(false);
   return options;
 }
 
@@ -91,6 +95,164 @@ TEST(MinixFsckTest, DetectsPlantedCorruption) {
   }
   ASSERT_TRUE(corrupted);
   EXPECT_FALSE(fs->CheckConsistency().ok());
+}
+
+// ---- fsck --scrub: media repair through the file-system tool ----
+
+LldOptions ParityLldOptions() {
+  LldOptions options = TestLldOptions();
+  options.segment_parity = true;
+  return options;
+}
+
+LldOptions NoParityLldOptions() {
+  LldOptions options = TestLldOptions();
+  options.segment_parity = false;
+  return options;
+}
+
+// A sealed (kFull-segment) 4K block whose durable contents are all `fill`
+// bytes — i.e. one of our file data blocks, never fs metadata.
+Bid FindSealedDataBlock(LogStructuredDisk* lld, uint8_t fill) {
+  std::vector<uint8_t> buf(4096);
+  for (Bid bid = 1; bid <= lld->block_map().max_bid(); ++bid) {
+    if (!lld->block_map().IsAllocated(bid)) {
+      continue;
+    }
+    const BlockMapEntry& e = lld->block_map().entry(bid);
+    if (e.size_class != 4096 || !e.phys.IsOnDisk() ||
+        lld->usage_table().segment(e.phys.segment).state != SegmentState::kFull) {
+      continue;
+    }
+    if (!lld->Read(bid, buf).ok()) {
+      continue;
+    }
+    bool uniform = true;
+    for (uint8_t b : buf) {
+      if (b != fill) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      return bid;
+    }
+  }
+  return kNilBid;
+}
+
+// Writes four 160K files of `fill` bytes and syncs, so plenty of file data
+// lands in sealed segments. Returns a victim block and its first sector.
+struct ScrubVictim {
+  Bid bid = kNilBid;
+  uint64_t sector = 0;
+};
+ScrubVictim WriteFilesAndPickVictim(MinixFs* fs, LogStructuredDisk* lld, uint8_t fill) {
+  std::vector<uint8_t> data(40 * 4096, fill);
+  for (int i = 0; i < 4; ++i) {
+    auto ino = fs->CreateFile("/f" + std::to_string(i));
+    EXPECT_TRUE(ino.ok());
+    EXPECT_TRUE(fs->WriteFile(*ino, 0, data).ok());
+  }
+  EXPECT_TRUE(fs->SyncFs().ok());
+
+  ScrubVictim victim;
+  victim.bid = FindSealedDataBlock(lld, fill);
+  if (victim.bid == kNilBid) {
+    ADD_FAILURE() << "no sealed file data block to damage";
+    return victim;
+  }
+  const BlockMapEntry& e = lld->block_map().entry(victim.bid);
+  victim.sector = (lld->SegmentStartByte(e.phys.segment) + e.phys.offset) / 512;
+  return victim;
+}
+
+TEST(MinixFsckTest, FsckScrubReconstructsRottedDataBlockWithParity) {
+  SimClock clock;
+  MemDisk mem(kDiskBytes / 512, 512, &clock);
+  FaultDisk disk(&mem);
+  auto lld = *LogStructuredDisk::Format(&disk, ParityLldOptions());
+  auto fs = *MinixFs::FormatOnLd(lld.get(), ArusOptions(), /*list_per_file=*/true);
+
+  const ScrubVictim victim = WriteFilesAndPickVictim(fs.get(), lld.get(), 0xa5);
+  ASSERT_NE(victim.bid, kNilBid);
+  ASSERT_TRUE(disk.CorruptSector(victim.sector, 7, 0x10).ok());
+  ASSERT_TRUE(fs->DropCaches().ok());
+
+  MinixFsckOptions options;
+  options.scrub = true;
+  auto report = fs->Fsck(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->scrubbed);
+  EXPECT_FALSE(report->degraded);
+  EXPECT_GE(report->scrub.blocks_reconstructed, 1u);
+  EXPECT_GE(report->scrub.blocks_relocated, 1u);
+  EXPECT_EQ(report->LostBlocks(), 0u);
+
+  // The damaged block came back byte-exact, and every file reads clean.
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(lld->Read(victim.bid, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(4096, 0xa5));
+  const std::vector<uint8_t> expect(40 * 4096, 0xa5);
+  for (int i = 0; i < 4; ++i) {
+    auto ino = fs->OpenFile("/f" + std::to_string(i));
+    ASSERT_TRUE(ino.ok());
+    std::vector<uint8_t> file(expect.size());
+    ASSERT_EQ(*fs->ReadFile(*ino, 0, file), file.size());
+    EXPECT_EQ(file, expect);
+  }
+
+  // Without --scrub, fsck is just the consistency walk.
+  auto plain = fs->Fsck(MinixFsckOptions{});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->scrubbed);
+}
+
+TEST(MinixFsckTest, FsckScrubReportsLostDataBlockWithoutParity) {
+  SimClock clock;
+  MemDisk mem(kDiskBytes / 512, 512, &clock);
+  FaultDisk disk(&mem);
+  auto lld = *LogStructuredDisk::Format(&disk, NoParityLldOptions());
+  auto fs = *MinixFs::FormatOnLd(lld.get(), ArusOptions(), /*list_per_file=*/true);
+
+  const ScrubVictim victim = WriteFilesAndPickVictim(fs.get(), lld.get(), 0x5c);
+  ASSERT_NE(victim.bid, kNilBid);
+  ASSERT_TRUE(disk.CorruptSector(victim.sector, 7, 0x10).ok());
+  ASSERT_TRUE(fs->DropCaches().ok());
+
+  // No redundancy: fsck still completes (the namespace is intact) but the
+  // report owns up to the loss instead of laundering it.
+  MinixFsckOptions options;
+  options.scrub = true;
+  auto report = fs->Fsck(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->scrubbed);
+  EXPECT_EQ(report->scrub.blocks_reconstructed, 0u);
+  EXPECT_GE(report->LostBlocks(), 1u);
+
+  // The damage stays typed on the read path.
+  std::vector<uint8_t> out(4096);
+  EXPECT_EQ(lld->Read(victim.bid, out).code(), ErrorCode::kCorruption);
+  EXPECT_TRUE(fs->CheckConsistency().ok());
+}
+
+TEST(MinixFsckTest, FsckScrubNeedsLogicalDiskBackend) {
+  SimClock clock;
+  MemDisk disk(kDiskBytes / 512, 512, &clock);
+  MinixOptions options;
+  options.num_inodes = 1024;
+  auto fs = *MinixFs::FormatClassic(&disk, options);
+  ASSERT_TRUE(fs->CreateFile("/f").ok());
+  ASSERT_TRUE(fs->SyncFs().ok());
+
+  MinixFsckOptions scrub;
+  scrub.scrub = true;
+  EXPECT_EQ(fs->Fsck(scrub).status().code(), ErrorCode::kUnimplemented);
+  // Plain fsck still works on the classic layout.
+  auto plain = fs->Fsck(MinixFsckOptions{});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_FALSE(plain->scrubbed);
+  EXPECT_FALSE(plain->degraded);
 }
 
 // The headline property: crash anywhere, recover, fsck is always clean.
