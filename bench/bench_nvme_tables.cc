@@ -13,6 +13,7 @@
 //   --smoke   tiny workloads (CI bit-rot guard; numbers not meaningful)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/disk/device_factory.h"
@@ -43,6 +44,15 @@ std::vector<Backend> Backends() {
   };
 }
 
+// "0" turns the flag off; unset or anything else leaves it on. CI uses
+// LD_READAHEAD=0 / LD_ASYNC_READS=0 to check that Tables 3-6 with read-ahead
+// disabled are byte-identical whether demand reads go through the queue
+// (async) or the legacy synchronous path.
+bool EnvFlagDefaultOn(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr || std::strcmp(v, "0") != 0;
+}
+
 SetupParams ParamsFor(const DeviceOptions& device) {
   SetupParams params;
   if (g_smoke) {
@@ -50,6 +60,12 @@ SetupParams ParamsFor(const DeviceOptions& device) {
     params.num_inodes = 2048;
   }
   params.device = device;
+  if (!EnvFlagDefaultOn("LD_READAHEAD")) {
+    params.readahead_blocks = 1;  // <= 1 disables read-ahead entirely.
+  }
+  if (!EnvFlagDefaultOn("LD_ASYNC_READS")) {
+    params.async_reads = false;
+  }
   return params;
 }
 
@@ -200,6 +216,119 @@ bool Table6(std::vector<std::vector<DurableCosts>>* out) {
   return true;
 }
 
+// --- Read phase: async demand reads + cross-file read-ahead ----------------
+//
+// The Table 4/5 read workloads, re-run on the multi-channel mechanical
+// device: one large file read sequentially (Table 5's read phase) and many
+// files read round-robin (Table 4's read phase, interleaved so per-file
+// read-ahead windows overlap across files). Knobs are set explicitly per
+// run — never from the environment — so this section's output is identical
+// across the CI byte-identity legs.
+
+struct ReadPhaseRun {
+  double seq_elapsed = 0;          // One large file, sequential.
+  double interleaved_elapsed = 0;  // Many files, round-robin sequential.
+  DiskStats stats;                 // After both read phases.
+};
+
+StatusOr<ReadPhaseRun> RunReadPhase(FsKind kind, uint32_t channels, bool async, bool readahead) {
+  SetupParams params;
+  params.partition_bytes = 64ull << 20;
+  params.num_inodes = 2048;
+  params.device = DeviceOptions::HpC3010(64ull << 20, channels);
+  params.async_reads = async;
+  params.readahead_blocks = readahead ? 8 : 1;
+  params.ld_readahead = readahead;
+  ASSIGN_OR_RETURN(FsUnderTest fut, MakeFsUnderTest(kind, params));
+
+  std::vector<uint8_t> chunk(8192, 0x5a);
+  const uint64_t big_bytes = g_smoke ? (4ull << 20) : (16ull << 20);
+  ASSIGN_OR_RETURN(uint32_t big, fut.fs->CreateFile("/big"));
+  for (uint64_t off = 0; off < big_bytes; off += chunk.size()) {
+    RETURN_IF_ERROR(fut.fs->WriteFile(big, off, chunk));
+  }
+  const uint32_t kFiles = 8;
+  const uint64_t small_bytes = big_bytes / kFiles;
+  std::vector<uint32_t> inos;
+  for (uint32_t f = 0; f < kFiles; ++f) {
+    ASSIGN_OR_RETURN(uint32_t ino, fut.fs->CreateFile("/f" + std::to_string(f)));
+    for (uint64_t off = 0; off < small_bytes; off += chunk.size()) {
+      RETURN_IF_ERROR(fut.fs->WriteFile(ino, off, chunk));
+    }
+    inos.push_back(ino);
+  }
+  RETURN_IF_ERROR(fut.fs->DropCaches());
+  fut.ResetMeasurement();
+
+  ReadPhaseRun r;
+  std::vector<uint8_t> buf(chunk.size());
+  double mark = fut.clock->Now();
+  for (uint64_t off = 0; off < big_bytes; off += buf.size()) {
+    RETURN_IF_ERROR(fut.fs->ReadFile(big, off, buf).status());
+  }
+  r.seq_elapsed = fut.clock->Now() - mark;
+
+  RETURN_IF_ERROR(fut.fs->DropCaches());
+  mark = fut.clock->Now();
+  for (uint64_t off = 0; off < small_bytes; off += buf.size()) {
+    for (uint32_t ino : inos) {
+      RETURN_IF_ERROR(fut.fs->ReadFile(ino, off, buf).status());
+    }
+  }
+  r.interleaved_elapsed = fut.clock->Now() - mark;
+  r.stats = fut.disk->stats();
+  return r;
+}
+
+bool ReadPhase() {
+  std::printf("\n== Read phase: Table 4/5 read workloads vs channel count ==\n");
+  std::printf("HP C3010; sync = synchronous demand reads, no read-ahead;\n");
+  std::printf("async = demand reads through the queue + per-file read-ahead.\n");
+  TextTable t({"File System", "Channels", "Mode", "Seq. read (s)", "Interleaved (s)"});
+  // Indexed results we assert on below.
+  StatusOr<ReadPhaseRun> lld_sync4 = FailedPreconditionError("not run");
+  StatusOr<ReadPhaseRun> lld_async1 = FailedPreconditionError("not run");
+  StatusOr<ReadPhaseRun> lld_async4 = FailedPreconditionError("not run");
+  StatusOr<ReadPhaseRun> minix_sync4 = FailedPreconditionError("not run");
+  StatusOr<ReadPhaseRun> minix_async4 = FailedPreconditionError("not run");
+  for (FsKind kind : {FsKind::kMinixLld, FsKind::kMinix}) {
+    for (uint32_t channels : {1u, 4u}) {
+      for (bool async : {false, true}) {
+        auto run = RunReadPhase(kind, channels, async, /*readahead=*/async);
+        if (!run.ok()) {
+          std::fprintf(stderr, "read phase failed: %s\n", run.status().ToString().c_str());
+          return false;
+        }
+        t.AddRow({FsKindName(kind), std::to_string(channels), async ? "async+RA" : "sync",
+                  TextTable::Num(run->seq_elapsed, 3),
+                  TextTable::Num(run->interleaved_elapsed, 3)});
+        if (kind == FsKind::kMinixLld && channels == 4 && !async) lld_sync4 = run;
+        if (kind == FsKind::kMinixLld && channels == 1 && async) lld_async1 = run;
+        if (kind == FsKind::kMinixLld && channels == 4 && async) lld_async4 = run;
+        if (kind == FsKind::kMinix && channels == 4 && !async) minix_sync4 = run;
+        if (kind == FsKind::kMinix && channels == 4 && async) minix_async4 = run;
+      }
+    }
+  }
+  t.Print();
+  PrintReadPathStats("MINIX LLD 4ch async+RA", lld_async4->stats);
+  PrintReadPathStats("MINIX 4ch async+RA", minix_async4->stats);
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+    return ok;
+  };
+  bool all = true;
+  all &= check("LLD 4ch: async read-ahead beats sync on sequential read",
+               lld_async4->seq_elapsed < lld_sync4->seq_elapsed);
+  all &= check("LLD 4ch: async read-ahead beats sync on interleaved reads",
+               lld_async4->interleaved_elapsed < lld_sync4->interleaved_elapsed);
+  all &= check("LLD async interleaved reads scale with channels (4 < 1)",
+               lld_async4->interleaved_elapsed < lld_async1->interleaved_elapsed);
+  all &= check("MINIX 4ch: async read-ahead beats sync on interleaved reads",
+               minix_async4->interleaved_elapsed < minix_sync4->interleaved_elapsed);
+  return all;
+}
+
 // --- Channel scaling (mechanical device, cleaner active) -------------------
 
 struct ScalingRun {
@@ -313,6 +442,9 @@ int Run() {
     return 1;
   }
   Verdict(t4, t5, t6);
+  if (!ReadPhase()) {
+    return 1;
+  }
   if (!ChannelScaling()) {
     return 1;
   }

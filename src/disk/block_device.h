@@ -93,6 +93,15 @@ struct DiskStats {
   uint64_t write_retries = 0;        // Extra write attempts issued by the shim.
   uint64_t transient_recoveries = 0; // Requests that succeeded after retrying.
 
+  // Buffer-cache behaviour of the file system mounted on this device
+  // (mirrored here by the cache via BufferCache::AttachDeviceStats so device
+  // reports show how much work the cache absorbed before it reached the
+  // queue; devices without a mounted file system leave these at zero).
+  uint64_t cache_hits = 0;        // Lookups served from a cached block.
+  uint64_t cache_misses = 0;      // Lookups that had to read the device.
+  uint64_t prefetch_hits = 0;     // Lookups served by a read-ahead fill.
+  uint64_t prefetch_wasted = 0;   // Read-ahead fills dropped unreferenced.
+
   uint64_t TotalOps() const { return read_ops + write_ops; }
   uint64_t BytesRead(uint32_t sector_size) const { return sectors_read * sector_size; }
   uint64_t BytesWritten(uint32_t sector_size) const { return sectors_written * sector_size; }

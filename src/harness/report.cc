@@ -32,6 +32,18 @@ void PrintDiskHealthStats(const std::string& label, const DiskStats& stats) {
       static_cast<unsigned long long>(stats.transient_recoveries));
 }
 
+void PrintReadPathStats(const std::string& label, const DiskStats& stats) {
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0 : 100.0 * static_cast<double>(stats.cache_hits) / static_cast<double>(lookups);
+  std::printf(
+      "  %-24s hits %-8llu misses %-8llu (%.1f%% hit)  prefetch hits %-6llu wasted %llu\n",
+      label.c_str(), static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses), hit_rate,
+      static_cast<unsigned long long>(stats.prefetch_hits),
+      static_cast<unsigned long long>(stats.prefetch_wasted));
+}
+
 std::string Compare(double measured, double paper, const std::string& unit, int precision) {
   std::string out = TextTable::Num(measured, precision);
   if (!unit.empty()) {

@@ -29,6 +29,12 @@ void PrintDiskQueueStats(const std::string& label, const DiskStats& stats);
 // that succeeded only after retrying. All zeros on a fault-free run.
 void PrintDiskHealthStats(const std::string& label, const DiskStats& stats);
 
+// Prints one line of buffer-cache read-path counters mirrored into the
+// device's DiskStats: lookups served from cache vs. from the device, demand
+// lookups absorbed by a read-ahead fill, and read-ahead fills that were
+// dropped without ever being referenced.
+void PrintReadPathStats(const std::string& label, const DiskStats& stats);
+
 }  // namespace ld
 
 #endif  // SRC_HARNESS_REPORT_H_

@@ -45,6 +45,9 @@ StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
   options.num_inodes = params.num_inodes;
   options.cache_bytes = params.cache_bytes;
   options.compress_file_data = params.compress_file_data;
+  options.readahead_blocks = params.readahead_blocks;
+  options.async_reads = params.async_reads;
+  options.ld_readahead = params.ld_readahead;
 
   switch (kind) {
     case FsKind::kMinixLld:

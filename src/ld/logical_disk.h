@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/disk/block_device.h"
 #include "src/ld/types.h"
 #include "src/util/status.h"
 
@@ -46,6 +47,26 @@ class LogicalDisk {
 
   // Writes logical block `bid`. data.size() must equal the block's size.
   virtual Status Write(Bid bid, std::span<const uint8_t> data) = 0;
+
+  // Asynchronous read: like Read, but when the block is a plain stored copy
+  // on the media the device request is *queued* and its tag returned, so the
+  // simulated transfer overlaps whatever the caller does next (data lands in
+  // `out` at submit time per the BlockDevice contract; only the timing is
+  // deferred). Blocks that need more than a raw transfer — holes, copies
+  // still in an in-memory buffer, compressed or damaged blocks — are served
+  // by the synchronous path and report kInvalidIoTag, meaning "already
+  // complete". The default implementation is that fallback for every block.
+  virtual StatusOr<IoTag> SubmitRead(Bid bid, std::span<uint8_t> out) {
+    RETURN_IF_ERROR(Read(bid, out));
+    return kInvalidIoTag;
+  }
+
+  // Advances the clock to the completion of a SubmitRead tag.
+  // kInvalidIoTag (the synchronous fallback) is a no-op.
+  virtual Status WaitRead(IoTag tag) {
+    (void)tag;
+    return OkStatus();
+  }
 
   // Allocates a logical block number and inserts it into list `lid` after
   // block `pred_bid` (kBeginOfList inserts at the front). `size_bytes` is
@@ -157,6 +178,11 @@ class LogicalDisk {
   // True once the implementation has hit an unrecoverable device failure
   // and degraded to read-only service.
   virtual bool degraded() const { return false; }
+
+  // Health/queue counters of the device under this LD, when there is one.
+  // Lets clients (the MINIX buffer cache) publish their own counters next to
+  // the device's without knowing the implementation.
+  virtual DiskStats* device_stats() { return nullptr; }
 
   // ---- Lifecycle & introspection ------------------------------------------
 

@@ -792,6 +792,61 @@ Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
   return OkStatus();
 }
 
+StatusOr<IoTag> LogStructuredDisk::SubmitRead(Bid bid, std::span<uint8_t> out) {
+  ASSIGN_OR_RETURN(const BlockMapEntry* entry, block_map_.Lookup(bid));
+  if (out.size() != entry->size_class) {
+    return InvalidArgumentError("read buffer does not match block size");
+  }
+  // Only a plain stored copy on the media is a raw transfer that can ride
+  // the queue: holes cost nothing, open-segment copies are memcpys, and
+  // compressed blocks need the decompress (and possibly repair) machinery of
+  // the synchronous path.
+  if (!entry->phys.IsOnDisk() || entry->compressed) {
+    RETURN_IF_ERROR(Read(bid, out));
+    return kInvalidIoTag;
+  }
+
+  const uint32_t sector = device_->sector_size();
+  const uint64_t start_byte = SegmentBaseByte(entry->phys.segment) + entry->phys.offset;
+  const uint64_t first_sector = start_byte / sector;
+  const uint64_t last_sector = (start_byte + entry->stored_size + sector - 1) / sector;
+  const size_t span_bytes = static_cast<size_t>((last_sector - first_sector) * sector);
+  if (io_scratch_.size() < span_bytes) {
+    io_scratch_.resize(span_bytes);
+  }
+  auto tag = io_.SubmitRead(first_sector, std::span<uint8_t>(io_scratch_).subspan(0, span_bytes));
+  if (!tag.ok()) {
+    // Unreadable media at submit time: the synchronous path owns retries,
+    // parity reconstruction, and relocation.
+    RETURN_IF_ERROR(Read(bid, out));
+    return kInvalidIoTag;
+  }
+  // Data effects are eager (BlockDevice contract): the bytes are final now,
+  // only the transfer's timing is still in flight, so the scratch buffer can
+  // be drained — and the payload verified — before the tag completes.
+  std::memcpy(out.data(), io_scratch_.data() + (start_byte - first_sector * sector), out.size());
+  if (options_.verify_read_checksums && entry->has_payload_crc &&
+      PayloadCrc(std::span<const uint8_t>(out.data(), out.size())) != entry->payload_crc) {
+    // Silent corruption: charge the wasted transfer, then take the repair
+    // path (which re-counts the CRC failure and the read itself).
+    RETURN_IF_ERROR(device_->WaitFor(tag.value()));
+    RETURN_IF_ERROR(Read(bid, out));
+    return kInvalidIoTag;
+  }
+  counters_.user_reads++;
+  if (options_.track_read_heat) {
+    block_map_.entry(bid).read_count++;
+  }
+  return tag.value();
+}
+
+Status LogStructuredDisk::WaitRead(IoTag tag) {
+  if (tag == kInvalidIoTag) {
+    return OkStatus();
+  }
+  return device_->WaitFor(tag);
+}
+
 Status LogStructuredDisk::Write(Bid bid, std::span<const uint8_t> data) {
   RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(BlockMapEntry * entry, block_map_.Lookup(bid));

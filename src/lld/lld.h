@@ -116,6 +116,11 @@ class LogStructuredDisk : public LogicalDisk {
 
   // ---- LogicalDisk interface ---------------------------------------------
   Status Read(Bid bid, std::span<uint8_t> out) override;
+  // Queues the media transfer of a plain on-disk block and returns its tag;
+  // holes, open-segment copies, compressed blocks, and anything needing the
+  // repair path fall back to a synchronous Read (kInvalidIoTag).
+  StatusOr<IoTag> SubmitRead(Bid bid, std::span<uint8_t> out) override;
+  Status WaitRead(IoTag tag) override;
   Status Write(Bid bid, std::span<const uint8_t> data) override;
   StatusOr<Bid> NewBlock(Lid lid, Bid pred_bid, uint32_t size_bytes = 0) override;
   Status DeleteBlock(Bid bid, Lid lid, Bid pred_bid_hint) override;
@@ -185,6 +190,7 @@ class LogStructuredDisk : public LogicalDisk {
   const BlockMap& block_map() const { return block_map_; }
   const ListTable& list_table() const { return list_table_; }
   BlockDevice* device() { return device_; }
+  DiskStats* device_stats() override { return device_->mutable_stats(); }
   // Walks list `lid` and returns its blocks in order.
   StatusOr<std::vector<Bid>> ListBlocks(Lid lid) const;
   MemoryFootprint MeasureMemory() const;

@@ -22,6 +22,19 @@ Status MinixBackend::PrefetchBlocks(uint32_t bno, uint32_t count, std::span<uint
   return ReadBlocks(bno, count, out);
 }
 
+StatusOr<uint64_t> MinixBackend::SubmitBlocks(uint32_t bno, uint32_t count,
+                                              std::span<uint8_t> out) {
+  RETURN_IF_ERROR(ReadBlocks(bno, count, out));
+  return uint64_t{0};
+}
+
+Status MinixBackend::WaitBlocks(uint64_t token) {
+  if (token != 0) {
+    return InvalidArgumentError("unknown async read token");
+  }
+  return OkStatus();
+}
+
 Status MinixBackend::ReadInodeBlock(uint32_t, std::span<uint8_t>) {
   return UnimplementedError("backend has no small-i-node support");
 }

@@ -17,6 +17,7 @@
 namespace ld {
 
 class LogicalDisk;
+struct DiskStats;
 
 class MinixBackend {
  public:
@@ -41,6 +42,17 @@ class MinixBackend {
   // The default falls back to a synchronous ReadBlocks; only the classic
   // backend (raw disk) routes this onto the device's request queue.
   virtual Status PrefetchBlocks(uint32_t bno, uint32_t count, std::span<uint8_t> out);
+
+  // Asynchronous block read: fills `out` with `count` consecutive block
+  // numbers, queueing the device transfer(s), and returns an opaque token
+  // for WaitBlocks. Data lands in `out` at submit time (the simulator's
+  // eager-data contract); WaitBlocks advances the clock to the transfer's
+  // completion. Token 0 means the read already completed synchronously (the
+  // default implementation, and any block an LD backend cannot turn into a
+  // raw transfer); WaitBlocks(0) is a no-op, so callers need no special
+  // casing. A submit-time error leaves no transfer outstanding.
+  virtual StatusOr<uint64_t> SubmitBlocks(uint32_t bno, uint32_t count, std::span<uint8_t> out);
+  virtual Status WaitBlocks(uint64_t token);
 
   // Allocates one block for a file. `lid` names the file's block list in LD
   // modes (0 = the global list); `pred_bno` is the previous block of the
@@ -72,6 +84,11 @@ class MinixBackend {
   // The underlying LogicalDisk, when there is one (LD modes): lets the core
   // use atomic recovery units directly.
   virtual LogicalDisk* logical_disk() { return nullptr; }
+
+  // The underlying device's stats, when reachable: the buffer cache mirrors
+  // its hit/miss/prefetch counters there so device reports tell the whole
+  // read-path story.
+  virtual DiskStats* device_stats() { return nullptr; }
 };
 
 }  // namespace ld

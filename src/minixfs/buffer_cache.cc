@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "src/disk/block_device.h"
+
 namespace ld {
 
 BufferCache::BufferCache(uint32_t block_size, uint32_t capacity_blocks, ReadFn read, WriteFn write)
@@ -10,6 +12,45 @@ BufferCache::BufferCache(uint32_t block_size, uint32_t capacity_blocks, ReadFn r
       capacity_(std::max(capacity_blocks, 8u)),
       read_(std::move(read)),
       write_(std::move(write)) {}
+
+void BufferCache::SetAsyncBackend(SubmitFn submit, WaitFn wait) {
+  submit_ = std::move(submit);
+  wait_ = std::move(wait);
+}
+
+void BufferCache::BumpHit() {
+  hits_++;
+  if (device_stats_ != nullptr) {
+    device_stats_->cache_hits++;
+  }
+}
+
+void BufferCache::BumpMiss() {
+  misses_++;
+  if (device_stats_ != nullptr) {
+    device_stats_->cache_misses++;
+  }
+}
+
+void BufferCache::BumpPrefetchHit() {
+  prefetch_hits_++;
+  if (device_stats_ != nullptr) {
+    device_stats_->prefetch_hits++;
+  }
+}
+
+void BufferCache::BumpPrefetchWasted() {
+  prefetch_wasted_++;
+  if (device_stats_ != nullptr) {
+    device_stats_->prefetch_wasted++;
+  }
+}
+
+void BufferCache::NoteDropped(const CacheBlock& block) {
+  if (block.prefetched && !block.referenced) {
+    BumpPrefetchWasted();
+  }
+}
 
 void BufferCache::Touch(uint32_t bno) {
   auto pos = lru_pos_.find(bno);
@@ -42,6 +83,7 @@ Status BufferCache::EvictOne() {
       }
       it->second->dirty = false;
     }
+    NoteDropped(*it->second);
     blocks_.erase(it);
   }
   return OkStatus();
@@ -86,14 +128,77 @@ Status BufferCache::WriteClusterAround(uint32_t bno) {
   return OkStatus();
 }
 
+Status BufferCache::CancelPending(uint32_t bno) {
+  auto it = pending_.find(bno);
+  if (it == pending_.end()) {
+    return OkStatus();
+  }
+  const uint64_t token = it->second.token;
+  const bool was_prefetch = it->second.prefetch;
+  pending_.erase(it);
+  if (was_prefetch) {
+    BumpPrefetchWasted();
+  }
+  // The device already did (or scheduled) the transfer; waiting it out
+  // charges that cost even though the bytes die here. A completion must
+  // never install data for a cancelled read.
+  if (wait_ && token != 0) {
+    RETURN_IF_ERROR(wait_(token));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::shared_ptr<CacheBlock>> BufferCache::AdoptPending(uint32_t bno) {
+  auto it = pending_.find(bno);
+  PendingRead p = std::move(it->second);
+  // Drop the table entry before waiting: eviction triggered below must not
+  // see a stale pending record for a block that is materializing.
+  pending_.erase(it);
+  if (wait_ && p.token != 0) {
+    RETURN_IF_ERROR(wait_(p.token));
+  }
+  while (blocks_.size() >= capacity_) {
+    RETURN_IF_ERROR(EvictOne());
+  }
+  auto block = std::make_shared<CacheBlock>();
+  block->bno = bno;
+  block->data = std::move(p.data);
+  block->prefetched = p.prefetch;
+  blocks_[bno] = block;
+  Touch(bno);
+  return block;
+}
+
 StatusOr<std::shared_ptr<CacheBlock>> BufferCache::Get(uint32_t bno, bool load) {
   auto it = blocks_.find(bno);
   if (it != blocks_.end()) {
-    hits_++;
+    BumpHit();
+    if (it->second->prefetched && !it->second->referenced) {
+      BumpPrefetchHit();
+    }
+    it->second->referenced = true;
     Touch(bno);
     return it->second;
   }
-  misses_++;
+  if (pending_.count(bno) != 0) {
+    if (!load) {
+      // The caller overwrites the whole block: the in-flight bytes are dead.
+      RETURN_IF_ERROR(CancelPending(bno));
+    } else {
+      auto adopted = AdoptPending(bno);
+      if (adopted.ok()) {
+        if (adopted.value()->prefetched) {
+          BumpHit();
+          BumpPrefetchHit();
+        } else {
+          BumpMiss();
+        }
+        adopted.value()->referenced = true;
+      }
+      return adopted;
+    }
+  }
+  BumpMiss();
   while (blocks_.size() >= capacity_) {
     RETURN_IF_ERROR(EvictOne());
   }
@@ -101,15 +206,74 @@ StatusOr<std::shared_ptr<CacheBlock>> BufferCache::Get(uint32_t bno, bool load) 
   block->bno = bno;
   block->data.assign(block_size_, 0);
   if (load) {
-    RETURN_IF_ERROR(read_(bno, block->data));
+    if (submit_) {
+      // Submit + wait: identical service time to a synchronous read for a
+      // single outstanding request, but queued behind (and merged with) any
+      // read-ahead already in flight.
+      ASSIGN_OR_RETURN(uint64_t token, submit_(bno, block->data));
+      if (wait_ && token != 0) {
+        RETURN_IF_ERROR(wait_(token));
+      }
+    } else {
+      RETURN_IF_ERROR(read_(bno, block->data));
+    }
   }
+  block->referenced = true;
   blocks_[bno] = block;
   Touch(bno);
   return block;
 }
 
+Status BufferCache::GetAsync(uint32_t bno, bool prefetch) {
+  if (blocks_.count(bno) != 0) {
+    return OkStatus();
+  }
+  if (pending_.count(bno) != 0) {
+    // Single flight: the second request coalesces onto the first.
+    coalesced_reads_++;
+    return OkStatus();
+  }
+  PendingRead p;
+  p.data.assign(block_size_, 0);
+  p.prefetch = prefetch;
+  if (submit_) {
+    ASSIGN_OR_RETURN(p.token, submit_(bno, p.data));
+  } else {
+    RETURN_IF_ERROR(read_(bno, p.data));
+  }
+  if (prefetch) {
+    prefetch_issued_++;
+  }
+  pending_.emplace(bno, std::move(p));
+  return OkStatus();
+}
+
+StatusOr<std::shared_ptr<CacheBlock>> BufferCache::Wait(uint32_t bno) {
+  if (blocks_.count(bno) != 0 || pending_.count(bno) == 0) {
+    return Get(bno, /*load=*/true);
+  }
+  auto adopted = AdoptPending(bno);
+  if (adopted.ok()) {
+    if (adopted.value()->prefetched) {
+      BumpHit();
+      BumpPrefetchHit();
+    } else {
+      BumpMiss();
+    }
+    adopted.value()->referenced = true;
+  }
+  return adopted;
+}
+
 void BufferCache::Insert(uint32_t bno, std::span<const uint8_t> data) {
   if (blocks_.count(bno) != 0) {
+    // Never clobber the cached copy — it may be dirty, and the dirty bytes
+    // are newer than anything a read-ahead fill brings from the media.
+    return;
+  }
+  // An in-flight read of the block is superseded by the externally supplied
+  // data; its completion must not install the stale buffer.
+  if (!CancelPending(bno).ok()) {
     return;
   }
   while (blocks_.size() >= capacity_) {
@@ -120,6 +284,7 @@ void BufferCache::Insert(uint32_t bno, std::span<const uint8_t> data) {
   auto block = std::make_shared<CacheBlock>();
   block->bno = bno;
   block->data.assign(data.begin(), data.end());
+  block->prefetched = true;
   blocks_[bno] = block;
   Touch(bno);
 }
@@ -175,7 +340,13 @@ Status BufferCache::FlushAll() {
 }
 
 Status BufferCache::InvalidateAll() {
+  while (!pending_.empty()) {
+    RETURN_IF_ERROR(CancelPending(pending_.begin()->first));
+  }
   RETURN_IF_ERROR(FlushAll());
+  for (const auto& [bno, block] : blocks_) {
+    NoteDropped(*block);
+  }
   blocks_.clear();
   lru_.clear();
   lru_pos_.clear();
@@ -183,10 +354,12 @@ Status BufferCache::InvalidateAll() {
 }
 
 void BufferCache::Discard(uint32_t bno) {
+  (void)CancelPending(bno);
   auto it = blocks_.find(bno);
   if (it == blocks_.end()) {
     return;
   }
+  NoteDropped(*it->second);
   blocks_.erase(it);
   auto pos = lru_pos_.find(bno);
   if (pos != lru_pos_.end()) {

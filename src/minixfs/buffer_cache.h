@@ -5,6 +5,11 @@
 // rotations the paper measures for MINIX on sequential writes. An optional
 // clustering mode coalesces adjacent dirty blocks into one request
 // (FFS/SunOS-style), used by the FFS baseline.
+//
+// Reads can be asynchronous: GetAsync starts a single-flight load through
+// the backend's request queue and parks it in a pending-read table; Wait (or
+// a later Get) adopts the completed data into the cache. See DESIGN.md
+// "Read path" for the single-flight and cancellation rules.
 
 #ifndef SRC_MINIXFS_BUFFER_CACHE_H_
 #define SRC_MINIXFS_BUFFER_CACHE_H_
@@ -21,10 +26,14 @@
 
 namespace ld {
 
+struct DiskStats;
+
 struct CacheBlock {
   uint32_t bno = 0;
   std::vector<uint8_t> data;
   bool dirty = false;
+  bool prefetched = false;  // Brought in by read-ahead...
+  bool referenced = false;  // ...and since served a demand lookup.
 };
 
 class BufferCache {
@@ -34,29 +43,64 @@ class BufferCache {
   // Writes `count` consecutive blocks starting at `bno`.
   using WriteFn =
       std::function<Status(uint32_t bno, uint32_t count, std::span<const uint8_t> data)>;
+  // Queues a one-block read into `out` and returns an opaque token (0 =
+  // already complete). Data lands in `out` at submit time (the simulator's
+  // eager-data contract); only the transfer's timing is pending.
+  using SubmitFn = std::function<StatusOr<uint64_t>(uint32_t bno, std::span<uint8_t> out)>;
+  // Advances the clock to the token's completion (no-op for token 0).
+  using WaitFn = std::function<Status(uint64_t token)>;
 
   BufferCache(uint32_t block_size, uint32_t capacity_blocks, ReadFn read, WriteFn write);
+
+  // Routes demand misses and GetAsync through the backend's request queue.
+  // Without this, GetAsync degrades to a synchronous load and Get reads
+  // synchronously (the pre-async behaviour).
+  void SetAsyncBackend(SubmitFn submit, WaitFn wait);
+
+  // Mirrors the hit/miss/prefetch counters into a device's DiskStats so
+  // device reports tell the whole read-path story. Null detaches.
+  void AttachDeviceStats(DiskStats* stats) { device_stats_ = stats; }
 
   uint32_t block_size() const { return block_size_; }
 
   // Returns the cached block, loading it when absent. When `load` is false
-  // the caller promises to overwrite the whole block, so no read is issued.
+  // the caller promises to overwrite the whole block, so no read is issued
+  // (an in-flight read of the block is cancelled: its bytes are dead). A
+  // load that finds the block in the pending-read table adopts it (waiting
+  // out the transfer) instead of issuing a second read.
   StatusOr<std::shared_ptr<CacheBlock>> Get(uint32_t bno, bool load);
 
-  // Inserts an externally read block (read-ahead fills). Ignored if present.
+  // Starts a single-flight asynchronous load of `bno` unless the block is
+  // cached or already in flight (a second call coalesces onto the first —
+  // one device read total). `prefetch` marks read-ahead fills for the
+  // waste/hit accounting. The queued transfer overlaps the caller; the data
+  // enters the cache when Wait/Get adopts it.
+  Status GetAsync(uint32_t bno, bool prefetch);
+
+  // Completes the load of `bno` and returns the block: adopts a pending
+  // read, or falls back to Get(bno, /*load=*/true).
+  StatusOr<std::shared_ptr<CacheBlock>> Wait(uint32_t bno);
+
+  // Inserts an externally read block (read-ahead fills). Ignored if present
+  // — in particular, a fill must never clobber a cached dirty copy. An
+  // in-flight read of the same block is superseded (cancelled).
   void Insert(uint32_t bno, std::span<const uint8_t> data);
 
   bool Contains(uint32_t bno) const { return blocks_.count(bno) != 0; }
+  bool Pending(uint32_t bno) const { return pending_.count(bno) != 0; }
 
   void MarkDirty(const std::shared_ptr<CacheBlock>& block) { block->dirty = true; }
 
   // Writes all dirty blocks (ascending bno; coalesced when clustering).
   Status FlushAll();
 
-  // FlushAll + forget everything (the benchmark's between-phase cache flush).
+  // FlushAll + forget everything (the benchmark's between-phase cache
+  // flush). In-flight reads are waited out and dropped first.
   Status InvalidateAll();
 
-  // Drops a single block (e.g. freed blocks) without writing it back.
+  // Drops a single block (e.g. freed blocks) without writing it back. An
+  // in-flight read of the block is cancelled — the transfer is waited out
+  // (the device already did the work) but its bytes never enter the cache.
   void Discard(uint32_t bno);
 
   void set_cluster_writes(bool on) { cluster_writes_ = on; }
@@ -64,28 +108,58 @@ class BufferCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
+  uint64_t prefetch_issued() const { return prefetch_issued_; }
+  uint64_t prefetch_wasted() const { return prefetch_wasted_; }
+  uint64_t coalesced_reads() const { return coalesced_reads_; }
   size_t size() const { return blocks_.size(); }
+  size_t pending_reads() const { return pending_.size(); }
 
  private:
+  // One in-flight read. Owns its landing buffer until adopted or cancelled.
+  struct PendingRead {
+    std::vector<uint8_t> data;
+    uint64_t token = 0;
+    bool prefetch = false;
+  };
+
   Status EvictOne();
   // Writes the run of cached adjacent dirty blocks containing `bno` as one
   // request (FFS-style clustering on eviction).
   Status WriteClusterAround(uint32_t bno);
   void Touch(uint32_t bno);
+  // Waits out a pending read and moves its data into the cache.
+  StatusOr<std::shared_ptr<CacheBlock>> AdoptPending(uint32_t bno);
+  // Waits out a pending read and drops its data (discard/overwrite/insert).
+  Status CancelPending(uint32_t bno);
+  // A block is leaving the cache; account a never-referenced prefetch.
+  void NoteDropped(const CacheBlock& block);
+  void BumpHit();
+  void BumpMiss();
+  void BumpPrefetchHit();
+  void BumpPrefetchWasted();
 
   uint32_t block_size_;
   uint32_t capacity_;
   ReadFn read_;
   WriteFn write_;
+  SubmitFn submit_;  // Null = synchronous reads.
+  WaitFn wait_;
+  DiskStats* device_stats_ = nullptr;
   bool cluster_writes_ = false;
   uint32_t max_cluster_blocks_ = 16;
 
   std::unordered_map<uint32_t, std::shared_ptr<CacheBlock>> blocks_;
   std::list<uint32_t> lru_;  // Front = most recent.
   std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_pos_;
+  std::unordered_map<uint32_t, PendingRead> pending_;
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t prefetch_hits_ = 0;    // Demand lookups served by a read-ahead fill.
+  uint64_t prefetch_issued_ = 0;  // Read-ahead loads started.
+  uint64_t prefetch_wasted_ = 0;  // Read-ahead fills dropped unreferenced.
+  uint64_t coalesced_reads_ = 0;  // GetAsync calls absorbed by an in-flight read.
 };
 
 }  // namespace ld

@@ -60,6 +60,26 @@ Status ClassicBackend::PrefetchBlocks(uint32_t bno, uint32_t count, std::span<ui
   return OkStatus();
 }
 
+StatusOr<uint64_t> ClassicBackend::SubmitBlocks(uint32_t bno, uint32_t count,
+                                                std::span<uint8_t> out) {
+  if (bno + count > sb_.num_blocks) {
+    return InvalidArgumentError("block read past end of file system");
+  }
+  const uint64_t sector =
+      static_cast<uint64_t>(bno) * sb_.block_size / device_->sector_size();
+  // Consecutive block numbers are physically consecutive here, so the whole
+  // run is one queued request; its tag is the token.
+  ASSIGN_OR_RETURN(IoTag tag, device_->SubmitRead(sector, out));
+  return static_cast<uint64_t>(tag);
+}
+
+Status ClassicBackend::WaitBlocks(uint64_t token) {
+  if (token == 0) {
+    return OkStatus();
+  }
+  return device_->WaitFor(static_cast<IoTag>(token));
+}
+
 Status ClassicBackend::WriteBlocks(uint32_t bno, uint32_t count, std::span<const uint8_t> data) {
   if (bno + count > sb_.num_blocks) {
     return InvalidArgumentError("block write past end of file system");

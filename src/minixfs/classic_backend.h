@@ -29,6 +29,8 @@ class ClassicBackend : public MinixBackend {
   Status ReadBlocks(uint32_t bno, uint32_t count, std::span<uint8_t> out) override;
   Status WriteBlocks(uint32_t bno, uint32_t count, std::span<const uint8_t> data) override;
   Status PrefetchBlocks(uint32_t bno, uint32_t count, std::span<uint8_t> out) override;
+  StatusOr<uint64_t> SubmitBlocks(uint32_t bno, uint32_t count, std::span<uint8_t> out) override;
+  Status WaitBlocks(uint64_t token) override;
   StatusOr<uint32_t> AllocBlock(uint32_t lid, uint32_t pred_bno) override;
   Status FreeBlock(uint32_t bno, uint32_t lid, uint32_t pred_bno_hint) override;
   StatusOr<uint32_t> CreateFileList(uint32_t near_lid) override { (void)near_lid; return 0u; }
@@ -39,6 +41,7 @@ class ClassicBackend : public MinixBackend {
   Status Sync() override;
   Status ShutdownBackend() override;
   bool readahead() const override { return true; }
+  DiskStats* device_stats() override { return device_->mutable_stats(); }
 
   uint64_t free_blocks() const { return free_blocks_; }
 

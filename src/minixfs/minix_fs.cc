@@ -54,6 +54,12 @@ MinixFs::MinixFs(std::unique_ptr<MinixBackend> backend, const MinixSuperblock& s
       });
   cache_->set_cluster_writes(options_.cluster_writes);
   cache_->set_max_cluster_blocks(options_.max_cluster_blocks);
+  if (options_.async_reads) {
+    cache_->SetAsyncBackend(
+        [this](uint32_t bno, std::span<uint8_t> out) { return backend_->SubmitBlocks(bno, 1, out); },
+        [this](uint64_t token) { return backend_->WaitBlocks(token); });
+  }
+  cache_->AttachDeviceStats(backend_->device_stats());
   inode_bitmap_.assign(sb_.num_inodes + 1, false);
   inode_bitmap_[0] = true;  // I-node 0 is reserved.
 }
@@ -561,6 +567,7 @@ Status MinixFs::DropCaches() {
   RETURN_IF_ERROR(SyncFs());
   RETURN_IF_ERROR(cache_->InvalidateAll());
   inode_cache_.clear();
+  readahead_state_.clear();
   return OkStatus();
 }
 

@@ -297,37 +297,73 @@ Status MinixFs::WriteFile(uint32_t ino, uint64_t offset, std::span<const uint8_t
   return OkStatus();
 }
 
-Status MinixFs::ReadFileBlockCached(DiskInode* inode, uint32_t idx, uint32_t bno) {
-  if (cache_->Contains(bno)) {
-    return OkStatus();
+bool MinixFs::ReadAheadEnabled() const {
+  if (options_.readahead_blocks <= 1) {
+    return false;
   }
-  const uint32_t ra = options_.readahead_blocks;
-  if (!backend_->readahead() || ra <= 1) {
+  return backend_->readahead() ||
+         (options_.ld_readahead && options_.async_reads);
+}
+
+Status MinixFs::ReadFileBlockCached(uint32_t ino, DiskInode* inode, uint32_t idx, uint32_t bno) {
+  if (!ReadAheadEnabled()) {
+    if (cache_->Contains(bno)) {
+      return OkStatus();
+    }
     return GetBlock(bno, /*load=*/true).status();
   }
-  // MINIX-style read-ahead: the demand block is read synchronously (the
-  // caller needs it now); the following blocks of the file, while their
-  // block numbers stay physically consecutive, are *queued* on the device so
-  // their transfer overlaps the caller's processing.
-  const uint32_t file_blocks = (inode->size + sb_.block_size - 1) / sb_.block_size;
-  std::vector<uint32_t> run;
-  for (uint32_t i = 1; i < ra && idx + i < file_blocks; ++i) {
-    auto next = BMap(inode, idx + i, /*alloc=*/false);
-    if (!next.ok() || next.value() != bno + i || cache_->Contains(next.value())) {
-      break;
-    }
-    run.push_back(next.value());
+
+  // Per-file read-ahead: each file tracks its own sequential stream and
+  // window, so interleaved sequential readers of different files keep their
+  // prefetches in flight concurrently instead of serializing behind one
+  // global run. A sequential hit doubles the window up to readahead_blocks;
+  // any jump collapses it — prefetching a random reader is as likely wrong
+  // as right (the seed's contiguity check prefetched there wastefully).
+  if (readahead_state_.size() > 4096 && readahead_state_.count(ino) == 0) {
+    readahead_state_.clear();  // Bound the table; windows just re-ramp.
   }
-  RETURN_IF_ERROR(GetBlock(bno, /*load=*/true).status());
-  if (run.empty()) {
+  FileReadAhead& st = readahead_state_[ino];
+  const uint32_t ra = options_.readahead_blocks;
+  if (st.started && idx == st.next_idx) {
+    st.window = std::min(std::max(st.window * 2, 2u), ra);
+  } else {
+    st.window = (!st.started && idx == 0) ? std::min(2u, ra) : 0;
+    st.prefetched_to = idx + 1;
+  }
+  st.started = true;
+  st.next_idx = idx + 1;
+
+  // The demand block first: adopt its in-flight prefetch or read it now.
+  // Only then extend the window, so freshly queued read-ahead never delays
+  // the block the caller is waiting for.
+  RETURN_IF_ERROR(cache_->Wait(bno).status());
+
+  if (st.window == 0) {
     return OkStatus();
   }
-  stats_.readahead_requests++;
-  std::vector<uint8_t> buf(run.size() * sb_.block_size);
-  RETURN_IF_ERROR(backend_->PrefetchBlocks(run.front(), static_cast<uint32_t>(run.size()), buf));
-  for (size_t i = 0; i < run.size(); ++i) {
-    cache_->Insert(run[i],
-                   std::span<const uint8_t>(buf).subspan(i * sb_.block_size, sb_.block_size));
+  // Never prefetch past EOF; holes have nothing on the media to fetch.
+  const uint32_t file_blocks = (inode->size + sb_.block_size - 1) / sb_.block_size;
+  const uint32_t from = std::max(idx + 1, st.prefetched_to);
+  const uint32_t to = std::min(idx + 1 + st.window, file_blocks);
+  bool issued = false;
+  for (uint32_t j = from; j < to; ++j) {
+    auto next = BMap(inode, j, /*alloc=*/false);
+    if (!next.ok()) {
+      break;
+    }
+    if (next.value() == 0 || cache_->Contains(next.value()) || cache_->Pending(next.value())) {
+      continue;
+    }
+    if (!cache_->GetAsync(next.value(), /*prefetch=*/true).ok()) {
+      break;  // Best-effort: a failed prefetch submit is not the caller's error.
+    }
+    issued = true;
+  }
+  if (to > st.prefetched_to) {
+    st.prefetched_to = to;
+  }
+  if (issued) {
+    stats_.readahead_requests++;
   }
   return OkStatus();
 }
@@ -352,7 +388,7 @@ StatusOr<size_t> MinixFs::ReadFile(uint32_t ino, uint64_t offset, std::span<uint
     if (bno == 0) {
       std::memset(out.data() + done, 0, chunk);  // Hole.
     } else {
-      RETURN_IF_ERROR(ReadFileBlockCached(&inode, idx, bno));
+      RETURN_IF_ERROR(ReadFileBlockCached(ino, &inode, idx, bno));
       ASSIGN_OR_RETURN(std::shared_ptr<CacheBlock> block, GetBlock(bno, /*load=*/true));
       std::memcpy(out.data() + done, block->data.data() + within, chunk);
     }
@@ -374,6 +410,10 @@ Status MinixFs::Truncate(uint32_t ino, uint64_t new_size) {
     return UnimplementedError("extending truncate is not supported");
   }
   const uint32_t keep = static_cast<uint32_t>((new_size + sb_.block_size - 1) / sb_.block_size);
+  // The freed blocks' in-flight prefetches are cancelled by FreeFileBlocks'
+  // Discards; the window itself must go too, or a later sequential read
+  // would trust a prefetched_to mark pointing into the truncated tail.
+  DropReadAheadState(ino);
   RETURN_IF_ERROR(FreeFileBlocks(&inode, keep));
   // Zero the tail of the last surviving block so a later extension reads
   // the hole as zeros instead of stale bytes.
@@ -404,6 +444,7 @@ Status MinixFs::Unlink(const std::string& path) {
   }
   RETURN_IF_ERROR(RemoveDirEntry(parent, name));
   if (inode.nlinks <= 1) {
+    DropReadAheadState(ino);
     RETURN_IF_ERROR(FreeFileBlocks(&inode, 0));
     if (inode.lid != 0) {
       RETURN_IF_ERROR(backend_->DeleteFileList(inode.lid));
@@ -493,6 +534,7 @@ Status MinixFs::Rmdir(const std::string& path) {
     return FailedPreconditionError("directory not empty: " + path);
   }
   RETURN_IF_ERROR(RemoveDirEntry(parent, name));
+  DropReadAheadState(ino);
   RETURN_IF_ERROR(FreeFileBlocks(&inode, 0));
   if (inode.lid != 0) {
     RETURN_IF_ERROR(backend_->DeleteFileList(inode.lid));

@@ -1,6 +1,7 @@
 // Direct unit tests for the MINIX buffer cache: LRU eviction, dirty
 // write-back, read-ahead inserts, flush ordering, clustering (both on sync
-// and on eviction), and discard semantics.
+// and on eviction), discard semantics, and the pending-read table
+// (single-flight coalescing, cancellation, adoption).
 
 #include <gtest/gtest.h>
 
@@ -39,6 +40,32 @@ struct Backing {
             data.begin() + static_cast<size_t>(i) * block_size,
             data.begin() + static_cast<size_t>(i + 1) * block_size);
       }
+      return OkStatus();
+    };
+  }
+
+  // Async backend following the simulator's eager-data contract: bytes land
+  // in `out` at submit time, only the completion (the wait) is deferred.
+  uint32_t submits = 0;
+  uint64_t next_token = 1;
+  std::vector<uint64_t> waited;
+
+  BufferCache::SubmitFn Submitter() {
+    return [this](uint32_t bno, std::span<uint8_t> out) -> StatusOr<uint64_t> {
+      submits++;
+      auto it = blocks.find(bno);
+      if (it == blocks.end()) {
+        std::fill(out.begin(), out.end(), 0);
+      } else {
+        std::copy(it->second.begin(), it->second.end(), out.begin());
+      }
+      return next_token++;
+    };
+  }
+
+  BufferCache::WaitFn Waiter() {
+    return [this](uint64_t token) {
+      waited.push_back(token);
       return OkStatus();
     };
   }
@@ -180,6 +207,165 @@ TEST(BufferCacheTest, InvalidateAllFlushesFirst) {
   // Next access re-reads.
   (void)cache.Get(1, true);
   EXPECT_EQ(backing.reads, 1u);
+}
+
+// --- Pending-read table ----------------------------------------------------
+
+TEST(BufferCacheAsyncTest, TwoGetAsyncCallsCoalesceToOneDeviceRead) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  backing.blocks[4] = std::vector<uint8_t>(512, 0x4a);
+  ASSERT_TRUE(cache.GetAsync(4, /*prefetch=*/true).ok());
+  ASSERT_TRUE(cache.GetAsync(4, /*prefetch=*/true).ok());
+  EXPECT_EQ(backing.submits, 1u);  // Single flight.
+  EXPECT_EQ(cache.coalesced_reads(), 1u);
+  EXPECT_EQ(cache.pending_reads(), 1u);
+  auto block = cache.Wait(4);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0x4a);
+  EXPECT_EQ(backing.submits, 1u);
+  EXPECT_EQ(cache.pending_reads(), 0u);
+  EXPECT_EQ(cache.prefetch_hits(), 1u);  // The adopting lookup counts as one.
+}
+
+TEST(BufferCacheAsyncTest, DemandGetAdoptsPendingReadWithoutSecondSubmit) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  backing.blocks[9] = std::vector<uint8_t>(512, 0x77);
+  ASSERT_TRUE(cache.GetAsync(9, /*prefetch=*/false).ok());
+  auto block = cache.Get(9, /*load=*/true);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0x77);
+  EXPECT_EQ(backing.submits, 1u);
+  // The transfer was waited out exactly once, at adoption.
+  ASSERT_EQ(backing.waited.size(), 1u);
+  EXPECT_EQ(backing.waited[0], 1u);
+}
+
+TEST(BufferCacheAsyncTest, DiscardCancelsInFlightRead) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  backing.blocks[6] = std::vector<uint8_t>(512, 0x66);
+  ASSERT_TRUE(cache.GetAsync(6, /*prefetch=*/true).ok());
+  cache.Discard(6);
+  // The in-flight transfer is waited out (the device did the work) but its
+  // bytes never enter the cache, and the prefetch counts as wasted.
+  EXPECT_EQ(cache.pending_reads(), 0u);
+  EXPECT_FALSE(cache.Contains(6));
+  ASSERT_EQ(backing.waited.size(), 1u);
+  EXPECT_EQ(cache.prefetch_wasted(), 1u);
+  // A later demand read starts over.
+  auto block = cache.Get(6, /*load=*/true);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0x66);
+  EXPECT_EQ(backing.submits, 2u);
+}
+
+TEST(BufferCacheAsyncTest, InsertSupersedesPendingDemandRead) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  backing.blocks[3] = std::vector<uint8_t>(512, 0x33);
+  ASSERT_TRUE(cache.GetAsync(3, /*prefetch=*/false).ok());
+  // An externally supplied fill lands while the read is in flight: the
+  // pending completion must not overwrite it with the stale buffer.
+  std::vector<uint8_t> fresh(512, 0xab);
+  cache.Insert(3, fresh);
+  EXPECT_EQ(cache.pending_reads(), 0u);
+  ASSERT_EQ(backing.waited.size(), 1u);
+  auto block = cache.Get(3, /*load=*/true);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0xab);
+  EXPECT_EQ(backing.submits, 1u);  // No second device read.
+}
+
+TEST(BufferCacheAsyncTest, GetForOverwriteCancelsPendingRead) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  backing.blocks[8] = std::vector<uint8_t>(512, 0x88);
+  ASSERT_TRUE(cache.GetAsync(8, /*prefetch=*/true).ok());
+  // The caller overwrites the whole block: the in-flight bytes are dead.
+  auto block = cache.Get(8, /*load=*/false);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0);  // Zeroed, not the stale media bytes.
+  EXPECT_EQ(cache.pending_reads(), 0u);
+  ASSERT_EQ(backing.waited.size(), 1u);
+}
+
+TEST(BufferCacheAsyncTest, EvictionPressureWithOutstandingReads) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  for (uint32_t bno = 100; bno < 106; ++bno) {
+    backing.blocks[bno] = std::vector<uint8_t>(512, static_cast<uint8_t>(bno));
+    ASSERT_TRUE(cache.GetAsync(bno, /*prefetch=*/true).ok());
+  }
+  EXPECT_EQ(cache.pending_reads(), 6u);
+  // Churn the cache well past capacity while the reads are outstanding;
+  // dirty blocks force write-back evictions around the pending table.
+  for (uint32_t bno = 0; bno < 24; ++bno) {
+    auto block = cache.Get(bno, /*load=*/false);
+    ASSERT_TRUE(block.ok());
+    cache.MarkDirty(*block);
+  }
+  EXPECT_EQ(cache.pending_reads(), 6u);  // Eviction never touches in-flight reads.
+  for (uint32_t bno = 100; bno < 106; ++bno) {
+    auto block = cache.Wait(bno);
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ((*block)->data[0], static_cast<uint8_t>(bno));
+  }
+  EXPECT_EQ(cache.pending_reads(), 0u);
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(backing.submits, 6u);
+}
+
+TEST(BufferCacheAsyncTest, InvalidateAllDrainsPendingReads) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  ASSERT_TRUE(cache.GetAsync(1, /*prefetch=*/true).ok());
+  ASSERT_TRUE(cache.GetAsync(2, /*prefetch=*/false).ok());
+  ASSERT_TRUE(cache.InvalidateAll().ok());
+  EXPECT_EQ(cache.pending_reads(), 0u);
+  EXPECT_EQ(backing.waited.size(), 2u);  // Both transfers waited out.
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(BufferCacheAsyncTest, DemandMissGoesThroughSubmitWait) {
+  Backing backing;
+  BufferCache cache(512, 16, backing.Reader(), backing.Writer());
+  cache.SetAsyncBackend(backing.Submitter(), backing.Waiter());
+  backing.blocks[2] = std::vector<uint8_t>(512, 0x22);
+  auto block = cache.Get(2, /*load=*/true);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->data[0], 0x22);
+  EXPECT_EQ(backing.submits, 1u);
+  EXPECT_EQ(backing.reads, 0u);  // The synchronous ReadFn is bypassed.
+  ASSERT_EQ(backing.waited.size(), 1u);
+}
+
+// Regression: a read-ahead fill landing on a block that is dirty in the
+// cache must not clobber the dirty copy — the cached bytes are newer than
+// anything the media can supply.
+TEST(BufferCacheTest, InsertDoesNotClobberDirtyBlock) {
+  Backing backing;
+  BufferCache cache(512, 8, backing.Reader(), backing.Writer());
+  auto block = cache.Get(7, /*load=*/false);
+  ASSERT_TRUE(block.ok());
+  (*block)->data[0] = 0x5e;
+  cache.MarkDirty(*block);
+  std::vector<uint8_t> stale(512, 0x00);
+  cache.Insert(7, stale);  // Prefetch fill racing the dirty block: dropped.
+  auto again = cache.Get(7, /*load=*/true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->data[0], 0x5e);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_EQ(backing.blocks[7][0], 0x5e);  // The dirty bytes reach the media.
 }
 
 }  // namespace

@@ -54,6 +54,17 @@ inline bool EnvSegmentParity(bool fallback) {
   return std::string_view(v) != "0";
 }
 
+// Per-file read-ahead toggle (LD_READAHEAD=0|1): the CI read-ahead matrix
+// runs the read-path suites with prefetching both off and on. Tests whose
+// assertions require one setting pin MinixOptions explicitly instead.
+inline bool EnvReadAhead(bool fallback) {
+  const char* v = std::getenv("LD_READAHEAD");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) != "0";
+}
+
 // HP C3010 options honoring the environment overrides.
 inline DeviceOptions EnvHpC3010(uint64_t partition_bytes) {
   DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, EnvChannels(1));

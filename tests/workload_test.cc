@@ -11,6 +11,7 @@
 #include "src/workload/hot_cold.h"
 #include "src/workload/microbench.h"
 #include "src/workload/trace.h"
+#include "tests/device_test_util.h"
 
 namespace ld {
 namespace {
@@ -19,6 +20,13 @@ SetupParams SmallSetup() {
   SetupParams params;
   params.partition_bytes = 64ull << 20;
   params.num_inodes = 2048;
+  // The CI read-ahead matrix re-runs these workloads across channel counts
+  // with prefetching on and off; the benchmarks' rates must stay sane (and
+  // the reads correct) in every leg.
+  params.device = EnvHpC3010(params.partition_bytes);
+  if (!EnvReadAhead(true)) {
+    params.readahead_blocks = 1;
+  }
   return params;
 }
 
