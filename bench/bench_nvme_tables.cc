@@ -12,13 +12,17 @@
 //
 //   --smoke   tiny workloads (CI bit-rot guard; numbers not meaningful)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "src/disk/device_factory.h"
+#include "src/harness/env_knobs.h"
 #include "src/harness/report.h"
 #include "src/harness/setup.h"
+#include "src/harness/tenants.h"
 #include "src/lld/lld.h"
 #include "src/lld/memory_model.h"
 #include "src/util/random.h"
@@ -44,15 +48,13 @@ std::vector<Backend> Backends() {
   };
 }
 
-// "0" turns the flag off; unset or anything else leaves it on. CI uses
-// LD_READAHEAD=0 / LD_ASYNC_READS=0 to check that Tables 3-6 with read-ahead
-// disabled are byte-identical whether demand reads go through the queue
-// (async) or the legacy synchronous path.
-bool EnvFlagDefaultOn(const char* name) {
-  const char* v = std::getenv(name);
-  return v == nullptr || std::strcmp(v, "0") != 0;
-}
-
+// CI uses LD_READAHEAD=0 / LD_ASYNC_READS=0 (via the shared EnvFlag parser)
+// to check that Tables 3-6 with read-ahead disabled are byte-identical
+// whether demand reads go through the queue (async) or the legacy
+// synchronous path. LD_QOS/LD_TENANTS deliberately do NOT leak in here:
+// Tables 3-6 are single-tenant and must stay byte-identical to the seed
+// even when the QoS matrix leg exports them (QosConfig::Active() is false
+// at num_tenants == 1 regardless of policy, which the CI diff leg proves).
 SetupParams ParamsFor(const DeviceOptions& device) {
   SetupParams params;
   if (g_smoke) {
@@ -60,10 +62,12 @@ SetupParams ParamsFor(const DeviceOptions& device) {
     params.num_inodes = 2048;
   }
   params.device = device;
-  if (!EnvFlagDefaultOn("LD_READAHEAD")) {
+  params.device.qos = EnvQosConfig();
+  params.device.qos.num_tenants = 1;  // Single-tenant: QoS stays inactive.
+  if (!EnvFlag("LD_READAHEAD", true)) {
     params.readahead_blocks = 1;  // <= 1 disables read-ahead entirely.
   }
-  if (!EnvFlagDefaultOn("LD_ASYNC_READS")) {
+  if (!EnvFlag("LD_ASYNC_READS", true)) {
     params.async_reads = false;
   }
   return params;
@@ -406,6 +410,255 @@ bool ChannelScaling() {
   return all;
 }
 
+// --- Multi-tenant: scaling and QoS isolation -------------------------------
+//
+// N tenant sessions — each a full MINIX-on-LLD stack on its own partition —
+// share the mechanical device's channel set, interleaved by the cooperative
+// tenant scheduler. Knobs are pinned per run (never read from the
+// environment) so this section is identical across every CI byte-identity
+// leg, including the LD_QOS/LD_TENANTS one.
+
+struct TenantScalingRun {
+  double elapsed = 0;
+  uint64_t total_ops = 0;
+};
+
+StatusOr<TenantScalingRun> RunTenantScaling(uint32_t tenants, uint32_t channels) {
+  MultiTenantParams params;
+  params.num_tenants = tenants;
+  params.bytes_per_tenant = 32ull << 20;
+  params.device = DeviceOptions::HpC3010(0, channels);
+  params.qos.policy = QosPolicy::kWeightedShare;
+  params.kind = FsKind::kMinixLld;
+  params.fs.num_inodes = 1024;
+  params.fs.cache_bytes = 1024 * 1024;
+  ASSIGN_OR_RETURN(MultiTenantRig rig, MakeMultiTenantRig(params));
+
+  // Fixed per-tenant work: write F files of 64 KB, then read them all back.
+  const uint32_t kFiles = g_smoke ? 16 : 64;
+  const uint64_t kFileBytes = 64 * 1024;
+  TenantScheduler sched;
+  struct State {
+    uint32_t written = 0;
+    uint32_t read = 0;
+    std::vector<uint32_t> inos;
+  };
+  std::vector<std::shared_ptr<State>> states;
+  for (TenantSession& t : rig.tenants) {
+    auto state = std::make_shared<State>();
+    states.push_back(state);
+    MinixFs* fs = t.fs.get();
+    sched.Add("tenant" + std::to_string(t.id),
+              [fs, state, kFiles, kFileBytes]() -> StatusOr<bool> {
+      if (state->written < kFiles) {
+        ASSIGN_OR_RETURN(uint32_t ino,
+                         fs->CreateFile("/w" + std::to_string(state->written)));
+        std::vector<uint8_t> data(kFileBytes, static_cast<uint8_t>(state->written));
+        RETURN_IF_ERROR(fs->WriteFile(ino, 0, data));
+        state->inos.push_back(ino);
+        state->written++;
+        if (state->written == kFiles) {
+          RETURN_IF_ERROR(fs->SyncFs());
+          RETURN_IF_ERROR(fs->DropCaches());
+        }
+        return true;
+      }
+      std::vector<uint8_t> buf(kFileBytes);
+      RETURN_IF_ERROR(fs->ReadFile(state->inos[state->read], 0, buf).status());
+      state->read++;
+      return state->read < kFiles;
+    });
+  }
+  const double start = rig.clock->Now();
+  RETURN_IF_ERROR(sched.RunAll());
+  TenantScalingRun r;
+  r.elapsed = rig.clock->Now() - start;
+  r.total_ops = static_cast<uint64_t>(tenants) * kFiles * 2;
+  return r;
+}
+
+bool TenantScaling() {
+  std::printf("\n== Multi-tenant scaling: tenants x channels (weighted share) ==\n");
+  std::printf("Each tenant: its own MINIX-on-LLD stack on a partition of the\n");
+  std::printf("shared HP C3010; 64-KB file writes then read-back, tenants\n");
+  std::printf("interleaved by the cooperative scheduler.\n");
+  TextTable t({"Tenants", "Channels", "Elapsed (s)", "Ops/s"});
+  double elapsed[5][5] = {};
+  for (uint32_t tenants : {1u, 2u, 4u}) {
+    for (uint32_t channels : {1u, 4u}) {
+      auto run = RunTenantScaling(tenants, channels);
+      if (!run.ok()) {
+        std::fprintf(stderr, "tenant scaling failed: %s\n", run.status().ToString().c_str());
+        return false;
+      }
+      elapsed[tenants][channels] = run->elapsed;
+      t.AddRow({std::to_string(tenants), std::to_string(channels),
+                TextTable::Num(run->elapsed, 3),
+                TextTable::Num(static_cast<double>(run->total_ops) / run->elapsed, 1)});
+    }
+  }
+  t.Print();
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+    return ok;
+  };
+  bool all = true;
+  all &= check("4 tenants on 4 channels beat 4 tenants on 1 channel",
+               elapsed[4][4] < elapsed[4][1]);
+  all &= check("adding tenants on 1 channel costs elapsed time (real contention)",
+               elapsed[4][1] > elapsed[1][1]);
+  return all;
+}
+
+// One aggressor floods the single shared channel with sequential overwrites
+// (segment flushes + cleaner traffic) while three victims do demand reads.
+// The victim p99 read latency under each dispatch policy is the PR's
+// headline number: weighted share must beat FIFO-no-QoS.
+
+struct AggressorRun {
+  double victim_p50_ms = 0;   // Worst victim.
+  double victim_p99_ms = 0;   // Worst victim.
+  double victim_mean_wait_ms = 0;
+  uint64_t victim_starved = 0;
+  double aggressor_mb = 0;
+  DiskStats stats;  // Full per-tenant breakdown for reporting.
+  uint32_t sector_size = 512;
+};
+
+StatusOr<AggressorRun> RunAggressor(QosPolicy policy) {
+  MultiTenantParams params;
+  params.num_tenants = 4;
+  params.bytes_per_tenant = 32ull << 20;
+  params.device = DeviceOptions::HpC3010(0, /*channels=*/1);
+  // FIFO ordering isolates the QoS layer: with kNone the victim read waits
+  // out every aggressor write queued ahead of it.
+  params.device.queue_policy = QueuePolicy::kFifo;
+  params.qos.policy = policy;
+  params.kind = FsKind::kMinixLld;
+  params.fs.num_inodes = 1024;
+  params.fs.cache_bytes = 1024 * 1024;
+  ASSIGN_OR_RETURN(MultiTenantRig rig, MakeMultiTenantRig(params));
+
+  // Setup (unmeasured): tenant 0 is the aggressor with one large file it
+  // will overwrite forever; tenants 1-3 each get files to demand-read.
+  const uint64_t kFloodBytes = 8ull << 20;
+  const uint32_t kVictimFiles = 4;
+  const uint64_t kVictimFileBytes = 256 * 1024;
+  std::vector<uint8_t> chunk(256 * 1024, 0x42);
+  MinixFs* aggressor = rig.tenants[0].fs.get();
+  ASSIGN_OR_RETURN(uint32_t flood, aggressor->CreateFile("/flood"));
+  for (uint64_t off = 0; off < kFloodBytes; off += chunk.size()) {
+    RETURN_IF_ERROR(aggressor->WriteFile(flood, off, chunk));
+  }
+  RETURN_IF_ERROR(aggressor->SyncFs());
+  std::vector<std::vector<uint32_t>> victim_inos(rig.tenants.size());
+  for (size_t v = 1; v < rig.tenants.size(); ++v) {
+    MinixFs* fs = rig.tenants[v].fs.get();
+    for (uint32_t f = 0; f < kVictimFiles; ++f) {
+      ASSIGN_OR_RETURN(uint32_t ino, fs->CreateFile("/r" + std::to_string(f)));
+      for (uint64_t off = 0; off < kVictimFileBytes; off += chunk.size()) {
+        RETURN_IF_ERROR(fs->WriteFile(ino, off, chunk));
+      }
+      victim_inos[v].push_back(ino);
+    }
+    RETURN_IF_ERROR(fs->SyncFs());
+    RETURN_IF_ERROR(fs->DropCaches());
+  }
+  rig.ResetMeasurement();
+
+  // Measured phase: round-robin slices. The aggressor overwrites one 256-KB
+  // chunk per slice (wrapping over the flood file, so the cleaner stays
+  // busy); each victim reads one 8-KB chunk per slice.
+  const uint32_t kAggressorChunks = g_smoke ? 48 : 160;
+  const uint32_t kVictimReads = g_smoke ? 24 : 96;
+  TenantScheduler sched;
+  auto wrote = std::make_shared<uint32_t>(0);
+  sched.Add("aggressor", [&, wrote]() -> StatusOr<bool> {
+    const uint64_t off = (*wrote * chunk.size()) % kFloodBytes;
+    RETURN_IF_ERROR(aggressor->WriteFile(flood, off, chunk));
+    (*wrote)++;
+    return *wrote < kAggressorChunks;
+  });
+  for (size_t v = 1; v < rig.tenants.size(); ++v) {
+    MinixFs* fs = rig.tenants[v].fs.get();
+    const std::vector<uint32_t>* inos = &victim_inos[v];
+    auto done = std::make_shared<uint32_t>(0);
+    sched.Add("victim" + std::to_string(v),
+              [fs, inos, done, kVictimFileBytes, kVictimReads]() -> StatusOr<bool> {
+      const uint64_t kReadBytes = 8192;
+      const uint32_t reads_per_file =
+          static_cast<uint32_t>(kVictimFileBytes / kReadBytes);
+      const uint32_t ino = (*inos)[(*done / reads_per_file) % inos->size()];
+      const uint64_t off = (*done % reads_per_file) * kReadBytes;
+      std::vector<uint8_t> buf(kReadBytes);
+      RETURN_IF_ERROR(fs->ReadFile(ino, off, buf).status());
+      (*done)++;
+      return *done < kVictimReads;
+    });
+  }
+  RETURN_IF_ERROR(sched.RunAll());
+
+  AggressorRun r;
+  const DiskStats& stats = rig.disk->stats();
+  uint64_t victim_ops = 0;
+  double victim_wait = 0;
+  for (size_t v = 1; v < rig.tenants.size() && v < stats.tenant_count(); ++v) {
+    const TenantStats& t = stats.tenant(v);
+    r.victim_p50_ms = std::max(r.victim_p50_ms, t.read_latency.Quantile(0.5));
+    r.victim_p99_ms = std::max(r.victim_p99_ms, t.read_latency.Quantile(0.99));
+    r.victim_starved += t.starved_requests;
+    victim_ops += t.read_ops + t.write_ops;
+    victim_wait += t.queue_wait_ms;
+  }
+  r.victim_mean_wait_ms = victim_ops == 0 ? 0.0 : victim_wait / static_cast<double>(victim_ops);
+  if (stats.tenant_count() > 0) {
+    r.aggressor_mb = static_cast<double>(stats.tenant(0).sectors_written) *
+                     rig.disk->sector_size() / (1024.0 * 1024.0);
+  }
+  r.stats = stats;
+  r.sector_size = rig.disk->sector_size();
+  return r;
+}
+
+bool QosIsolation() {
+  std::printf("\n== QoS isolation: 1 write-flood aggressor vs 3 readers, 1 channel ==\n");
+  std::printf("Victim latency is the worst per-tenant read latency among the\n");
+  std::printf("three readers; 'none' = legacy FIFO dispatch, no QoS.\n");
+  TextTable t({"Policy", "Victim p50 (ms)", "Victim p99 (ms)", "Mean wait (ms)", "Starved",
+               "Aggressor MB"});
+  struct Row {
+    const char* name;
+    QosPolicy policy;
+  };
+  AggressorRun by_policy[3];
+  const Row rows[3] = {{"none", QosPolicy::kNone},
+                       {"share", QosPolicy::kWeightedShare},
+                       {"deadline", QosPolicy::kDeadline}};
+  for (int i = 0; i < 3; ++i) {
+    auto run = RunAggressor(rows[i].policy);
+    if (!run.ok()) {
+      std::fprintf(stderr, "qos isolation failed: %s\n", run.status().ToString().c_str());
+      return false;
+    }
+    by_policy[i] = *run;
+    t.AddRow({rows[i].name, TextTable::Num(run->victim_p50_ms, 3),
+              TextTable::Num(run->victim_p99_ms, 3), TextTable::Num(run->victim_mean_wait_ms, 3),
+              std::to_string(run->victim_starved), TextTable::Num(run->aggressor_mb, 1)});
+  }
+  t.Print();
+  PrintTenantStats("weighted share", by_policy[1].stats, by_policy[1].sector_size);
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+    return ok;
+  };
+  bool all = true;
+  all &= check("weighted share cuts victim p99 vs FIFO-no-QoS",
+               by_policy[1].victim_p99_ms < by_policy[0].victim_p99_ms);
+  all &= check("deadline dispatch also cuts victim p99 vs FIFO-no-QoS",
+               by_policy[2].victim_p99_ms < by_policy[0].victim_p99_ms);
+  return all;
+}
+
 // --- Verdict ---------------------------------------------------------------
 
 void Verdict(const std::vector<std::vector<SmallRow>>& t4,
@@ -446,6 +699,12 @@ int Run() {
     return 1;
   }
   if (!ChannelScaling()) {
+    return 1;
+  }
+  if (!TenantScaling()) {
+    return 1;
+  }
+  if (!QosIsolation()) {
     return 1;
   }
   return 0;

@@ -16,6 +16,18 @@ ChannelStats& DiskStats::MutableChannel(size_t i) {
   return channels_[i];
 }
 
+const TenantStats& DiskStats::tenant(size_t i) const {
+  static const TenantStats kZero{};
+  return i < tenants_.size() ? tenants_[i] : kZero;
+}
+
+TenantStats& DiskStats::MutableTenant(size_t i) {
+  if (i >= tenants_.size()) {
+    tenants_.resize(i + 1);
+  }
+  return tenants_[i];
+}
+
 // Default async implementations: service the request synchronously at submit
 // time and remember the completion so WaitFor/Poll/Drain behave uniformly.
 // Devices with a real queue (SimDisk) override these.

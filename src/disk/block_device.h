@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/disk/clock.h"
+#include "src/disk/qos.h"
 #include "src/util/status.h"
 
 namespace ld {
@@ -116,8 +117,18 @@ struct DiskStats {
   // For devices: grows the vector on demand.
   ChannelStats& MutableChannel(size_t i);
 
+  // --- Per-tenant breakdown (same accessor pattern) ------------------------
+  //
+  // Queueing devices account every request to the tenant that submitted it
+  // (see BlockDevice::set_request_tenant). Single-tenant runs put everything
+  // under kDefaultTenant; out-of-range indices read as all-zero.
+  size_t tenant_count() const { return tenants_.size(); }
+  const TenantStats& tenant(size_t i) const;
+  TenantStats& MutableTenant(size_t i);
+
  private:
   std::vector<ChannelStats> channels_;
+  std::vector<TenantStats> tenants_;
 };
 
 class BlockDevice {
@@ -173,6 +184,24 @@ class BlockDevice {
   virtual QueuePolicy queue_policy() const { return QueuePolicy::kFifo; }
   virtual void set_queue_depth(uint32_t /*depth*/) {}
   virtual uint32_t queue_depth() const { return 1; }
+
+  // --- Tenant context / QoS ------------------------------------------------
+  //
+  // The simulator is single-threaded, so the tenant id is sticky per-device
+  // request context rather than a per-call argument: a session sets it before
+  // issuing I/O (PartitionDevice re-asserts it on every forwarded call) and
+  // the device stamps it into each queued request. Defaults are no-ops so
+  // non-queueing devices and old consumers need no changes.
+
+  virtual void set_request_tenant(TenantId /*tenant*/) {}
+  virtual TenantId request_tenant() const { return kDefaultTenant; }
+
+  // Dispatch policy between tenants. Only consulted by queueing devices, and
+  // only deviates from the legacy schedule when config.Active() (more than
+  // one tenant): QoS is a between-tenants policy, so single-tenant runs are
+  // byte-identical with or without it.
+  virtual void set_qos(const QosConfig& /*config*/) {}
+  virtual QosConfig qos() const { return QosConfig{}; }
 
   // --- Channel topology ----------------------------------------------------
 

@@ -51,6 +51,7 @@ std::unique_ptr<BlockDevice> MakeDevice(const DeviceOptions& options, SimClock* 
   if (options.queue_depth != 0) {
     device->set_queue_depth(options.queue_depth);
   }
+  device->set_qos(options.qos);
   return device;
 }
 

@@ -44,6 +44,10 @@ struct DeviceOptions {
   QueuePolicy queue_policy = QueuePolicy::kCScan;
   uint32_t queue_depth = 0;
 
+  // Between-tenants dispatch policy (see src/disk/qos.h). The default
+  // (kNone / one tenant) leaves the legacy schedule untouched.
+  QosConfig qos;
+
   // --- Convenience constructors -------------------------------------------
 
   // The paper's 400-MB partition of the HP C3010 (or any size), with

@@ -120,6 +120,10 @@ class FaultDisk : public BlockDevice {
   uint32_t queue_depth() const override { return inner_->queue_depth(); }
   uint32_t num_channels() const override { return inner_->num_channels(); }
   uint32_t ChannelOf(uint64_t sector) const override { return inner_->ChannelOf(sector); }
+  void set_request_tenant(TenantId tenant) override { inner_->set_request_tenant(tenant); }
+  TenantId request_tenant() const override { return inner_->request_tenant(); }
+  void set_qos(const QosConfig& config) override { inner_->set_qos(config); }
+  QosConfig qos() const override { return inner_->qos(); }
   double ScheduledCompletion(IoTag tag) const override {
     return inner_->ScheduledCompletion(tag);
   }

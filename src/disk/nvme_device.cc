@@ -37,13 +37,14 @@ void NvmeDevice::ScheduleAll() {
     double submit_seconds;
     double arrival_seconds;  // submit + fixed latency
     double remaining_bytes;
+    TenantId tenant;
   };
   std::vector<Xfer> arrivals;
   arrivals.reserve(pending_.size());
   for (const PendingIo& p : pending_) {
     const double bytes = static_cast<double>(p.count) * config_.sector_size;
     arrivals.push_back({p.tag, p.count, p.is_read, p.submit_seconds,
-                        p.submit_seconds + LatencySeconds(p.is_read), bytes});
+                        p.submit_seconds + LatencySeconds(p.is_read), bytes, p.tenant});
   }
   pending_.clear();
   std::stable_sort(arrivals.begin(), arrivals.end(),
@@ -55,9 +56,16 @@ void NvmeDevice::ScheduleAll() {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   constexpr double kEpsBytes = 1e-6;
 
+  // Weighted sharing only deviates from the equal split when a QoS policy
+  // is active with several tenants; otherwise the arithmetic below is kept
+  // bit-identical to the original equal-share model.
+  const bool weighted = qos_.Active() && qos_.policy == QosPolicy::kWeightedShare;
+
   // Event loop: advance `t` from arrival to arrival / completion to
-  // completion, draining every active transfer at bandwidth / n in between.
+  // completion, draining every active transfer at its share of the link
+  // bandwidth in between (equal by transfer, or by tenant weight).
   std::vector<Xfer> active;
+  std::vector<double> rates;
   size_t next = 0;
   double t = arrivals.front().arrival_seconds;
   while (next < arrivals.size() || !active.empty()) {
@@ -66,21 +74,49 @@ void NvmeDevice::ScheduleAll() {
       active.push_back(arrivals[next++]);
       continue;
     }
-    const double rate = bps / static_cast<double>(active.size());
-    double min_remaining = kInf;
-    for (const Xfer& x : active) {
-      min_remaining = std::min(min_remaining, x.remaining_bytes);
+    rates.assign(active.size(), 0.0);
+    double next_completion = kInf;
+    if (!weighted) {
+      const double rate = bps / static_cast<double>(active.size());
+      double min_remaining = kInf;
+      for (const Xfer& x : active) {
+        min_remaining = std::min(min_remaining, x.remaining_bytes);
+      }
+      next_completion = t + min_remaining / rate;
+      for (double& r : rates) {
+        r = rate;
+      }
+    } else {
+      // Tenant t's share is bps * w_t / W (W = sum of weights of tenants
+      // with active transfers), split equally among its own transfers.
+      std::vector<uint64_t> per_tenant(qos_.num_tenants, 0);
+      for (const Xfer& x : active) {
+        if (x.tenant >= per_tenant.size()) {
+          per_tenant.resize(x.tenant + 1, 0);
+        }
+        per_tenant[x.tenant]++;
+      }
+      double weight_sum = 0.0;
+      for (TenantId tid = 0; tid < per_tenant.size(); ++tid) {
+        if (per_tenant[tid] > 0) {
+          weight_sum += static_cast<double>(qos_.WeightOf(tid));
+        }
+      }
+      for (size_t i = 0; i < active.size(); ++i) {
+        const TenantId tid = active[i].tenant;
+        rates[i] = bps * static_cast<double>(qos_.WeightOf(tid)) / weight_sum /
+                   static_cast<double>(per_tenant[tid]);
+        next_completion = std::min(next_completion, t + active[i].remaining_bytes / rates[i]);
+      }
     }
-    const double next_completion = t + min_remaining / rate;
     const double next_arrival =
         next < arrivals.size() ? std::max(arrivals[next].arrival_seconds, t) : kInf;
 
     const double t2 = std::min(next_completion, next_arrival);
-    const double drained = rate * (t2 - t);
     stats_.busy_ms += (t2 - t) * 1000.0;  // Link active: n >= 1.
     stats_.MutableChannel(0).busy_ms += (t2 - t) * 1000.0;
-    for (Xfer& x : active) {
-      x.remaining_bytes -= drained;
+    for (size_t i = 0; i < active.size(); ++i) {
+      active[i].remaining_bytes -= rates[i] * (t2 - t);
     }
     t = t2;
 
@@ -98,16 +134,29 @@ void NvmeDevice::ScheduleAll() {
           stats_.transfer_ms += bytes / bps * 1000.0;
           ChannelStats& cstats = stats_.MutableChannel(0);
           cstats.queue_wait_ms += wait_ms;
+          TenantStats& tstats = stats_.MutableTenant(it->tenant);
+          tstats.queue_wait_ms += wait_ms;
+          tstats.busy_ms += unloaded * 1000.0;
+          if (wait_ms > qos_.starvation_threshold_ms) {
+            tstats.starved_requests++;
+          }
+          const double latency_ms = (t - it->submit_seconds) * 1000.0;
           if (it->is_read) {
             stats_.read_ops++;
             stats_.sectors_read += it->count;
             cstats.read_ops++;
             cstats.sectors_read += it->count;
+            tstats.read_ops++;
+            tstats.sectors_read += it->count;
+            tstats.read_latency.Add(latency_ms);
           } else {
             stats_.write_ops++;
             stats_.sectors_written += it->count;
             cstats.write_ops++;
             cstats.sectors_written += it->count;
+            tstats.write_ops++;
+            tstats.sectors_written += it->count;
+            tstats.write_latency.Add(latency_ms);
           }
           it = active.erase(it);
         } else {
@@ -125,7 +174,8 @@ StatusOr<IoTag> NvmeDevice::SubmitRead(uint64_t sector, std::span<uint8_t> out) 
   RETURN_IF_ERROR(ValidateRequest(sector, out.size()));
   storage_.CopyOut(sector * static_cast<uint64_t>(config_.sector_size), out);
   const IoTag tag = NextTag();
-  pending_.push_back({tag, out.size() / config_.sector_size, /*is_read=*/true, clock_->Now()});
+  pending_.push_back(
+      {tag, out.size() / config_.sector_size, /*is_read=*/true, clock_->Now(), request_tenant_});
   stats_.queued_requests++;
   stats_.MutableChannel(0).queued_requests++;
   stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, pending_.size());
@@ -139,7 +189,8 @@ StatusOr<IoTag> NvmeDevice::SubmitWrite(uint64_t sector, std::span<const uint8_t
   RETURN_IF_ERROR(ValidateRequest(sector, data.size()));
   storage_.CopyIn(sector * static_cast<uint64_t>(config_.sector_size), data);
   const IoTag tag = NextTag();
-  pending_.push_back({tag, data.size() / config_.sector_size, /*is_read=*/false, clock_->Now()});
+  pending_.push_back(
+      {tag, data.size() / config_.sector_size, /*is_read=*/false, clock_->Now(), request_tenant_});
   stats_.queued_requests++;
   stats_.MutableChannel(0).queued_requests++;
   stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, pending_.size());

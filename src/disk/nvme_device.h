@@ -64,6 +64,16 @@ class NvmeDevice : public BlockDevice {
   void set_queue_depth(uint32_t depth) override { queue_depth_ = depth == 0 ? 1 : depth; }
   uint32_t queue_depth() const override { return queue_depth_; }
 
+  // Tenant context. Under kWeightedShare with several tenants the fluid
+  // model shares the link by tenant weight instead of equally per transfer
+  // (each tenant's share then splits equally among its own transfers). The
+  // fluid model is inherently preemptive, so kDeadline adds nothing here and
+  // behaves like the equal-share schedule (tenant accounting still applies).
+  void set_request_tenant(TenantId tenant) override { request_tenant_ = tenant; }
+  TenantId request_tenant() const override { return request_tenant_; }
+  void set_qos(const QosConfig& config) override { qos_ = config; }
+  QosConfig qos() const override { return qos_; }
+
   double ScheduledCompletion(IoTag tag) const override;
 
   SimClock* clock() override { return clock_; }
@@ -82,6 +92,7 @@ class NvmeDevice : public BlockDevice {
     uint64_t count;
     bool is_read;
     double submit_seconds;
+    TenantId tenant = kDefaultTenant;
   };
   struct DoneIo {
     bool is_read;
@@ -107,6 +118,8 @@ class NvmeDevice : public BlockDevice {
 
   QueuePolicy queue_policy_ = QueuePolicy::kFifo;
   uint32_t queue_depth_;
+  TenantId request_tenant_ = kDefaultTenant;
+  QosConfig qos_;
   std::deque<PendingIo> pending_;
   std::unordered_map<IoTag, DoneIo> completed_;
   // Instant the link finished the last scheduled batch (for stats only; the

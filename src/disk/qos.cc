@@ -1,0 +1,66 @@
+#include "src/disk/qos.h"
+
+#include <cmath>
+
+namespace ld {
+
+namespace {
+
+// Bucket i covers latencies in [2^(i/2), 2^((i+1)/2)) microseconds.
+size_t BucketOf(double ms) {
+  const double us = ms * 1000.0;
+  if (us < 1.0) {
+    return 0;
+  }
+  const double idx = 2.0 * std::log2(us);
+  if (idx <= 0.0) {
+    return 0;
+  }
+  if (idx >= 63.0) {
+    return 63;
+  }
+  return static_cast<size_t>(idx);
+}
+
+// Geometric midpoint of bucket i, back in milliseconds.
+double Representative(size_t i) {
+  return std::exp2((static_cast<double>(i) + 0.5) / 2.0) / 1000.0;
+}
+
+}  // namespace
+
+void LatencyHistogram::Add(double ms) {
+  if (ms < 0.0) {
+    ms = 0.0;
+  }
+  buckets_[BucketOf(ms)]++;
+  count_++;
+  total_ms_ += ms;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the target sample, 1-based, ceil so Quantile(1.0) is the max.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return Representative(i);
+    }
+  }
+  return Representative(buckets_.size() - 1);
+}
+
+}  // namespace ld

@@ -71,6 +71,15 @@ class SimDisk : public BlockDevice {
   void set_queue_depth(uint32_t depth) override { queue_depth_ = depth == 0 ? 1 : depth; }
   uint32_t queue_depth() const override { return queue_depth_; }
 
+  // Tenant context: stamped into each queued request. QoS dispatch (chunked
+  // service, weighted-share or deadline ordering between tenants) engages
+  // only when qos().Active(); otherwise the legacy batch scheduler runs
+  // unchanged and tenants are tracked for accounting only.
+  void set_request_tenant(TenantId tenant) override { request_tenant_ = tenant; }
+  TenantId request_tenant() const override { return request_tenant_; }
+  void set_qos(const QosConfig& config) override { qos_ = config; }
+  QosConfig qos() const override { return qos_; }
+
   uint32_t num_channels() const override {
     return static_cast<uint32_t>(channels_.size());
   }
@@ -88,10 +97,13 @@ class SimDisk : public BlockDevice {
  private:
   struct PendingIo {
     IoTag tag;
-    uint64_t sector;
-    uint64_t count;
+    uint64_t sector;  // Next unserviced sector (advances under QoS chunking).
+    uint64_t count;   // Sectors still to service.
     bool is_read;
     double submit_seconds;
+    TenantId tenant = kDefaultTenant;
+    uint64_t total_count = 0;    // Original request size in sectors.
+    double first_wait_ms = -1.0; // Queue wait, set when service first starts.
   };
   struct DoneIo {
     bool is_read;
@@ -108,6 +120,8 @@ class SimDisk : public BlockDevice {
     // delay. Invalidated by writes.
     uint64_t read_window_start = UINT64_MAX;
     uint64_t read_window_end = UINT64_MAX;
+    // Weighted-fair-queueing virtual time per tenant (QoS dispatch only).
+    std::vector<double> vtime;
   };
 
   Status ValidateRequest(uint64_t sector, size_t bytes) const;
@@ -124,7 +138,16 @@ class SimDisk : public BlockDevice {
   // assigning completion times (moves pending entries into completed_).
   // Never touches the clock.
   void ScheduleChannel(uint32_t ch);
+  // QoS dispatch: services requests chunk by chunk in weighted-share or
+  // deadline order, committing the channel no further than slice_ms past the
+  // current clock so another tenant can preempt between chunks. Requests the
+  // slice does not reach stay pending. Never touches the clock.
+  void ScheduleChannelQos(uint32_t ch);
   void ScheduleAll();
+
+  // True while `tag` is still in some channel's pending queue (QoS dispatch
+  // can leave requests pending across ScheduleAll calls).
+  bool IsPendingTag(IoTag tag) const;
 
   uint64_t TotalPending() const;
 
@@ -137,6 +160,8 @@ class SimDisk : public BlockDevice {
 
   QueuePolicy queue_policy_ = QueuePolicy::kCScan;
   uint32_t queue_depth_ = 8;
+  TenantId request_tenant_ = kDefaultTenant;
+  QosConfig qos_;
   std::vector<Channel> channels_;
   uint32_t cylinders_per_channel_ = 0;
   std::unordered_map<IoTag, DoneIo> completed_;

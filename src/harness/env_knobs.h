@@ -1,0 +1,135 @@
+// Environment-driven parametrization shared by the bench mains and the test
+// binaries: CI runs the same executables across a matrix of queue policies,
+// channel counts, fault seeds, parity settings, read-path modes, and tenant
+// counts. Each helper returns the caller's fallback when the variable is
+// unset (or unparsable), so binaries keep deterministic defaults outside CI.
+// Tests whose assertions depend on one specific setting construct their own
+// options instead of consulting the environment.
+
+#ifndef SRC_HARNESS_ENV_KNOBS_H_
+#define SRC_HARNESS_ENV_KNOBS_H_
+
+#include <cstdlib>
+#include <string_view>
+
+#include "src/disk/device_factory.h"
+#include "src/disk/qos.h"
+
+namespace ld {
+
+// LD_QUEUE_POLICY=fifo|cscan.
+inline QueuePolicy EnvQueuePolicy(QueuePolicy fallback) {
+  const char* v = std::getenv("LD_QUEUE_POLICY");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) == "fifo" ? QueuePolicy::kFifo : QueuePolicy::kCScan;
+}
+
+// LD_CHANNELS=N: independent actuator/channel count for the shared device.
+inline uint32_t EnvChannels(uint32_t fallback) {
+  const char* v = std::getenv("LD_CHANNELS");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const int n = std::atoi(v);
+  return n > 0 ? static_cast<uint32_t>(n) : fallback;
+}
+
+// Base seed for fault-injection tests (LD_FAULT_SEED=N): the CI fault
+// matrix varies it so the same binaries cover several fault schedules.
+inline uint64_t EnvFaultSeed(uint64_t fallback) {
+  const char* v = std::getenv("LD_FAULT_SEED");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const long long n = std::atoll(v);
+  return n >= 0 ? static_cast<uint64_t>(n) : fallback;
+}
+
+// Per-segment parity toggle (LD_SEGMENT_PARITY=0|1): the CI fault matrix
+// runs the crash/corruption sweeps with the XOR parity block both absent
+// and present. Tests whose expectations depend on one setting pin
+// `LldOptions::segment_parity` explicitly instead.
+inline bool EnvSegmentParity(bool fallback) {
+  const char* v = std::getenv("LD_SEGMENT_PARITY");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) != "0";
+}
+
+// Per-file read-ahead toggle (LD_READAHEAD=0|1): the CI read-ahead matrix
+// runs the read-path suites with prefetching both off and on. Tests whose
+// assertions require one setting pin MinixOptions explicitly instead.
+inline bool EnvReadAhead(bool fallback) {
+  const char* v = std::getenv("LD_READAHEAD");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) != "0";
+}
+
+// Generic flag: "0" turns it off; unset or anything else returns `fallback`
+// unchanged or on, matching how LD_READAHEAD / LD_ASYNC_READS behave.
+inline bool EnvFlag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) != "0";
+}
+
+// LD_TENANTS=N: number of concurrent tenant sessions multiplexed over the
+// shared device by the multi-tenant harness (1 = the classic single-FS
+// setups, byte-identical to pre-tenant behaviour).
+inline uint32_t EnvTenants(uint32_t fallback) {
+  const char* v = std::getenv("LD_TENANTS");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const int n = std::atoi(v);
+  return n > 0 ? static_cast<uint32_t>(n) : fallback;
+}
+
+// LD_QOS=none|share|deadline: dispatch policy arbitrating channel time
+// between tenants. Unrecognized values fall back.
+inline QosPolicy EnvQosPolicy(QosPolicy fallback) {
+  const char* v = std::getenv("LD_QOS");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const std::string_view s(v);
+  if (s == "none") {
+    return QosPolicy::kNone;
+  }
+  if (s == "share") {
+    return QosPolicy::kWeightedShare;
+  }
+  if (s == "deadline") {
+    return QosPolicy::kDeadline;
+  }
+  return fallback;
+}
+
+// QoS config honoring LD_QOS / LD_TENANTS. `Active()` stays false (and the
+// legacy dispatch path runs verbatim) unless both a policy and more than
+// one tenant are configured.
+inline QosConfig EnvQosConfig(const QosConfig& fallback = QosConfig{}) {
+  QosConfig qos = fallback;
+  qos.policy = EnvQosPolicy(qos.policy);
+  qos.num_tenants = EnvTenants(qos.num_tenants);
+  return qos;
+}
+
+// HP C3010 options honoring the environment overrides.
+inline DeviceOptions EnvHpC3010(uint64_t partition_bytes) {
+  DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, EnvChannels(1));
+  options.queue_policy = EnvQueuePolicy(options.queue_policy);
+  options.qos = EnvQosConfig();
+  return options;
+}
+
+}  // namespace ld
+
+#endif  // SRC_HARNESS_ENV_KNOBS_H_

@@ -44,6 +44,30 @@ void PrintReadPathStats(const std::string& label, const DiskStats& stats) {
       static_cast<unsigned long long>(stats.prefetch_wasted));
 }
 
+void PrintTenantStats(const std::string& label, const DiskStats& stats, uint32_t sector_size) {
+  if (stats.tenant_count() == 0) {
+    return;
+  }
+  std::printf("  %s per-tenant:\n", label.c_str());
+  for (size_t i = 0; i < stats.tenant_count(); ++i) {
+    const TenantStats& t = stats.tenant(i);
+    const uint64_t ops = t.read_ops + t.write_ops;
+    if (ops == 0) {
+      continue;
+    }
+    const double mb =
+        static_cast<double>(t.sectors_read + t.sectors_written) * sector_size / (1024.0 * 1024.0);
+    const double mean_wait = t.queue_wait_ms / static_cast<double>(ops);
+    std::printf(
+        "    tenant %-2zu ops %-7llu (%llu r / %llu w)  %7.1f MB  wait %7.3f ms  "
+        "read p50/p99 %7.3f/%8.3f ms  starved %llu\n",
+        i, static_cast<unsigned long long>(ops), static_cast<unsigned long long>(t.read_ops),
+        static_cast<unsigned long long>(t.write_ops), mb, mean_wait,
+        t.read_latency.Quantile(0.5), t.read_latency.Quantile(0.99),
+        static_cast<unsigned long long>(t.starved_requests));
+  }
+}
+
 std::string Compare(double measured, double paper, const std::string& unit, int precision) {
   std::string out = TextTable::Num(measured, precision);
   if (!unit.empty()) {

@@ -35,6 +35,12 @@ void PrintDiskHealthStats(const std::string& label, const DiskStats& stats);
 // dropped without ever being referenced.
 void PrintReadPathStats(const std::string& label, const DiskStats& stats);
 
+// Prints one line per tenant from the shared device's per-tenant
+// accounting: ops, bytes moved, mean queue wait, read-latency p50/p99, and
+// requests that waited past the starvation threshold. No-op when the device
+// recorded no tenant activity.
+void PrintTenantStats(const std::string& label, const DiskStats& stats, uint32_t sector_size);
+
 }  // namespace ld
 
 #endif  // SRC_HARNESS_REPORT_H_

@@ -24,12 +24,58 @@ void FsUnderTest::ResetMeasurement() {
   if (lld != nullptr) {
     lld->ResetCounters();
   }
+  if (fs != nullptr) {
+    fs->ResetStats();
+  }
 }
 
 StatusOr<MinixFsckReport> FsUnderTest::Fsck(bool scrub) {
   MinixFsckOptions options;
   options.scrub = scrub;
   return fs->Fsck(options);
+}
+
+StatusOr<FsStack> MakeFsStack(BlockDevice* device, FsKind kind, const SetupParams& params) {
+  FsStack s;
+
+  MinixOptions options;
+  options.block_size = params.minix_block_size;
+  options.num_inodes = params.num_inodes;
+  options.cache_bytes = params.cache_bytes;
+  options.compress_file_data = params.compress_file_data;
+  options.readahead_blocks = params.readahead_blocks;
+  options.async_reads = params.async_reads;
+  options.ld_readahead = params.ld_readahead;
+  options.tenant = params.tenant;
+
+  switch (kind) {
+    case FsKind::kMinixLld:
+    case FsKind::kMinixLldSingleList:
+    case FsKind::kMinixLldSmallInodes: {
+      LldOptions lld_options = params.lld;
+      lld_options.block_size = params.minix_block_size;
+      lld_options.tenant = params.tenant;
+      ASSIGN_OR_RETURN(s.lld, LogStructuredDisk::Format(device, lld_options));
+      const bool list_per_file = kind != FsKind::kMinixLldSingleList;
+      const bool small_inodes = kind == FsKind::kMinixLldSmallInodes;
+      ASSIGN_OR_RETURN(s.fs,
+                       MinixFs::FormatOnLd(s.lld.get(), options, list_per_file, small_inodes));
+      break;
+    }
+    case FsKind::kMinix: {
+      ASSIGN_OR_RETURN(s.fs, MinixFs::FormatClassic(device, options));
+      break;
+    }
+    case FsKind::kSunOs: {
+      FfsParams ffs;
+      ffs.num_inodes = params.num_inodes;
+      ffs.cache_bytes = params.cache_bytes;
+      ffs.tenant = params.tenant;
+      ASSIGN_OR_RETURN(s.fs, FormatFfs(device, ffs));
+      break;
+    }
+  }
+  return s;
 }
 
 StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
@@ -40,40 +86,9 @@ StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
   device.geometry = DiskGeometry::HpC3010Partition(params.partition_bytes);
   t.disk = MakeDevice(device, t.clock.get());
 
-  MinixOptions options;
-  options.block_size = params.minix_block_size;
-  options.num_inodes = params.num_inodes;
-  options.cache_bytes = params.cache_bytes;
-  options.compress_file_data = params.compress_file_data;
-  options.readahead_blocks = params.readahead_blocks;
-  options.async_reads = params.async_reads;
-  options.ld_readahead = params.ld_readahead;
-
-  switch (kind) {
-    case FsKind::kMinixLld:
-    case FsKind::kMinixLldSingleList:
-    case FsKind::kMinixLldSmallInodes: {
-      LldOptions lld_options = params.lld;
-      lld_options.block_size = params.minix_block_size;
-      ASSIGN_OR_RETURN(t.lld, LogStructuredDisk::Format(t.disk.get(), lld_options));
-      const bool list_per_file = kind != FsKind::kMinixLldSingleList;
-      const bool small_inodes = kind == FsKind::kMinixLldSmallInodes;
-      ASSIGN_OR_RETURN(t.fs,
-                       MinixFs::FormatOnLd(t.lld.get(), options, list_per_file, small_inodes));
-      break;
-    }
-    case FsKind::kMinix: {
-      ASSIGN_OR_RETURN(t.fs, MinixFs::FormatClassic(t.disk.get(), options));
-      break;
-    }
-    case FsKind::kSunOs: {
-      FfsParams ffs;
-      ffs.num_inodes = params.num_inodes;
-      ffs.cache_bytes = params.cache_bytes;
-      ASSIGN_OR_RETURN(t.fs, FormatFfs(t.disk.get(), ffs));
-      break;
-    }
-  }
+  ASSIGN_OR_RETURN(FsStack stack, MakeFsStack(t.disk.get(), kind, params));
+  t.lld = std::move(stack.lld);
+  t.fs = std::move(stack.fs);
   t.ResetMeasurement();
   return t;
 }

@@ -33,8 +33,8 @@ struct FsUnderTest {
   std::unique_ptr<LogStructuredDisk> lld;  // Null for non-LD systems.
   std::unique_ptr<MinixFs> fs;
 
-  // Resets clock and device counters after setup so measurements exclude
-  // formatting.
+  // Resets clock, device, LLD, and file-system counters after setup so
+  // measurements exclude formatting (and each phase starts from zero).
   void ResetMeasurement();
 
   // Runs the file system's consistency check; with `scrub` it is
@@ -65,7 +65,23 @@ struct SetupParams {
   uint32_t readahead_blocks = 8;
   bool async_reads = true;
   bool ld_readahead = false;
+  // Tenant session id threaded down the whole stack (fs → backend → LD →
+  // device request context). Single-FS setups keep the default.
+  TenantId tenant = kDefaultTenant;
 };
+
+// A file system (plus its LLD, for LD kinds) built on a caller-owned device:
+// the building block shared by the single-FS setup below and the
+// multi-tenant rig (src/harness/tenants.h), which formats one stack per
+// partition of a shared device.
+struct FsStack {
+  std::unique_ptr<LogStructuredDisk> lld;  // Null for non-LD systems.
+  std::unique_ptr<MinixFs> fs;
+};
+
+// Formats `kind` onto `device` with params' file-system knobs (the device
+// knobs in params are ignored — the caller already built the device).
+StatusOr<FsStack> MakeFsStack(BlockDevice* device, FsKind kind, const SetupParams& params);
 
 StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params);
 

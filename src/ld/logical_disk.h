@@ -184,6 +184,11 @@ class LogicalDisk {
   // the device's without knowing the implementation.
   virtual DiskStats* device_stats() { return nullptr; }
 
+  // Labels this LD instance's device requests with a tenant session id so a
+  // shared device can attribute and arbitrate them (QoS dispatch). No-op for
+  // implementations without a device.
+  virtual void SetTenant(TenantId tenant) { (void)tenant; }
+
   // ---- Lifecycle & introspection ------------------------------------------
 
   // Flushes state and writes a clean-shutdown checkpoint so the next

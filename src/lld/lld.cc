@@ -23,7 +23,9 @@ uint64_t RoundUp(uint64_t value, uint64_t multiple) {
 }  // namespace
 
 LogStructuredDisk::LogStructuredDisk(BlockDevice* device, const LldOptions& options)
-    : device_(device), options_(options), io_(device, options.retry) {}
+    : device_(device), options_(options), io_(device, options.retry) {
+  device_->set_request_tenant(options_.tenant);
+}
 
 Status LogStructuredDisk::ComputeLayout() {
   const uint32_t sector = device_->sector_size();

@@ -191,6 +191,10 @@ class LogStructuredDisk : public LogicalDisk {
   const ListTable& list_table() const { return list_table_; }
   BlockDevice* device() { return device_; }
   DiskStats* device_stats() override { return device_->mutable_stats(); }
+  void SetTenant(TenantId tenant) override {
+    options_.tenant = tenant;
+    device_->set_request_tenant(tenant);
+  }
   // Walks list `lid` and returns its blocks in order.
   StatusOr<std::vector<Bid>> ListBlocks(Lid lid) const;
   MemoryFootprint MeasureMemory() const;

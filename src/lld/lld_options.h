@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/compress/compressor.h"
+#include "src/disk/qos.h"
 #include "src/disk/reliable_io.h"
 
 namespace ld {
@@ -107,6 +108,11 @@ struct LldOptions {
   // freely: segments without a kSegmentParity record simply aren't
   // reconstructible (PR 3 behaviour).
   bool segment_parity = false;
+
+  // Tenant session this LLD instance belongs to. Stamped as the device's
+  // request context so a shared device can attribute segment writes, cleaner
+  // traffic, and reads to the right session (multi-tenant QoS dispatch).
+  TenantId tenant = kDefaultTenant;
 
   // CPU cost charged per list-maintenance operation (microseconds), modeling
   // the prototype's user-level list bookkeeping. 0 disables the model; the

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/disk/qos.h"
 #include "src/util/status.h"
 
 namespace ld {
@@ -89,6 +90,10 @@ class MinixBackend {
   // its hit/miss/prefetch counters there so device reports tell the whole
   // read-path story.
   virtual DiskStats* device_stats() { return nullptr; }
+
+  // Labels this file system's device requests with a tenant session id (see
+  // BlockDevice::set_request_tenant). No-op for backends without a device.
+  virtual void SetTenant(TenantId tenant) { (void)tenant; }
 };
 
 }  // namespace ld

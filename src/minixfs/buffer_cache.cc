@@ -18,6 +18,23 @@ void BufferCache::SetAsyncBackend(SubmitFn submit, WaitFn wait) {
   wait_ = std::move(wait);
 }
 
+void BufferCache::ResetCounters() {
+  hits_ = 0;
+  misses_ = 0;
+  prefetch_hits_ = 0;
+  prefetch_issued_ = 0;
+  prefetch_wasted_ = 0;
+  coalesced_reads_ = 0;
+  // Keep the mirrored counters consistent no matter whether the device's own
+  // ResetStats runs before, after, or not at all.
+  if (device_stats_ != nullptr) {
+    device_stats_->cache_hits = 0;
+    device_stats_->cache_misses = 0;
+    device_stats_->prefetch_hits = 0;
+    device_stats_->prefetch_wasted = 0;
+  }
+}
+
 void BufferCache::BumpHit() {
   hits_++;
   if (device_stats_ != nullptr) {

@@ -106,6 +106,12 @@ class BufferCache {
   void set_cluster_writes(bool on) { cluster_writes_ = on; }
   void set_max_cluster_blocks(uint32_t n) { max_cluster_blocks_ = n; }
 
+  // Zeroes the hit/miss/prefetch counters and their mirror in the attached
+  // DiskStats (cached blocks and pending reads are untouched). Lets the
+  // harness give each measurement phase a clean read-path section instead of
+  // counters accumulated since mount.
+  void ResetCounters();
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t prefetch_hits() const { return prefetch_hits_; }

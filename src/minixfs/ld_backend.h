@@ -104,6 +104,7 @@ class LdBackend : public MinixBackend {
 
   LogicalDisk* logical_disk() override { return ld_; }
   DiskStats* device_stats() override { return ld_->device_stats(); }
+  void SetTenant(TenantId tenant) override { ld_->SetTenant(tenant); }
 
  private:
   LogicalDisk* ld_;

@@ -60,6 +60,10 @@ struct MinixOptions {
   // performed by fsck"). The paper's own MINIX did not use ARUs yet (§4.1);
   // this option turns that future work on.
   bool sync_with_arus = false;
+  // Tenant session this file system belongs to, pushed down to the backend
+  // (and from there to the device) so a shared device can attribute and
+  // arbitrate requests between concurrent sessions.
+  TenantId tenant = kDefaultTenant;
 };
 
 struct MinixStatInfo {
@@ -169,6 +173,12 @@ class MinixFs {
   StatusOr<MinixFsckReport> Fsck(const MinixFsckOptions& options);
 
   const MinixFsStats& stats() const { return stats_; }
+  // Zeroes the per-run observability counters — the file-system op counters
+  // and the buffer cache's hit/miss/prefetch counters (including their
+  // mirror in the device's DiskStats) — without touching any cached state.
+  // Called between harness measurement phases so each phase's read-path
+  // section reports only its own activity.
+  void ResetStats();
   const BufferCache& cache() const { return *cache_; }
   const MinixSuperblock& superblock() const { return sb_; }
   MinixBackend* backend() { return backend_.get(); }

@@ -1,77 +1,12 @@
-// Shared helpers for device-layer tests: environment-driven parametrization
-// so CI can run the same binaries under both QueuePolicy values and several
-// channel counts (LD_QUEUE_POLICY=fifo|cscan, LD_CHANNELS=N). Tests that
-// pin a specific policy/channel count for their assertions construct their
-// own DeviceOptions instead.
+// Shared helpers for device-layer tests. The environment-driven knob
+// parsers (LD_QUEUE_POLICY, LD_CHANNELS, LD_FAULT_SEED, LD_SEGMENT_PARITY,
+// LD_READAHEAD, LD_TENANTS, LD_QOS) live in src/harness/env_knobs.h so the
+// bench mains and the test binaries parse them identically; this header
+// re-exports them for the test tree.
 
 #ifndef TESTS_DEVICE_TEST_UTIL_H_
 #define TESTS_DEVICE_TEST_UTIL_H_
 
-#include <cstdlib>
-#include <string_view>
-
-#include "src/disk/device_factory.h"
-
-namespace ld {
-
-inline QueuePolicy EnvQueuePolicy(QueuePolicy fallback) {
-  const char* v = std::getenv("LD_QUEUE_POLICY");
-  if (v == nullptr) {
-    return fallback;
-  }
-  return std::string_view(v) == "fifo" ? QueuePolicy::kFifo : QueuePolicy::kCScan;
-}
-
-inline uint32_t EnvChannels(uint32_t fallback) {
-  const char* v = std::getenv("LD_CHANNELS");
-  if (v == nullptr) {
-    return fallback;
-  }
-  const int n = std::atoi(v);
-  return n > 0 ? static_cast<uint32_t>(n) : fallback;
-}
-
-// Base seed for fault-injection tests (LD_FAULT_SEED=N): the CI fault
-// matrix varies it so the same binaries cover several fault schedules.
-inline uint64_t EnvFaultSeed(uint64_t fallback) {
-  const char* v = std::getenv("LD_FAULT_SEED");
-  if (v == nullptr) {
-    return fallback;
-  }
-  const long long n = std::atoll(v);
-  return n >= 0 ? static_cast<uint64_t>(n) : fallback;
-}
-
-// Per-segment parity toggle (LD_SEGMENT_PARITY=0|1): the CI fault matrix
-// runs the crash/corruption sweeps with the XOR parity block both absent
-// and present. Tests whose expectations depend on one setting pin
-// `LldOptions::segment_parity` explicitly instead.
-inline bool EnvSegmentParity(bool fallback) {
-  const char* v = std::getenv("LD_SEGMENT_PARITY");
-  if (v == nullptr) {
-    return fallback;
-  }
-  return std::string_view(v) != "0";
-}
-
-// Per-file read-ahead toggle (LD_READAHEAD=0|1): the CI read-ahead matrix
-// runs the read-path suites with prefetching both off and on. Tests whose
-// assertions require one setting pin MinixOptions explicitly instead.
-inline bool EnvReadAhead(bool fallback) {
-  const char* v = std::getenv("LD_READAHEAD");
-  if (v == nullptr) {
-    return fallback;
-  }
-  return std::string_view(v) != "0";
-}
-
-// HP C3010 options honoring the environment overrides.
-inline DeviceOptions EnvHpC3010(uint64_t partition_bytes) {
-  DeviceOptions options = DeviceOptions::HpC3010(partition_bytes, EnvChannels(1));
-  options.queue_policy = EnvQueuePolicy(options.queue_policy);
-  return options;
-}
-
-}  // namespace ld
+#include "src/harness/env_knobs.h"
 
 #endif  // TESTS_DEVICE_TEST_UTIL_H_
