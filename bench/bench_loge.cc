@@ -82,8 +82,7 @@ int Run() {
   auto lld = RunOne(
       [](BlockDevice* disk) { return LogStructuredDisk::Format(disk, LldOptions{}); },
       [](BlockDevice* disk) -> Status {
-        RecoveryStats stats;
-        return LogStructuredDisk::Open(disk, LldOptions{}, &stats).status();
+        return LogStructuredDisk::Open(disk, LldOptions{}).status();
       },
       /*flush_each=*/false);
   auto loge = RunOne(

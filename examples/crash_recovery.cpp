@@ -67,8 +67,8 @@ uint32_t TransferWithCrash(bool use_aru) {
   }
 
   disk.ClearFault();
-  ld::RecoveryStats stats;
-  auto recovered = *ld::LogStructuredDisk::Open(&disk, options, &stats);
+  auto recovered = *ld::LogStructuredDisk::Open(&disk, options);
+  const ld::RecoveryReport stats = recovered->last_recovery();
   const uint32_t f = ReadBalance(recovered.get(), from);
   const uint32_t t = ReadBalance(recovered.get(), to);
   std::printf("  %s: recovered balances %u + %u = %u  (%u summaries read, %llu records%s)\n",

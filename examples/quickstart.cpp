@@ -101,9 +101,9 @@ int main() {
   Check(lld->Shutdown(), "Shutdown");
 
   // 8. Reopen: state comes back exactly.
-  ld::RecoveryStats stats;
-  auto reopened = Check(ld::LogStructuredDisk::Open(disk.get(), options, &stats), "Open");
-  std::printf("Reopened (%s)\n", stats.used_checkpoint ? "from checkpoint" : "via log recovery");
+  auto reopened = Check(ld::LogStructuredDisk::Open(disk.get(), options), "Open");
+  std::printf("Reopened (%s)\n",
+              reopened->last_recovery().used_checkpoint ? "from checkpoint" : "via log recovery");
   Check(reopened->Read(blocks[2], data), "Read after reopen");
   std::printf("Block %u after reopen: \"%s\"\n", blocks[2],
               reinterpret_cast<char*>(data.data()));

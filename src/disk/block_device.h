@@ -94,6 +94,11 @@ struct DiskStats {
   uint64_t write_retries = 0;        // Extra write attempts issued by the shim.
   uint64_t transient_recoveries = 0; // Requests that succeeded after retrying.
 
+  // Checkpoint payloads that outgrew their reserved A/B slot and were
+  // skipped (typed NO_SPACE surfaced by the LD above this device; the next
+  // open falls back to log recovery instead of silently losing coverage).
+  uint64_t checkpoints_skipped_oversize = 0;
+
   // Buffer-cache behaviour of the file system mounted on this device
   // (mirrored here by the cache via BufferCache::AttachDeviceStats so device
   // reports show how much work the cache absorbed before it reached the

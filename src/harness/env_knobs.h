@@ -59,6 +59,19 @@ inline bool EnvSegmentParity(bool fallback) {
   return std::string_view(v) != "0";
 }
 
+// Incremental checkpoint cadence in sealed segments (LD_CKPT_INTERVAL=N,
+// 0 = checkpoints only at clean shutdown — the paper's behaviour). The CI
+// recovery matrix varies it so the same binaries cover checkpoint-off and
+// several cadences.
+inline uint32_t EnvCheckpointInterval(uint32_t fallback) {
+  const char* v = std::getenv("LD_CKPT_INTERVAL");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const long n = std::atol(v);
+  return n >= 0 ? static_cast<uint32_t>(n) : fallback;
+}
+
 // Per-file read-ahead toggle (LD_READAHEAD=0|1): the CI read-ahead matrix
 // runs the read-path suites with prefetching both off and on. Tests whose
 // assertions require one setting pin MinixOptions explicitly instead.

@@ -68,6 +68,10 @@ void PrintTenantStats(const std::string& label, const DiskStats& stats, uint32_t
   }
 }
 
+void PrintRecoveryReport(const std::string& label, const RecoveryReport& report) {
+  std::printf("  %-24s %s\n", label.c_str(), report.ToString().c_str());
+}
+
 std::string Compare(double measured, double paper, const std::string& unit, int precision) {
   std::string out = TextTable::Num(measured, precision);
   if (!unit.empty()) {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/disk/block_device.h"
+#include "src/lld/reports.h"
 
 namespace ld {
 
@@ -40,6 +41,10 @@ void PrintReadPathStats(const std::string& label, const DiskStats& stats);
 // requests that waited past the starvation threshold. No-op when the device
 // recorded no tenant activity.
 void PrintTenantStats(const std::string& label, const DiskStats& stats, uint32_t sector_size);
+
+// Prints one line summarizing how an Open() rebuilt its state: recovery
+// mode, typed fallback reason, scan shape, and the headline counters.
+void PrintRecoveryReport(const std::string& label, const RecoveryReport& report);
 
 }  // namespace ld
 

@@ -1,5 +1,7 @@
 #include "src/harness/setup.h"
 
+#include "src/harness/env_knobs.h"
+
 namespace ld {
 
 const char* FsKindName(FsKind kind) {
@@ -55,6 +57,8 @@ StatusOr<FsStack> MakeFsStack(BlockDevice* device, FsKind kind, const SetupParam
       LldOptions lld_options = params.lld;
       lld_options.block_size = params.minix_block_size;
       lld_options.tenant = params.tenant;
+      lld_options.checkpoint_interval_segments =
+          EnvCheckpointInterval(lld_options.checkpoint_interval_segments);
       ASSIGN_OR_RETURN(s.lld, LogStructuredDisk::Format(device, lld_options));
       const bool list_per_file = kind != FsKind::kMinixLldSingleList;
       const bool small_inodes = kind == FsKind::kMinixLldSmallInodes;

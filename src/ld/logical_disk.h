@@ -18,22 +18,10 @@
 
 #include "src/disk/block_device.h"
 #include "src/ld/types.h"
+#include "src/lld/reports.h"
 #include "src/util/status.h"
 
 namespace ld {
-
-// What one Scrub() pass over the media found and repaired.
-struct ScrubReport {
-  uint32_t segments_scanned = 0;   // Full segments whose summaries were verified.
-  uint32_t suspect_segments = 0;   // Summaries unreadable or CRC-invalid.
-  uint64_t blocks_scanned = 0;     // Live on-disk blocks read back.
-  uint64_t blocks_relocated = 0;   // Blocks rewritten (off suspect segments, or
-                                   // reconstructed and moved to fresh media).
-  uint64_t blocks_corrupt = 0;     // Payload-CRC mismatches (data lost).
-  uint64_t blocks_unreadable = 0;  // Persistent read errors (data lost).
-  uint64_t records_relogged = 0;   // Metadata records re-logged from memory.
-  uint64_t blocks_reconstructed = 0;  // Damaged blocks rebuilt from parity.
-};
 
 class LogicalDisk {
  public:

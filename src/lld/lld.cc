@@ -142,28 +142,22 @@ StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Format(
     const uint64_t summary_byte = lld->SegmentBaseByte(seg) + lld->data_capacity_;
     RETURN_IF_ERROR(lld->io_.Write(summary_byte / device->sector_size(), zeros));
   }
+  // Incremental mode starts its first chain (and allocation window) right at
+  // format, so even the first session's crash recovers bounded.
+  if (options.checkpoint_interval_segments > 0) {
+    if (Status base = lld->WriteBaseFrame(/*clean=*/false);
+        !base.ok() && base.code() != ErrorCode::kNoSpace) {
+      return base;
+    }
+  }
   return lld;
 }
 
 StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Open(
-    BlockDevice* device, const LldOptions& options, RecoveryStats* recovery_stats) {
+    BlockDevice* device, const LldOptions& options) {
   std::unique_ptr<LogStructuredDisk> lld(new LogStructuredDisk(device, options));
   RETURN_IF_ERROR(lld->ReadAndCheckSuperblock());
-  bool checkpoint_valid = false;
-  RETURN_IF_ERROR(lld->LoadCheckpoint(&checkpoint_valid));
-  if (checkpoint_valid) {
-    RETURN_IF_ERROR(lld->InvalidateCheckpoint());
-    if (recovery_stats != nullptr) {
-      *recovery_stats = RecoveryStats{};
-      recovery_stats->used_checkpoint = true;
-    }
-    return lld;
-  }
-  RecoveryStats local;
-  RETURN_IF_ERROR(lld->RecoverFromLog(&local));
-  if (recovery_stats != nullptr) {
-    *recovery_stats = local;
-  }
+  RETURN_IF_ERROR(lld->RecoverState());
   return lld;
 }
 
@@ -268,7 +262,15 @@ StatusOr<uint32_t> LogStructuredDisk::AllocateFreeSegment(bool allow_clean) {
       }
     }
   }
-  const int64_t seg = PickFreeSegmentStriped();
+  int64_t seg = PickFreeSegmentStriped();
+  if (seg < 0 && CheckpointingActive() && usage_->FreeCount() > 0) {
+    // Free segments exist, but none inside the allocation window (the
+    // cleaner or a burst outran the frame cadence). Writing into an
+    // off-window segment would break the bounded scan's soundness, so drop
+    // to full-scan recovery for this volume and retry unconfined.
+    RETURN_IF_ERROR(DisableIncrementalCheckpoints("allocation window ran dry"));
+    seg = PickFreeSegmentStriped();
+  }
   if (seg < 0) {
     return NoSpaceError("no free segments");
   }
@@ -288,7 +290,7 @@ int64_t LogStructuredDisk::PickFreeSegmentStriped() {
   for (uint32_t probe = 0; probe < nch; ++probe) {
     const uint32_t want = (next_stripe_channel_ + probe) % nch;
     for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
-      if (usage_->segment(s).state != SegmentState::kFree) {
+      if (usage_->segment(s).state != SegmentState::kFree || !usage_->Allocatable(s)) {
         continue;
       }
       if (device_->ChannelOf(SegmentBaseByte(s) / sector) == want) {
@@ -384,6 +386,7 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
     }
   }
   UpdateRecordAuthority(target, open_records_);
+  CaptureFrameSegment(target, seq, seg, open_records_);
   InflightWrite inflight;
   inflight.buffer = std::move(sealed);
   inflight.tag = *tag;
@@ -402,6 +405,16 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   counters_.segments_written++;
   if (!options_.pipeline_segment_writes) {
     RETURN_IF_ERROR(WaitForInflight());
+  }
+  // Checkpoint cadence rides the seal: every interval (or when the window
+  // runs low) the pending captures go out as a delta frame. This runs here —
+  // with the open buffer empty — rather than inside AllocateFreeSegment,
+  // where a rebase would recurse into a half-sealed flush. No-op when the
+  // seal came from a frame write itself (ckpt_in_frame_write_).
+  if (CheckpointingActive() && !ckpt_in_frame_write_) {
+    RETURN_IF_ERROR(MaybeWriteDeltaFrame(
+        usage_->AllocatableCount() <
+        options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2));
   }
   return OkStatus();
 }
@@ -442,12 +455,20 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   // its eventual full write, which does.
   seg.ClearParity();
   UpdateRecordAuthority(target, open_records_);
+  // The scratch summary is durable (synchronous writes above), so a frame
+  // may cover it; a later re-flush supersedes this capture in place.
+  CaptureFrameSegment(target, seq, seg, open_records_);
   if (scratch_segment_ >= 0) {
     usage_->segment(static_cast<uint32_t>(scratch_segment_)).state = SegmentState::kFree;
   }
   scratch_segment_ = target;
   dirty_since_flush_ = false;
   counters_.partial_segments_written++;
+  if (CheckpointingActive() && !ckpt_in_frame_write_) {
+    RETURN_IF_ERROR(MaybeWriteDeltaFrame(
+        usage_->AllocatableCount() <
+        options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2));
+  }
   return OkStatus();
 }
 
@@ -1379,7 +1400,14 @@ Status LogStructuredDisk::Shutdown() {
   RETURN_IF_ERROR(FlushOpenSegmentFull());
   RETURN_IF_ERROR(WaitForInflight());
   RETURN_IF_ERROR(device_->Drain());
-  RETURN_IF_ERROR(WriteCheckpoint());
+  if (Status s = WriteCheckpoint(); !s.ok()) {
+    // Oversize is typed, counted, and the region is already invalidated:
+    // the next open recovers from the log. Anything else is a real failure.
+    if (s.code() != ErrorCode::kNoSpace) {
+      return s;
+    }
+    LD_LOG(kWarn) << "shutdown without checkpoint: " << s.message();
+  }
   shut_down_ = true;
   return OkStatus();
 }
@@ -1409,6 +1437,10 @@ MemoryFootprint LogStructuredDisk::MeasureMemory() const {
   fp.list_table_bytes = list_table_.MemoryBytes();
   fp.usage_table_bytes = usage_->MemoryBytes();
   fp.open_segment_bytes = open_buffer_.capacity();
+  for (const PendingFrameSegment& p : ckpt_pending_) {
+    fp.checkpoint_pending_bytes += sizeof(PendingFrameSegment) +
+                                   p.records.capacity() * sizeof(SummaryRecord);
+  }
   return fp;
 }
 

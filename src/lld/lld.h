@@ -13,9 +13,13 @@
 // On-disk layout:
 //
 //   sector 0          superblock
-//   checkpoint region  clean-shutdown image of the in-memory structures,
-//                      guarded by a validity marker that is invalidated on
-//                      every startup
+//   checkpoint region  two independent (A/B) checkpoint slots, each a
+//                      CRC-guarded marker plus a chain of self-validating
+//                      frames: one full base image followed by incremental
+//                      delta frames (LldOptions::checkpoint_interval_segments).
+//                      With incremental checkpointing off this degenerates to
+//                      the paper's clean-shutdown image, invalidated on every
+//                      startup.
 //   segments           [data area | summary]  x num_segments
 //
 // The summary sits at the *end* of each segment so that a torn segment
@@ -35,6 +39,7 @@
 #include "src/lld/block_map.h"
 #include "src/lld/list_table.h"
 #include "src/lld/lld_options.h"
+#include "src/lld/reports.h"
 #include "src/lld/summary_record.h"
 #include "src/lld/usage_table.h"
 
@@ -62,29 +67,11 @@ struct LldCounters {
   // Damaged blocks rebuilt from segment parity (read path + scrub). Each one
   // is also relocated through the log so the repaired copy is durable.
   uint64_t blocks_reconstructed = 0;
-};
-
-// What recovery did after a crash (paper §4.2 measures this).
-struct RecoveryStats {
-  bool used_checkpoint = false;
-  uint32_t summaries_scanned = 0;
-  uint32_t summaries_valid = 0;
-  uint64_t records_applied = 0;
-  uint64_t records_dropped_uncommitted = 0;
-  uint64_t live_blocks = 0;
-  double seconds = 0.0;  // Simulated time the sweep took.
-
-  // Media damage the sweep encountered (and, for the torn tail, tolerated):
-  // summaries whose CRC failed with a plausible header, and summaries the
-  // device could not read at all (after retries).
-  uint32_t summaries_corrupt = 0;
-  uint32_t summaries_unreadable = 0;
-
-  // Scrub retirements the sweep finished: damaged mid-log summaries covered
-  // by a logged kScrubIntent record, whose segments were freed instead of
-  // refused with CORRUPTION (the crash landed between the relocation batch
-  // and the summary zeroing).
-  uint32_t retirements_completed = 0;
+  // Incremental checkpointing: frames committed to the A/B region (base +
+  // delta), and rebases (chain compacted into a fresh base in the other slot
+  // because the active slot filled up).
+  uint64_t checkpoint_frames_written = 0;
+  uint64_t checkpoint_rebases = 0;
 };
 
 // In-memory footprint of LLD's data structures (paper Table 2).
@@ -93,8 +80,12 @@ struct MemoryFootprint {
   uint64_t list_table_bytes = 0;
   uint64_t usage_table_bytes = 0;
   uint64_t open_segment_bytes = 0;
+  // Captured summary records awaiting the next incremental checkpoint frame
+  // (zero with checkpoint_interval_segments == 0).
+  uint64_t checkpoint_pending_bytes = 0;
   uint64_t Total() const {
-    return block_map_bytes + list_table_bytes + usage_table_bytes + open_segment_bytes;
+    return block_map_bytes + list_table_bytes + usage_table_bytes + open_segment_bytes +
+           checkpoint_pending_bytes;
   }
 };
 
@@ -105,12 +96,12 @@ class LogStructuredDisk : public LogicalDisk {
   static StatusOr<std::unique_ptr<LogStructuredDisk>> Format(BlockDevice* device,
                                                              const LldOptions& options);
 
-  // Opens a previously formatted device. Uses the clean-shutdown checkpoint
-  // when valid; otherwise performs one-sweep log recovery. `recovery_stats`
-  // (optional) reports what happened.
+  // Opens a previously formatted device. Uses the newest valid checkpoint
+  // chain (clean-shutdown image or base + incremental deltas) when one
+  // exists, falling back along the typed ladder in RecoveryReport otherwise;
+  // last_recovery() on the returned instance reports what happened.
   static StatusOr<std::unique_ptr<LogStructuredDisk>> Open(BlockDevice* device,
-                                                           const LldOptions& options,
-                                                           RecoveryStats* recovery_stats = nullptr);
+                                                           const LldOptions& options);
 
   ~LogStructuredDisk() override = default;
 
@@ -182,6 +173,9 @@ class LogStructuredDisk : public LogicalDisk {
   StatusOr<ScrubReport> Scrub() override;
 
   // ---- Introspection (tests & benchmarks) ---------------------------------
+  // What the last Open() did to rebuild state (RecoveryMode::kNone after
+  // Format), including the typed checkpoint fallback ladder.
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
   const LldCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = LldCounters{}; }
   const LldOptions& options() const { return options_; }
@@ -212,6 +206,10 @@ class LogStructuredDisk : public LogicalDisk {
   }
   // Bytes of data a segment can hold.
   uint32_t SegmentDataCapacity() const { return data_capacity_; }
+  // Byte addresses of the hardened A/B checkpoint region — introspection for
+  // fault-injection tests that rot a specific slot's marker or payload.
+  uint64_t CheckpointSlotBytes() const;
+  uint64_t CheckpointSlotStartByte(uint32_t slot) const;
   uint64_t TotalDataCapacity() const {
     return static_cast<uint64_t>(data_capacity_) * usage_->num_segments();
   }
@@ -374,10 +372,55 @@ class LogStructuredDisk : public LogicalDisk {
   Status WriteCleanerBatch(CleanerBatch batch);
 
   // ---- Recovery & checkpoint (lld_recovery.cc) ------------------------------
-  Status RecoverFromLog(RecoveryStats* stats);
-  Status LoadCheckpoint(bool* valid);
-  Status WriteCheckpoint();
-  Status InvalidateCheckpoint();
+  // Rebuilds the in-memory state on Open: checkpoint chain when one is
+  // valid, log scan otherwise, populating last_recovery_.
+  Status RecoverState();
+  // One-sweep (optionally per-channel parallel) summary scan + replay.
+  // `chain` is the loaded checkpoint chain to start from (null = none).
+  struct LoadedChain;
+  Status RecoverFromLog(const LoadedChain* chain);
+  // Tries both A/B slots, newest generation first; fills *chain and the
+  // chain-related fields of last_recovery_. A null result (chain->usable ==
+  // false) means full log recovery.
+  Status LoadCheckpointChain(LoadedChain* chain);
+  // Clean-shutdown checkpoint: a base frame in the inactive slot. With
+  // incremental checkpointing off this is the only checkpoint ever written.
+  // Returns a typed NO_SPACE ("checkpoint oversize") when the encoded
+  // payload outgrows the slot — observable via
+  // DiskStats::checkpoints_skipped_oversize, never just a WARN line.
+  Status WriteCheckpoint() { return WriteBaseFrame(/*clean=*/true); }
+  Status WriteBaseFrame(bool clean);
+  // Appends a delta frame covering ckpt_pending_ to the active slot (or
+  // rebases into the other slot when the append would overflow). Called
+  // every checkpoint_interval_segments seals and when the allocation window
+  // runs low; `force` skips the interval check.
+  Status MaybeWriteDeltaFrame(bool force);
+  Status InvalidateCheckpoint();  // Invalidates both slot markers.
+  // Turns incremental checkpointing off for this session after a condition
+  // that would make the on-disk chain unsound (e.g. the allocation window
+  // ran dry inside the cleaner): invalidates both slots so the next open
+  // scans the log, and lifts the allocation filter.
+  Status DisableIncrementalCheckpoints(const std::string& reason);
+  // True when per-interval delta frames and windowed allocation are on.
+  bool CheckpointingActive() const {
+    return options_.checkpoint_interval_segments > 0 && !ckpt_disabled_;
+  }
+  // Records a sealed-and-durable segment's summary records for the next
+  // delta frame (no-op unless CheckpointingActive()).
+  void CaptureFrameSegment(uint32_t segment, uint64_t seq, const SegmentUsage& parity,
+                           const std::vector<SummaryRecord>& records);
+  // Records a scrub-retired segment (summary zeroed in place) for the next
+  // delta frame, so chain replay does not resurrect it as kFull.
+  void CaptureRetiredSegment(uint32_t segment);
+  // Picks the next allocation window (striped round-robin across channels)
+  // and installs it as the usage table's allocation filter.
+  std::vector<uint32_t> BuildAllocationWindow() const;
+  void InstallAllocationWindow(const std::vector<uint32_t>& window);
+  uint32_t AllocationWindowTarget() const;
+  // Serializes / restores the full-table base image (shared by the clean-
+  // shutdown checkpoint and rebases).
+  void EncodeBasePayload(std::vector<uint8_t>* payload) const;
+  Status DecodeBasePayload(std::span<const uint8_t> payload);
   // Recomputes the usage table and free lists from the block map after
   // recovery or checkpoint load.
   void RebuildDerivedState(const std::vector<uint64_t>& segment_seqs,
@@ -461,6 +504,40 @@ class LogStructuredDisk : public LogicalDisk {
   bool dirty_since_flush_ = false;
 
   LldCounters counters_;
+  RecoveryReport last_recovery_;
+
+  // ---- Incremental-checkpoint state (lld_recovery.cc) ----------------------
+  // A/B slot bookkeeping for the active chain. `ckpt_generation_` is the
+  // monotonic generation of the active slot's marker; frames append at the
+  // sector-aligned offset `ckpt_payload_bytes_` and commit by rewriting the
+  // marker (so a torn append is simply invisible).
+  bool ckpt_disabled_ = false;       // DisableIncrementalCheckpoints fired.
+  bool ckpt_have_chain_ = false;     // An active slot exists on disk.
+  uint32_t ckpt_slot_ = 0;           // Active slot index (0/1).
+  uint64_t ckpt_generation_ = 0;
+  uint32_t ckpt_frame_count_ = 0;
+  uint64_t ckpt_payload_bytes_ = 0;  // Sector-aligned bytes used in the slot.
+  uint64_t ckpt_covered_seq_ = 0;    // Newest seq the chain covers.
+  uint32_t ckpt_seals_since_frame_ = 0;
+  // Durable segments sealed since the last frame, in seal order: the next
+  // delta frame's payload.
+  struct PendingFrameSegment {
+    uint32_t segment = 0;
+    uint64_t seq = 0;
+    SegmentUsage parity;  // Only the parity fields are meaningful.
+    std::vector<SummaryRecord> records;
+  };
+  std::vector<PendingFrameSegment> ckpt_pending_;
+  // Segments retired (summary zeroed) since the last frame.
+  std::vector<uint32_t> ckpt_retired_pending_;
+  // Re-entrancy guard: frame writes flush the open segment, whose full-seal
+  // hook would otherwise try to start another frame.
+  bool ckpt_in_frame_write_ = false;
+  // Allocation window of the latest durable frame (usage-table filter):
+  // segment writes may only target masked segments, so recovery's scan is
+  // bounded by the window instead of the volume.
+  std::vector<uint8_t> ckpt_window_mask_;
+
   std::vector<uint8_t> io_scratch_;  // Reusable sector-aligned I/O buffer.
 };
 

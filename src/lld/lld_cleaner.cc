@@ -278,9 +278,18 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     // (like foreground segment writes) so copied-out segments overlap with
     // victim reads on other actuators; an explicit placement hint
     // (RearrangeHotBlocks) still wins.
-    const int64_t target = writer_placement_hint_ >= 0
-                               ? usage_->PickFreeNear(static_cast<uint32_t>(writer_placement_hint_))
-                               : PickFreeSegmentStriped();
+    int64_t target = writer_placement_hint_ >= 0
+                         ? usage_->PickFreeNear(static_cast<uint32_t>(writer_placement_hint_))
+                         : PickFreeSegmentStriped();
+    if (target < 0 && CheckpointingActive() && usage_->FreeCount() > 0) {
+      // The allocation window has no room left for the copied state. Freeing
+      // the confinement (and the chain with it) is the sound move; the next
+      // open simply scans the log.
+      RETURN_IF_ERROR(DisableIncrementalCheckpoints("cleaner outgrew the allocation window"));
+      target = writer_placement_hint_ >= 0
+                   ? usage_->PickFreeNear(static_cast<uint32_t>(writer_placement_hint_))
+                   : PickFreeSegmentStriped();
+    }
     if (target < 0) {
       return NoSpaceError("cleaner: no free segment for copied state");
     }
@@ -361,6 +370,10 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
       e.has_payload_crc = r.has_payload_crc;
       usage_->AddLive(static_cast<uint32_t>(target), r.stored_size, r.ts);
     }
+    // Frames cover cleaner-written segments like foreground ones; the next
+    // frame is only written after this batch's Drain() barrier, so the
+    // capture never outruns durability.
+    CaptureFrameSegment(static_cast<uint32_t>(target), seq, seg, records);
     records.clear();
     record_bytes = 0;
     used = 0;

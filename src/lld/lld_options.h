@@ -109,6 +109,27 @@ struct LldOptions {
   // reconstructible (PR 3 behaviour).
   bool segment_parity = false;
 
+  // Incremental checkpointing (bounded recovery). 0 keeps the paper's
+  // checkpoint-free normal operation: the only checkpoint is the clean-
+  // shutdown image, invalidated on every startup, and recovery after a
+  // crash scans every segment summary. When > 0, a delta checkpoint frame
+  // is appended to the hardened A/B checkpoint region every this-many
+  // sealed segments (carrying the summary records of the segments sealed
+  // since the previous frame plus the covered sequence number), and new
+  // segment writes are confined to the allocation window the latest frame
+  // recorded — so crash recovery loads base + deltas and scans only the
+  // window instead of the whole log. Recovery time becomes bounded by
+  // log-written-since-checkpoint rather than volume size.
+  uint32_t checkpoint_interval_segments = 0;
+
+  // Fan the recovery summary scan out across the device's channels through
+  // the async request queue (per-channel concurrent reads, then an ordered
+  // merge by sequence number — ARU all-or-nothing semantics are preserved
+  // because gating happens after the merge). When false, summaries are read
+  // one at a time in segment order: the differential baseline; the
+  // post-recovery state is byte-identical either way.
+  bool parallel_recovery_scan = true;
+
   // Tenant session this LLD instance belongs to. Stamped as the device's
   // request context so a shared device can attribute segment writes, cleaner
   // traffic, and reads to the right session (multi-tenant QoS dispatch).

@@ -1,13 +1,33 @@
-// Crash recovery and clean-shutdown checkpointing (paper §3.6).
+// Crash recovery and checkpointing (paper §3.6, extended with bounded
+// recovery).
 //
-// LLD takes no checkpoints during normal operation. On explicit shutdown it
-// writes its data structures and a validity marker to a reserved region; on
-// startup the marker is invalidated, so only a clean shutdown followed by a
-// clean startup skips log recovery. After a failure, recovery reads every
-// segment summary in one sweep over the disk, orders segments by their write
-// sequence number, and replays the records. Atomic recovery units are
-// honored: a record tagged with an ARU id is applied only if that ARU's
-// commit record is on disk.
+// The paper's LLD takes no checkpoints during normal operation: recovery
+// reads every segment summary in one sweep, orders segments by write
+// sequence number, and replays the records (ARU records apply only if their
+// commit record is on disk). That behaviour is preserved verbatim with
+// LldOptions::checkpoint_interval_segments == 0.
+//
+// With an interval set, the reserved checkpoint region becomes a hardened
+// A/B pair of slots. Each slot holds a marker sector plus a chain of CRC'd
+// frames: frame 0 is a *base* (a full snapshot of the in-memory tables) and
+// later frames are *deltas* carrying the summary records of the segments
+// sealed since the previous frame. Every frame also records the *allocation
+// window* — the small set of free segments new writes are confined to until
+// the next frame — so a crash-time open loads base + deltas and scans only
+// the window: recovery time is bounded by log-written-since-checkpoint, not
+// volume size. Delta appends write their frame first and commit by
+// rewriting the marker (frame count + payload bytes), so a torn append is
+// simply invisible; when a slot fills up the chain is compacted into a fresh
+// base in the *other* slot under a higher generation (the old slot stays
+// behind as a fallback).
+//
+// Damage never downgrades silently: recovery walks a typed ladder
+// (RecoveryFallback) — intact newest chain → window scan; rotted trailing
+// delta → valid prefix + full-scan merge; rotted marker or base → other
+// slot + full-scan merge; nothing usable → full log recovery. A full-scan
+// merge is always sound because any segment whose valid summary carries a
+// sequence number beyond the chain's coverage is replayed regardless of
+// window membership.
 
 #include <algorithm>
 #include <cstring>
@@ -21,18 +41,244 @@
 namespace ld {
 
 namespace {
-// "LDC2": bumped from "LDC1" when per-segment parity geometry was added to
-// the checkpointed usage table (and from "LDCP" before that, for per-block
-// payload checksums). An old marker fails the magic test and startup falls
-// back to log recovery, which handles every record layout.
-constexpr uint32_t kCheckpointMagic = 0x4c444332;
+
+// "LDC3": bumped from "LDC2" when the single-marker checkpoint region became
+// the A/B slot pair with framed payloads. An old marker reads as *absent*
+// (not rotted): the volume opens via log recovery, which handles every
+// record layout.
+constexpr uint32_t kSlotMagic = 0x4c444333;
+constexpr uint32_t kLegacyCheckpointMagic = 0x4c444332;
+
+// "LDCF": frame header magic.
+constexpr uint32_t kFrameMagic = 0x4c444346;
+constexpr uint8_t kFrameBase = 0;
+constexpr uint8_t kFrameDelta = 1;
+// magic + kind + generation + chain_index + covered_seq + body_len + crc.
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 4 + 8 + 8 + 4;
+
+uint64_t RoundUpTo(uint64_t v, uint64_t align) { return (v + align - 1) / align * align; }
+
+struct SlotMarker {
+  bool valid = false;
+  bool clean = false;
+  uint64_t generation = 0;
+  uint32_t frame_count = 0;
+  uint64_t payload_bytes = 0;  // Sector-aligned bytes of frames in the slot.
+};
+
+void EncodeMarker(const SlotMarker& m, uint32_t sector, std::vector<uint8_t>* out) {
+  out->clear();
+  Encoder enc(out);
+  enc.PutU32(kSlotMagic);
+  enc.PutU8(m.valid ? 1 : 0);
+  enc.PutU8(m.clean ? 1 : 0);
+  enc.PutU64(m.generation);
+  enc.PutU32(m.frame_count);
+  enc.PutU64(m.payload_bytes);
+  enc.PutU32(Crc32(*out));
+  out->resize(sector, 0);
+}
+
+// kAbsent covers blank media, legacy-format markers, and explicitly
+// invalidated slots — shapes where "no checkpoint" is the truthful answer.
+// kRejected means the sector holds damaged content: that is rot, and it
+// must surface on the fallback ladder instead of masquerading as absence.
+enum class MarkerState { kValid, kAbsent, kRejected };
+
+MarkerState ParseMarker(std::span<const uint8_t> buf, SlotMarker* m) {
+  Decoder dec(buf);
+  const uint32_t magic = dec.GetU32();
+  m->valid = dec.GetU8() != 0;
+  m->clean = dec.GetU8() != 0;
+  m->generation = dec.GetU64();
+  m->frame_count = dec.GetU32();
+  m->payload_bytes = dec.GetU64();
+  const size_t crc_end = dec.position();
+  const uint32_t crc = dec.GetU32();
+  if (!dec.ok()) {
+    return MarkerState::kRejected;
+  }
+  if (magic != kSlotMagic) {
+    const bool all_zero =
+        std::all_of(buf.begin(), buf.end(), [](uint8_t b) { return b == 0; });
+    if (all_zero || magic == kLegacyCheckpointMagic) {
+      return MarkerState::kAbsent;
+    }
+    return MarkerState::kRejected;
+  }
+  if (crc != Crc32(buf.subspan(0, crc_end))) {
+    return MarkerState::kRejected;
+  }
+  return m->valid ? MarkerState::kValid : MarkerState::kAbsent;
+}
+
+// Frame bytes: [header | body | body crc], zero-padded to a sector multiple.
+std::vector<uint8_t> BuildFrame(uint8_t kind, uint64_t generation, uint32_t chain_index,
+                                uint64_t covered_seq, std::span<const uint8_t> body,
+                                uint32_t sector) {
+  std::vector<uint8_t> frame;
+  frame.reserve(RoundUpTo(kFrameHeaderBytes + body.size() + 4, sector));
+  Encoder enc(&frame);
+  enc.PutU32(kFrameMagic);
+  enc.PutU8(kind);
+  enc.PutU64(generation);
+  enc.PutU32(chain_index);
+  enc.PutU64(covered_seq);
+  enc.PutU64(body.size());
+  enc.PutU32(Crc32(frame));  // Header CRC over everything before it.
+  enc.PutBytes(body);
+  enc.PutU32(Crc32(body));
+  frame.resize(RoundUpTo(frame.size(), sector), 0);
+  return frame;
+}
+
+// Restores a re-entrancy flag on scope exit (frame writes flush the open
+// segment, whose seal hook would otherwise try to start another frame).
+struct FlagGuard {
+  bool* flag;
+  bool prev;
+  FlagGuard(bool* f) : flag(f), prev(*f) { *f = true; }
+  ~FlagGuard() { *flag = prev; }
+};
+
 }  // namespace
 
-// ---- Checkpoint ------------------------------------------------------------
+// The in-memory image of the newest usable checkpoint chain: the base
+// snapshot, the delta operations in frame order, and the last frame's
+// allocation window.
+struct LogStructuredDisk::LoadedChain {
+  bool usable = false;
+  bool clean = false;      // Newest frame is a clean-shutdown base.
+  bool full_scan = false;  // Chain incomplete/older: scan the whole log.
+  uint32_t slot = 0;
+  uint64_t generation = 0;
+  uint64_t covered_seq = 0;
+  std::vector<uint8_t> base_payload;
+  std::vector<uint32_t> window;  // Last valid frame's allocation window.
+  struct ChainSegment {
+    uint32_t index = 0;
+    uint64_t seq = 0;
+    SegmentUsage parity;  // Only the parity fields are meaningful.
+    std::vector<SummaryRecord> records;
+  };
+  // Delta operations in frame order; within a frame, seals precede retires.
+  struct ChainOp {
+    bool retire = false;
+    uint32_t retired_segment = 0;
+    ChainSegment seg;
+  };
+  std::vector<ChainOp> ops;
+  uint32_t chain_segments = 0;
+};
 
-Status LogStructuredDisk::WriteCheckpoint() {
-  std::vector<uint8_t> payload;
-  Encoder enc(&payload);
+// ---- Slot geometry ----------------------------------------------------------
+
+uint64_t LogStructuredDisk::CheckpointSlotBytes() const {
+  const uint32_t sector = device_->sector_size();
+  return (checkpoint_bytes_ / 2) / sector * sector;
+}
+
+uint64_t LogStructuredDisk::CheckpointSlotStartByte(uint32_t slot) const {
+  return checkpoint_start_byte_ + slot * CheckpointSlotBytes();
+}
+
+// ---- Allocation window ------------------------------------------------------
+
+uint32_t LogStructuredDisk::AllocationWindowTarget() const {
+  // Enough for the seals of one interval, two cleaner rounds, the pipeline's
+  // in-flight writes, and slack — so frames are driven by the interval, not
+  // by window exhaustion.
+  return options_.checkpoint_interval_segments + 2 * options_.segments_per_clean +
+         static_cast<uint32_t>(MaxInflight()) + 8;
+}
+
+std::vector<uint32_t> LogStructuredDisk::BuildAllocationWindow() const {
+  const uint32_t target = AllocationWindowTarget();
+  const uint32_t n = usage_->num_segments();
+  const uint32_t channels = std::max<uint32_t>(1, device_->num_channels());
+  const uint32_t band = std::max<uint32_t>(1, n / channels);
+  std::vector<uint32_t> window;
+  window.reserve(target + 1);
+  // Round-robin across the channel bands so both the confined writes and the
+  // recovery scan of the window spread over every actuator.
+  std::vector<uint32_t> cursor(channels, 0);
+  bool progress = true;
+  while (window.size() < target && progress) {
+    progress = false;
+    for (uint32_t c = 0; c < channels && window.size() < target; ++c) {
+      const uint32_t start = c * band;
+      const uint32_t end = (c + 1 == channels) ? n : std::min(n, (c + 1) * band);
+      for (uint32_t& cur = cursor[c]; start + cur < end;) {
+        const uint32_t s = start + cur;
+        ++cur;
+        if (usage_->segment(s).state == SegmentState::kFree) {
+          window.push_back(s);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  // The live scratch segment keeps absorbing partial flushes after the frame
+  // is written, so the window must always cover it.
+  if (scratch_segment_ >= 0) {
+    window.push_back(static_cast<uint32_t>(scratch_segment_));
+  }
+  return window;
+}
+
+void LogStructuredDisk::InstallAllocationWindow(const std::vector<uint32_t>& window) {
+  ckpt_window_mask_.assign(usage_->num_segments(), 0);
+  for (uint32_t s : window) {
+    if (s < ckpt_window_mask_.size()) {
+      ckpt_window_mask_[s] = 1;
+    }
+  }
+  usage_->SetAllocFilter(&ckpt_window_mask_);
+}
+
+// ---- Frame capture ----------------------------------------------------------
+
+void LogStructuredDisk::CaptureFrameSegment(uint32_t segment, uint64_t seq,
+                                            const SegmentUsage& parity,
+                                            const std::vector<SummaryRecord>& records) {
+  if (!CheckpointingActive()) {
+    return;
+  }
+  // A re-flushed scratch (or a freed-and-resealed segment) supersedes its
+  // previous capture: only the newest summary is on the media.
+  for (auto it = ckpt_pending_.begin(); it != ckpt_pending_.end(); ++it) {
+    if (it->segment == segment) {
+      ckpt_pending_.erase(it);
+      break;
+    }
+  }
+  PendingFrameSegment p;
+  p.segment = segment;
+  p.seq = seq;
+  p.parity = parity;
+  p.records = records;
+  ckpt_pending_.push_back(std::move(p));
+  ckpt_seals_since_frame_++;
+}
+
+void LogStructuredDisk::CaptureRetiredSegment(uint32_t segment) {
+  if (!CheckpointingActive()) {
+    return;
+  }
+  for (auto it = ckpt_pending_.begin(); it != ckpt_pending_.end(); ++it) {
+    if (it->segment == segment) {
+      ckpt_pending_.erase(it);
+      break;
+    }
+  }
+  ckpt_retired_pending_.push_back(segment);
+}
+
+// ---- Base payload (full-table snapshot) -------------------------------------
+
+void LogStructuredDisk::EncodeBasePayload(std::vector<uint8_t>* payload) const {
+  Encoder enc(payload);
   enc.PutU64(next_ts_);
   enc.PutU64(next_seq_);
   enc.PutU32(next_aru_id_);
@@ -89,81 +335,10 @@ Status LogStructuredDisk::WriteCheckpoint() {
     enc.PutU32(u.parity_covered);
     enc.PutU32(u.parity_crc);
   }
-  const uint64_t body_size = payload.size();  // CRC excluded from the marker's size.
-  enc.PutU32(Crc32(payload));
-
-  const uint32_t sector = device_->sector_size();
-  const uint64_t marker_sectors = 1;
-  const uint64_t payload_start = checkpoint_start_byte_ + marker_sectors * sector;
-  if (payload.size() > checkpoint_bytes_ - marker_sectors * sector) {
-    // Too big for the region: skip the checkpoint; the next open recovers
-    // from the log instead.
-    LD_LOG(kWarn) << "checkpoint payload (" << payload.size()
-                  << " bytes) exceeds the reserved region; falling back to log recovery";
-    return InvalidateCheckpoint();
-  }
-  std::vector<uint8_t> padded(((payload.size() + sector - 1) / sector) * sector, 0);
-  std::memcpy(padded.data(), payload.data(), payload.size());
-  RETURN_IF_ERROR(io_.Write(payload_start / sector, padded));
-
-  // Marker written last: its single-sector write commits the checkpoint.
-  std::vector<uint8_t> marker_payload;
-  Encoder menc(&marker_payload);
-  menc.PutU32(kCheckpointMagic);
-  menc.PutU8(1);  // valid
-  menc.PutU64(body_size);
-  menc.PutU32(Crc32(marker_payload));
-  std::vector<uint8_t> marker(sector, 0);
-  std::memcpy(marker.data(), marker_payload.data(), marker_payload.size());
-  return io_.Write(checkpoint_start_byte_ / sector, marker);
 }
 
-Status LogStructuredDisk::InvalidateCheckpoint() {
-  const uint32_t sector = device_->sector_size();
-  std::vector<uint8_t> marker_payload;
-  Encoder menc(&marker_payload);
-  menc.PutU32(kCheckpointMagic);
-  menc.PutU8(0);  // invalid
-  menc.PutU64(0);
-  menc.PutU32(Crc32(marker_payload));
-  std::vector<uint8_t> marker(sector, 0);
-  std::memcpy(marker.data(), marker_payload.data(), marker_payload.size());
-  return io_.Write(checkpoint_start_byte_ / sector, marker);
-}
-
-Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
-  *valid = false;
-  const uint32_t sector = device_->sector_size();
-  std::vector<uint8_t> marker(sector);
-  RETURN_IF_ERROR(io_.Read(checkpoint_start_byte_ / sector, marker));
-  Decoder mdec(marker);
-  const uint32_t magic = mdec.GetU32();
-  const uint8_t flag = mdec.GetU8();
-  const uint64_t payload_size = mdec.GetU64();
-  const size_t body_end = mdec.position();
-  const uint32_t crc = mdec.GetU32();
-  if (!mdec.ok() || magic != kCheckpointMagic ||
-      crc != Crc32(std::span<const uint8_t>(marker).subspan(0, body_end))) {
-    return OkStatus();  // No marker at all: treat as invalid.
-  }
-  if (flag != 1) {
-    return OkStatus();
-  }
-
-  const uint64_t payload_start = checkpoint_start_byte_ + sector;
-  std::vector<uint8_t> padded(((payload_size + 4 + sector - 1) / sector) * sector);
-  RETURN_IF_ERROR(io_.Read(payload_start / sector, padded));
-  std::span<const uint8_t> payload(padded.data(), payload_size + 4);
-  if (Crc32(payload.subspan(0, payload_size)) !=
-      (static_cast<uint32_t>(payload[payload_size]) |
-       (static_cast<uint32_t>(payload[payload_size + 1]) << 8) |
-       (static_cast<uint32_t>(payload[payload_size + 2]) << 16) |
-       (static_cast<uint32_t>(payload[payload_size + 3]) << 24))) {
-    LD_LOG(kWarn) << "checkpoint payload crc mismatch; falling back to log recovery";
-    return OkStatus();
-  }
-
-  Decoder dec(payload.subspan(0, payload_size));
+Status LogStructuredDisk::DecodeBasePayload(std::span<const uint8_t> payload) {
+  Decoder dec(payload);
   next_ts_ = dec.GetU64();
   next_seq_ = dec.GetU64();
   next_aru_id_ = dec.GetU32();
@@ -223,9 +398,12 @@ Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
     u.parity_bytes = dec.GetU32();
     u.parity_covered = dec.GetU32();
     u.parity_crc = dec.GetU32();
-    // A scratch segment cannot survive a shutdown (Shutdown writes full).
+    // A scratch segment cannot survive a base frame (bases flush full), and
+    // a mid-clean segment still holds its data.
     if (u.state == SegmentState::kScratch) {
       u.state = SegmentState::kFree;
+    } else if (u.state == SegmentState::kCleaning) {
+      u.state = SegmentState::kFull;
     }
   }
   RETURN_IF_ERROR(dec.ToStatus("checkpoint payload"));
@@ -233,37 +411,573 @@ Status LogStructuredDisk::LoadCheckpoint(bool* valid) {
   block_map_.RebuildFreeList();
   list_table_.RebuildFreeList();
   list_table_.RelinkListOfLists();
-  *valid = true;
   return OkStatus();
 }
 
-// ---- Log recovery ------------------------------------------------------------
+// ---- Frame writers ----------------------------------------------------------
 
-Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
+Status LogStructuredDisk::WriteBaseFrame(bool clean) {
+  FlagGuard in_frame(&ckpt_in_frame_write_);
+
+  // A base frame is a snapshot of the in-memory tables: everything sealed
+  // must be durable and nothing may sit in the open segment (open-segment
+  // blocks carry unserializable in-memory addresses).
+  if (open_data_used_ > 0 || !open_records_.empty()) {
+    RETURN_IF_ERROR(FlushOpenSegmentFull());
+  }
+  RETURN_IF_ERROR(WaitForInflight());
+
+  const uint32_t sector = device_->sector_size();
+  std::vector<uint32_t> window;
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  if (CheckpointingActive()) {
+    window = BuildAllocationWindow();
+  }
+  enc.PutU32(static_cast<uint32_t>(window.size()));
+  for (uint32_t s : window) {
+    enc.PutU32(s);
+  }
+  EncodeBasePayload(&body);
+
+  const uint64_t covered = next_seq_ - 1;
+  const uint32_t target = ckpt_have_chain_ ? (1 - ckpt_slot_) : ckpt_slot_;
+  const uint64_t generation = ckpt_generation_ + 1;
+  std::vector<uint8_t> frame = BuildFrame(kFrameBase, generation, 0, covered, body, sector);
+  const uint64_t capacity = CheckpointSlotBytes() - sector;
+  if (frame.size() > capacity) {
+    device_->mutable_stats()->checkpoints_skipped_oversize++;
+    const std::string msg = "checkpoint oversize: base frame of " +
+                            std::to_string(frame.size()) + " bytes exceeds the " +
+                            std::to_string(capacity) + "-byte slot";
+    if (CheckpointingActive()) {
+      RETURN_IF_ERROR(DisableIncrementalCheckpoints(msg));
+    } else {
+      RETURN_IF_ERROR(InvalidateCheckpoint());
+    }
+    return NoSpaceError(msg);
+  }
+
+  const uint64_t slot_start = CheckpointSlotStartByte(target);
+  RETURN_IF_ERROR(io_.Write((slot_start + sector) / sector, frame));
+
+  // Marker written last: its single-sector write commits the new chain. The
+  // other slot keeps the previous chain as the fallback rung.
+  SlotMarker m;
+  m.valid = true;
+  m.clean = clean;
+  m.generation = generation;
+  m.frame_count = 1;
+  m.payload_bytes = frame.size();
+  std::vector<uint8_t> marker;
+  EncodeMarker(m, sector, &marker);
+  RETURN_IF_ERROR(io_.Write(slot_start / sector, marker));
+
+  ckpt_have_chain_ = true;
+  ckpt_slot_ = target;
+  ckpt_generation_ = generation;
+  ckpt_frame_count_ = 1;
+  ckpt_payload_bytes_ = frame.size();
+  ckpt_covered_seq_ = covered;
+  ckpt_seals_since_frame_ = 0;
+  ckpt_pending_.clear();
+  ckpt_retired_pending_.clear();
+  counters_.checkpoint_frames_written++;
+  if (CheckpointingActive()) {
+    InstallAllocationWindow(window);
+  }
+  return OkStatus();
+}
+
+Status LogStructuredDisk::MaybeWriteDeltaFrame(bool force) {
+  if (!CheckpointingActive() || ckpt_in_frame_write_ || cleaning_ || !ckpt_have_chain_) {
+    return OkStatus();
+  }
+  if (!force && ckpt_seals_since_frame_ < options_.checkpoint_interval_segments) {
+    return OkStatus();
+  }
+  if (!force && ckpt_pending_.empty() && ckpt_retired_pending_.empty()) {
+    return OkStatus();
+  }
+  FlagGuard in_frame(&ckpt_in_frame_write_);
+
+  // The frame covers its segments' sequence numbers, so those segment writes
+  // must be on the media before the marker says so.
+  RETURN_IF_ERROR(WaitForInflight());
+
+  const uint32_t sector = device_->sector_size();
+  const std::vector<uint32_t> window = BuildAllocationWindow();
+  uint64_t covered = ckpt_covered_seq_;
+  for (const PendingFrameSegment& p : ckpt_pending_) {
+    covered = std::max(covered, p.seq);
+  }
+
+  std::vector<uint8_t> body;
+  Encoder enc(&body);
+  enc.PutU32(static_cast<uint32_t>(window.size()));
+  for (uint32_t s : window) {
+    enc.PutU32(s);
+  }
+  enc.PutU32(static_cast<uint32_t>(ckpt_retired_pending_.size()));
+  for (uint32_t s : ckpt_retired_pending_) {
+    enc.PutU32(s);
+  }
+  enc.PutU32(static_cast<uint32_t>(ckpt_pending_.size()));
+  for (const PendingFrameSegment& p : ckpt_pending_) {
+    enc.PutU32(p.segment);
+    enc.PutU64(p.seq);
+    enc.PutU8(p.parity.has_parity ? 1 : 0);
+    enc.PutU32(p.parity.parity_offset);
+    enc.PutU32(p.parity.parity_bytes);
+    enc.PutU32(p.parity.parity_covered);
+    enc.PutU32(p.parity.parity_crc);
+    enc.PutU32(static_cast<uint32_t>(p.records.size()));
+    for (const SummaryRecord& r : p.records) {
+      r.EncodeTo(&enc);
+    }
+  }
+
+  std::vector<uint8_t> frame =
+      BuildFrame(kFrameDelta, ckpt_generation_, ckpt_frame_count_, covered, body, sector);
+  const uint64_t capacity = CheckpointSlotBytes() - sector;
+  if (ckpt_payload_bytes_ + frame.size() > capacity) {
+    // Slot full: compact the chain into a fresh base in the other slot. A
+    // base is a table snapshot, so it must not embed the effects of ARUs
+    // that might still abort.
+    if (!open_arus_.empty()) {
+      return DisableIncrementalCheckpoints(
+          "checkpoint slot full while ARUs are open; cannot rebase");
+    }
+    counters_.checkpoint_rebases++;
+    return WriteBaseFrame(/*clean=*/false);
+  }
+
+  const uint64_t slot_start = CheckpointSlotStartByte(ckpt_slot_);
+  RETURN_IF_ERROR(io_.Write((slot_start + sector + ckpt_payload_bytes_) / sector, frame));
+
+  SlotMarker m;
+  m.valid = true;
+  m.clean = false;
+  m.generation = ckpt_generation_;
+  m.frame_count = ckpt_frame_count_ + 1;
+  m.payload_bytes = ckpt_payload_bytes_ + frame.size();
+  std::vector<uint8_t> marker;
+  EncodeMarker(m, sector, &marker);
+  RETURN_IF_ERROR(io_.Write(slot_start / sector, marker));
+
+  ckpt_frame_count_++;
+  ckpt_payload_bytes_ += frame.size();
+  ckpt_covered_seq_ = covered;
+  ckpt_seals_since_frame_ = 0;
+  ckpt_pending_.clear();
+  ckpt_retired_pending_.clear();
+  counters_.checkpoint_frames_written++;
+  InstallAllocationWindow(window);
+  return OkStatus();
+}
+
+Status LogStructuredDisk::InvalidateCheckpoint() {
+  const uint32_t sector = device_->sector_size();
+  SlotMarker m;  // valid = false.
+  std::vector<uint8_t> marker;
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    EncodeMarker(m, sector, &marker);
+    RETURN_IF_ERROR(io_.Write(CheckpointSlotStartByte(slot) / sector, marker));
+  }
+  ckpt_have_chain_ = false;
+  ckpt_frame_count_ = 0;
+  ckpt_payload_bytes_ = 0;
+  ckpt_covered_seq_ = 0;
+  ckpt_seals_since_frame_ = 0;
+  ckpt_pending_.clear();
+  ckpt_retired_pending_.clear();
+  return OkStatus();
+}
+
+Status LogStructuredDisk::DisableIncrementalCheckpoints(const std::string& reason) {
+  if (ckpt_disabled_) {
+    return OkStatus();
+  }
+  LD_LOG(kWarn) << "incremental checkpointing disabled: " << reason
+                << "; the next open will recover from the log";
+  ckpt_disabled_ = true;
+  usage_->SetAllocFilter(nullptr);
+  return InvalidateCheckpoint();
+}
+
+// ---- Chain loading ----------------------------------------------------------
+
+Status LogStructuredDisk::LoadCheckpointChain(LoadedChain* chain) {
+  *chain = LoadedChain{};
+  const uint32_t sector = device_->sector_size();
+  const uint64_t capacity = CheckpointSlotBytes() - sector;
+  const uint32_t num_segments = usage_->num_segments();
+
+  struct Candidate {
+    uint32_t slot = 0;
+    SlotMarker marker;
+  };
+  std::vector<Candidate> candidates;
+  uint32_t rejected = 0;
+  uint64_t max_generation = 0;
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    std::vector<uint8_t> buf(sector);
+    if (Status s = io_.Read(CheckpointSlotStartByte(slot) / sector, buf); !s.ok()) {
+      if (s.code() != ErrorCode::kIoError) {
+        return s;
+      }
+      rejected++;
+      continue;
+    }
+    SlotMarker m;
+    switch (ParseMarker(buf, &m)) {
+      case MarkerState::kValid:
+        max_generation = std::max(max_generation, m.generation);
+        if (m.frame_count == 0 || m.payload_bytes > capacity) {
+          rejected++;  // Impossible shape under a passing CRC: treat as rot.
+          break;
+        }
+        candidates.push_back({slot, m});
+        break;
+      case MarkerState::kAbsent:
+        max_generation = std::max(max_generation, m.generation);
+        break;
+      case MarkerState::kRejected:
+        rejected++;
+        break;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.marker.generation > b.marker.generation;
+            });
+
+  // Parses one slot's frame chain. Returns true when the base frame (frame
+  // 0) was valid — the chain is then usable, possibly with a dropped tail.
+  auto parse_slot = [&](const Candidate& cand, LoadedChain* out, uint32_t* frames_loaded,
+                        uint32_t* frames_dropped) -> bool {
+    const uint64_t payload_start = CheckpointSlotStartByte(cand.slot) + sector;
+    uint64_t offset = 0;
+    for (uint32_t i = 0; i < cand.marker.frame_count; ++i) {
+      bool frame_ok = false;
+      do {
+        if (offset + sector > capacity) {
+          break;
+        }
+        std::vector<uint8_t> head(sector);
+        if (!io_.Read((payload_start + offset) / sector, head).ok()) {
+          break;
+        }
+        Decoder hd(head);
+        const uint32_t magic = hd.GetU32();
+        const uint8_t kind = hd.GetU8();
+        const uint64_t generation = hd.GetU64();
+        const uint32_t chain_index = hd.GetU32();
+        const uint64_t covered_seq = hd.GetU64();
+        const uint64_t body_len = hd.GetU64();
+        const size_t crc_end = hd.position();
+        const uint32_t header_crc = hd.GetU32();
+        if (!hd.ok() || magic != kFrameMagic ||
+            header_crc != Crc32(std::span<const uint8_t>(head).subspan(0, crc_end))) {
+          break;
+        }
+        if (generation != cand.marker.generation || chain_index != i ||
+            kind != (i == 0 ? kFrameBase : kFrameDelta)) {
+          break;
+        }
+        const uint64_t total = RoundUpTo(kFrameHeaderBytes + body_len + 4, sector);
+        if (body_len > capacity || offset + total > capacity ||
+            offset + total > cand.marker.payload_bytes) {
+          break;
+        }
+        std::vector<uint8_t> raw(total);
+        if (!io_.Read((payload_start + offset) / sector, raw).ok()) {
+          break;
+        }
+        std::span<const uint8_t> body(raw.data() + kFrameHeaderBytes, body_len);
+        Decoder crc_dec(
+            std::span<const uint8_t>(raw.data() + kFrameHeaderBytes + body_len, 4));
+        if (crc_dec.GetU32() != Crc32(body)) {
+          break;
+        }
+
+        Decoder dec(body);
+        const uint32_t window_count = dec.GetU32();
+        if (!dec.ok() || window_count > num_segments + 1) {
+          break;
+        }
+        std::vector<uint32_t> window(window_count);
+        for (uint32_t j = 0; j < window_count; ++j) {
+          window[j] = dec.GetU32();
+        }
+        if (i == 0) {
+          if (!dec.ok()) {
+            break;
+          }
+          out->base_payload.assign(body.begin() + dec.position(), body.end());
+        } else {
+          const uint32_t retired_count = dec.GetU32();
+          if (!dec.ok() || retired_count > num_segments) {
+            break;
+          }
+          std::vector<uint32_t> retired(retired_count);
+          for (uint32_t j = 0; j < retired_count; ++j) {
+            retired[j] = dec.GetU32();
+          }
+          const uint32_t seg_count = dec.GetU32();
+          if (!dec.ok() || seg_count > num_segments) {
+            break;
+          }
+          std::vector<LoadedChain::ChainSegment> segs;
+          segs.reserve(seg_count);
+          bool bad = false;
+          for (uint32_t j = 0; j < seg_count && !bad; ++j) {
+            LoadedChain::ChainSegment cs;
+            cs.index = dec.GetU32();
+            cs.seq = dec.GetU64();
+            cs.parity.has_parity = dec.GetU8() != 0;
+            cs.parity.parity_offset = dec.GetU32();
+            cs.parity.parity_bytes = dec.GetU32();
+            cs.parity.parity_covered = dec.GetU32();
+            cs.parity.parity_crc = dec.GetU32();
+            const uint32_t record_count = dec.GetU32();
+            if (!dec.ok() || cs.index >= num_segments ||
+                record_count > options_.summary_bytes + data_capacity_) {
+              bad = true;
+              break;
+            }
+            cs.records.reserve(record_count);
+            for (uint32_t k = 0; k < record_count; ++k) {
+              StatusOr<SummaryRecord> r = SummaryRecord::DecodeFrom(&dec);
+              if (!r.ok()) {
+                bad = true;
+                break;
+              }
+              cs.records.push_back(std::move(*r));
+            }
+            if (!bad) {
+              segs.push_back(std::move(cs));
+            }
+          }
+          if (bad || !dec.ok()) {
+            break;
+          }
+          // Commit the parsed frame: seals first, then retires.
+          for (LoadedChain::ChainSegment& cs : segs) {
+            LoadedChain::ChainOp op;
+            op.seg = std::move(cs);
+            out->ops.push_back(std::move(op));
+            out->chain_segments++;
+          }
+          for (uint32_t s : retired) {
+            LoadedChain::ChainOp op;
+            op.retire = true;
+            op.retired_segment = s;
+            out->ops.push_back(std::move(op));
+          }
+        }
+        out->window = std::move(window);
+        out->covered_seq = covered_seq;
+        offset += total;
+        (*frames_loaded)++;
+        frame_ok = true;
+      } while (false);
+      if (!frame_ok) {
+        *frames_dropped = cand.marker.frame_count - i;
+        return i > 0;  // Usable iff the base survived.
+      }
+    }
+    return true;
+  };
+
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    LoadedChain parsed;
+    parsed.slot = candidates[ci].slot;
+    parsed.generation = candidates[ci].marker.generation;
+    parsed.clean = candidates[ci].marker.clean;
+    uint32_t frames_loaded = 0;
+    uint32_t frames_dropped = 0;
+    if (!parse_slot(candidates[ci], &parsed, &frames_loaded, &frames_dropped)) {
+      // Marker was fine but the base frame rotted: this slot is unusable.
+      LD_LOG(kWarn) << "checkpoint slot " << candidates[ci].slot
+                    << " rejected: base frame invalid (generation "
+                    << candidates[ci].marker.generation << ")";
+      rejected++;
+      continue;
+    }
+    parsed.usable = true;
+    // Window-only recovery is sound only for the *newest* chain taken whole:
+    // a dropped tail or a skipped/rotted slot means writes may exist outside
+    // this chain's window, so merge with a full summary scan.
+    parsed.full_scan = frames_dropped > 0 || ci > 0 || rejected > 0;
+    if (ci > 0 || rejected > 0) {
+      last_recovery_.fallback_reason = RecoveryFallback::kSlotFallback;
+    } else if (frames_dropped > 0) {
+      last_recovery_.fallback_reason = RecoveryFallback::kDeltaTailDropped;
+    }
+    if (frames_dropped > 0) {
+      LD_LOG(kWarn) << "checkpoint chain in slot " << parsed.slot << ": dropped "
+                    << frames_dropped << " trailing frame(s); merging with a full scan";
+    }
+    last_recovery_.frames_loaded = frames_loaded;
+    last_recovery_.frames_dropped = frames_dropped;
+    last_recovery_.slots_rejected = rejected;
+    last_recovery_.chain_segments = parsed.chain_segments;
+    last_recovery_.covered_seq = parsed.covered_seq;
+    *chain = std::move(parsed);
+    break;
+  }
+  if (!chain->usable) {
+    last_recovery_.slots_rejected = rejected;
+    if (rejected > 0) {
+      // There *was* checkpoint state and it rotted away: the bottom rung.
+      last_recovery_.fallback_reason = RecoveryFallback::kCheckpointLost;
+      LD_LOG(kWarn) << "no usable checkpoint chain (" << rejected
+                    << " slot(s) rejected); full log recovery";
+    }
+  }
+
+  // Session bookkeeping: the next base frame must out-generation everything
+  // seen on the media, and land in the slot not holding the chain we loaded.
+  ckpt_generation_ = std::max(max_generation,
+                              chain->usable ? chain->generation : uint64_t{0});
+  ckpt_slot_ = chain->usable ? chain->slot : 0;
+  ckpt_have_chain_ = chain->usable;
+  return OkStatus();
+}
+
+// ---- Recovery ---------------------------------------------------------------
+
+Status LogStructuredDisk::RecoverState() {
   const double start = device_->clock()->Now();
+  last_recovery_ = RecoveryReport{};
+
+  LoadedChain chain;
+  RETURN_IF_ERROR(LoadCheckpointChain(&chain));
+  RETURN_IF_ERROR(RecoverFromLog(chain.usable ? &chain : nullptr));
+
+  // Lifecycle. The paper's checkpoint-free mode invalidates the marker on
+  // every startup, so only clean-shutdown → clean-startup skips recovery.
+  // Incremental mode instead opens a fresh epoch: a new base frame in the
+  // other slot, with a new allocation window confining writes.
+  if (options_.checkpoint_interval_segments == 0) {
+    RETURN_IF_ERROR(InvalidateCheckpoint());
+  } else if (!ckpt_disabled_) {
+    Status base = WriteBaseFrame(/*clean=*/false);
+    if (!base.ok() && base.code() != ErrorCode::kNoSpace) {
+      return base;
+    }
+    // Oversize base: typed, counted, and checkpointing is already disabled —
+    // the open itself still succeeds (log recovery covers the session).
+  }
+
+  last_recovery_.checkpoints_skipped_oversize =
+      device_->mutable_stats()->checkpoints_skipped_oversize;
+  last_recovery_.live_blocks = block_map_.allocated_count();
+  last_recovery_.seconds = device_->clock()->Now() - start;
+  return OkStatus();
+}
+
+Status LogStructuredDisk::RecoverFromLog(const LoadedChain* chain) {
   const uint32_t sector = device_->sector_size();
   const uint32_t num_segments = usage_->num_segments();
+  RecoveryReport& rep = last_recovery_;
+
+  // ---- Seed from the chain (or from zero) ----
+  std::vector<uint64_t> segment_seqs(num_segments, 0);
+  std::vector<bool> has_summary(num_segments, false);
+  struct ParityInfo {
+    bool has = false;
+    uint32_t offset = 0, bytes = 0, covered = 0, crc = 0;
+  };
+  std::vector<ParityInfo> parity(num_segments);
+
+  bool have_chain = chain != nullptr;
+  if (have_chain) {
+    if (Status base = DecodeBasePayload(chain->base_payload); !base.ok()) {
+      // The CRC passed but the snapshot does not parse (e.g. a geometry
+      // change): treat like a rotted slot, never fail the open over it.
+      LD_LOG(kWarn) << "checkpoint base unusable (" << base.message()
+                    << "); full log recovery";
+      have_chain = false;
+      ckpt_have_chain_ = false;
+      rep.slots_rejected++;
+      rep.fallback_reason = RecoveryFallback::kCheckpointLost;
+      rep.frames_loaded = 0;
+      rep.frames_dropped = 0;
+      rep.chain_segments = 0;
+      rep.covered_seq = 0;
+    }
+  }
+  uint64_t covered_seq = 0;
 
   struct ScannedSegment {
     uint32_t index = 0;
     uint64_t seq = 0;
     std::vector<SummaryRecord> records;
   };
-  std::vector<ScannedSegment> scanned;
-  std::vector<bool> has_summary(num_segments, false);
+  // Chain delta segments and scanned segments, merged and replayed together
+  // in sequence order (so ARU gating sees the union).
+  std::vector<ScannedSegment> replay;
 
-  // Summaries that could not be read or validated. Classification is
-  // deferred until the whole sweep is done: segments are submitted to the
-  // device in seq order, so the durable, valid summaries always form a seq
-  // prefix of the log. A suspect claiming a seq *beyond* that prefix was in
-  // flight at the crash and is discarded like any torn write ("the segment
-  // never happened"); a suspect inside the prefix — or one whose header is
-  // too damaged to claim anything — is media corruption of committed state,
-  // and silently dropping it would resurrect stale block versions. That case
-  // surfaces as CORRUPTION (Scrub can retire such segments while the disk is
-  // healthy; recovery must not guess) — unless a logged kScrubIntent vouches
-  // that the segment was already fully relocated, in which case recovery
-  // completes the interrupted retirement instead.
+  if (have_chain) {
+    covered_seq = chain->covered_seq;
+    for (uint32_t s = 0; s < num_segments; ++s) {
+      const SegmentUsage& u = usage_->segment(s);
+      if (u.state == SegmentState::kFull) {
+        has_summary[s] = true;
+        segment_seqs[s] = u.seq;
+        if (u.has_parity) {
+          parity[s] = {true, u.parity_offset, u.parity_bytes, u.parity_covered, u.parity_crc};
+        }
+      }
+    }
+    for (const LoadedChain::ChainOp& op : chain->ops) {
+      if (op.retire) {
+        if (op.retired_segment < num_segments) {
+          has_summary[op.retired_segment] = false;
+          segment_seqs[op.retired_segment] = 0;
+          parity[op.retired_segment] = ParityInfo{};
+        }
+        continue;
+      }
+      const LoadedChain::ChainSegment& cs = op.seg;
+      has_summary[cs.index] = true;
+      segment_seqs[cs.index] = cs.seq;
+      parity[cs.index] = {cs.parity.has_parity, cs.parity.parity_offset,
+                          cs.parity.parity_bytes, cs.parity.parity_covered,
+                          cs.parity.parity_crc};
+      replay.push_back({cs.index, cs.seq, cs.records});
+    }
+  } else {
+    block_map_.Clear();
+    list_table_.Clear();
+  }
+
+  // ---- Choose the scan scope ----
+  const bool clean_load = have_chain && chain->clean && !chain->full_scan;
+  std::vector<uint32_t> to_scan;
+  if (clean_load) {
+    // Clean shutdown with an intact newest chain: the tables are total.
+  } else if (have_chain && !chain->full_scan) {
+    // Intact newest chain: every post-checkpoint write is confined to the
+    // last frame's allocation window. This is the bounded scan.
+    std::vector<bool> seen(num_segments, false);
+    for (uint32_t s : chain->window) {
+      if (s < num_segments && !seen[s]) {
+        seen[s] = true;
+        to_scan.push_back(s);
+      }
+    }
+    std::sort(to_scan.begin(), to_scan.end());
+  } else {
+    to_scan.resize(num_segments);
+    for (uint32_t s = 0; s < num_segments; ++s) {
+      to_scan[s] = s;
+    }
+  }
+
+  // ---- The sweep ----
   struct SuspectSegment {
     uint32_t index = 0;
     bool seq_known = false;
@@ -271,19 +985,12 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
     bool unreadable = false;  // I/O error (vs. failed validation).
   };
   std::vector<SuspectSegment> suspects;
+  std::vector<ScannedSegment> scanned;
 
-  // One sweep over the disk, reading the fixed-location summaries (§3.6).
-  std::vector<uint8_t> summary(options_.summary_bytes);
-  for (uint32_t seg = 0; seg < num_segments; ++seg) {
-    stats->summaries_scanned++;
-    if (Status s = io_.Read((SegmentBaseByte(seg) + data_capacity_) / sector, summary);
-        !s.ok()) {
-      if (s.code() != ErrorCode::kIoError) {
-        return s;
-      }
-      suspects.push_back({seg, false, 0, /*unreadable=*/true});
-      continue;
-    }
+  // Validates one summary image and classifies the segment. Identical for
+  // the serial and parallel sweeps: parallelism only reorders the device
+  // reads, never the classification (which runs in segment order).
+  auto process = [&](uint32_t seg, std::span<const uint8_t> summary) -> Status {
     SummaryHeader header;
     const Status head = DecodeSummaryHeader(summary, &header);
     if (head.code() == ErrorCode::kNotFound) {
@@ -294,11 +1001,11 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
       if (!all_zero) {
         suspects.push_back({seg, false, 0, false});
       }
-      continue;  // Never written.
+      return OkStatus();  // Never written.
     }
     if (!head.ok() || header.ext_bytes > data_capacity_ || header.segment_index != seg) {
       suspects.push_back({seg, false, 0, false});
-      continue;
+      return OkStatus();
     }
     // Record-heavy segments spill records into the end of their data area.
     std::vector<uint8_t> ext;
@@ -312,7 +1019,7 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
           return s;
         }
         suspects.push_back({seg, true, header.seq, /*unreadable=*/true});
-        continue;
+        return OkStatus();
       }
       const size_t skip = (SegmentBaseByte(seg) + ext_start) - first;
       ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
@@ -321,19 +1028,93 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
     const Status decode = DecodeSummary(summary, ext, &header, &records);
     if (!decode.ok()) {
       suspects.push_back({seg, true, header.seq, false});
-      continue;
+      return OkStatus();
     }
-    stats->summaries_valid++;
+    rep.summaries_valid++;
+    if (have_chain && header.seq <= covered_seq) {
+      // Stale: the chain already accounts for this segment (it was freed, or
+      // its records are covered). The chain is authoritative.
+      return OkStatus();
+    }
     has_summary[seg] = true;
     scanned.push_back(ScannedSegment{seg, header.seq, std::move(records)});
+    return OkStatus();
+  };
+
+  const uint32_t channels = std::max<uint32_t>(1, device_->num_channels());
+  const bool parallel = options_.parallel_recovery_scan && to_scan.size() > 1;
+  rep.parallel_scan = parallel;
+  rep.scan_channels = parallel ? channels : 1;
+
+  if (parallel) {
+    // Fan the fixed-location summary reads out through the async request
+    // queue in waves, so each channel's arm streams its own band while the
+    // others seek; decode and classification stay in segment order.
+    const size_t wave = static_cast<size_t>(channels) * 4;
+    std::vector<std::vector<uint8_t>> bufs(wave, std::vector<uint8_t>(options_.summary_bytes));
+    struct Pending {
+      uint32_t seg = 0;
+      IoTag tag = kInvalidIoTag;
+      bool failed = false;
+    };
+    std::vector<Pending> pending(wave);
+    for (size_t base = 0; base < to_scan.size(); base += wave) {
+      const size_t n = std::min(wave, to_scan.size() - base);
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t seg = to_scan[base + i];
+        rep.summaries_scanned++;
+        StatusOr<IoTag> tag =
+            io_.SubmitRead((SegmentBaseByte(seg) + data_capacity_) / sector, bufs[i]);
+        if (!tag.ok()) {
+          if (tag.status().code() != ErrorCode::kIoError) {
+            return tag.status();
+          }
+          pending[i] = {seg, kInvalidIoTag, true};
+          continue;
+        }
+        pending[i] = {seg, *tag, false};
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!pending[i].failed && pending[i].tag != kInvalidIoTag) {
+          RETURN_IF_ERROR(device_->WaitFor(pending[i].tag));
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (pending[i].failed) {
+          suspects.push_back({pending[i].seg, false, 0, /*unreadable=*/true});
+          continue;
+        }
+        RETURN_IF_ERROR(process(pending[i].seg, bufs[i]));
+      }
+    }
+  } else {
+    std::vector<uint8_t> summary(options_.summary_bytes);
+    for (uint32_t seg : to_scan) {
+      rep.summaries_scanned++;
+      if (Status s = io_.Read((SegmentBaseByte(seg) + data_capacity_) / sector, summary);
+          !s.ok()) {
+        if (s.code() != ErrorCode::kIoError) {
+          return s;
+        }
+        suspects.push_back({seg, false, 0, /*unreadable=*/true});
+        continue;
+      }
+      RETURN_IF_ERROR(process(seg, summary));
+    }
   }
 
-  // Scrub intents: a kScrubIntent record in a valid summary says "segment X
-  // (whose retired summary carried seq S) has been fully relocated; its
-  // summary is garbage awaiting the zeroing write". A crash between the
-  // intent and the zeroing leaves the damaged summary behind — exactly the
-  // shape recovery would otherwise refuse as mid-log corruption.
+  // Scrub intents: a kScrubIntent record says "segment X (whose retired
+  // summary carried seq S) has been fully relocated; its summary is garbage
+  // awaiting the zeroing write". Gathered from the chain *and* the scan.
   std::unordered_map<uint32_t, uint64_t> intent_seqs;  // segment -> newest intent seq
+  for (const auto& seg : replay) {
+    for (const auto& r : seg.records) {
+      if (r.type == SummaryRecordType::kScrubIntent) {
+        uint64_t& newest = intent_seqs[r.bid];
+        newest = std::max(newest, r.intent_seq);
+      }
+    }
+  }
   for (const auto& seg : scanned) {
     for (const auto& r : seg.records) {
       if (r.type == SummaryRecordType::kScrubIntent) {
@@ -343,8 +1124,13 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
     }
   }
 
-  // Classify the suspects against the valid prefix (see above).
-  uint64_t max_valid_seq = 0;
+  // Classify the suspects. Segments hit the device in seq order, so the
+  // durable valid summaries always form a seq prefix of the log: a suspect
+  // claiming a seq beyond the prefix was in flight at the crash and is
+  // discarded like any torn write; one the chain proves stale is tolerated;
+  // one inside the committed prefix is media corruption and is refused
+  // (typed) unless a logged scrub intent vouches for its retirement.
+  uint64_t max_valid_seq = covered_seq;
   for (const auto& seg : scanned) {
     max_valid_seq = std::max(max_valid_seq, seg.seq);
   }
@@ -353,6 +1139,15 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
     if (s.seq_known && s.claimed_seq > max_valid_seq) {
       // In flight at the crash: discarding it yields the consistent prefix.
       LD_LOG(kInfo) << "recovery: ignoring torn segment " << s.index;
+      continue;
+    }
+    if (have_chain && s.seq_known && s.claimed_seq <= covered_seq) {
+      // Damaged but provably stale: the chain covers everything up to
+      // covered_seq, so nothing in this summary is the latest word. A
+      // chain-less scan would have had to refuse this as CORRUPTION.
+      rep.stale_damage_tolerated++;
+      LD_LOG(kInfo) << "recovery: tolerating stale damaged summary on segment " << s.index
+                    << " (seq " << s.claimed_seq << " <= covered " << covered_seq << ")";
       continue;
     }
     if (auto it = intent_seqs.find(s.index);
@@ -367,13 +1162,13 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
       LD_LOG(kInfo) << "recovery: completing scrub retirement of segment " << s.index;
       std::vector<uint8_t> zeros(options_.summary_bytes, 0);
       RETURN_IF_ERROR(io_.Write(SegmentSummaryStartByte(s.index) / sector, zeros));
-      stats->retirements_completed++;
+      rep.retirements_completed++;
       continue;
     }
     if (s.unreadable) {
-      stats->summaries_unreadable++;
+      rep.summaries_unreadable++;
     } else {
-      stats->summaries_corrupt++;
+      rep.summaries_corrupt++;
     }
     LD_LOG(kWarn) << "recovery: segment " << s.index << " summary "
                   << (s.unreadable ? "unreadable" : "corrupt") << " inside the committed log";
@@ -386,13 +1181,16 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
   }
   RETURN_IF_ERROR(corrupt_log);
 
-  // Replay in write order.
-  std::sort(scanned.begin(), scanned.end(),
+  // ---- Replay in write order (chain deltas ∪ scanned) ----
+  for (auto& seg : scanned) {
+    replay.push_back(std::move(seg));
+  }
+  std::sort(replay.begin(), replay.end(),
             [](const ScannedSegment& a, const ScannedSegment& b) { return a.seq < b.seq; });
 
   // Pass 1: which ARUs committed?
   std::unordered_set<uint32_t> committed;
-  for (const auto& seg : scanned) {
+  for (const auto& seg : replay) {
     for (const auto& r : seg.records) {
       if (r.type == SummaryRecordType::kAruCommit) {
         committed.insert(r.aru_id);
@@ -401,30 +1199,19 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
   }
 
   // Pass 2: apply.
-  block_map_.Clear();
-  list_table_.Clear();
   uint64_t max_ts = 0;
   uint64_t max_seq = 0;
   uint32_t max_aru = 0;
-  std::vector<uint64_t> segment_seqs(num_segments, 0);
-  // Parity geometry per segment, from each segment's own kSegmentParity
-  // record; applied after RebuildDerivedState (which resets the table).
-  struct ParityInfo {
-    bool has = false;
-    uint32_t offset = 0, bytes = 0, covered = 0, crc = 0;
-  };
-  std::vector<ParityInfo> parity(num_segments);
-  for (const auto& seg : scanned) {
-    segment_seqs[seg.index] = seg.seq;
+  for (const auto& seg : replay) {
     max_seq = std::max(max_seq, seg.seq);
     for (const auto& r : seg.records) {
       max_ts = std::max(max_ts, r.ts);
       max_aru = std::max(max_aru, r.aru_id);
       if (r.aru_id != 0 && committed.count(r.aru_id) == 0) {
-        stats->records_dropped_uncommitted++;
+        rep.records_dropped_uncommitted++;
         continue;
       }
-      stats->records_applied++;
+      rep.records_applied++;
       switch (r.type) {
         case SummaryRecordType::kBlockAlloc: {
           BlockMapEntry& e = block_map_.EnsureAllocated(r.bid);
@@ -483,12 +1270,14 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
         case SummaryRecordType::kAruCommit:
           break;
         case SummaryRecordType::kSegmentParity: {
-          ParityInfo& p = parity[seg.index];
-          p.has = true;
-          p.offset = r.offset;
-          p.bytes = r.stored_size;
-          p.covered = r.orig_size;
-          p.crc = r.payload_crc;
+          if (has_summary[seg.index]) {
+            ParityInfo& p = parity[seg.index];
+            p.has = true;
+            p.offset = r.offset;
+            p.bytes = r.stored_size;
+            p.covered = r.orig_size;
+            p.crc = r.payload_crc;
+          }
           break;
         }
         case SummaryRecordType::kScrubIntent:
@@ -496,17 +1285,31 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
       }
     }
   }
+  for (const auto& seg : scanned) {
+    segment_seqs[seg.index] = seg.seq;
+  }
 
-  next_ts_ = max_ts + 1;
-  next_seq_ = max_seq + 1;
-  next_aru_id_ = max_aru + 1;
+  // A chain base carries its own clocks; the replayed tail only advances them.
+  next_ts_ = std::max(next_ts_, max_ts + 1);
+  next_seq_ = std::max(next_seq_, max_seq + 1);
+  next_aru_id_ = std::max(next_aru_id_, max_aru + 1);
+
+  rep.mode = clean_load ? RecoveryMode::kCheckpointClean
+                        : (have_chain ? RecoveryMode::kCheckpointChain : RecoveryMode::kLogScan);
+  rep.used_checkpoint = have_chain;
+
+  if (clean_load) {
+    // The decoded tables are the total state (the base snapshot already has
+    // exact live counts); nothing to rebuild.
+    return OkStatus();
+  }
 
   block_map_.RebuildFreeList();
   list_table_.RebuildFreeList();
   list_table_.RelinkListOfLists();
   RebuildDerivedState(segment_seqs, has_summary);
   for (uint32_t s = 0; s < num_segments; ++s) {
-    if (parity[s].has) {
+    if (parity[s].has && has_summary[s]) {
       SegmentUsage& u = usage_->segment(s);
       u.has_parity = true;
       u.parity_offset = parity[s].offset;
@@ -515,9 +1318,6 @@ Status LogStructuredDisk::RecoverFromLog(RecoveryStats* stats) {
       u.parity_crc = parity[s].crc;
     }
   }
-
-  stats->live_blocks = block_map_.allocated_count();
-  stats->seconds = device_->clock()->Now() - start;
   return OkStatus();
 }
 

@@ -292,6 +292,9 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
       u.newest_ts = 0;
       u.seq = 0;
       u.ClearParity();
+      // The next checkpoint frame must record the retirement, or chain
+      // replay would resurrect the segment as written.
+      CaptureRetiredSegment(seg);
       counters_.segments_cleaned++;
     }
   }

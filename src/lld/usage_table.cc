@@ -73,18 +73,28 @@ int64_t UsageTable::PickCostBenefit(uint32_t segment_capacity, OpTimestamp now) 
 
 int64_t UsageTable::PickFree() const {
   for (uint32_t i = 0; i < segments_.size(); ++i) {
-    if (segments_[i].state == SegmentState::kFree) {
+    if (segments_[i].state == SegmentState::kFree && Allocatable(i)) {
       return i;
     }
   }
   return -1;
 }
 
+uint32_t UsageTable::AllocatableCount() const {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].state == SegmentState::kFree && Allocatable(i)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 int64_t UsageTable::PickFreeNear(uint32_t target) const {
   int64_t best = -1;
   uint32_t best_distance = 0;
   for (uint32_t i = 0; i < segments_.size(); ++i) {
-    if (segments_[i].state != SegmentState::kFree) {
+    if (segments_[i].state != SegmentState::kFree || !Allocatable(i)) {
       continue;
     }
     const uint32_t distance = i > target ? i - target : target - i;

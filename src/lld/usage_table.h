@@ -72,12 +72,27 @@ class UsageTable {
   // e.g. the hot-block rearranger centering its output), or -1.
   int64_t PickFreeNear(uint32_t target) const;
 
+  // Allocation filter for incremental checkpointing: when set, PickFree and
+  // PickFreeNear only return segments whose mask byte is non-zero — the
+  // allocation *window* the latest checkpoint frame recorded, so crash
+  // recovery knows exactly which segments may hold post-checkpoint writes.
+  // The mask is owned by the caller (LLD) and must outlive the table or be
+  // cleared with nullptr; null means every free segment is eligible.
+  void SetAllocFilter(const std::vector<uint8_t>* mask) { alloc_mask_ = mask; }
+  bool Allocatable(uint32_t index) const {
+    return alloc_mask_ == nullptr ||
+           (index < alloc_mask_->size() && (*alloc_mask_)[index] != 0);
+  }
+  // Free segments currently eligible for allocation under the filter.
+  uint32_t AllocatableCount() const;
+
   void Reset();
 
   uint64_t MemoryBytes() const { return segments_.capacity() * sizeof(SegmentUsage); }
 
  private:
   std::vector<SegmentUsage> segments_;
+  const std::vector<uint8_t>* alloc_mask_ = nullptr;
 };
 
 }  // namespace ld

@@ -88,6 +88,44 @@ struct MinixFsckReport {
   ScrubReport scrub;      // What the scrub verified, repaired, and lost.
   // Blocks whose contents are gone for good (reads keep failing typed).
   uint64_t LostBlocks() const { return scrub.blocks_corrupt + scrub.blocks_unreadable; }
+
+  // Typed outcome + ToString, following the maintenance-report convention
+  // shared with RecoveryReport and ScrubReport (src/lld/reports.h).
+  enum class Outcome : uint8_t { kClean = 0, kRepaired, kDataLoss, kDegraded };
+  Outcome outcome() const {
+    if (degraded) {
+      return Outcome::kDegraded;
+    }
+    if (LostBlocks() > 0) {
+      return Outcome::kDataLoss;
+    }
+    if (scrubbed && scrub.outcome() != ScrubReport::Outcome::kClean) {
+      return Outcome::kRepaired;
+    }
+    return Outcome::kClean;
+  }
+  std::string ToString() const {
+    std::string s = "fsck{outcome=";
+    switch (outcome()) {
+      case Outcome::kClean:
+        s += "clean";
+        break;
+      case Outcome::kRepaired:
+        s += "repaired";
+        break;
+      case Outcome::kDataLoss:
+        s += "data-loss";
+        break;
+      case Outcome::kDegraded:
+        s += "degraded";
+        break;
+    }
+    if (scrubbed) {
+      s += " " + scrub.ToString();
+    }
+    s += "}";
+    return s;
+  }
 };
 
 struct MinixFsStats {

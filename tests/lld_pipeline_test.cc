@@ -54,9 +54,9 @@ struct CrashRig {
     return std::move(lld).value();
   }
 
-  std::unique_ptr<LogStructuredDisk> Reopen(RecoveryStats* stats = nullptr) {
+  std::unique_ptr<LogStructuredDisk> Reopen() {
     disk->ClearFault();
-    auto lld = LogStructuredDisk::Open(disk.get(), TestOptions(pipeline), stats);
+    auto lld = LogStructuredDisk::Open(disk.get(), TestOptions(pipeline));
     EXPECT_TRUE(lld.ok()) << lld.status().ToString();
     return std::move(lld).value();
   }
@@ -105,10 +105,10 @@ TEST(LldPipelineTest, RecoveryStateByteIdenticalPipelineOnVsOff) {
   ASSERT_EQ(bids_on, bids_off);
   ASSERT_EQ(list_on, list_off);
 
-  RecoveryStats stats_on;
-  RecoveryStats stats_off;
-  auto rec_on = rig_on.Reopen(&stats_on);
-  auto rec_off = rig_off.Reopen(&stats_off);
+  auto rec_on = rig_on.Reopen();
+  auto rec_off = rig_off.Reopen();
+  const RecoveryReport& stats_on = rec_on->last_recovery();
+  const RecoveryReport& stats_off = rec_off->last_recovery();
 
   // The recovered images describe the same disk history.
   EXPECT_EQ(stats_on.summaries_valid, stats_off.summaries_valid);
@@ -208,9 +208,8 @@ TEST(LldPipelineTest, PartialFlushOrdersBehindInflightFullWriteAcrossCrash) {
   rig.disk->CrashAfterWrites(1, /*torn_sectors=*/2);
   ASSERT_FALSE(lld->Flush().ok());
 
-  RecoveryStats stats;
-  auto rec = rig.Reopen(&stats);
-  EXPECT_FALSE(stats.used_checkpoint);
+  auto rec = rig.Reopen();
+  EXPECT_FALSE(rec->last_recovery().used_checkpoint);
   uint32_t readable = 0;
   for (uint32_t i = 0; i < bids.size(); ++i) {
     std::vector<uint8_t> out(4096);

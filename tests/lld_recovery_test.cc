@@ -53,9 +53,9 @@ struct CrashRig {
     return std::move(lld).value();
   }
 
-  std::unique_ptr<LogStructuredDisk> Reopen(RecoveryStats* stats = nullptr) {
+  std::unique_ptr<LogStructuredDisk> Reopen() {
     disk->ClearFault();
-    auto lld = LogStructuredDisk::Open(disk.get(), TestOptions(), stats);
+    auto lld = LogStructuredDisk::Open(disk.get(), TestOptions());
     EXPECT_TRUE(lld.ok()) << lld.status().ToString();
     return std::move(lld).value();
   }
@@ -76,9 +76,8 @@ TEST(LldRecoveryTest, CleanShutdownUsesCheckpoint) {
   ASSERT_TRUE(lld->Write(*bid, Pattern(4096, 1)).ok());
   ASSERT_TRUE(lld->Shutdown().ok());
 
-  RecoveryStats stats;
-  auto reopened = rig.Reopen(&stats);
-  EXPECT_TRUE(stats.used_checkpoint);
+  auto reopened = rig.Reopen();
+  EXPECT_TRUE(reopened->last_recovery().used_checkpoint);
   std::vector<uint8_t> out(4096);
   ASSERT_TRUE(reopened->Read(*bid, out).ok());
   EXPECT_EQ(out, Pattern(4096, 1));
@@ -96,13 +95,11 @@ TEST(LldRecoveryTest, CheckpointMarkerInvalidatedOnStartup) {
   // First reopen: checkpoint. Crash immediately (no shutdown): the second
   // reopen must fall back to log recovery, not reuse the stale checkpoint.
   {
-    RecoveryStats stats;
-    auto first = rig.Reopen(&stats);
-    EXPECT_TRUE(stats.used_checkpoint);
+    auto first = rig.Reopen();
+    EXPECT_TRUE(first->last_recovery().used_checkpoint);
   }
-  RecoveryStats stats;
-  auto second = rig.Reopen(&stats);
-  EXPECT_FALSE(stats.used_checkpoint);
+  auto second = rig.Reopen();
+  EXPECT_FALSE(second->last_recovery().used_checkpoint);
   std::vector<uint8_t> out(4096);
   ASSERT_TRUE(second->Read(*bid, out).ok());
   EXPECT_EQ(out, Pattern(4096, 2));
@@ -123,10 +120,9 @@ TEST(LldRecoveryTest, FlushedDataSurvivesCrash) {
   ASSERT_TRUE(lld->Flush().ok());
   rig.disk->CrashNow();
 
-  RecoveryStats stats;
-  auto reopened = rig.Reopen(&stats);
-  EXPECT_FALSE(stats.used_checkpoint);
-  EXPECT_GT(stats.summaries_valid, 0u);
+  auto reopened = rig.Reopen();
+  EXPECT_FALSE(reopened->last_recovery().used_checkpoint);
+  EXPECT_GT(reopened->last_recovery().summaries_valid, 0u);
   for (uint32_t i = 0; i < 10; ++i) {
     std::vector<uint8_t> out(4096);
     ASSERT_TRUE(reopened->Read(bids[i], out).ok()) << "block " << i;
@@ -305,9 +301,8 @@ TEST(LldRecoveryTest, UncommittedAruFullyDropped) {
   ASSERT_TRUE(lld->Flush().ok());
   rig.disk->CrashNow();
 
-  RecoveryStats stats;
-  auto reopened = rig.Reopen(&stats);
-  EXPECT_GT(stats.records_dropped_uncommitted, 0u);
+  auto reopened = rig.Reopen();
+  EXPECT_GT(reopened->last_recovery().records_dropped_uncommitted, 0u);
   std::vector<uint8_t> out(4096);
   // The overwrite inside the ARU must not be visible: old contents remain.
   ASSERT_TRUE(reopened->Read(*keep, out).ok());
@@ -358,9 +353,8 @@ TEST(LldRecoveryTest, RecoveryAcrossManySegments) {
   ASSERT_TRUE(lld->Flush().ok());
   rig.disk->CrashNow();
 
-  RecoveryStats stats;
-  auto reopened = rig.Reopen(&stats);
-  EXPECT_GT(stats.summaries_valid, 5u);
+  auto reopened = rig.Reopen();
+  EXPECT_GT(reopened->last_recovery().summaries_valid, 5u);
   for (size_t i = 0; i < bids.size(); ++i) {
     std::vector<uint8_t> out(4096);
     ASSERT_TRUE(reopened->Read(bids[i], out).ok()) << i;
@@ -773,8 +767,7 @@ TEST(LldRecoveryTest, CrashDuringScrubRetirementCompletesViaIntent) {
 
       lld.reset();
       rig.disk->ClearFault();
-      RecoveryStats stats;
-      auto reopened = LogStructuredDisk::Open(rig.disk.get(), options, &stats);
+      auto reopened = LogStructuredDisk::Open(rig.disk.get(), options);
       if (!reopened.ok()) {
         EXPECT_EQ(reopened.status().code(), ErrorCode::kCorruption)
             << reopened.status().ToString();
@@ -786,7 +779,7 @@ TEST(LldRecoveryTest, CrashDuringScrubRetirementCompletesViaIntent) {
         continue;
       }
       reopen_succeeded_once = true;
-      if (stats.retirements_completed > 0) {
+      if ((*reopened)->last_recovery().retirements_completed > 0) {
         retirement_completed_once = true;
         EXPECT_EQ((*reopened)->usage_table().segment(suspect).state, SegmentState::kFree);
       }
@@ -806,7 +799,7 @@ TEST(LldRecoveryTest, CrashDuringScrubRetirementCompletesViaIntent) {
   }
 }
 
-TEST(LldRecoveryTest, RecoveryStatsPopulated) {
+TEST(LldRecoveryTest, RecoveryReportPopulated) {
   CrashRig rig;
   auto lld = rig.Format();
   auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
@@ -815,12 +808,15 @@ TEST(LldRecoveryTest, RecoveryStatsPopulated) {
   ASSERT_TRUE(lld->Flush().ok());
   rig.disk->CrashNow();
 
-  RecoveryStats stats;
-  auto reopened = rig.Reopen(&stats);
-  EXPECT_EQ(stats.summaries_scanned, reopened->num_segments());
-  EXPECT_GE(stats.summaries_valid, 1u);
-  EXPECT_GT(stats.records_applied, 0u);
-  EXPECT_EQ(stats.live_blocks, 1u);
+  auto reopened = rig.Reopen();
+  const RecoveryReport& report = reopened->last_recovery();
+  EXPECT_EQ(report.summaries_scanned, reopened->num_segments());
+  EXPECT_GE(report.summaries_valid, 1u);
+  EXPECT_GT(report.records_applied, 0u);
+  EXPECT_EQ(report.live_blocks, 1u);
+  EXPECT_EQ(report.mode, RecoveryMode::kLogScan);
+  EXPECT_EQ(report.fallback_reason, RecoveryFallback::kNone);
+  EXPECT_FALSE(report.ToString().empty());
 }
 
 }  // namespace

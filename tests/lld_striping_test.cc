@@ -167,10 +167,9 @@ TEST(LldStripingTest, StripedRecoveryByteIdentical) {
       EXPECT_TRUE(disk.crashed()) << "workload must run into the crash";
     }
     disk.ClearFault();
-    RecoveryStats stats;
-    auto reopened = LogStructuredDisk::Open(&disk, TestOptions(), &stats);
+    auto reopened = LogStructuredDisk::Open(&disk, TestOptions());
     EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
-    state.summaries_scanned = stats.summaries_scanned;
+    state.summaries_scanned = (*reopened)->last_recovery().summaries_scanned;
     std::vector<uint8_t> out(4096);
     for (Bid bid : bids) {
       if ((*reopened)->Read(bid, out).ok()) {
