@@ -65,6 +65,14 @@ struct ChannelStats {
   double busy_ms = 0.0;          // Channel service time (incl. overhead).
   double queue_wait_ms = 0.0;    // Time requests waited on this channel.
   uint64_t queued_requests = 0;  // Requests routed to this channel.
+
+  // Channel health: failures counted by the fault wrapper and extra attempts
+  // issued by the ReliableIo shim, attributed to the channel owning the
+  // request's first sector. A dead channel shows up as a column of errors.
+  uint64_t read_errors = 0;
+  uint64_t write_errors = 0;
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
 };
 
 // Cumulative counters a device keeps about its own activity.
@@ -93,6 +101,15 @@ struct DiskStats {
   uint64_t read_retries = 0;         // Extra read attempts issued by the shim.
   uint64_t write_retries = 0;        // Extra write attempts issued by the shim.
   uint64_t transient_recoveries = 0; // Requests that succeeded after retrying.
+
+  // Cross-channel stripe parity (LLD stripe-parity mode). Degraded reads are
+  // block reads served by XOR across the N-1 surviving stripe peers after
+  // both the direct read and the per-segment parity lane failed; rebuild
+  // counters track Lld::Rebuild re-materializing a lost channel's segments.
+  uint64_t degraded_reads = 0;          // Blocks served via stripe peers.
+  uint64_t stripe_reconstructions = 0;  // Segment images rebuilt from peers.
+  uint64_t rebuild_segments_done = 0;   // Segments re-materialized by Rebuild.
+  uint64_t rebuild_segments_pending = 0;  // Segments still queued for rebuild.
 
   // Checkpoint payloads that outgrew their reserved A/B slot and were
   // skipped (typed NO_SPACE surfaced by the LD above this device; the next

@@ -1,5 +1,6 @@
 #include "src/disk/fault_disk.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace ld {
@@ -45,23 +46,97 @@ Status FaultDisk::CorruptSector(uint64_t sector, uint32_t byte_offset, uint8_t x
   return OkStatus();
 }
 
-Status FaultDisk::CountReadError(Status s) {
+Status FaultDisk::CountReadError(uint64_t sector, Status s) {
   if (DiskStats* stats = mutable_stats()) {
     stats->read_errors++;
+    stats->MutableChannel(inner_->ChannelOf(sector)).read_errors++;
   }
   return s;
 }
 
-Status FaultDisk::CountWriteError(Status s) {
+Status FaultDisk::CountWriteError(uint64_t sector, Status s) {
   if (DiskStats* stats = mutable_stats()) {
     stats->write_errors++;
+    stats->MutableChannel(inner_->ChannelOf(sector)).write_errors++;
   }
   return s;
+}
+
+int64_t FaultDisk::FailedChannelOf(uint64_t sector, uint64_t sectors) const {
+  if (failed_channels_.empty()) {
+    return -1;
+  }
+  // Channels own contiguous sector bands (ChannelOf is monotonic), so a
+  // request can only touch channels between its first and last sector's.
+  const uint32_t first = inner_->ChannelOf(sector);
+  const uint32_t last =
+      inner_->ChannelOf(sectors > 0 ? sector + sectors - 1 : sector);
+  for (uint32_t ch = first; ch <= last; ++ch) {
+    if (failed_channels_.count(ch) != 0) {
+      return ch;
+    }
+  }
+  return -1;
+}
+
+Status FaultDisk::HealChannel(uint32_t ch) {
+  if (ch >= inner_->num_channels()) {
+    return InvalidArgumentError("HealChannel: no such channel");
+  }
+  if (failed_channels_.erase(ch) == 0) {
+    // Healing a live channel is a no-op: the spare swap is destructive and
+    // must only ever replace a channel that actually died.
+    return OkStatus();
+  }
+  // The heal models swapping in a blank spare: find the channel's sector
+  // band (ChannelOf is monotonic over contiguous bands) and zero it on the
+  // inner device, bypassing fault checks. Latent errors in the band go with
+  // the old platter.
+  const uint64_t total = inner_->num_sectors();
+  uint64_t lo = 0;
+  uint64_t hi = total;
+  while (lo < hi) {  // First sector owned by a channel >= ch.
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (inner_->ChannelOf(mid) < ch) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const uint64_t band_begin = lo;
+  hi = total;
+  while (lo < hi) {  // First sector owned by a channel > ch.
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (inner_->ChannelOf(mid) <= ch) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const uint64_t band_end = lo;
+  const uint32_t ss = sector_size();
+  const uint64_t chunk = 256;
+  scratch_.assign(static_cast<size_t>(chunk) * ss, 0);
+  for (uint64_t s = band_begin; s < band_end; s += chunk) {
+    const uint64_t n = std::min(chunk, band_end - s);
+    RETURN_IF_ERROR(inner_->Write(
+        s, std::span<const uint8_t>(scratch_.data(), static_cast<size_t>(n) * ss)));
+  }
+  for (uint64_t s = band_begin; s < band_end; ++s) {
+    latent_sectors_.erase(s);
+  }
+  return OkStatus();
 }
 
 Status FaultDisk::CheckReadFault(uint64_t sector, size_t bytes) {
   if (crashed_) {
-    return CountReadError(IoError("device crashed"));
+    return CountReadError(sector, IoError("device crashed"));
+  }
+  // A dead channel fails everything touching its band, persistently (like a
+  // latent error, it survives ClearFault: a reboot does not revive an arm).
+  if (const int64_t ch = FailedChannelOf(sector, bytes / sector_size()); ch >= 0) {
+    return CountReadError(
+        sector, IoError("channel " + std::to_string(ch) + " failed"));
   }
   // Latent errors are persistent: they dominate transients so that retrying
   // a damaged sector keeps failing.
@@ -70,14 +145,14 @@ Status FaultDisk::CheckReadFault(uint64_t sector, size_t bytes) {
     for (uint64_t s = sector; s < sector + sectors; ++s) {
       if (latent_sectors_.count(s) != 0) {
         return CountReadError(
-            IoError("latent sector error at sector " + std::to_string(s)));
+            sector, IoError("latent sector error at sector " + std::to_string(s)));
       }
     }
   }
   if (read_burst_left_ > 0) {
     read_burst_left_--;
     read_cooldown_ = read_burst_left_ == 0;
-    return CountReadError(IoError("transient read error"));
+    return CountReadError(sector, IoError("transient read error"));
   }
   if (read_cooldown_) {
     // The request right after a burst may not start a new one: this keeps
@@ -91,14 +166,21 @@ Status FaultDisk::CheckReadFault(uint64_t sector, size_t bytes) {
                                                 ? plan_.max_transient_burst
                                                 : 1)) - 1;
     read_cooldown_ = read_burst_left_ == 0;
-    return CountReadError(IoError("transient read error"));
+    return CountReadError(sector, IoError("transient read error"));
   }
   return OkStatus();
 }
 
 Status FaultDisk::CheckWriteFault(uint64_t sector, std::span<const uint8_t> data) {
   if (crashed_) {
-    return CountWriteError(IoError("device crashed"));
+    return CountWriteError(sector, IoError("device crashed"));
+  }
+  // A dead-channel write is rejected before it can advance the armed-crash
+  // countdown or land anything on media.
+  if (const int64_t ch = FailedChannelOf(sector, data.size() / sector_size());
+      ch >= 0) {
+    return CountWriteError(
+        sector, IoError("channel " + std::to_string(ch) + " failed"));
   }
   if (armed_) {
     if (writes_until_crash_ <= 1) {
@@ -113,7 +195,7 @@ Status FaultDisk::CheckWriteFault(uint64_t sector, std::span<const uint8_t> data
           (void)inner_->Write(sector, data);
         }
       }
-      return CountWriteError(IoError("device crashed during write"));
+      return CountWriteError(sector, IoError("device crashed during write"));
     }
     writes_until_crash_--;
   }
@@ -121,7 +203,7 @@ Status FaultDisk::CheckWriteFault(uint64_t sector, std::span<const uint8_t> data
   if (write_burst_left_ > 0) {
     write_burst_left_--;
     write_cooldown_ = write_burst_left_ == 0;
-    return CountWriteError(IoError("transient write error"));
+    return CountWriteError(sector, IoError("transient write error"));
   }
   if (write_cooldown_) {
     write_cooldown_ = false;
@@ -133,7 +215,7 @@ Status FaultDisk::CheckWriteFault(uint64_t sector, std::span<const uint8_t> data
                                                 ? plan_.max_transient_burst
                                                 : 1)) - 1;
     write_cooldown_ = write_burst_left_ == 0;
-    return CountWriteError(IoError("transient write error"));
+    return CountWriteError(sector, IoError("transient write error"));
   }
   return OkStatus();
 }

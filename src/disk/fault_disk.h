@@ -97,6 +97,21 @@ class FaultDisk : public BlockDevice {
   // Number of silent bit flips injected so far (random plus explicit).
   uint64_t corruptions_injected() const { return corruptions_injected_; }
 
+  // --- Whole-channel failure ----------------------------------------------
+
+  // Fails channel `ch`: every request touching a sector owned by the channel
+  // returns a typed IO_ERROR until the channel is healed. Models a dead
+  // actuator/flash channel; survives ClearFault() like other media damage.
+  void FailChannel(uint32_t ch) { failed_channels_.insert(ch); }
+
+  // Replaces the channel with a blank spare: I/O is accepted again, but the
+  // channel's media reads back as zeros (the old contents are gone). The LD
+  // above is expected to re-materialize segments via Lld::Rebuild.
+  Status HealChannel(uint32_t ch);
+
+  bool channel_failed(uint32_t ch) const { return failed_channels_.count(ch) != 0; }
+  size_t failed_channel_count() const { return failed_channels_.size(); }
+
   uint32_t sector_size() const override { return inner_->sector_size(); }
   uint64_t num_sectors() const override { return inner_->num_sectors(); }
 
@@ -138,8 +153,12 @@ class FaultDisk : public BlockDevice {
   // injected failure, and counts the failure in the device health stats.
   Status CheckReadFault(uint64_t sector, size_t bytes);
   Status CheckWriteFault(uint64_t sector, std::span<const uint8_t> data);
-  Status CountReadError(Status s);
-  Status CountWriteError(Status s);
+  Status CountReadError(uint64_t sector, Status s);
+  Status CountWriteError(uint64_t sector, Status s);
+
+  // Returns the failed channel owning any sector of [sector, sector+sectors),
+  // or -1 when the range lies entirely on live channels.
+  int64_t FailedChannelOf(uint64_t sector, uint64_t sectors) const;
 
   // Applies post-acceptance write effects: heals rewritten latent sectors,
   // develops new latent errors, and bit-flips sectors as they land. Returns
@@ -161,6 +180,7 @@ class FaultDisk : public BlockDevice {
   bool read_cooldown_ = false;
   bool write_cooldown_ = false;
   std::unordered_set<uint64_t> latent_sectors_;
+  std::unordered_set<uint32_t> failed_channels_;
   uint64_t corruptions_injected_ = 0;
   std::vector<uint8_t> scratch_;  // Sector buffer for corruption writes.
 };

@@ -2,7 +2,7 @@
 
 namespace ld {
 
-void ReliableIo::BackoffBeforeRetry(uint32_t attempt, bool is_read) {
+void ReliableIo::BackoffBeforeRetry(uint32_t attempt, bool is_read, uint64_t sector) {
   double backoff = policy_.initial_backoff_s;
   for (uint32_t i = 1; i < attempt; ++i) {
     backoff *= 2.0;
@@ -16,6 +16,8 @@ void ReliableIo::BackoffBeforeRetry(uint32_t attempt, bool is_read) {
   }
   if (DiskStats* stats = device_->mutable_stats()) {
     (is_read ? stats->read_retries : stats->write_retries)++;
+    ChannelStats& ch = stats->MutableChannel(device_->ChannelOf(sector));
+    (is_read ? ch.read_retries : ch.write_retries)++;
   }
 }
 
@@ -29,7 +31,7 @@ Status ReliableIo::Read(uint64_t sector, std::span<uint8_t> out) {
   Status s = device_->Read(sector, out);
   for (uint32_t attempt = 1; !s.ok() && Retryable(s) && attempt < policy_.max_attempts;
        ++attempt) {
-    BackoffBeforeRetry(attempt, /*is_read=*/true);
+    BackoffBeforeRetry(attempt, /*is_read=*/true, sector);
     s = device_->Read(sector, out);
     if (s.ok()) {
       CountRecovery();
@@ -42,7 +44,7 @@ Status ReliableIo::Write(uint64_t sector, std::span<const uint8_t> data) {
   Status s = device_->Write(sector, data);
   for (uint32_t attempt = 1; !s.ok() && Retryable(s) && attempt < policy_.max_attempts;
        ++attempt) {
-    BackoffBeforeRetry(attempt, /*is_read=*/false);
+    BackoffBeforeRetry(attempt, /*is_read=*/false, sector);
     s = device_->Write(sector, data);
     if (s.ok()) {
       CountRecovery();
@@ -55,7 +57,7 @@ StatusOr<IoTag> ReliableIo::SubmitRead(uint64_t sector, std::span<uint8_t> out) 
   StatusOr<IoTag> r = device_->SubmitRead(sector, out);
   for (uint32_t attempt = 1;
        !r.ok() && Retryable(r.status()) && attempt < policy_.max_attempts; ++attempt) {
-    BackoffBeforeRetry(attempt, /*is_read=*/true);
+    BackoffBeforeRetry(attempt, /*is_read=*/true, sector);
     r = device_->SubmitRead(sector, out);
     if (r.ok()) {
       CountRecovery();
@@ -68,7 +70,7 @@ StatusOr<IoTag> ReliableIo::SubmitWrite(uint64_t sector, std::span<const uint8_t
   StatusOr<IoTag> r = device_->SubmitWrite(sector, data);
   for (uint32_t attempt = 1;
        !r.ok() && Retryable(r.status()) && attempt < policy_.max_attempts; ++attempt) {
-    BackoffBeforeRetry(attempt, /*is_read=*/false);
+    BackoffBeforeRetry(attempt, /*is_read=*/false, sector);
     r = device_->SubmitWrite(sector, data);
     if (r.ok()) {
       CountRecovery();

@@ -54,8 +54,9 @@ class ReliableIo {
   static bool Retryable(const Status& s) { return s.code() == ErrorCode::kIoError; }
 
   // Advances the sim clock for retry attempt `attempt` (1-based) and counts
-  // the retry in the device health stats.
-  void BackoffBeforeRetry(uint32_t attempt, bool is_read);
+  // the retry in the device health stats (global and per-channel, attributed
+  // to the channel owning the request's first sector).
+  void BackoffBeforeRetry(uint32_t attempt, bool is_read, uint64_t sector);
   void CountRecovery();
 
   BlockDevice* device_ = nullptr;

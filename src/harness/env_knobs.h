@@ -59,6 +59,28 @@ inline bool EnvSegmentParity(bool fallback) {
   return std::string_view(v) != "0";
 }
 
+// Cross-channel stripe parity toggle (LD_STRIPE_PARITY=0|1): the CI stripe
+// matrix runs the striping/recovery suites with RAID-5-style stripe sets
+// both absent and present. Tests whose expectations depend on one setting
+// pin `LldOptions::stripe_parity` explicitly instead.
+inline bool EnvStripeParity(bool fallback) {
+  const char* v = std::getenv("LD_STRIPE_PARITY");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::string_view(v) != "0";
+}
+
+// LD_FAIL_CHANNEL=N: channel the bench fault experiments kill with
+// FaultDisk::FailChannel (-1 / unset = the experiment's own default).
+inline int EnvFailChannel(int fallback) {
+  const char* v = std::getenv("LD_FAIL_CHANNEL");
+  if (v == nullptr) {
+    return fallback;
+  }
+  return std::atoi(v);
+}
+
 // Incremental checkpoint cadence in sealed segments (LD_CKPT_INTERVAL=N,
 // 0 = checkpoints only at clean shutdown — the paper's behaviour). The CI
 // recovery matrix varies it so the same binaries cover checkpoint-off and

@@ -30,6 +30,26 @@ void PrintDiskHealthStats(const std::string& label, const DiskStats& stats) {
       static_cast<unsigned long long>(stats.read_retries),
       static_cast<unsigned long long>(stats.write_retries),
       static_cast<unsigned long long>(stats.transient_recoveries));
+  // On multi-channel devices a dead or dying channel shows up as one row's
+  // error column towering over its peers — print the breakdown so the bench
+  // output localizes the fault, not just counts it.
+  if (stats.channel_count() > 1) {
+    for (size_t ch = 0; ch < stats.channel_count(); ++ch) {
+      const ChannelStats& c = stats.channel(ch);
+      if (c.read_ops + c.write_ops + c.read_errors + c.write_errors == 0) {
+        continue;
+      }
+      std::printf(
+          "    channel %-2zu             errors r/w %llu/%llu  retries r/w %llu/%llu  "
+          "ops r/w %llu/%llu\n",
+          ch, static_cast<unsigned long long>(c.read_errors),
+          static_cast<unsigned long long>(c.write_errors),
+          static_cast<unsigned long long>(c.read_retries),
+          static_cast<unsigned long long>(c.write_retries),
+          static_cast<unsigned long long>(c.read_ops),
+          static_cast<unsigned long long>(c.write_ops));
+    }
+  }
 }
 
 void PrintReadPathStats(const std::string& label, const DiskStats& stats) {

@@ -45,11 +45,15 @@ Status LogStructuredDisk::ComputeLayout() {
   checkpoint_start_byte_ = 4096;  // Sector 0..7 reserved for the superblock.
   checkpoint_bytes_ = RoundUp(std::max<uint64_t>(1 << 20, capacity / 32), sector);
   data_start_byte_ = RoundUp(checkpoint_start_byte_ + checkpoint_bytes_, sector);
-  if (data_start_byte_ + options_.segment_bytes > capacity) {
+  // The final sector holds the superblock replica. The primary lives at
+  // sector 0 — channel 0 — so losing that channel to a blank spare would
+  // otherwise take the volume identity with it; the replica sits on the
+  // last channel and covers that case.
+  if (data_start_byte_ + options_.segment_bytes + sector > capacity) {
     return InvalidArgumentError("device too small for one segment");
   }
   const uint32_t num_segments =
-      static_cast<uint32_t>((capacity - data_start_byte_) / options_.segment_bytes);
+      static_cast<uint32_t>((capacity - data_start_byte_ - sector) / options_.segment_bytes);
   usage_ = std::make_unique<UsageTable>(num_segments);
   open_buffer_.assign(options_.segment_bytes, 0);
   return OkStatus();
@@ -87,12 +91,39 @@ Status LogStructuredDisk::WriteSuperblock() {
 
   std::vector<uint8_t> sector(device_->sector_size(), 0);
   std::memcpy(sector.data(), payload.data(), payload.size());
-  return io_.Write(0, sector);
+  RETURN_IF_ERROR(io_.Write(0, sector));
+  return io_.Write(SuperblockReplicaSector(), sector);
+}
+
+uint64_t LogStructuredDisk::SuperblockReplicaSector() const {
+  return device_->capacity_bytes() / device_->sector_size() - 1;
 }
 
 Status LogStructuredDisk::ReadAndCheckSuperblock() {
   std::vector<uint8_t> sector(device_->sector_size());
-  RETURN_IF_ERROR(io_.Read(0, sector));
+  // Primary first; if it is unreadable or fails validation, fall back to the
+  // replica in the device's last sector. A blank-spare swap of channel 0
+  // zeroes the primary, so the fallback is what keeps the volume openable.
+  Status primary = io_.Read(0, sector);
+  bool from_replica = false;
+  if (primary.ok()) {
+    Decoder probe(sector);
+    const uint32_t magic = probe.GetU32();
+    const uint32_t version = probe.GetU32();
+    if (!probe.ok() || magic != kSuperMagic || version < kSuperMinVersion ||
+        version > kSuperVersion) {
+      primary = CorruptionError("primary superblock invalid");
+    }
+  }
+  if (!primary.ok()) {
+    Status replica = io_.Read(SuperblockReplicaSector(), sector);
+    if (!replica.ok()) {
+      return primary;  // Both copies gone: report the primary's failure.
+    }
+    from_replica = true;
+    LD_LOG(kWarn) << "superblock: primary unreadable (" << primary.ToString()
+                  << "), using replica";
+  }
   Decoder dec(sector);
   const uint32_t magic = dec.GetU32();
   const uint32_t version = dec.GetU32();
@@ -125,6 +156,14 @@ Status LogStructuredDisk::ReadAndCheckSuperblock() {
   checkpoint_bytes_ = cp_bytes;
   usage_ = std::make_unique<UsageTable>(num_segments);
   open_buffer_.assign(segment_bytes, 0);
+  if (from_replica) {
+    // Heal the primary best-effort: if channel 0 is a freshly swapped blank
+    // spare this restores it; if the channel is still dead the write fails
+    // and the volume simply keeps opening from the replica.
+    if (Status heal = io_.Write(0, sector); !heal.ok()) {
+      LD_LOG(kWarn) << "superblock: primary rewrite failed: " << heal.ToString();
+    }
+  }
   return OkStatus();
 }
 
@@ -328,13 +367,43 @@ Status LogStructuredDisk::ReapInflightTo(size_t max_outstanding) {
 }
 
 Status LogStructuredDisk::FlushOpenSegmentFull() {
-  if (open_data_used_ == 0 && open_records_.empty()) {
+  if (open_data_used_ == 0 && open_records_.empty() && redeclare_groups_.empty()) {
     return OkStatus();
   }
   // Keep at most one in-flight write per channel: the oldest must complete
   // before another is issued, which also bounds buffer memory.
   RETURN_IF_ERROR(ReapInflightTo(MaxInflight() - 1));
   ASSIGN_OR_RETURN(uint32_t target, AllocateFreeSegment(/*allow_clean=*/true));
+  // Cross-channel stripe formation rides the seal: when one unstriped sealed
+  // segment exists on every live channel but one, their kStripeParity
+  // records join this summary and the parity image is written right after
+  // this segment is submitted (so a crash before the records never leaves a
+  // parity image the log does not explain). Best-effort: a short segment
+  // supply or summary space just skips this round.
+  if (StripeEnabled() && !forming_stripe_ && !cleaning_) {
+    if (Status s = MaybeFormStripes(target); !s.ok()) {
+      LD_LOG(kWarn) << "stripe formation skipped: " << s.ToString();
+    }
+  }
+  // Second-channel redeclaration: duplicate stripe records queued by earlier
+  // seals join this summary (whole groups only), putting every set's
+  // declaration on two channels. Groups that do not fit wait for the next
+  // seal.
+  while (!redeclare_groups_.empty()) {
+    const std::vector<SummaryRecord>& group = redeclare_groups_.front();
+    size_t group_bytes = 0;
+    for (const auto& r : group) {
+      group_bytes += r.EncodedSize();
+    }
+    if (open_record_bytes_ + group_bytes + kSummaryOverhead > options_.summary_bytes) {
+      break;
+    }
+    for (const auto& r : group) {
+      open_records_.push_back(r);
+    }
+    open_record_bytes_ += group_bytes;
+    redeclare_groups_.erase(redeclare_groups_.begin());
+  }
   const uint64_t seq = next_seq_++;
   SegmentUsage parity_info;
   const bool has_parity =
@@ -360,6 +429,13 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
     // then go read-only — the log can no longer accept this segment.
     spare_buffers_.push_back(std::move(open_buffer_));
     open_buffer_ = std::move(sealed);
+    // Any stripe set formed for this seal dies with it: its records were
+    // never submitted, so no parity image may reach the media either. The
+    // parity targets reserved at planning time return to the free pool.
+    for (const PendingParity& p : pending_parity_) {
+      usage_->segment(p.set.parity_segment).state = SegmentState::kFree;
+    }
+    pending_parity_.clear();
     return HandleWriteFailure(tag.status());
   }
 
@@ -387,6 +463,21 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   }
   UpdateRecordAuthority(target, open_records_);
   CaptureFrameSegment(target, seq, seg, open_records_);
+  // Stripe parity images go out strictly *after* the sealing segment that
+  // carries their records was submitted (submit order is crash order): a
+  // crash between the two leaves records whose parity CRC does not verify —
+  // a dead stripe — never an unexplained parity image. A failed parity
+  // write just drops the set; the members' data is unaffected.
+  if (!pending_parity_.empty()) {
+    std::vector<PendingParity> pending = std::move(pending_parity_);
+    pending_parity_.clear();
+    for (PendingParity& p : pending) {
+      p.set.record_segment = target;
+      if (Status s = CommitStripe(std::move(p.set), p.image); !s.ok()) {
+        LD_LOG(kWarn) << "stripe parity write failed; set dropped: " << s.ToString();
+      }
+    }
+  }
   InflightWrite inflight;
   inflight.buffer = std::move(sealed);
   inflight.tag = *tag;
@@ -497,6 +588,13 @@ void LogStructuredDisk::UpdateRecordAuthority(uint32_t segment,
       case SummaryRecordType::kListMove:
         if (list_table_.IsAllocated(r.lid)) {
           list_table_.entry(r.lid).create_seg = segment;
+        }
+        break;
+      case SummaryRecordType::kStripeParity:
+        // The newest on-disk record set for a live stripe is authoritative;
+        // the cleaner re-logs a set when it reclaims its record segment.
+        if (auto it = stripes_.find(r.offset); it != stripes_.end()) {
+          it->second.record_segment = segment;
         }
         break;
       default:
@@ -779,8 +877,21 @@ Status LogStructuredDisk::Read(Bid bid, std::span<uint8_t> out) {
       return s;
     }
     const uint32_t orig_size = entry->size_class;
-    RETURN_IF_ERROR(TryReconstructStored(bid, *entry, stored_bytes, s));
-    if (CheckWritable().ok() && !cleaning_) {
+    // Repair ladder: the per-segment XOR lane first (one damaged extent in
+    // an otherwise-healthy segment), then the cross-channel stripe peers
+    // (whole segment — or whole channel — gone). Both gate on the block's
+    // payload CRC, so a double fault stays a typed CORRUPTION.
+    Status repaired = TryReconstructStored(bid, *entry, stored_bytes, s);
+    if (!repaired.ok()) {
+      repaired = TryStripeReconstructStored(bid, *entry, stored_bytes, repaired);
+    }
+    RETURN_IF_ERROR(repaired);
+    // Relocation is best-effort and additionally yields when the usable pool
+    // is thin: under a dead channel every read of that channel reconstructs,
+    // and relocating them all would race the foreground writer for the last
+    // free segments. Unrelocated blocks just reconstruct again next read.
+    if (CheckWritable().ok() && !cleaning_ &&
+        usage_->AllocatableCount() > options_.free_segment_reserve) {
       if (Status reloc = AppendBlockData(bid, stored_bytes, orig_size, compressed,
                                          /*internal=*/true);
           !reloc.ok()) {

@@ -31,6 +31,7 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -67,6 +68,13 @@ struct LldCounters {
   // Damaged blocks rebuilt from segment parity (read path + scrub). Each one
   // is also relocated through the log so the repaired copy is durable.
   uint64_t blocks_reconstructed = 0;
+  // Damaged blocks rebuilt from the cross-channel stripe peers (second
+  // redundancy tier — the per-segment lane could not repair them).
+  uint64_t blocks_stripe_reconstructed = 0;
+  // Cross-channel stripe sets formed (seal-time + FormStripes) / dissolved
+  // (cleaner countermand, scrub retirement, rebuild double fault).
+  uint64_t stripes_formed = 0;
+  uint64_t stripes_dissolved = 0;
   // Incremental checkpointing: frames committed to the A/B region (base +
   // delta), and rebases (chain compacted into a fresh base in the other slot
   // because the active slot filled up).
@@ -172,6 +180,43 @@ class LogStructuredDisk : public LogicalDisk {
   // *reconstructed* from the segment's parity block and relocated instead.
   StatusOr<ScrubReport> Scrub() override;
 
+  // ---- Cross-channel stripe parity (lld_stripe.cc) -------------------------
+
+  // Maintenance pass: groups every unstriped sealed segment into stripe sets
+  // (allowing partial width down to one member + parity on a distinct
+  // channel, i.e. a mirror), so planned-failover tests can reach full
+  // coverage without waiting for seal-time formation. Requires no open ARUs
+  // and LldOptions::stripe_parity on a multi-channel device. Returns the
+  // number of stripe sets formed.
+  StatusOr<uint32_t> FormStripes();
+
+  // Tells the allocator that channel `ch` is dead (failed = true): segment
+  // allocation, stripe formation, and parity placement avoid its band, and
+  // incremental checkpointing is disabled (the checkpoint region may be
+  // unreachable). Healing (failed = false) re-admits the band and queues
+  // every striped segment on the channel for Rebuild — the heal semantics
+  // are a *blank spare* (see FaultDisk::HealChannel), so the old images are
+  // gone until rebuilt.
+  Status SetChannelFailed(uint32_t ch, bool failed);
+
+  // Re-materializes up to `max_segments` queued segments (0 = all) onto
+  // their original locations — now blank spare media — from the N-1
+  // surviving stripe peers: member images are XOR-reconstructed and verified
+  // against their recorded summary sequence, parity images are recomputed
+  // and verified against the recorded parity CRC; any mismatch is a typed
+  // double fault (the stripe is dissolved, never guessed at). Rebuild I/O is
+  // stamped with LldOptions::rebuild_tenant so the QoS dispatch layer can
+  // pace it under foreground traffic. Callable incrementally while serving.
+  StatusOr<RebuildReport> Rebuild(uint32_t max_segments = 0);
+
+  // Segments queued for Rebuild.
+  uint32_t rebuild_pending() const { return static_cast<uint32_t>(rebuild_pending_.size()); }
+  // Stripe sets currently registered (tests & benches).
+  uint32_t stripe_count() const { return static_cast<uint32_t>(stripes_.size()); }
+  bool channel_marked_failed(uint32_t ch) const {
+    return ch < channel_failed_.size() && channel_failed_[ch];
+  }
+
   // ---- Introspection (tests & benchmarks) ---------------------------------
   // What the last Open() did to rebuild state (RecoveryMode::kNone after
   // Format), including the typed checkpoint fallback ladder.
@@ -222,6 +267,9 @@ class LogStructuredDisk : public LogicalDisk {
   uint64_t SegmentBaseByte(uint32_t segment) const;
   Status WriteSuperblock();
   Status ReadAndCheckSuperblock();
+  // Last sector of the device: holds the superblock replica (the primary is
+  // sector 0, channel 0 — a blank-spare swap there must not lose the volume).
+  uint64_t SuperblockReplicaSector() const;
 
   // ---- Open-segment management --------------------------------------------
   // Ensures at least `data_bytes` of data space and room for `record_bytes`
@@ -324,6 +372,107 @@ class LogStructuredDisk : public LogicalDisk {
   void ChargeDecompressCpu(uint64_t bytes);
   uint64_t LiveBytes() const;
 
+  // ---- Stripe parity internals (lld_stripe.cc) -----------------------------
+  // One cross-channel stripe set: `members` (one sealed segment per distinct
+  // channel) XOR to the image stored in `parity_segment`. `member_seqs`
+  // snapshot each member's summary sequence at formation, so a reused
+  // segment is never mistaken for the striped image. `record_segment` is the
+  // segment whose summary currently holds the set's kStripeParity records
+  // (the cleaner re-logs them when it reclaims that segment).
+  struct StripeSet {
+    uint32_t parity_segment = 0;
+    std::vector<uint32_t> members;
+    std::vector<uint64_t> member_seqs;
+    uint32_t parity_crc = 0;       // 24-bit CRC of the parity segment image.
+    uint32_t record_segment = 0;
+  };
+  bool StripeEnabled() const {
+    return options_.stripe_parity && device_->num_channels() >= 2;
+  }
+  // Channel owning `segment` (by its first sector). Channel bands are
+  // cylinder-aligned, not segment-aligned, so a segment whose byte range
+  // crosses a band boundary lives on TWO adjacent channels —
+  // SegmentLastChannel() reveals the other end, and placement or usability
+  // decisions must consider the whole [first, last] span.
+  uint32_t SegmentChannel(uint32_t segment) const;
+  uint32_t SegmentLastChannel(uint32_t segment) const;
+  bool SegmentOnChannel(uint32_t segment, uint32_t ch) const;
+  // All channels the segment's span touches accept I/O.
+  bool SegmentChannelsUsable(uint32_t segment) const;
+  bool ChannelUsable(uint32_t ch) const {
+    return ch >= channel_failed_.size() || !channel_failed_[ch];
+  }
+  // Reads a segment's full image (data area + summary tail).
+  Status ReadSegmentImage(uint32_t segment, std::span<uint8_t> out);
+  // Seal-time formation: if one unstriped kFull segment exists on every live
+  // channel but one, forms a full-width stripe set whose records ride the
+  // summary of `sealing_segment` (appended to open_records_); the parity
+  // image is written after the sealing segment is submitted (see
+  // pending_parity_). Best-effort: skips silently when capacity or segment
+  // supply is short.
+  Status MaybeFormStripes(uint32_t sealing_segment);
+  // Shared formation core: XORs `members`' full images into `*image` (the
+  // parity image for `parity_segment`) and returns the finished set (caller
+  // appends records, writes the image, and registers).
+  StatusOr<StripeSet> ComputeStripe(const std::vector<uint32_t>& members,
+                                    uint32_t parity_segment, std::vector<uint8_t>* image);
+  // Writes a computed parity image and registers its set in the maps.
+  Status CommitStripe(StripeSet set, const std::vector<uint8_t>& parity_image);
+  void RegisterStripe(StripeSet set);
+  void EraseStripe(uint32_t parity_segment);
+  // Appends the full kStripeParity record set of `set` to `records`.
+  void AppendStripeRecords(const StripeSet& set, OpTimestamp ts,
+                           std::vector<SummaryRecord>* records) const;
+  // Dissolves every stripe touching a victim in `victims`: zeroes the parity
+  // segment's summary region (so its later reuse can never read as a suspect
+  // summary), strips re-logged records for the set from `batch_records`, and
+  // appends the countermand (member count 0) record. The caller frees the
+  // parity segment after the batch is durable via the returned list.
+  StatusOr<std::vector<uint32_t>> DissolveStripesTouching(
+      const std::vector<uint32_t>& victims, std::vector<SummaryRecord>* batch_records);
+  // Second-tier read repair: reconstructs entry's stored bytes by XOR-ing
+  // the sector-aligned extent across the N-1 surviving stripe peers and the
+  // parity segment, verifies the result against the entry's payload CRC
+  // (typed CORRUPTION on any second fault — peer unreadable or CRC
+  // mismatch), relocates the repaired copy, and bumps the degraded-read
+  // device stats. Returns `damage` unchanged when the block's segment is not
+  // striped.
+  Status TryStripeReconstructStored(Bid bid, const BlockMapEntry& entry,
+                                    std::span<uint8_t> out, const Status& damage);
+  // Rebuilds the channel allocation mask from channel_failed_ and installs /
+  // clears it as the usage table's filter (composing with the checkpoint
+  // window, which is disabled on channel failure).
+  void InstallChannelFilter();
+  void EnqueueRebuild(uint32_t segment);
+
+  std::unordered_map<uint32_t, StripeSet> stripes_;       // By parity segment.
+  std::unordered_map<uint32_t, uint32_t> member_stripe_;  // Member -> parity.
+  std::vector<bool> channel_failed_;
+  std::vector<uint8_t> channel_alloc_mask_;
+  std::deque<uint32_t> rebuild_pending_;
+  std::unordered_set<uint32_t> rebuild_queued_;
+  // Round-robin cursor rotating parity placement across channels (RAID-5).
+  uint32_t next_parity_channel_ = 0;
+  // Re-entrancy guard: stripe formation and dissolution append records and
+  // read segment images; a flush they trigger must not form again.
+  bool forming_stripe_ = false;
+  // Parity image computed at seal time, written right after the sealing
+  // segment (whose summary carries the records) is submitted.
+  struct PendingParity {
+    StripeSet set;
+    std::vector<uint8_t> image;
+  };
+  std::vector<PendingParity> pending_parity_;
+  // A set's kStripeParity records ride ONE sealing segment's summary; if
+  // that carrier's channel is later replaced by a blank spare, the set would
+  // be undiscoverable at recovery (an all-zero summary reads as "never
+  // written"). Each committed set therefore queues a duplicate of its
+  // records here, and the next full seal — which channel rotation places on
+  // a different channel — carries them, so every set stays declared on two
+  // channels. Whole groups only: a partial duplicate would decode as a
+  // malformed (missing-member) set and kill the stripe at recovery.
+  std::vector<std::vector<SummaryRecord>> redeclare_groups_;
+
   // ---- Cleaner (lld_cleaner.cc) --------------------------------------------
   struct CleanedBlock {
     Bid bid = kNilBid;
@@ -364,7 +513,8 @@ class LogStructuredDisk : public LogicalDisk {
   };
   // Decodes a victim's summary and appends its live blocks (bytes pending in
   // `*pending` until the batched read completes) and records to `batch`.
-  Status HarvestVictim(uint32_t victim, CleanerBatch* batch, VictimDataRead* pending);
+  Status HarvestVictim(uint32_t victim, CleanerBatch* batch, VictimDataRead* pending,
+                       uint32_t* ext_live);
   // Sorts blocks into list order for cluster-on-clean.
   void OrderByLists(std::vector<CleanedBlock>* blocks);
   // Writes a batch into fresh segments through a dedicated writer (so victims

@@ -27,7 +27,7 @@
 namespace ld {
 
 Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
-                                        VictimDataRead* pending) {
+                                        VictimDataRead* pending, uint32_t* ext_live) {
   const uint32_t sector = device_->sector_size();
   std::vector<uint8_t> summary(options_.summary_bytes);
   RETURN_IF_ERROR(io_.Read((SegmentBaseByte(victim) + data_capacity_) / sector, summary));
@@ -51,9 +51,11 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
   RETURN_IF_ERROR(DecodeSummary(summary, ext, &header, &records));
   if (header.ext_bytes > 0) {
     // The spilled record bytes were accounted live when this segment was
-    // written; harvesting re-logs what still matters, so release them.
-    SegmentUsage& seg = usage_->segment(victim);
-    usage_->RemoveLive(victim, std::min<uint32_t>(header.ext_bytes, seg.live_bytes));
+    // written; harvesting re-logs what still matters. Their release is
+    // *deferred* to the commit point (the victim-free loop): a failed pass
+    // restores victims to kFull and retries, and an eager release here would
+    // be applied once per attempt, underflowing the segment's live count.
+    *ext_live = std::min<uint32_t>(header.ext_bytes, usage_->segment(victim).live_bytes);
   }
 
   // Pass 1: which block entries are live? (Checked before reading data.)
@@ -117,6 +119,7 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
   std::unordered_map<Lid, const SummaryRecord*> last_head, last_create;
   std::unordered_set<Bid> freed;
   std::unordered_set<Lid> deleted;
+  std::unordered_set<uint32_t> relog_stripes;
   for (const auto& r : records) {
     switch (r.type) {
       case SummaryRecordType::kLinkTuple:
@@ -170,6 +173,16 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
       case SummaryRecordType::kScrubIntent:
         break;  // Only meaningful to the recovery that follows the scrub
                 // that wrote it; a surviving one is stale and dropped.
+      case SummaryRecordType::kStripeParity:
+        // A live set's records are re-logged in full when this victim holds
+        // their latest copy. Dead sets' records and countermands are simply
+        // dropped: the dissolve protocol zeroes the parity summary before
+        // its countermand can net, so nothing on the media needs them.
+        if (const auto it = stripes_.find(r.offset);
+            it != stripes_.end() && it->second.record_segment == victim) {
+          relog_stripes.insert(r.offset);
+        }
+        break;
     }
   }
   // Re-logged records keep an open unit's tag and are dropped for an
@@ -206,6 +219,9 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
   }
   for (Lid lid : deleted) {
     batch->records.push_back(SummaryRecord::ListDelete(NextTs(), lid, true));
+  }
+  for (uint32_t parity : relog_stripes) {
+    AppendStripeRecords(stripes_.at(parity), NextTs(), &batch->records);
   }
   return OkStatus();
 }
@@ -469,7 +485,10 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
   // victims are added until the round nets at least two segments of space —
   // the guard that keeps an age-dominated cost-benefit policy from spinning
   // on almost-fully-live cold segments without replenishing the pool.
-  const uint32_t free_now = usage_->FreeCount();
+  // Allocatable, not merely free: in degraded mode free segments on a failed
+  // channel cannot take copied state, and budgeting against them makes the
+  // batch overcommit and die with NO_SPACE mid-write.
+  const uint32_t free_now = usage_->AllocatableCount();
   if (free_now <= 1) {
     cleaning_ = false;
     return NoSpaceError("cleaner: free pool exhausted");
@@ -480,6 +499,7 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
 
   CleanerBatch batch;
   std::vector<uint32_t> victims;
+  std::vector<uint32_t> victim_ext;  // Deferred ext-record release per victim.
   std::vector<VictimDataRead> reads;
   uint64_t batch_live = 0;
   uint64_t batch_record_bytes = 0;
@@ -518,9 +538,12 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kCleaning;
     const size_t records_before = batch.records.size();
     VictimDataRead pending;
-    const Status status = HarvestVictim(static_cast<uint32_t>(victim), &batch, &pending);
+    uint32_t ext_live = 0;
+    const Status status =
+        HarvestVictim(static_cast<uint32_t>(victim), &batch, &pending, &ext_live);
     if (!status.ok()) {
       usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kFull;
+      fprintf(stderr, "TEMPDIAG clean exit harvest-fail\n");  // TEMP DIAG
       cleaning_ = false;
       return status;
     }
@@ -531,6 +554,7 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
       batch_record_bytes += batch.records[i].EncodedSize();
     }
     victims.push_back(static_cast<uint32_t>(victim));
+    victim_ext.push_back(ext_live);
     batch_live += victim_live;
     const uint64_t reclaimed = victims.size() * static_cast<uint64_t>(data_capacity_);
     if (victims.size() >= count && reclaimed >= batch_live + 2 * data_capacity_) {
@@ -538,6 +562,7 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     }
   }
   if (victims.empty()) {
+      fprintf(stderr, "TEMPDIAG clean exit nospace\n");  // TEMP DIAG
     cleaning_ = false;
     return OkStatus();
   }
@@ -571,6 +596,7 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
       for (uint32_t v : victims) {
         usage_->segment(v).state = SegmentState::kFull;
       }
+      fprintf(stderr, "TEMPDIAG clean exit read-fail\n");  // TEMP DIAG
       cleaning_ = false;
       return failure;
     }
@@ -580,6 +606,22 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
         std::memcpy(b.stored.data(), r.data.data() + s.offset, b.stored.size());
       }
     }
+  }
+
+  // A stripe touching a victim is dissolved before the batch goes out: the
+  // member image about to be freed is exactly what the parity explains. The
+  // countermand record rides the batch (and any records the harvest re-logged
+  // for the set are stripped from it); the parity segments rejoin the free
+  // pool with the victims once the batch is durable.
+  StatusOr<std::vector<uint32_t>> dissolved_parity =
+      DissolveStripesTouching(victims, &batch.records);
+  if (!dissolved_parity.ok()) {
+    for (uint32_t v : victims) {
+      usage_->segment(v).state = SegmentState::kFull;
+    }
+      fprintf(stderr, "TEMPDIAG clean exit dissolve-fail\n");  // TEMP DIAG
+    cleaning_ = false;
+    return dissolved_parity.status();
   }
 
   OrderByLists(&batch.blocks);
@@ -592,13 +634,21 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     return status;
   }
 
-  for (uint32_t v : victims) {
-    SegmentUsage& seg = usage_->segment(v);
-    if (seg.live_bytes != 0) {
-      LD_LOG(kWarn) << "cleaner: victim " << v << " still reports " << seg.live_bytes
-                    << " live bytes";
-      seg.live_bytes = 0;
+  for (uint32_t p : *dissolved_parity) {
+    SegmentUsage& seg = usage_->segment(p);
+    seg.state = SegmentState::kFree;
+    seg.newest_ts = 0;
+    seg.ClearParity();
+  }
+  for (size_t i = 0; i < victims.size(); ++i) {
+    SegmentUsage& seg = usage_->segment(victims[i]);
+    // After the installs, the only live bytes left should be the victim's
+    // spilled record extension (its release was deferred from the harvest).
+    if (seg.live_bytes != victim_ext[i]) {
+      LD_LOG(kWarn) << "cleaner: victim " << victims[i] << " still reports " << seg.live_bytes
+                    << " live bytes (expected " << victim_ext[i] << " ext record bytes)";
     }
+    seg.live_bytes = 0;
     seg.state = SegmentState::kFree;
     seg.newest_ts = 0;
     seg.ClearParity();

@@ -109,6 +109,24 @@ struct LldOptions {
   // reconstructible (PR 3 behaviour).
   bool segment_parity = false;
 
+  // Cross-channel stripe parity (RAID-5-style). On a device with N >= 2
+  // channels, sealed segments are grouped into stripe sets of one segment
+  // per channel, and each set gets one parity segment (XOR of the members'
+  // full images, rotated across channels) recorded via kStripeParity summary
+  // records on the sealing segment. When a read or scrub failure exhausts
+  // the per-segment parity lane — including a whole channel down — the block
+  // is reconstructed from the N-1 surviving peers, gated on its payload CRC
+  // so double faults stay typed CORRUPTION. Lld::Rebuild re-materializes a
+  // healed (blank spare) channel's striped segments in place. Off by
+  // default: fault-free benchmark tables are unchanged, and single-channel
+  // devices never form stripes regardless.
+  bool stripe_parity = false;
+
+  // Tenant id Lld::Rebuild stamps on its own I/O, so the QoS dispatch layer
+  // can pace rebuild traffic as a low-weight tenant while foreground
+  // requests keep flowing. Defaults to the session tenant (no distinction).
+  TenantId rebuild_tenant = kDefaultTenant;
+
   // Incremental checkpointing (bounded recovery). 0 keeps the paper's
   // checkpoint-free normal operation: the only checkpoint is the clean-
   // shutdown image, invalidated on every startup, and recovery after a

@@ -335,9 +335,35 @@ void LogStructuredDisk::EncodeBasePayload(std::vector<uint8_t>* payload) const {
     enc.PutU32(u.parity_covered);
     enc.PutU32(u.parity_crc);
   }
+
+  // Stripe sets, appended only when any exist: a stripe-less volume's base
+  // payload stays byte-identical to the pre-stripe layout (and a pre-stripe
+  // reader simply has no trailing bytes to misread).
+  if (!stripes_.empty()) {
+    std::vector<uint32_t> order;
+    order.reserve(stripes_.size());
+    for (const auto& [p, set] : stripes_) {
+      order.push_back(p);
+    }
+    std::sort(order.begin(), order.end());
+    enc.PutU32(static_cast<uint32_t>(order.size()));
+    for (uint32_t p : order) {
+      const StripeSet& set = stripes_.at(p);
+      enc.PutU32(p);
+      enc.PutU32(set.record_segment);
+      enc.PutU32(set.parity_crc);
+      enc.PutU32(static_cast<uint32_t>(set.members.size()));
+      for (size_t i = 0; i < set.members.size(); ++i) {
+        enc.PutU32(set.members[i]);
+        enc.PutU64(set.member_seqs[i]);
+      }
+    }
+  }
 }
 
 Status LogStructuredDisk::DecodeBasePayload(std::span<const uint8_t> payload) {
+  stripes_.clear();
+  member_stripe_.clear();
   Decoder dec(payload);
   next_ts_ = dec.GetU64();
   next_seq_ = dec.GetU64();
@@ -404,6 +430,38 @@ Status LogStructuredDisk::DecodeBasePayload(std::span<const uint8_t> payload) {
       u.state = SegmentState::kFree;
     } else if (u.state == SegmentState::kCleaning) {
       u.state = SegmentState::kFull;
+    }
+  }
+
+  // Optional trailing stripe section (bases written before stripes existed,
+  // or with none live, end right here).
+  if (dec.ok() && dec.position() < payload.size()) {
+    const uint32_t stripe_count = dec.GetU32();
+    if (!dec.ok() || stripe_count > seg_count) {
+      return CorruptionError("checkpoint stripe section truncated");
+    }
+    for (uint32_t i = 0; i < stripe_count; ++i) {
+      StripeSet set;
+      set.parity_segment = dec.GetU32();
+      set.record_segment = dec.GetU32();
+      set.parity_crc = dec.GetU32();
+      const uint32_t member_count = dec.GetU32();
+      if (!dec.ok() || set.parity_segment >= seg_count || member_count == 0 ||
+          member_count > seg_count) {
+        return CorruptionError("checkpoint stripe section invalid");
+      }
+      set.members.reserve(member_count);
+      set.member_seqs.reserve(member_count);
+      for (uint32_t j = 0; j < member_count; ++j) {
+        const uint32_t m = dec.GetU32();
+        const uint64_t seq = dec.GetU64();
+        if (!dec.ok() || m >= seg_count) {
+          return CorruptionError("checkpoint stripe member invalid");
+        }
+        set.members.push_back(m);
+        set.member_seqs.push_back(seq);
+      }
+      RegisterStripe(std::move(set));
     }
   }
   RETURN_IF_ERROR(dec.ToStatus("checkpoint payload"));
@@ -901,6 +959,8 @@ Status LogStructuredDisk::RecoverFromLog(const LoadedChain* chain) {
                     << "); full log recovery";
       have_chain = false;
       ckpt_have_chain_ = false;
+      stripes_.clear();
+      member_stripe_.clear();
       rep.slots_rejected++;
       rep.fallback_reason = RecoveryFallback::kCheckpointLost;
       rep.frames_loaded = 0;
@@ -1103,6 +1163,250 @@ Status LogStructuredDisk::RecoverFromLog(const LoadedChain* chain) {
     }
   }
 
+  // ---- Stripe parity sets (pre-pass before suspect classification) ----
+  //
+  // kStripeParity records describe cross-channel stripe sets: one record per
+  // member, keyed by the parity segment, a member-count of zero being the
+  // dissolve countermand. The newest record set per parity segment wins in
+  // sequence order; the base snapshot's decoded sets sit beneath every
+  // logged record. A net-live parity segment holds an XOR image whose
+  // summary region is expected garbage (an odd member count even leaves a
+  // valid-looking magic over a failing CRC), so it must leave the suspect
+  // ladder — unless its own media decodes as a fully valid summary NEWER
+  // than the records, which proves them stale (media wins). Members of a
+  // net-live set that lost their summaries (a dead or blank-swapped channel)
+  // are rebuilt here, image and all, from the N-1 surviving peers plus
+  // parity; any second fault along the way refuses the open, typed.
+  struct StripeNet {
+    uint64_t seq = 0;  // Seq of the summary that carried the record set.
+    uint32_t record_segment = 0;
+    uint32_t member_count = 0;  // 0 = dissolved.
+    uint32_t parity_crc = 0;
+    std::vector<uint32_t> members;
+    std::vector<uint64_t> member_seqs;
+  };
+  std::unordered_map<uint32_t, StripeNet> stripe_net;
+  std::unordered_set<uint32_t> stripe_channels_touched;
+  if (!clean_load) {
+    for (const auto& [p, set] : stripes_) {
+      StripeNet net;
+      net.record_segment = set.record_segment;
+      net.member_count = static_cast<uint32_t>(set.members.size());
+      net.parity_crc = set.parity_crc;
+      net.members = set.members;
+      net.member_seqs = set.member_seqs;
+      stripe_net.emplace(p, std::move(net));
+    }
+    stripes_.clear();
+    member_stripe_.clear();
+
+    auto absorb = [&](const ScannedSegment& seg) {
+      for (const auto& r : seg.records) {
+        if (r.type != SummaryRecordType::kStripeParity) {
+          continue;
+        }
+        StripeNet& net = stripe_net[r.offset];
+        const uint32_t count = r.orig_size;
+        if (seg.seq < net.seq) {
+          continue;
+        }
+        if (seg.seq > net.seq || count != net.member_count || count == 0) {
+          net = StripeNet{};
+          net.seq = seg.seq;
+          net.member_count = count;
+          net.parity_crc = r.payload_crc;
+          net.members.assign(count, UINT32_MAX);
+          net.member_seqs.assign(count, 0);
+        }
+        net.record_segment = seg.index;
+        if (count == 0 || r.stored_size >= count) {
+          continue;
+        }
+        net.members[r.stored_size] = r.bid;
+        net.member_seqs[r.stored_size] = r.intent_seq;
+      }
+    };
+    for (const auto& seg : replay) {
+      absorb(seg);
+    }
+    for (const auto& seg : scanned) {
+      absorb(seg);
+    }
+
+    std::unordered_map<uint32_t, uint64_t> scanned_seqs;
+    for (const auto& seg : scanned) {
+      scanned_seqs.emplace(seg.index, seg.seq);
+    }
+
+    // Prune: dissolved sets, sets with impossible shapes (a torn crash can
+    // never produce one — the records ride a single CRC'd summary — but a
+    // leaked dissolve can strand nonsense), and media-wins conflicts.
+    for (auto it = stripe_net.begin(); it != stripe_net.end();) {
+      const uint32_t p = it->first;
+      StripeNet& net = it->second;
+      bool dead = net.member_count == 0 || p >= num_segments;
+      for (size_t i = 0; !dead && i < net.members.size(); ++i) {
+        const uint32_t m = net.members[i];
+        dead = m == UINT32_MAX || m >= num_segments || m == p;
+      }
+      if (!dead) {
+        if (const auto ps = scanned_seqs.find(p);
+            ps != scanned_seqs.end() && ps->second > net.seq) {
+          // Media wins: the parity segment's own summary out-sequences the
+          // stripe records — the set is stale and the segment is live data.
+          dead = true;
+        }
+      }
+      if (dead) {
+        it = stripe_net.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (!stripe_net.empty()) {
+      suspects.erase(std::remove_if(suspects.begin(), suspects.end(),
+                                    [&](const SuspectSegment& s) {
+                                      return stripe_net.count(s.index) != 0;
+                                    }),
+                     suspects.end());
+      for (const auto& [p, net] : stripe_net) {
+        // The XOR image is not a summary, whatever the chain seed or a
+        // stale media decode claimed.
+        has_summary[p] = false;
+        segment_seqs[p] = 0;
+      }
+    }
+
+    auto reconstruct_member = [&](uint32_t p, const StripeNet& net,
+                                  uint32_t idx) -> Status {
+      const uint32_t m = net.members[idx];
+      const auto fault = [&](const std::string& what) {
+        return CorruptionError("recovery: stripe member " + std::to_string(m) +
+                               " (parity segment " + std::to_string(p) + "): " + what +
+                               " (double fault)");
+      };
+      std::vector<uint8_t> image(options_.segment_bytes);
+      if (Status s = ReadSegmentImage(p, image); !s.ok()) {
+        if (s.code() != ErrorCode::kIoError) {
+          return s;
+        }
+        return fault("parity image unreadable: " + s.ToString());
+      }
+      if (PayloadCrc(image) != net.parity_crc) {
+        return fault("parity image fails its recorded crc");
+      }
+      std::vector<uint8_t> peer(options_.segment_bytes);
+      for (size_t j = 0; j < net.members.size(); ++j) {
+        if (j == idx) {
+          continue;
+        }
+        if (Status s = ReadSegmentImage(net.members[j], peer); !s.ok()) {
+          if (s.code() != ErrorCode::kIoError) {
+            return s;
+          }
+          return fault("stripe peer " + std::to_string(net.members[j]) +
+                       " unreadable: " + s.ToString());
+        }
+        for (size_t b = 0; b < image.size(); ++b) {
+          image[b] ^= peer[b];
+        }
+      }
+      // `image` is now the lost member; its summary must decode at exactly
+      // the recorded seal.
+      const std::span<const uint8_t> tail(image.data() + data_capacity_,
+                                          options_.summary_bytes);
+      SummaryHeader header;
+      const Status head = DecodeSummaryHeader(tail, &header);
+      if (!head.ok() || header.segment_index != m ||
+          header.seq != net.member_seqs[idx] || header.ext_bytes > data_capacity_) {
+        return fault("reconstructed summary does not match the recorded seal");
+      }
+      const std::span<const uint8_t> ext(
+          image.data() + data_capacity_ - header.ext_bytes, header.ext_bytes);
+      std::vector<SummaryRecord> records;
+      if (Status s = DecodeSummary(tail, ext, &header, &records); !s.ok()) {
+        return fault("reconstructed summary does not decode: " + s.ToString());
+      }
+      has_summary[m] = true;
+      scanned.push_back(ScannedSegment{m, header.seq, std::move(records)});
+      scanned_seqs.emplace(m, header.seq);
+      suspects.erase(std::remove_if(
+                         suspects.begin(), suspects.end(),
+                         [&](const SuspectSegment& s) { return s.index == m; }),
+                     suspects.end());
+      rep.stripe_members_reconstructed++;
+      for (uint32_t c = SegmentChannel(m); c <= SegmentLastChannel(m); ++c) {
+        stripe_channels_touched.insert(c);
+      }
+      // Re-materialize the media copy when the channel can take it; a failed
+      // or withheld write leaves the segment for Rebuild() to lay down.
+      bool wrote = false;
+      if (SegmentChannelsUsable(m)) {
+        if (Status s = io_.Write(SegmentBaseByte(m) / sector, image); s.ok()) {
+          wrote = true;
+        } else if (s.code() != ErrorCode::kIoError) {
+          return s;
+        } else {
+          LD_LOG(kWarn) << "recovery: write-back of reconstructed stripe member "
+                        << m << " failed: " << s.ToString();
+        }
+      }
+      if (!wrote) {
+        EnqueueRebuild(m);
+      }
+      LD_LOG(kInfo) << "recovery: reconstructed stripe member " << m
+                    << " from parity segment " << p
+                    << (wrote ? "" : " (media copy deferred to rebuild)");
+      return OkStatus();
+    };
+
+    std::vector<uint32_t> stale_parity;
+    for (auto it = stripe_net.begin(); it != stripe_net.end();) {
+      const uint32_t p = it->first;
+      StripeNet& net = it->second;
+      bool stale = false;
+      std::vector<uint32_t> missing;
+      for (uint32_t i = 0; i < net.member_count; ++i) {
+        const uint32_t m = net.members[i];
+        if (const auto ms = scanned_seqs.find(m); ms != scanned_seqs.end()) {
+          if (ms->second != net.member_seqs[i]) {
+            stale = true;
+          }
+        } else if (has_summary[m]) {
+          if (segment_seqs[m] != net.member_seqs[i]) {
+            stale = true;
+          }
+        } else {
+          missing.push_back(i);
+        }
+      }
+      if (stale) {
+        // A dissolve that could not log its countermand (the parity channel
+        // was down at dissolve time) leaks its records; a member resealed
+        // since proves the set dead. The parity segment is ordinary free
+        // space — scrub its garbage summary region below.
+        stale_parity.push_back(p);
+        it = stripe_net.erase(it);
+        continue;
+      }
+      for (uint32_t i : missing) {
+        RETURN_IF_ERROR(reconstruct_member(p, net, i));
+      }
+      ++it;
+    }
+    for (uint32_t p : stale_parity) {
+      if (!SegmentChannelsUsable(p)) {
+        continue;
+      }
+      std::vector<uint8_t> zeros(options_.summary_bytes, 0);
+      if (Status s = io_.Write(SegmentSummaryStartByte(p) / sector, zeros);
+          !s.ok() && s.code() != ErrorCode::kIoError) {
+        return s;
+      }
+    }
+  }
+
   // Scrub intents: a kScrubIntent record says "segment X (whose retired
   // summary carried seq S) has been fully relocated; its summary is garbage
   // awaiting the zeroing write". Gathered from the chain *and* the scan.
@@ -1282,6 +1586,8 @@ Status LogStructuredDisk::RecoverFromLog(const LoadedChain* chain) {
         }
         case SummaryRecordType::kScrubIntent:
           break;  // Consumed above, during suspect classification.
+        case SummaryRecordType::kStripeParity:
+          break;  // Consumed above, in the stripe net-state pre-pass.
       }
     }
   }
@@ -1316,6 +1622,65 @@ Status LogStructuredDisk::RecoverFromLog(const LoadedChain* chain) {
       u.parity_bytes = parity[s].bytes;
       u.parity_covered = parity[s].covered;
       u.parity_crc = parity[s].crc;
+    }
+  }
+
+  // Surviving stripe sets come back online: every member stands at its
+  // recorded seal (the pre-pass reconstructed the lost ones or refused the
+  // open), so each parity segment resumes kParity and degraded reads /
+  // rebuild see the set. When leaked records leave overlapping sets, the
+  // newer set wins and the older parity reverts to free space.
+  if (!stripe_net.empty()) {
+    std::vector<uint32_t> order;
+    order.reserve(stripe_net.size());
+    for (const auto& [p, net] : stripe_net) {
+      order.push_back(p);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const StripeNet& na = stripe_net.at(a);
+      const StripeNet& nb = stripe_net.at(b);
+      return na.seq != nb.seq ? na.seq > nb.seq : a < b;
+    });
+    for (uint32_t p : order) {
+      const StripeNet& net = stripe_net.at(p);
+      bool ok = usage_->segment(p).state == SegmentState::kFree;
+      for (uint32_t i = 0; ok && i < net.member_count; ++i) {
+        const uint32_t m = net.members[i];
+        ok = has_summary[m] && segment_seqs[m] == net.member_seqs[i] &&
+             usage_->segment(m).state == SegmentState::kFull &&
+             member_stripe_.count(m) == 0;
+      }
+      if (!ok) {
+        if (SegmentChannelsUsable(p) &&
+            usage_->segment(p).state == SegmentState::kFree) {
+          std::vector<uint8_t> zeros(options_.summary_bytes, 0);
+          if (Status s = io_.Write(SegmentSummaryStartByte(p) / sector, zeros);
+              !s.ok() && s.code() != ErrorCode::kIoError) {
+            return s;
+          }
+        }
+        continue;
+      }
+      SegmentUsage& u = usage_->segment(p);
+      u.state = SegmentState::kParity;
+      u.live_bytes = 0;
+      u.newest_ts = 0;
+      StripeSet set;
+      set.parity_segment = p;
+      set.members = net.members;
+      set.member_seqs = net.member_seqs;
+      set.parity_crc = net.parity_crc;
+      set.record_segment = net.record_segment;
+      RegisterStripe(std::move(set));
+      bool parity_touched = false;
+      for (uint32_t c = SegmentChannel(p); c <= SegmentLastChannel(p) && !parity_touched; ++c) {
+        parity_touched = stripe_channels_touched.count(c) != 0;
+      }
+      if (parity_touched) {
+        // The parity image itself may sit on the replaced channel: have the
+        // rebuild lay it down again.
+        EnqueueRebuild(p);
+      }
     }
   }
   return OkStatus();

@@ -128,6 +128,7 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
         case SummaryRecordType::kAruCommit:
         case SummaryRecordType::kSegmentParity:
         case SummaryRecordType::kScrubIntent:
+        case SummaryRecordType::kStripeParity:
           break;
       }
     }
@@ -178,6 +179,12 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
       if (TryReconstructStored(bid, e, b.stored, damage).ok()) {
         reconstructed = true;
         report.blocks_reconstructed++;
+      } else if (TryStripeReconstructStored(bid, e, b.stored, damage).ok()) {
+        // Second tier: the per-segment lane could not repair it, the
+        // cross-channel stripe peers could. Accounted separately so the
+        // report shows which redundancy actually carried the block.
+        reconstructed = true;
+        report.blocks_stripe_reconstructed++;
       } else if (unreadable) {
         report.blocks_unreadable++;
         if (on_suspect) {
@@ -257,6 +264,13 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
     }
   }
 
+  // A suspect that is a stripe member takes its set down with it: the image
+  // being retired is exactly what the parity explains. The countermand rides
+  // the repair batch; the parity segments are freed once it is durable.
+  const std::vector<uint32_t> suspect_list(suspects.begin(), suspects.end());
+  ASSIGN_OR_RETURN(const std::vector<uint32_t> dissolved_parity,
+                   DissolveStripesTouching(suspect_list, &batch.records));
+
   // Step 5: make the repairs durable, then retire the suspects.
   report.blocks_relocated = batch.blocks.size();
   if (!batch.blocks.empty() || !batch.records.empty()) {
@@ -265,6 +279,12 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
     const Status status = WriteCleanerBatch(std::move(batch));
     cleaning_ = false;
     RETURN_IF_ERROR(status);
+  }
+  for (uint32_t p : dissolved_parity) {
+    SegmentUsage& u = usage_->segment(p);
+    u.state = SegmentState::kFree;
+    u.newest_ts = 0;
+    u.ClearParity();
   }
   if (!suspects.empty()) {
     // Log one retirement intent per suspect (its own durable batch, written

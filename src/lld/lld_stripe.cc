@@ -1,0 +1,840 @@
+// Cross-channel stripe parity (RAID-5 style), the second redundancy tier
+// above the per-segment XOR lane. Sealed segments — one per channel — are
+// grouped into stripe sets; each set stores one parity segment holding the
+// XOR of the members' *full* images (data area + summary tail, so a dead
+// channel's member summaries are themselves recoverable). The set is
+// declared by kStripeParity summary records riding the sealing segment's
+// summary through the normal append path: no extra on-disk map, no
+// superblock change. Parity placement rotates across channels so no single
+// channel carries all parity.
+//
+// Crash ordering: a set's records are submitted (with the sealing segment)
+// strictly before its parity image is written. A crash between the two
+// leaves records whose parity CRC does not verify — recovery sees a dead
+// stripe — never a parity image the log cannot explain.
+//
+// Degraded reads XOR the block's sector-aligned extent across the N-1
+// surviving peers and the parity segment, gated on the block's payload CRC:
+// a second fault (peer unreadable, CRC mismatch) stays a typed CORRUPTION,
+// never silently wrong bytes. Rebuild re-materializes a healed channel's
+// striped segments in place from the surviving peers, verifying member
+// images against their recorded summary sequence and parity images against
+// the recorded parity CRC.
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_set>
+
+#include "src/lld/lld.h"
+#include "src/util/log.h"
+
+namespace ld {
+
+namespace {
+
+// Fixed bytes of a serialized summary besides the records: header + CRC.
+constexpr size_t kSummaryOverhead = SummaryHeader::kEncodedSize + 16;
+
+uint64_t RoundUp(uint64_t value, uint64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+uint32_t LogStructuredDisk::SegmentChannel(uint32_t segment) const {
+  return device_->ChannelOf(SegmentBaseByte(segment) / device_->sector_size());
+}
+
+uint32_t LogStructuredDisk::SegmentLastChannel(uint32_t segment) const {
+  const uint32_t sector = device_->sector_size();
+  return device_->ChannelOf((SegmentBaseByte(segment) + options_.segment_bytes) / sector - 1);
+}
+
+bool LogStructuredDisk::SegmentOnChannel(uint32_t segment, uint32_t ch) const {
+  return SegmentChannel(segment) <= ch && ch <= SegmentLastChannel(segment);
+}
+
+bool LogStructuredDisk::SegmentChannelsUsable(uint32_t segment) const {
+  for (uint32_t ch = SegmentChannel(segment); ch <= SegmentLastChannel(segment); ++ch) {
+    if (!ChannelUsable(ch)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LogStructuredDisk::ReadSegmentImage(uint32_t segment, std::span<uint8_t> out) {
+  return io_.Read(SegmentBaseByte(segment) / device_->sector_size(), out);
+}
+
+StatusOr<LogStructuredDisk::StripeSet> LogStructuredDisk::ComputeStripe(
+    const std::vector<uint32_t>& members, uint32_t parity_segment,
+    std::vector<uint8_t>* image) {
+  image->assign(options_.segment_bytes, 0);
+  std::vector<uint8_t> peer(options_.segment_bytes);
+  StripeSet set;
+  set.parity_segment = parity_segment;
+  for (uint32_t m : members) {
+    RETURN_IF_ERROR(ReadSegmentImage(m, peer));
+    for (size_t i = 0; i < peer.size(); ++i) {
+      (*image)[i] ^= peer[i];
+    }
+    set.members.push_back(m);
+    set.member_seqs.push_back(usage_->segment(m).seq);
+  }
+  set.parity_crc = PayloadCrc(*image);
+  return set;
+}
+
+void LogStructuredDisk::RegisterStripe(StripeSet set) {
+  for (uint32_t m : set.members) {
+    member_stripe_[m] = set.parity_segment;
+  }
+  const uint32_t parity = set.parity_segment;
+  stripes_[parity] = std::move(set);
+  if (!channel_alloc_mask_.empty()) {
+    InstallChannelFilter();  // Degraded mode: re-derive stripe pins.
+  }
+}
+
+void LogStructuredDisk::EraseStripe(uint32_t parity_segment) {
+  auto it = stripes_.find(parity_segment);
+  if (it == stripes_.end()) {
+    return;
+  }
+  for (uint32_t m : it->second.members) {
+    member_stripe_.erase(m);
+  }
+  stripes_.erase(it);
+  // A queued duplicate declaration written after the dissolve would
+  // resurrect the set at recovery (newer seq beats the countermand).
+  redeclare_groups_.erase(
+      std::remove_if(redeclare_groups_.begin(), redeclare_groups_.end(),
+                     [parity_segment](const std::vector<SummaryRecord>& g) {
+                       return !g.empty() && g.front().offset == parity_segment;
+                     }),
+      redeclare_groups_.end());
+  counters_.stripes_dissolved++;
+  if (!channel_alloc_mask_.empty()) {
+    InstallChannelFilter();  // Degraded mode: drop this set's stripe pins.
+  }
+}
+
+void LogStructuredDisk::AppendStripeRecords(const StripeSet& set, OpTimestamp ts,
+                                            std::vector<SummaryRecord>* records) const {
+  const uint32_t count = static_cast<uint32_t>(set.members.size());
+  for (uint32_t i = 0; i < count; ++i) {
+    records->push_back(SummaryRecord::StripeParity(ts, set.parity_segment, set.members[i], i,
+                                                   count, set.member_seqs[i], set.parity_crc));
+  }
+}
+
+Status LogStructuredDisk::CommitStripe(StripeSet set, const std::vector<uint8_t>& parity_image) {
+  const uint32_t parity = set.parity_segment;
+  RETURN_IF_ERROR(
+      io_.Write(SegmentBaseByte(parity) / device_->sector_size(), parity_image));
+  SegmentUsage& seg = usage_->segment(parity);
+  seg.state = SegmentState::kParity;
+  seg.newest_ts = 0;
+  seg.ClearParity();
+  counters_.stripes_formed++;
+  // Queue the duplicate declaration for the next seal (see
+  // redeclare_groups_): the set must stay discoverable when the carrier's
+  // channel is replaced by a blank spare.
+  std::vector<SummaryRecord> duplicate;
+  AppendStripeRecords(set, NextTs(), &duplicate);
+  redeclare_groups_.push_back(std::move(duplicate));
+  RegisterStripe(std::move(set));
+  return OkStatus();
+}
+
+Status LogStructuredDisk::MaybeFormStripes(uint32_t sealing_segment) {
+  const uint32_t nch = device_->num_channels();
+  uint32_t live_channels = 0;
+  for (uint32_t ch = 0; ch < nch; ++ch) {
+    if (ChannelUsable(ch)) {
+      live_channels++;
+    }
+  }
+  if (live_channels < 2) {
+    return OkStatus();
+  }
+  // The parity image consumes a free segment outside the utilization budget;
+  // stay clear of the cleaner's reserve so formation never forces a clean.
+  const uint32_t reserve =
+      std::max(options_.free_segment_reserve, std::min(usage_->num_segments() / 8, 32u));
+  if (usage_->FreeCount() <= reserve + 1) {
+    return OkStatus();
+  }
+
+  // Oldest unstriped sealed segment per live channel.
+  std::vector<int64_t> candidate(nch, -1);
+  for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+    if (s == sealing_segment) {
+      continue;
+    }
+    const SegmentUsage& seg = usage_->segment(s);
+    if (seg.state != SegmentState::kFull || member_stripe_.count(s) != 0) {
+      continue;
+    }
+    // Segments straddling a channel-band boundary are left to the
+    // FormStripes maintenance pass, which places them span-disjointly; the
+    // seal-time fast path keeps the trivial one-channel-per-member geometry.
+    const uint32_t ch = SegmentChannel(s);
+    if (!ChannelUsable(ch) || SegmentLastChannel(s) != ch) {
+      continue;
+    }
+    if (candidate[ch] < 0 ||
+        seg.seq < usage_->segment(static_cast<uint32_t>(candidate[ch])).seq) {
+      candidate[ch] = s;
+    }
+  }
+
+  // Seal-time formation is full-width only: one member on every live channel
+  // except the (rotating) parity channel. Partial-width sets are the
+  // explicit FormStripes() maintenance pass.
+  for (uint32_t probe = 0; probe < nch; ++probe) {
+    const uint32_t p_ch = (next_parity_channel_ + probe) % nch;
+    if (!ChannelUsable(p_ch)) {
+      continue;
+    }
+    std::vector<uint32_t> members;
+    bool full_width = true;
+    for (uint32_t ch = 0; ch < nch; ++ch) {
+      if (ch == p_ch || !ChannelUsable(ch)) {
+        continue;
+      }
+      if (candidate[ch] < 0) {
+        full_width = false;
+        break;
+      }
+      members.push_back(static_cast<uint32_t>(candidate[ch]));
+    }
+    if (!full_width || members.empty()) {
+      continue;
+    }
+    int64_t parity = -1;
+    for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+      if (s != sealing_segment && usage_->segment(s).state == SegmentState::kFree &&
+          SegmentChannel(s) == p_ch && SegmentLastChannel(s) == p_ch) {
+        parity = s;
+        break;
+      }
+    }
+    if (parity < 0) {
+      continue;
+    }
+    // The records must fit the sealing segment's summary alongside whatever
+    // it already carries (plus the segment-parity record the seal may add);
+    // mid-seal there is no room to flush, so an overfull summary just skips
+    // this round — the candidates stay eligible for the next seal.
+    const size_t record_size =
+        SummaryRecord::StripeParity(0, 0, 0, 0, 0, 0, 0).EncodedSize();
+    const size_t stripe_bytes = members.size() * record_size;
+    const size_t parity_record =
+        options_.segment_parity ? SummaryRecord::SegmentParity(0, 0, 0, 0, 0).EncodedSize() : 0;
+    if (open_record_bytes_ + stripe_bytes + parity_record + kSummaryOverhead >
+        options_.summary_bytes) {
+      return OkStatus();
+    }
+    std::vector<uint8_t> image;
+    ASSIGN_OR_RETURN(StripeSet set, ComputeStripe(members, static_cast<uint32_t>(parity), &image));
+    AppendStripeRecords(set, NextTs(), &open_records_);
+    open_record_bytes_ += stripe_bytes;
+    // Reserve the parity target now: between planning and CommitStripe it
+    // must not double as a seal target or cleaner destination — the parity
+    // image would overwrite whatever landed there. A failed seal returns it
+    // to the free pool (FlushOpenSegmentFull's failure path).
+    usage_->segment(static_cast<uint32_t>(parity)).state = SegmentState::kParity;
+    pending_parity_.push_back(PendingParity{std::move(set), std::move(image)});
+    next_parity_channel_ = (p_ch + 1) % nch;
+    return OkStatus();
+  }
+  return OkStatus();
+}
+
+StatusOr<uint32_t> LogStructuredDisk::FormStripes() {
+  RETURN_IF_ERROR(CheckWritable());
+  if (!open_arus_.empty()) {
+    return FailedPreconditionError("FormStripes requires no open atomic recovery units");
+  }
+  if (!StripeEnabled()) {
+    return 0u;
+  }
+  RETURN_IF_ERROR(FlushOpenSegmentFull());
+  RETURN_IF_ERROR(WaitForInflight());
+
+  const uint32_t nch = device_->num_channels();
+  // The record carriers this pass seals are excluded from candidacy:
+  // striping a carrier would seal another carrier, chaining
+  // carrier-of-carrier mirrors until the free pool is gone. Carriers stay
+  // eligible for the next pass or the next natural seal. The exclusion is
+  // (id, seq)-qualified: the cleaner can free a carrier mid-pass (its
+  // records relog elsewhere) and recycle the segment for relocated data —
+  // the new incarnation carries a new seq and must stay eligible.
+  std::unordered_map<uint32_t, uint64_t> carriers;
+  const auto is_carrier = [&carriers, this](uint32_t s) {
+    const auto it = carriers.find(s);
+    return it != carriers.end() && it->second == usage_->segment(s).seq;
+  };
+  const uint32_t reserve =
+      std::max(options_.free_segment_reserve, std::min(usage_->num_segments() / 8, 32u));
+  const size_t record_size = SummaryRecord::StripeParity(0, 0, 0, 0, 0, 0, 0).EncodedSize();
+
+  uint32_t formed = 0;
+  bool progressed = true;
+  // Round bound: every round either stripes a candidate or frees garbage,
+  // both monotone; the bound is a backstop, not the expected exit.
+  for (uint32_t round = 0; progressed && round <= usage_->num_segments(); ++round) {
+    progressed = false;
+    // Plan as many sets as one record carrier's summary can declare, then
+    // seal once: a seal per set would burn a whole segment per ~two records.
+    std::unordered_set<uint32_t> planned;
+    uint32_t batch = 0;
+    while (true) {
+      // Planned parity targets already left the free pool (reserved kParity
+      // at plan time), so a plain floor keeps reserve + the carrier seal.
+      if (usage_->FreeCount() <= reserve + 1) {
+        break;
+      }
+      std::vector<int64_t> candidate(nch, -1);
+      for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+        const SegmentUsage& seg = usage_->segment(s);
+        if (seg.state != SegmentState::kFull || member_stripe_.count(s) != 0 ||
+            is_carrier(s) || planned.count(s) != 0) {
+          continue;
+        }
+        const uint32_t ch = SegmentChannel(s);
+        if (!SegmentChannelsUsable(s)) {
+          continue;
+        }
+        if (candidate[ch] < 0 ||
+            seg.seq < usage_->segment(static_cast<uint32_t>(candidate[ch])).seq) {
+          candidate[ch] = s;
+        }
+      }
+      // Partial width is allowed — down to one member plus parity on a
+      // distinct channel (a mirror) — so planned failover can cover
+      // stragglers on channels whose peers are all striped already.
+      bool made_one = false;
+      for (uint32_t probe = 0; probe < nch && !made_one; ++probe) {
+        const uint32_t p_ch = (next_parity_channel_ + probe) % nch;
+        if (!ChannelUsable(p_ch)) {
+          continue;
+        }
+        // Greedy span-disjoint member pick: buckets ascend by base channel,
+        // so a member is kept only when its span starts past the previous
+        // member's span and stays off the parity channel. Reconstruction
+        // depends on this — with pairwise-disjoint spans, losing any one
+        // channel can damage at most one component of the set.
+        std::vector<uint32_t> members;
+        int64_t prev_last = -1;
+        for (uint32_t ch = 0; ch < nch; ++ch) {
+          if (ch == p_ch || candidate[ch] < 0) {
+            continue;
+          }
+          const uint32_t m = static_cast<uint32_t>(candidate[ch]);
+          if (static_cast<int64_t>(SegmentChannel(m)) <= prev_last ||
+              SegmentOnChannel(m, p_ch)) {
+            continue;
+          }
+          members.push_back(m);
+          prev_last = SegmentLastChannel(m);
+        }
+        if (members.empty()) {
+          continue;
+        }
+        int64_t parity = -1;
+        for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+          if (usage_->segment(s).state != SegmentState::kFree ||
+              SegmentChannel(s) != p_ch || planned.count(s) != 0 ||
+              !SegmentChannelsUsable(s)) {
+            continue;
+          }
+          bool disjoint = true;
+          for (uint32_t m : members) {
+            if (SegmentChannel(m) <= SegmentLastChannel(s) &&
+                SegmentChannel(s) <= SegmentLastChannel(m)) {
+              disjoint = false;
+              break;
+            }
+          }
+          if (disjoint) {
+            parity = s;
+            break;
+          }
+        }
+        if (parity < 0) {
+          continue;
+        }
+        if (open_record_bytes_ + members.size() * record_size + kSummaryOverhead >
+            options_.summary_bytes) {
+          // Carrier summary is full; seal this batch and start another.
+          break;
+        }
+        std::vector<uint8_t> image;
+        ASSIGN_OR_RETURN(StripeSet set,
+                         ComputeStripe(members, static_cast<uint32_t>(parity), &image));
+        std::vector<SummaryRecord> records;
+        AppendStripeRecords(set, NextTs(), &records);
+        forming_stripe_ = true;
+        Status appended = AppendRecordsAtomic(&records);
+        forming_stripe_ = false;
+        RETURN_IF_ERROR(appended);
+        for (uint32_t m : members) {
+          planned.insert(m);
+        }
+        planned.insert(static_cast<uint32_t>(parity));
+        // Reserve the parity target now: the batch seal below allocates its
+        // record carrier through the ordinary free pool, and without the
+        // reservation it can pick this very segment — the parity image would
+        // then overwrite the carrier's just-written summary. A failed seal
+        // returns it to the pool (FlushOpenSegmentFull's failure path).
+        usage_->segment(static_cast<uint32_t>(parity)).state = SegmentState::kParity;
+        pending_parity_.push_back(PendingParity{std::move(set), std::move(image)});
+        next_parity_channel_ = (p_ch + 1) % nch;
+        made_one = true;
+        batch++;
+      }
+      if (!made_one) {
+        break;
+      }
+    }
+    if (batch > 0) {
+      // Seal the carrier; CommitStripe runs inside the seal, after the
+      // batch's records were submitted.
+      forming_stripe_ = true;
+      Status sealed = FlushOpenSegmentFull();
+      forming_stripe_ = false;
+      RETURN_IF_ERROR(sealed);
+      // The carrier is the last segment sealed (cleaner seals triggered by
+      // the allocation happen before the carrier's seq is assigned).
+      for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+        if (usage_->segment(s).state == SegmentState::kFull &&
+            usage_->segment(s).seq == next_seq_ - 1) {
+          carriers[s] = next_seq_ - 1;
+          break;
+        }
+      }
+      formed += batch;
+      progressed = true;
+      continue;
+    }
+    if (!redeclare_groups_.empty()) {
+      // Drain pending duplicate declarations before deciding there is
+      // nothing left: a maintenance pass must leave every set declared on
+      // two channels, not wait for the next natural seal.
+      forming_stripe_ = true;
+      Status drained = FlushOpenSegmentFull();
+      forming_stripe_ = false;
+      RETURN_IF_ERROR(drained);
+      for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+        if (usage_->segment(s).state == SegmentState::kFull &&
+            usage_->segment(s).seq == next_seq_ - 1) {
+          carriers[s] = next_seq_ - 1;
+          break;
+        }
+      }
+      progressed = true;
+      continue;
+    }
+    // No set could be planned. If unstriped candidates remain, the pool is
+    // parity-starved: reclaim churn garbage and retry — a maintenance pass
+    // meant to survive planned failover must not stop at the write path's
+    // reserve floor.
+    bool candidates_left = false;
+    for (uint32_t s = 0; s < usage_->num_segments() && !candidates_left; ++s) {
+      const SegmentUsage& seg = usage_->segment(s);
+      candidates_left = seg.state == SegmentState::kFull && member_stripe_.count(s) == 0 &&
+                        !is_carrier(s) && SegmentChannelsUsable(s);
+    }
+    if (!candidates_left) {
+      break;
+    }
+    const uint64_t cleaned_before = counters_.segments_cleaned;
+    const uint32_t free_before = usage_->FreeCount();
+    if (Status s = CleanSegments(options_.segments_per_clean); !s.ok()) {
+      LD_LOG(kWarn) << "stripe formation: cleaning for parity space failed: " << s.ToString();
+      break;
+    }
+    progressed = counters_.segments_cleaned > cleaned_before || usage_->FreeCount() > free_before;
+  }
+  RETURN_IF_ERROR(WaitForInflight());
+  return formed;
+}
+
+Status LogStructuredDisk::TryStripeReconstructStored(Bid bid, const BlockMapEntry& entry,
+                                                     std::span<uint8_t> out,
+                                                     const Status& damage) {
+  if (!entry.phys.IsOnDisk() || !entry.has_payload_crc) {
+    return damage;
+  }
+  const auto mit = member_stripe_.find(entry.phys.segment);
+  if (mit == member_stripe_.end()) {
+    return damage;
+  }
+  const auto sit = stripes_.find(mit->second);
+  if (sit == stripes_.end()) {
+    return damage;
+  }
+  const StripeSet& set = sit->second;
+
+  // XOR the block's sector-aligned extent across the parity segment and the
+  // surviving members. Peers are read at the same in-segment byte range —
+  // stripe XOR is positional over full segment images.
+  const uint32_t sector = device_->sector_size();
+  const uint32_t lo = entry.phys.offset / sector * sector;
+  const uint32_t hi =
+      static_cast<uint32_t>(RoundUp(entry.phys.offset + entry.stored_size, sector));
+  std::vector<uint8_t> acc(hi - lo, 0);
+  std::vector<uint8_t> peer(hi - lo);
+  auto absorb = [&](uint32_t segment) -> Status {
+    RETURN_IF_ERROR(io_.Read((SegmentBaseByte(segment) + lo) / sector, std::span<uint8_t>(peer)));
+    for (size_t i = 0; i < peer.size(); ++i) {
+      acc[i] ^= peer[i];
+    }
+    return OkStatus();
+  };
+  Status s = absorb(set.parity_segment);
+  for (uint32_t m : set.members) {
+    if (!s.ok()) {
+      break;
+    }
+    if (m != entry.phys.segment) {
+      s = absorb(m);
+    }
+  }
+  if (!s.ok()) {
+    std::string comp = "parity=" + std::to_string(set.parity_segment) + "@ch" +
+                       std::to_string(SegmentChannel(set.parity_segment));
+    for (uint32_t m : set.members) {
+      comp += " m=" + std::to_string(m) + "@ch" + std::to_string(SegmentChannel(m));
+    }
+    LD_LOG(kWarn) << "stripe reconstruction of block " << bid
+                  << " hit a second fault: " << s.ToString() << " [" << comp << "]";
+    return CorruptionError("block " + std::to_string(bid) +
+                           ": stripe peer unreadable (double fault): " +
+                           std::string(s.message()));
+  }
+  std::memcpy(out.data(), acc.data() + (entry.phys.offset - lo), out.size());
+  // Only a reconstruction that round-trips the block's original checksum is
+  // the lost data; anything else means a second fault ate the redundancy.
+  if (PayloadCrc(out) != entry.payload_crc) {
+    return CorruptionError("block " + std::to_string(bid) +
+                           ": stripe reconstruction failed its payload crc (double fault)");
+  }
+  counters_.blocks_stripe_reconstructed++;
+  if (DiskStats* stats = device_->mutable_stats()) {
+    stats->degraded_reads++;
+    stats->stripe_reconstructions++;
+  }
+  LD_LOG(kInfo) << "reconstructed block " << bid << " from the stripe peers of segment "
+                << entry.phys.segment;
+  return OkStatus();
+}
+
+StatusOr<std::vector<uint32_t>> LogStructuredDisk::DissolveStripesTouching(
+    const std::vector<uint32_t>& victims, std::vector<SummaryRecord>* batch_records) {
+  std::vector<uint32_t> freed;
+  if (stripes_.empty()) {
+    return freed;
+  }
+  std::vector<uint32_t> parities;
+  for (uint32_t v : victims) {
+    if (auto it = member_stripe_.find(v); it != member_stripe_.end()) {
+      if (std::find(parities.begin(), parities.end(), it->second) == parities.end()) {
+        parities.push_back(it->second);
+      }
+    } else if (stripes_.count(v) != 0 &&
+               std::find(parities.begin(), parities.end(), v) == parities.end()) {
+      parities.push_back(v);
+    }
+  }
+  for (uint32_t parity : parities) {
+    // Zero the parity segment's summary region *before* the dissolve record
+    // can net: once nothing excludes the segment from recovery's suspect
+    // ladder, its XOR image must read as "never written", not as a garbage
+    // summary recovery would refuse on.
+    if (!SegmentChannelsUsable(parity)) {
+      // Dead channel: the region cannot be zeroed, so no dissolve record is
+      // written either — recovery keeps seeing a net-live stripe (validated
+      // against member seqs) and the segment stays out of the suspect
+      // ladder. The set is only dropped from memory; the segment is not
+      // reusable until a later dissolve or rebuild settles it.
+      EraseStripe(parity);
+      continue;
+    }
+    std::vector<uint8_t> zeros(options_.summary_bytes, 0);
+    if (Status s = io_.Write((SegmentBaseByte(parity) + data_capacity_) / device_->sector_size(),
+                             zeros);
+        !s.ok()) {
+      LD_LOG(kWarn) << "could not zero parity segment " << parity
+                    << " summary during dissolve: " << s.ToString();
+      EraseStripe(parity);
+      continue;
+    }
+    if (batch_records != nullptr) {
+      // Drop any re-logged records of this set from the batch and append the
+      // countermand (member count 0) instead.
+      batch_records->erase(
+          std::remove_if(batch_records->begin(), batch_records->end(),
+                         [parity](const SummaryRecord& r) {
+                           return r.type == SummaryRecordType::kStripeParity &&
+                                  r.offset == parity;
+                         }),
+          batch_records->end());
+      batch_records->push_back(SummaryRecord::StripeParity(NextTs(), parity, 0, 0, 0, 0, 0));
+    }
+    EraseStripe(parity);
+    freed.push_back(parity);
+  }
+  return freed;
+}
+
+void LogStructuredDisk::InstallChannelFilter() {
+  bool any_failed = false;
+  for (size_t ch = 0; ch < channel_failed_.size(); ++ch) {
+    any_failed = any_failed || channel_failed_[ch];
+  }
+  if (!any_failed) {
+    if (!channel_alloc_mask_.empty()) {
+      usage_->SetAllocFilter(nullptr);
+      usage_->SetVictimFilter(nullptr);
+      channel_alloc_mask_.clear();
+    }
+    return;
+  }
+  channel_alloc_mask_.assign(usage_->num_segments(), 0);
+  for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+    channel_alloc_mask_[s] = SegmentChannelsUsable(s) ? 1 : 0;
+  }
+  // Pin the surviving components of load-bearing stripes: while any member
+  // or the parity sits on a failed channel, the peers' on-media images are
+  // the only reconstruction source for the dead data. Cleaning a peer would
+  // dissolve the set and strand the dead segments; reusing a freed peer
+  // would rewrite the image the XOR depends on. Rebuild (or healing the
+  // channel) recomputes this mask and releases the pins.
+  for (const auto& [parity, set] : stripes_) {
+    bool load_bearing = !SegmentChannelsUsable(parity);
+    for (uint32_t m : set.members) {
+      load_bearing = load_bearing || !SegmentChannelsUsable(m);
+    }
+    if (!load_bearing) {
+      continue;
+    }
+    channel_alloc_mask_[parity] = 0;
+    for (uint32_t m : set.members) {
+      channel_alloc_mask_[m] = 0;
+    }
+  }
+  usage_->SetAllocFilter(&channel_alloc_mask_);
+  // The cleaner must not pick victims it cannot read either: harvesting a
+  // segment on a failed channel aborts the whole cleaning pass with an I/O
+  // error that then surfaces through every allocation-triggered clean.
+  usage_->SetVictimFilter(&channel_alloc_mask_);
+}
+
+void LogStructuredDisk::EnqueueRebuild(uint32_t segment) {
+  if (rebuild_queued_.insert(segment).second) {
+    rebuild_pending_.push_back(segment);
+    if (DiskStats* stats = device_->mutable_stats()) {
+      stats->rebuild_segments_pending = rebuild_pending_.size();
+    }
+  }
+}
+
+Status LogStructuredDisk::SetChannelFailed(uint32_t ch, bool failed) {
+  if (ch >= device_->num_channels()) {
+    return InvalidArgumentError("channel index out of range");
+  }
+  if (channel_failed_.size() < device_->num_channels()) {
+    channel_failed_.resize(device_->num_channels(), false);
+  }
+  if (channel_failed_[ch] == failed) {
+    return OkStatus();
+  }
+  channel_failed_[ch] = failed;
+  if (failed) {
+    // The hardened checkpoint region may sit inside the dead band; windowed
+    // allocation would also fight the channel filter. Drop to full-scan
+    // recovery for this volume. If invalidating the markers itself fails
+    // (region unreachable), the in-memory switch still must flip — the
+    // on-disk chain just stays stale and loses to the log's newer seqs.
+    if (CheckpointingActive()) {
+      if (Status s = DisableIncrementalCheckpoints("channel " + std::to_string(ch) + " failed");
+          !s.ok()) {
+        LD_LOG(kWarn) << "could not invalidate checkpoints on channel failure: "
+                      << s.ToString();
+        ckpt_disabled_ = true;
+        usage_->SetAllocFilter(nullptr);
+      }
+    }
+  } else {
+    // Heal semantics are a *blank spare*: every striped image on the channel
+    // is gone until Rebuild re-materializes it. Unstriped segments on the
+    // channel have no redundancy and stay typed-lost.
+    for (const auto& [parity, set] : stripes_) {
+      if (SegmentOnChannel(parity, ch)) {
+        EnqueueRebuild(parity);
+      }
+      for (uint32_t m : set.members) {
+        if (SegmentOnChannel(m, ch)) {
+          EnqueueRebuild(m);
+        }
+      }
+    }
+  }
+  InstallChannelFilter();
+  return OkStatus();
+}
+
+StatusOr<RebuildReport> LogStructuredDisk::Rebuild(uint32_t max_segments) {
+  RebuildReport report;
+  const double start = device_->clock()->Now();
+  // Pace rebuild I/O as its own (typically low-weight) tenant; foreground
+  // requests between incremental calls keep their own stamp.
+  device_->set_request_tenant(options_.rebuild_tenant);
+  uint32_t budget =
+      max_segments == 0 ? std::numeric_limits<uint32_t>::max() : max_segments;
+  std::vector<uint32_t> requeue;
+  std::vector<uint8_t> image(options_.segment_bytes);
+  std::vector<uint8_t> peer(options_.segment_bytes);
+
+  while (budget > 0 && !rebuild_pending_.empty()) {
+    budget--;
+    const uint32_t seg = rebuild_pending_.front();
+    rebuild_pending_.pop_front();
+    rebuild_queued_.erase(seg);
+
+    const StripeSet* set = nullptr;
+    bool is_parity = false;
+    if (auto it = stripes_.find(seg); it != stripes_.end()) {
+      set = &it->second;
+      is_parity = true;
+    } else if (auto mit = member_stripe_.find(seg); mit != member_stripe_.end()) {
+      set = &stripes_.at(mit->second);
+    }
+    if (set == nullptr) {
+      continue;  // Dissolved since it was queued.
+    }
+    if (!SegmentChannelsUsable(seg)) {
+      requeue.push_back(seg);  // Channel still down; keep it queued.
+      continue;
+    }
+
+    // XOR the surviving peers into `image`. For a member rebuild the parity
+    // image is CRC-verified before it is trusted; for a parity rebuild the
+    // recomputed XOR must match the recorded CRC. Either mismatch — or an
+    // unreadable peer — is a typed double fault: the stripe is dissolved,
+    // never guessed at.
+    std::fill(image.begin(), image.end(), 0);
+    Status io = OkStatus();
+    bool double_fault = false;
+    if (is_parity) {
+      for (uint32_t m : set->members) {
+        io = ReadSegmentImage(m, peer);
+        if (!io.ok()) {
+          break;
+        }
+        for (size_t i = 0; i < image.size(); ++i) {
+          image[i] ^= peer[i];
+        }
+      }
+      double_fault = io.ok() && PayloadCrc(image) != set->parity_crc;
+    } else {
+      io = ReadSegmentImage(set->parity_segment, peer);
+      if (io.ok() && PayloadCrc(peer) != set->parity_crc) {
+        double_fault = true;
+      }
+      if (io.ok() && !double_fault) {
+        std::memcpy(image.data(), peer.data(), peer.size());
+        for (uint32_t m : set->members) {
+          if (m == seg) {
+            continue;
+          }
+          io = ReadSegmentImage(m, peer);
+          if (!io.ok()) {
+            break;
+          }
+          for (size_t i = 0; i < image.size(); ++i) {
+            image[i] ^= peer[i];
+          }
+        }
+      }
+      if (io.ok() && !double_fault) {
+        // The reconstructed image must decode to exactly the member summary
+        // the stripe recorded — right segment, right sequence.
+        size_t idx = 0;
+        while (idx < set->members.size() && set->members[idx] != seg) {
+          idx++;
+        }
+        SummaryHeader header;
+        std::vector<SummaryRecord> records;
+        const std::span<const uint8_t> tail(image.data() + data_capacity_,
+                                            options_.summary_bytes);
+        const std::span<const uint8_t> ext(image.data(), data_capacity_);
+        if (!DecodeSummary(tail, ext, &header, &records).ok() ||
+            header.segment_index != seg || idx >= set->member_seqs.size() ||
+            header.seq != set->member_seqs[idx]) {
+          double_fault = true;
+        }
+      }
+    }
+
+    if (!io.ok() || double_fault) {
+      const uint32_t parity = is_parity ? seg : set->parity_segment;
+      LD_LOG(kWarn) << "rebuild of segment " << seg << " unrecoverable ("
+                    << (io.ok() ? "verification mismatch" : io.ToString())
+                    << "); dissolving stripe " << parity;
+      // DissolveStripesTouching zeroes the parity summary and appends the
+      // countermand through the log (guarded so the flush it may trigger
+      // does not re-form stripes mid-rebuild).
+      forming_stripe_ = true;
+      std::vector<SummaryRecord> countermand;
+      auto freed = DissolveStripesTouching({parity}, &countermand);
+      Status logged = freed.ok() && !countermand.empty()
+                          ? AppendRecordsAtomic(&countermand)
+                          : freed.status();
+      forming_stripe_ = false;
+      if (logged.ok() && freed.ok()) {
+        for (uint32_t p : *freed) {
+          SegmentUsage& pu = usage_->segment(p);
+          pu.state = SegmentState::kFree;
+          pu.newest_ts = 0;
+          pu.ClearParity();
+        }
+      } else if (!logged.ok()) {
+        LD_LOG(kWarn) << "could not log stripe dissolve during rebuild: " << logged.ToString();
+      }
+      report.segments_unrecoverable++;
+      continue;
+    }
+
+    if (Status s = io_.Write(SegmentBaseByte(seg) / device_->sector_size(), image); !s.ok()) {
+      LD_LOG(kWarn) << "rebuild write of segment " << seg << " failed: " << s.ToString();
+      requeue.push_back(seg);
+      break;  // The spare is misbehaving; keep the rest queued for a retry.
+    }
+    report.bytes_rewritten += image.size();
+    if (is_parity) {
+      report.parity_rebuilt++;
+    } else {
+      report.segments_rebuilt++;
+    }
+  }
+
+  for (uint32_t seg : requeue) {
+    EnqueueRebuild(seg);
+  }
+  report.segments_pending = static_cast<uint32_t>(rebuild_pending_.size());
+  if (DiskStats* stats = device_->mutable_stats()) {
+    stats->rebuild_segments_pending = rebuild_pending_.size();
+    stats->rebuild_segments_done += report.segments_rebuilt + report.parity_rebuilt;
+  }
+  device_->set_request_tenant(options_.tenant);
+  report.seconds = device_->clock()->Now() - start;
+  return report;
+}
+
+}  // namespace ld

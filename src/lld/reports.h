@@ -69,6 +69,12 @@ struct RecoveryReport {
   // and the summary zeroing).
   uint32_t retirements_completed = 0;
 
+  // Stripe members whose images (and therefore summaries) were rebuilt from
+  // the N-1 surviving stripe peers plus parity during the sweep — segments a
+  // stripe-less recovery would have refused as CORRUPTION or silently lost
+  // to a blank replacement channel.
+  uint32_t stripe_members_reconstructed = 0;
+
   // Checkpoint-chain accounting.
   uint32_t frames_loaded = 0;     // Base + delta frames applied.
   uint32_t frames_dropped = 0;    // Trailing frames rejected (bad CRC).
@@ -99,7 +105,12 @@ struct ScrubReport {
   uint64_t blocks_corrupt = 0;     // Payload-CRC mismatches (data lost).
   uint64_t blocks_unreadable = 0;  // Persistent read errors (data lost).
   uint64_t records_relogged = 0;   // Metadata records re-logged from memory.
-  uint64_t blocks_reconstructed = 0;  // Damaged blocks rebuilt from parity.
+  uint64_t blocks_reconstructed = 0;  // Blocks rebuilt by the per-segment
+                                      // XOR lane (first redundancy tier).
+  uint64_t blocks_stripe_reconstructed = 0;  // Blocks rebuilt from the
+                                             // cross-channel stripe peers
+                                             // (second tier, after the lane
+                                             // could not repair).
 
   // Typed outcome: clean media, damage fully repaired/retired, or data lost
   // (corrupt or unreadable payloads with no redundancy left).
@@ -108,10 +119,39 @@ struct ScrubReport {
     if (blocks_corrupt > 0 || blocks_unreadable > 0) {
       return Outcome::kDataLoss;
     }
-    if (suspect_segments > 0 || blocks_relocated > 0 || blocks_reconstructed > 0) {
+    if (suspect_segments > 0 || blocks_relocated > 0 || blocks_reconstructed > 0 ||
+        blocks_stripe_reconstructed > 0) {
       return Outcome::kRepaired;
     }
     return Outcome::kClean;
+  }
+
+  std::string ToString() const;
+};
+
+// What one Lld::Rebuild pass re-materialized onto a healed (blank spare)
+// channel, and how much work remains queued.
+struct RebuildReport {
+  uint32_t segments_rebuilt = 0;        // Member segments rebuilt from peers.
+  uint32_t parity_rebuilt = 0;          // Parity segments recomputed.
+  uint32_t segments_unrecoverable = 0;  // Double faults: typed loss, stripe
+                                        // dissolved rather than guessed.
+  uint32_t segments_pending = 0;        // Still queued after this pass.
+  uint64_t bytes_rewritten = 0;
+  double seconds = 0.0;  // Simulated time the pass took.
+
+  enum class Outcome : uint8_t { kIdle = 0, kRebuilt, kPartial, kDataLoss };
+  Outcome outcome() const {
+    if (segments_unrecoverable > 0) {
+      return Outcome::kDataLoss;
+    }
+    if (segments_pending > 0) {
+      return Outcome::kPartial;
+    }
+    if (segments_rebuilt > 0 || parity_rebuilt > 0) {
+      return Outcome::kRebuilt;
+    }
+    return Outcome::kIdle;
   }
 
   std::string ToString() const;
@@ -169,6 +209,9 @@ inline std::string RecoveryReport::ToString() const {
     s += " stale_tolerated=" + std::to_string(stale_damage_tolerated);
     s += " retirements=" + std::to_string(retirements_completed);
   }
+  if (stripe_members_reconstructed > 0) {
+    s += " stripe_members_reconstructed=" + std::to_string(stripe_members_reconstructed);
+  }
   if (checkpoints_skipped_oversize > 0) {
     s += " ckpt_oversize=" + std::to_string(checkpoints_skipped_oversize);
   }
@@ -196,9 +239,36 @@ inline std::string ScrubReport::ToString() const {
   s += " blocks=" + std::to_string(blocks_scanned);
   s += " relocated=" + std::to_string(blocks_relocated);
   s += " reconstructed=" + std::to_string(blocks_reconstructed);
+  s += " stripe_reconstructed=" + std::to_string(blocks_stripe_reconstructed);
   s += " corrupt=" + std::to_string(blocks_corrupt);
   s += " unreadable=" + std::to_string(blocks_unreadable);
   s += " relogged=" + std::to_string(records_relogged);
+  s += "}";
+  return s;
+}
+
+inline std::string RebuildReport::ToString() const {
+  std::string s = "rebuild{outcome=";
+  switch (outcome()) {
+    case Outcome::kIdle:
+      s += "idle";
+      break;
+    case Outcome::kRebuilt:
+      s += "rebuilt";
+      break;
+    case Outcome::kPartial:
+      s += "partial";
+      break;
+    case Outcome::kDataLoss:
+      s += "data-loss";
+      break;
+  }
+  s += " segments=" + std::to_string(segments_rebuilt);
+  s += " parity=" + std::to_string(parity_rebuilt);
+  s += " unrecoverable=" + std::to_string(segments_unrecoverable);
+  s += " pending=" + std::to_string(segments_pending);
+  s += " bytes=" + std::to_string(bytes_rewritten);
+  s += " seconds=" + std::to_string(seconds);
   s += "}";
   return s;
 }

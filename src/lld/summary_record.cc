@@ -154,6 +154,24 @@ SummaryRecord SummaryRecord::ScrubIntent(OpTimestamp ts, uint32_t segment_index,
   return r;
 }
 
+SummaryRecord SummaryRecord::StripeParity(OpTimestamp ts, uint32_t parity_segment,
+                                          uint32_t member_segment, uint32_t member_index,
+                                          uint32_t member_count, uint64_t member_seq,
+                                          uint32_t parity_crc) {
+  SummaryRecord r;
+  r.type = SummaryRecordType::kStripeParity;
+  r.ts = ts;
+  r.ends_aru = true;
+  r.offset = parity_segment;
+  r.bid = member_segment;
+  r.stored_size = member_index;
+  r.orig_size = member_count;
+  r.intent_seq = member_seq;
+  r.payload_crc = parity_crc;
+  r.has_payload_crc = true;
+  return r;
+}
+
 void SummaryRecord::EncodeTo(Encoder* enc) const {
   enc->PutU8(static_cast<uint8_t>(type));
   enc->PutU48(ts);
@@ -229,6 +247,14 @@ void SummaryRecord::EncodeTo(Encoder* enc) const {
     case SummaryRecordType::kScrubIntent:
       enc->PutU24(bid);
       enc->PutU48(intent_seq);
+      break;
+    case SummaryRecordType::kStripeParity:
+      enc->PutU24(offset);       // Parity segment.
+      enc->PutU24(bid);          // Member segment.
+      enc->PutU16(static_cast<uint16_t>(stored_size));  // Member index.
+      enc->PutU16(static_cast<uint16_t>(orig_size));    // Member count.
+      enc->PutU48(intent_seq);   // Member's summary seq.
+      enc->PutU24(payload_crc);  // Parity image CRC.
       break;
   }
 }
@@ -309,6 +335,16 @@ StatusOr<SummaryRecord> SummaryRecord::DecodeFrom(Decoder* dec) {
       r.bid = dec->GetU24();
       r.intent_seq = dec->GetU48();
       break;
+    case SummaryRecordType::kStripeParity:
+      r.type = SummaryRecordType::kStripeParity;
+      r.offset = dec->GetU24();
+      r.bid = dec->GetU24();
+      r.stored_size = dec->GetU16();
+      r.orig_size = dec->GetU16();
+      r.intent_seq = dec->GetU48();
+      r.payload_crc = dec->GetU24();
+      r.has_payload_crc = true;
+      break;
     default:
       return CorruptionError("unknown summary record type " + std::to_string(type));
   }
@@ -339,6 +375,8 @@ size_t SummaryRecord::EncodedSize() const {
       return kCommon + 3 + 3 + 3 + 3;
     case SummaryRecordType::kScrubIntent:
       return kCommon + 3 + 6;
+    case SummaryRecordType::kStripeParity:
+      return kCommon + 3 + 3 + 2 + 2 + 6 + 3;
   }
   return kCommon;
 }

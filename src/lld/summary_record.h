@@ -32,6 +32,7 @@ enum class SummaryRecordType : uint8_t {
   kListMove = 9,     // List-of-lists successor update for a list.
   kSegmentParity = 10,  // XOR parity block covering this segment's data area.
   kScrubIntent = 11,    // Scrub retirement intent for a suspect segment.
+  kStripeParity = 12,   // Cross-channel stripe membership (one per member).
 };
 
 // The 24-bit payload checksum stored in CRC-bearing block entries.
@@ -85,6 +86,15 @@ struct SummaryRecord {
   // that segment. Recovery treats a damaged summary on that segment whose
   // claimed sequence is <= intent_seq as a retirement in progress and
   // completes it instead of refusing with CORRUPTION.
+  //
+  // kStripeParity declares one member of a cross-channel stripe set, reusing
+  // `offset` for the parity segment's index, `bid` for the member segment's
+  // index, `stored_size`/`orig_size` for the member's position and the total
+  // member count, `intent_seq` for the member's summary sequence (so a
+  // reused segment is never mistaken for the striped image), and
+  // `payload_crc` for the 24-bit CRC of the parity segment's full image. A
+  // record with member count 0 *dissolves* the stripe (cleaner countermand).
+  // Newest record set per parity segment wins, in seq order.
   uint64_t intent_seq = 0;
 
   // kListCreate
@@ -109,6 +119,10 @@ struct SummaryRecord {
   static SummaryRecord SegmentParity(OpTimestamp ts, uint32_t offset, uint32_t parity_bytes,
                                      uint32_t covered_bytes, uint32_t parity_crc);
   static SummaryRecord ScrubIntent(OpTimestamp ts, uint32_t segment_index, uint64_t seq);
+  static SummaryRecord StripeParity(OpTimestamp ts, uint32_t parity_segment,
+                                    uint32_t member_segment, uint32_t member_index,
+                                    uint32_t member_count, uint64_t member_seq,
+                                    uint32_t parity_crc);
 
   void EncodeTo(Encoder* enc) const;
   static StatusOr<SummaryRecord> DecodeFrom(Decoder* dec);

@@ -41,7 +41,7 @@ int64_t UsageTable::PickGreedy() const {
   uint32_t best_live = 0;
   for (uint32_t i = 0; i < segments_.size(); ++i) {
     const SegmentUsage& s = segments_[i];
-    if (s.state != SegmentState::kFull) {
+    if (s.state != SegmentState::kFull || !Harvestable(i)) {
       continue;
     }
     if (best < 0 || s.live_bytes < best_live) {
@@ -57,7 +57,7 @@ int64_t UsageTable::PickCostBenefit(uint32_t segment_capacity, OpTimestamp now) 
   double best_score = -1.0;
   for (uint32_t i = 0; i < segments_.size(); ++i) {
     const SegmentUsage& s = segments_[i];
-    if (s.state != SegmentState::kFull) {
+    if (s.state != SegmentState::kFull || !Harvestable(i)) {
       continue;
     }
     const double u = static_cast<double>(s.live_bytes) / segment_capacity;

@@ -18,6 +18,7 @@ enum class SegmentState : uint8_t {
   kFull,        // Written, may contain live data or live metadata records.
   kScratch,     // Holds a superseded-on-full partial copy of the open segment.
   kCleaning,    // Being cleaned: not pickable as victim or free target.
+  kParity,      // Holds a stripe-set parity image: not a victim, not free.
 };
 
 struct SegmentUsage {
@@ -86,6 +87,18 @@ class UsageTable {
   // Free segments currently eligible for allocation under the filter.
   uint32_t AllocatableCount() const;
 
+  // Victim filter for degraded mode: when set, PickGreedy and PickCostBenefit
+  // skip segments whose mask byte is zero. Distinct from the allocation
+  // filter — that one encodes the checkpoint allocation *window*, while this
+  // one excludes segments the cleaner cannot harvest at all (e.g. segments
+  // spanning a failed channel, whose summary read would hard-fail). Same
+  // ownership rules: caller-owned, null means every kFull segment is eligible.
+  void SetVictimFilter(const std::vector<uint8_t>* mask) { victim_mask_ = mask; }
+  bool Harvestable(uint32_t index) const {
+    return victim_mask_ == nullptr ||
+           (index < victim_mask_->size() && (*victim_mask_)[index] != 0);
+  }
+
   void Reset();
 
   uint64_t MemoryBytes() const { return segments_.capacity() * sizeof(SegmentUsage); }
@@ -93,6 +106,7 @@ class UsageTable {
  private:
   std::vector<SegmentUsage> segments_;
   const std::vector<uint8_t>* alloc_mask_ = nullptr;
+  const std::vector<uint8_t>* victim_mask_ = nullptr;
 };
 
 }  // namespace ld

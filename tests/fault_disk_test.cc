@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "src/disk/device_factory.h"
 #include "src/disk/fault_disk.h"
 #include "src/disk/mem_disk.h"
 #include "tests/device_test_util.h"
@@ -204,6 +205,102 @@ TEST(FaultDiskTest, HealthCountersTrackInjectedErrors) {
   const DiskStats& stats = rig.disk.stats();
   EXPECT_EQ(stats.read_errors, 2u);
   EXPECT_EQ(stats.write_errors, 1u);
+}
+
+// ---- Whole-channel failure ---------------------------------------------------
+
+struct ChannelRig {
+  SimClock clock;
+  std::unique_ptr<BlockDevice> inner;
+  std::unique_ptr<FaultDisk> disk;
+
+  explicit ChannelRig(uint32_t channels = 4) {
+    inner = MakeDevice(DeviceOptions::HpC3010(16ull << 20, channels), &clock);
+    disk = std::make_unique<FaultDisk>(inner.get());
+  }
+
+  // First sector owned by channel `ch`.
+  uint64_t SectorOn(uint32_t ch) const {
+    for (uint64_t s = 0; s < inner->num_sectors(); ++s) {
+      if (inner->ChannelOf(s) == ch) {
+        return s;
+      }
+    }
+    ADD_FAILURE() << "no sector on channel " << ch;
+    return 0;
+  }
+};
+
+TEST(FaultDiskTest, FailedChannelRefusesIoTypedAndSurvivesClearFault) {
+  ChannelRig rig;
+  const uint32_t sector_size = rig.disk->sector_size();
+  std::vector<uint8_t> buf(sector_size, 0x5a);
+  const uint64_t dead_sector = rig.SectorOn(2);
+  const uint64_t live_sector = rig.SectorOn(1);
+  ASSERT_TRUE(rig.disk->Write(dead_sector, buf).ok());
+
+  rig.disk->FailChannel(2);
+  EXPECT_TRUE(rig.disk->channel_failed(2));
+  EXPECT_EQ(rig.disk->failed_channel_count(), 1u);
+  EXPECT_EQ(rig.disk->Read(dead_sector, buf).code(), ErrorCode::kIoError);
+  EXPECT_EQ(rig.disk->Write(dead_sector, buf).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(rig.disk->Read(live_sector, buf).ok());
+  EXPECT_TRUE(rig.disk->Write(live_sector, buf).ok());
+
+  // A reboot clears crash scheduling, not hardware: the channel stays dead.
+  rig.disk->ClearFault();
+  EXPECT_TRUE(rig.disk->channel_failed(2));
+  EXPECT_EQ(rig.disk->Read(dead_sector, buf).code(), ErrorCode::kIoError);
+
+  // Dead-channel failures land in that channel's health column.
+  const DiskStats& stats = rig.disk->stats();
+  EXPECT_GT(stats.channel(2).read_errors, 0u);
+  EXPECT_GT(stats.channel(2).write_errors, 0u);
+  EXPECT_EQ(stats.channel(1).read_errors, 0u);
+}
+
+TEST(FaultDiskTest, MultiSectorRequestTouchingDeadChannelFails) {
+  ChannelRig rig;
+  // A request straddling the channel-2/3 boundary must fail if either side
+  // is dead.
+  uint64_t boundary = rig.SectorOn(3);
+  ASSERT_GT(boundary, 0u);
+  std::vector<uint8_t> two(rig.disk->sector_size() * 2);
+  rig.disk->FailChannel(3);
+  EXPECT_EQ(rig.disk->Read(boundary - 1, two).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(rig.disk->Read(boundary - 2, std::span<uint8_t>(two.data(), rig.disk->sector_size())).ok());
+}
+
+TEST(FaultDiskTest, HealChannelSwapsInBlankSpare) {
+  ChannelRig rig;
+  const uint32_t sector_size = rig.disk->sector_size();
+  std::vector<uint8_t> buf(sector_size, 0x77);
+  const uint64_t victim = rig.SectorOn(1);
+  const uint64_t bystander = rig.SectorOn(0);
+  ASSERT_TRUE(rig.disk->Write(victim, buf).ok());
+  ASSERT_TRUE(rig.disk->Write(bystander, buf).ok());
+
+  rig.disk->FailChannel(1);
+  ASSERT_TRUE(rig.disk->HealChannel(1).ok());
+  EXPECT_FALSE(rig.disk->channel_failed(1));
+  EXPECT_EQ(rig.disk->failed_channel_count(), 0u);
+
+  // The spare accepts I/O but the old contents are gone (all zeros)...
+  ASSERT_TRUE(rig.disk->Read(victim, buf).ok());
+  for (uint32_t i = 0; i < sector_size; ++i) {
+    ASSERT_EQ(buf[i], 0u) << "byte " << i;
+  }
+  ASSERT_TRUE(rig.disk->Write(victim, std::vector<uint8_t>(sector_size, 0x33)).ok());
+  ASSERT_TRUE(rig.disk->Read(victim, buf).ok());
+  EXPECT_EQ(buf[0], 0x33);
+  // ...while other channels' media is untouched.
+  ASSERT_TRUE(rig.disk->Read(bystander, buf).ok());
+  EXPECT_EQ(buf[0], 0x77);
+
+  // Healing a live channel is a no-op, not an error.
+  EXPECT_TRUE(rig.disk->HealChannel(0).ok());
+  ASSERT_TRUE(rig.disk->Read(bystander, buf).ok());
+  EXPECT_EQ(buf[0], 0x77);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "src/disk/device_factory.h"
 #include "src/disk/fault_disk.h"
@@ -196,6 +198,257 @@ TEST(LldStripingTest, StripedRecoveryByteIdentical) {
   // The crash must land mid-workload: some blocks survive, some don't.
   EXPECT_GT(recovered, 0u);
   EXPECT_LT(recovered, one.blocks.size());
+}
+
+// ---- Cross-channel stripe parity (survive a dead channel) -------------------
+
+LldOptions StripeOptions() {
+  LldOptions options = TestOptions();
+  options.stripe_parity = true;
+  return options;
+}
+
+struct StripeRig {
+  SimClock clock;
+  std::unique_ptr<BlockDevice> inner;
+  std::unique_ptr<FaultDisk> disk;
+
+  explicit StripeRig(uint32_t channels) {
+    inner = MakeDevice(DeviceOptions::HpC3010(kPartitionBytes, channels), &clock);
+    disk = std::make_unique<FaultDisk>(inner.get());
+  }
+
+  uint32_t ChannelOfBlock(LogStructuredDisk* lld, Bid bid) {
+    const BlockMapEntry& e = lld->block_map().entry(bid);
+    EXPECT_TRUE(e.phys.IsOnDisk());
+    return disk->ChannelOf(lld->SegmentStartByte(e.phys.segment) / disk->sector_size());
+  }
+};
+
+// Writes `count` linked 4-KB blocks and returns their ids.
+std::vector<Bid> WriteWorkload(LogStructuredDisk* lld, int count, uint32_t tag_base = 0) {
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  EXPECT_TRUE(list.ok());
+  std::vector<Bid> bids;
+  Bid pred = kBeginOfList;
+  for (int i = 0; i < count; ++i) {
+    auto bid = lld->NewBlock(*list, pred);
+    EXPECT_TRUE(bid.ok());
+    pred = *bid;
+    bids.push_back(*bid);
+    EXPECT_TRUE(lld->Write(*bid, Pattern(4096, tag_base + i)).ok());
+  }
+  EXPECT_TRUE(lld->Flush().ok());
+  return bids;
+}
+
+// Satellite: the stripe-off differential. With stripe parity off the volume
+// must behave byte-identically to the pre-stripe code; with it on (and no
+// faults) every block still reads back the same bytes.
+TEST(LldStripingTest, StripeParityOnOffByteIdentityFaultFree) {
+  auto run = [](bool stripe_parity) {
+    StripeRig rig(4);
+    LldOptions options = TestOptions();
+    options.stripe_parity = stripe_parity;
+    auto lld = *LogStructuredDisk::Format(rig.disk.get(), options);
+    const std::vector<Bid> bids = WriteWorkload(lld.get(), 600);
+    if (stripe_parity) {
+      auto formed = lld->FormStripes();
+      EXPECT_TRUE(formed.ok()) << formed.status().ToString();
+      EXPECT_GT(*formed, 0u);
+    } else {
+      EXPECT_EQ(lld->counters().stripes_formed, 0u);
+      EXPECT_EQ(lld->stripe_count(), 0u);
+    }
+    std::vector<std::pair<Bid, std::vector<uint8_t>>> state;
+    std::vector<uint8_t> out(4096);
+    for (Bid bid : bids) {
+      EXPECT_TRUE(lld->Read(bid, out).ok());
+      state.emplace_back(bid, out);
+    }
+    return state;
+  };
+
+  const auto off = run(false);
+  const auto on = run(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].first, on[i].first) << "block id diverged at " << i;
+    ASSERT_EQ(off[i].second, on[i].second) << "block bytes diverged at " << i;
+  }
+}
+
+// The acceptance headline: kill a whole channel and every live block stays
+// readable through N-1 stripe peers plus parity, counted as degraded reads.
+TEST(LldStripingTest, DegradedReadsSurviveDeadChannel) {
+  StripeRig rig(4);
+  auto lld = *LogStructuredDisk::Format(rig.disk.get(), StripeOptions());
+  const std::vector<Bid> bids = WriteWorkload(lld.get(), 600);
+  auto formed = lld->FormStripes();
+  ASSERT_TRUE(formed.ok()) << formed.status().ToString();
+  ASSERT_GT(*formed, 0u);
+
+  // Fail a channel that actually holds blocks.
+  uint32_t dead = 1;
+  std::vector<uint32_t> per_channel(4, 0);
+  for (Bid bid : bids) {
+    per_channel[rig.ChannelOfBlock(lld.get(), bid)]++;
+  }
+  for (uint32_t c = 1; c < 4; ++c) {
+    if (per_channel[c] > per_channel[dead]) {
+      dead = c;
+    }
+  }
+  ASSERT_GT(per_channel[dead], 0u);
+  rig.disk->FailChannel(dead);
+  ASSERT_TRUE(lld->SetChannelFailed(dead, true).ok());
+
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    ASSERT_TRUE(lld->Read(bids[i], out).ok()) << "block " << i;
+    EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i))) << "block " << i;
+  }
+  EXPECT_GT(rig.disk->stats().degraded_reads, 0u);
+  EXPECT_GT(rig.disk->stats().stripe_reconstructions, 0u);
+}
+
+// A second overlapping channel fault exhausts the stripe's redundancy: reads
+// of doubly-lost blocks must refuse with typed CORRUPTION, never return
+// wrong bytes — and blocks on live channels keep working.
+TEST(LldStripingTest, SecondChannelFaultIsTypedCorruption) {
+  StripeRig rig(4);
+  auto lld = *LogStructuredDisk::Format(rig.disk.get(), StripeOptions());
+  const std::vector<Bid> bids = WriteWorkload(lld.get(), 600);
+  ASSERT_GT(*lld->FormStripes(), 0u);
+
+  rig.disk->FailChannel(1);
+  rig.disk->FailChannel(2);
+  ASSERT_TRUE(lld->SetChannelFailed(1, true).ok());
+  ASSERT_TRUE(lld->SetChannelFailed(2, true).ok());
+
+  size_t typed_lost = 0;
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    const Status s = lld->Read(bids[i], out);
+    if (s.ok()) {
+      EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i))) << "block " << i;
+    } else {
+      EXPECT_EQ(s.code(), ErrorCode::kCorruption) << "block " << i << ": " << s.ToString();
+      ++typed_lost;
+    }
+  }
+  EXPECT_GT(typed_lost, 0u) << "two dead channels must exhaust some stripe";
+  EXPECT_LT(typed_lost, bids.size()) << "live channels must keep serving";
+}
+
+// Online rebuild: replace the dead channel with a blank spare, queue its
+// striped segments, and re-materialize them in bounded increments while
+// foreground writes and reads keep flowing. Afterwards reads come straight
+// off the rebuilt media — no further degraded reads.
+TEST(LldStripingTest, RebuildRestoresRedundancyUnderForegroundTraffic) {
+  StripeRig rig(4);
+  auto lld = *LogStructuredDisk::Format(rig.disk.get(), StripeOptions());
+  const std::vector<Bid> bids = WriteWorkload(lld.get(), 600);
+  ASSERT_GT(*lld->FormStripes(), 0u);
+
+  const uint32_t dead = 1;
+  rig.disk->FailChannel(dead);
+  ASSERT_TRUE(lld->SetChannelFailed(dead, true).ok());
+  // Serve a few degraded reads while the channel is down.
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < bids.size(); i += 50) {
+    ASSERT_TRUE(lld->Read(bids[i], out).ok());
+  }
+
+  // Blank spare swapped in: the media is zeros until rebuilt.
+  ASSERT_TRUE(rig.disk->HealChannel(dead).ok());
+  ASSERT_TRUE(lld->SetChannelFailed(dead, false).ok());
+  ASSERT_GT(lld->rebuild_pending(), 0u);
+
+  // Rebuild in single-segment increments, interleaved with foreground work.
+  RebuildReport total;
+  std::vector<Bid> extra;
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  Bid pred = kBeginOfList;
+  uint32_t steps = 0;
+  while (lld->rebuild_pending() > 0) {
+    ASSERT_LT(steps++, 10000u) << "rebuild must terminate";
+    auto report = lld->Rebuild(/*max_segments=*/1);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    total.segments_rebuilt += report->segments_rebuilt;
+    total.parity_rebuilt += report->parity_rebuilt;
+    total.segments_unrecoverable += report->segments_unrecoverable;
+    // Foreground traffic between rebuild increments.
+    auto bid = lld->NewBlock(*list, pred);
+    ASSERT_TRUE(bid.ok());
+    pred = *bid;
+    extra.push_back(*bid);
+    ASSERT_TRUE(lld->Write(*bid, Pattern(4096, 9000 + steps)).ok());
+    ASSERT_TRUE(lld->Read(bids[steps % bids.size()], out).ok());
+  }
+  EXPECT_GT(total.segments_rebuilt + total.parity_rebuilt, 0u);
+  EXPECT_EQ(total.segments_unrecoverable, 0u);
+  ASSERT_TRUE(lld->Flush().ok());
+
+  // Redundancy restored: everything reads back, and blocks still resident on
+  // the rebuilt channel come off the media, not out of the XOR ladder.
+  const uint64_t degraded_before = rig.disk->stats().degraded_reads;
+  for (size_t i = 0; i < bids.size(); ++i) {
+    ASSERT_TRUE(lld->Read(bids[i], out).ok()) << "block " << i;
+    EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i))) << "block " << i;
+  }
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(lld->Read(extra[i], out).ok());
+    EXPECT_EQ(out, Pattern(4096, 9000 + static_cast<uint32_t>(i) + 1));
+  }
+  EXPECT_EQ(rig.disk->stats().degraded_reads, degraded_before)
+      << "rebuilt media must serve reads without stripe reconstruction";
+}
+
+// The cleaner dissolves stripes whose members it reclaims (countermand
+// records) and fresh seals re-stripe: after a heavy overwrite churn, a
+// channel kill must still leave every live block readable — stale parity
+// must never poison reads.
+TEST(LldStripingTest, StripesSurviveCleanerChurn) {
+  StripeRig rig(4);
+  auto lld = *LogStructuredDisk::Format(rig.disk.get(), StripeOptions());
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  const uint64_t num_blocks = lld->TotalDataCapacity() * 6 / 10 / 4096;
+  std::vector<Bid> bids;
+  std::vector<uint32_t> tags;
+  Bid pred = kBeginOfList;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    auto bid = lld->NewBlock(*list, pred);
+    ASSERT_TRUE(bid.ok());
+    pred = *bid;
+    bids.push_back(*bid);
+    tags.push_back(static_cast<uint32_t>(i));
+    ASSERT_TRUE(lld->Write(*bid, Pattern(4096, tags.back())).ok());
+  }
+  ASSERT_TRUE(lld->Flush().ok());
+
+  Rng rng(41);
+  for (int w = 0; w < 4000; ++w) {
+    const size_t at = rng.Below(bids.size());
+    tags[at] = 20000 + w;
+    ASSERT_TRUE(lld->Write(bids[at], Pattern(4096, tags[at])).ok());
+  }
+  ASSERT_TRUE(lld->Flush().ok());
+  ASSERT_GT(lld->counters().segments_cleaned, 0u) << "churn must drive the cleaner";
+  ASSERT_GT(lld->counters().stripes_dissolved, 0u)
+      << "cleaning striped members must dissolve their sets";
+
+  auto formed = lld->FormStripes();
+  ASSERT_TRUE(formed.ok()) << formed.status().ToString();
+  const uint32_t dead = 2;
+  rig.disk->FailChannel(dead);
+  ASSERT_TRUE(lld->SetChannelFailed(dead, true).ok());
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    Status rs = lld->Read(bids[i], out);
+    ASSERT_TRUE(rs.ok()) << "block " << i << ": " << rs.ToString();
+    EXPECT_EQ(out, Pattern(4096, tags[i])) << "block " << i;
+  }
 }
 
 }  // namespace
