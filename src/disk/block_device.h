@@ -125,6 +125,35 @@ struct DiskStats {
   uint64_t prefetch_hits = 0;     // Lookups served by a read-ahead fill.
   uint64_t prefetch_wasted = 0;   // Read-ahead fills dropped unreferenced.
 
+  // --- Idle / maintenance signal -------------------------------------------
+  //
+  // Devices stamp every request they accept through NoteRequest(), splitting
+  // the activity clock between foreground traffic and the registered
+  // maintenance tenant. The background MaintenanceScheduler registers its
+  // tenant id here and gates its slices on IdleSeconds() — maintenance's own
+  // I/O keeps a separate clock so a scrub slice does not reset the idle
+  // detector it is gated on. Timestamps are simulated seconds; -1 = never.
+  TenantId maintenance_tenant = kNoMaintenanceTenant;
+  double last_foreground_submit_s = -1.0;
+  double last_maintenance_submit_s = -1.0;
+  uint64_t foreground_requests = 0;
+  uint64_t maintenance_requests = 0;
+
+  void NoteRequest(TenantId tenant, double now_seconds) {
+    if (maintenance_tenant != kNoMaintenanceTenant && tenant == maintenance_tenant) {
+      last_maintenance_submit_s = now_seconds;
+      maintenance_requests++;
+    } else {
+      last_foreground_submit_s = now_seconds;
+      foreground_requests++;
+    }
+  }
+  // Seconds since the last foreground request (all of `now` if none ever).
+  double IdleSeconds(double now_seconds) const {
+    return last_foreground_submit_s < 0.0 ? now_seconds
+                                          : now_seconds - last_foreground_submit_s;
+  }
+
   uint64_t TotalOps() const { return read_ops + write_ops; }
   uint64_t BytesRead(uint32_t sector_size) const { return sectors_read * sector_size; }
   uint64_t BytesWritten(uint32_t sector_size) const { return sectors_written * sector_size; }

@@ -19,6 +19,7 @@ Status MemDisk::Read(uint64_t sector, std::span<uint8_t> out) {
     return InvalidArgumentError("read beyond device end");
   }
   std::memcpy(out.data(), storage_.data() + sector * sector_size_, out.size());
+  stats_.NoteRequest(tenant_, clock_->Now());
   stats_.read_ops++;
   stats_.sectors_read += count;
   return OkStatus();
@@ -33,6 +34,7 @@ Status MemDisk::Write(uint64_t sector, std::span<const uint8_t> data) {
     return InvalidArgumentError("write beyond device end");
   }
   std::memcpy(storage_.data() + sector * sector_size_, data.data(), data.size());
+  stats_.NoteRequest(tenant_, clock_->Now());
   stats_.write_ops++;
   stats_.sectors_written += count;
   return OkStatus();

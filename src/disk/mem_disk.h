@@ -21,6 +21,11 @@ class MemDisk : public BlockDevice {
   Status Read(uint64_t sector, std::span<uint8_t> out) override;
   Status Write(uint64_t sector, std::span<const uint8_t> data) override;
 
+  // Sticky request context, kept so maintenance I/O is attributed correctly
+  // in the idle-signal counters even on the zero-latency device.
+  void set_request_tenant(TenantId tenant) override { tenant_ = tenant; }
+  TenantId request_tenant() const override { return tenant_; }
+
   SimClock* clock() override { return clock_; }
   const DiskStats& stats() const override { return stats_; }
   DiskStats* mutable_stats() override { return &stats_; }
@@ -30,6 +35,7 @@ class MemDisk : public BlockDevice {
   uint64_t num_sectors_;
   uint32_t sector_size_;
   SimClock* clock_;
+  TenantId tenant_ = kDefaultTenant;
   DiskStats stats_;
   std::vector<uint8_t> storage_;
 };

@@ -176,6 +176,7 @@ StatusOr<IoTag> NvmeDevice::SubmitRead(uint64_t sector, std::span<uint8_t> out) 
   const IoTag tag = NextTag();
   pending_.push_back(
       {tag, out.size() / config_.sector_size, /*is_read=*/true, clock_->Now(), request_tenant_});
+  stats_.NoteRequest(request_tenant_, clock_->Now());
   stats_.queued_requests++;
   stats_.MutableChannel(0).queued_requests++;
   stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, pending_.size());
@@ -191,6 +192,7 @@ StatusOr<IoTag> NvmeDevice::SubmitWrite(uint64_t sector, std::span<const uint8_t
   const IoTag tag = NextTag();
   pending_.push_back(
       {tag, data.size() / config_.sector_size, /*is_read=*/false, clock_->Now(), request_tenant_});
+  stats_.NoteRequest(request_tenant_, clock_->Now());
   stats_.queued_requests++;
   stats_.MutableChannel(0).queued_requests++;
   stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, pending_.size());

@@ -28,6 +28,10 @@ namespace ld {
 // t indexes QosConfig::weights and DiskStats::tenant(t).
 using TenantId = uint32_t;
 inline constexpr TenantId kDefaultTenant = 0;
+// Sentinel for "no maintenance tenant registered" in DiskStats: tenant ids
+// are dense small integers, so the all-ones value can never collide with a
+// real session.
+inline constexpr TenantId kNoMaintenanceTenant = 0xffffffffu;
 
 // How a queueing device orders requests *between* tenants. Within a tenant
 // the device's QueuePolicy (FIFO/C-SCAN) still applies.

@@ -403,6 +403,7 @@ StatusOr<IoTag> SimDisk::Enqueue(uint64_t sector, uint64_t count, bool is_read) 
   }
   ch.pending.push_back({tag, sector, count, is_read, clock_->Now(), request_tenant_, count,
                         /*first_wait_ms=*/-1.0});
+  stats_.NoteRequest(request_tenant_, clock_->Now());
   stats_.queued_requests++;
   stats_.MutableChannel(ch_index).queued_requests++;
   stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth, TotalPending());

@@ -14,6 +14,7 @@
 
 #include "src/disk/device_factory.h"
 #include "src/disk/qos.h"
+#include "src/lld/lld_maintenance.h"
 
 namespace ld {
 
@@ -155,6 +156,40 @@ inline QosConfig EnvQosConfig(const QosConfig& fallback = QosConfig{}) {
   qos.policy = EnvQosPolicy(qos.policy);
   qos.num_tenants = EnvTenants(qos.num_tenants);
   return qos;
+}
+
+// Idle-driven background maintenance toggle (LD_MAINT=0|1): when on, the
+// LD-based setups attach a MaintenanceScheduler running scrub, deferred
+// checkpoint frames, paced rebuild, and restripe-after-heal as a dedicated
+// low-weight tenant during device idle time. Off (the fallback everywhere)
+// keeps every maintenance operation a foreground call — the differential
+// baseline the CI byte-identity step compares against.
+inline bool EnvMaintenance(bool fallback) { return EnvFlag("LD_MAINT", fallback); }
+
+// Maintenance pacing overrides: LD_MAINT_IDLE_MS (quiet window required
+// before a slice), LD_MAINT_SCRUB_SEGMENTS / LD_MAINT_REBUILD_SEGMENTS
+// (slice sizes). Unset keeps the scheduler defaults.
+inline MaintenanceOptions EnvMaintenanceOptions(
+    MaintenanceOptions options = MaintenanceOptions{}) {
+  if (const char* v = std::getenv("LD_MAINT_IDLE_MS")) {
+    const double ms = std::atof(v);
+    if (ms >= 0.0) {
+      options.idle_threshold_ms = ms;
+    }
+  }
+  if (const char* v = std::getenv("LD_MAINT_SCRUB_SEGMENTS")) {
+    const int n = std::atoi(v);
+    if (n > 0) {
+      options.scrub_segments_per_slice = static_cast<uint32_t>(n);
+    }
+  }
+  if (const char* v = std::getenv("LD_MAINT_REBUILD_SEGMENTS")) {
+    const int n = std::atoi(v);
+    if (n > 0) {
+      options.rebuild_segments_per_slice = static_cast<uint32_t>(n);
+    }
+  }
+  return options;
 }
 
 // HP C3010 options honoring the environment overrides.

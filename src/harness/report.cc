@@ -92,6 +92,24 @@ void PrintRecoveryReport(const std::string& label, const RecoveryReport& report)
   std::printf("  %-24s %s\n", label.c_str(), report.ToString().c_str());
 }
 
+void PrintMaintenanceStats(const std::string& label, const MaintenanceStats& stats) {
+  std::printf(
+      "  %-24s steps %-7llu idle-skips %-7llu scrub %llu slices/%llu seg/%llu cycles  "
+      "ckpt frames %llu  rebuild %llu slices/%llu seg  restripe %llu passes/%llu sets\n",
+      label.c_str(), static_cast<unsigned long long>(stats.steps),
+      static_cast<unsigned long long>(stats.idle_skips),
+      static_cast<unsigned long long>(stats.scrub_slices),
+      static_cast<unsigned long long>(stats.scrub_segments),
+      static_cast<unsigned long long>(stats.scrub_cycles),
+      static_cast<unsigned long long>(stats.checkpoint_frames),
+      static_cast<unsigned long long>(stats.rebuild_slices),
+      static_cast<unsigned long long>(stats.rebuild_segments),
+      static_cast<unsigned long long>(stats.restripe_passes),
+      static_cast<unsigned long long>(stats.stripes_formed));
+  std::printf("  %-24s %s  %s\n", "", stats.last_scrub.ToString().c_str(),
+              stats.last_rebuild.ToString().c_str());
+}
+
 std::string Compare(double measured, double paper, const std::string& unit, int precision) {
   std::string out = TextTable::Num(measured, precision);
   if (!unit.empty()) {

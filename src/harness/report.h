@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/disk/block_device.h"
+#include "src/lld/lld_maintenance.h"
 #include "src/lld/reports.h"
 
 namespace ld {
@@ -45,6 +46,10 @@ void PrintTenantStats(const std::string& label, const DiskStats& stats, uint32_t
 // Prints one line summarizing how an Open() rebuilt its state: recovery
 // mode, typed fallback reason, scan shape, and the headline counters.
 void PrintRecoveryReport(const std::string& label, const RecoveryReport& report);
+
+// Prints a two-line summary of a background maintenance scheduler: slices
+// run per duty, idle-gate skips, and the accumulated scrub/rebuild reports.
+void PrintMaintenanceStats(const std::string& label, const MaintenanceStats& stats);
 
 }  // namespace ld
 

@@ -59,11 +59,24 @@ StatusOr<FsStack> MakeFsStack(BlockDevice* device, FsKind kind, const SetupParam
       lld_options.tenant = params.tenant;
       lld_options.checkpoint_interval_segments =
           EnvCheckpointInterval(lld_options.checkpoint_interval_segments);
+      const bool maint = EnvMaintenance(params.maintenance);
+      MaintenanceOptions maint_options;
+      if (maint) {
+        maint_options = EnvMaintenanceOptions();
+        // One past the session tenant: distinct from every foreground id so
+        // the device's idle detector can classify maintenance traffic.
+        maint_options.tenant = params.tenant + 1;
+        lld_options.rebuild_tenant = maint_options.tenant;
+        lld_options.defer_checkpoint_frames = maint_options.checkpoint;
+      }
       ASSIGN_OR_RETURN(s.lld, LogStructuredDisk::Format(device, lld_options));
       const bool list_per_file = kind != FsKind::kMinixLldSingleList;
       const bool small_inodes = kind == FsKind::kMinixLldSmallInodes;
       ASSIGN_OR_RETURN(s.fs,
                        MinixFs::FormatOnLd(s.lld.get(), options, list_per_file, small_inodes));
+      if (maint) {
+        s.maintenance = std::make_unique<MaintenanceScheduler>(s.lld.get(), maint_options);
+      }
       break;
     }
     case FsKind::kMinix: {
@@ -93,6 +106,7 @@ StatusOr<FsUnderTest> MakeFsUnderTest(FsKind kind, const SetupParams& params) {
   ASSIGN_OR_RETURN(FsStack stack, MakeFsStack(t.disk.get(), kind, params));
   t.lld = std::move(stack.lld);
   t.fs = std::move(stack.fs);
+  t.maintenance = std::move(stack.maintenance);
   t.ResetMeasurement();
   return t;
 }

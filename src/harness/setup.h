@@ -11,6 +11,7 @@
 #include "src/disk/device_factory.h"
 #include "src/ffs/ffs.h"
 #include "src/lld/lld.h"
+#include "src/lld/lld_maintenance.h"
 #include "src/minixfs/minix_fs.h"
 
 namespace ld {
@@ -32,6 +33,9 @@ struct FsUnderTest {
   std::unique_ptr<BlockDevice> disk;
   std::unique_ptr<LogStructuredDisk> lld;  // Null for non-LD systems.
   std::unique_ptr<MinixFs> fs;
+  // Idle-driven background maintenance; null unless params.maintenance (or
+  // LD_MAINT) asked for it. The workload driver pumps maintenance->Step().
+  std::unique_ptr<MaintenanceScheduler> maintenance;
 
   // Resets clock, device, LLD, and file-system counters after setup so
   // measurements exclude formatting (and each phase starts from zero).
@@ -68,6 +72,12 @@ struct SetupParams {
   // Tenant session id threaded down the whole stack (fs → backend → LD →
   // device request context). Single-FS setups keep the default.
   TenantId tenant = kDefaultTenant;
+  // Attach an idle-driven MaintenanceScheduler to LD-based stacks
+  // (overridable by LD_MAINT; pacing knobs come from LD_MAINT_*). The
+  // scheduler gets its own tenant id — one past the session's — stamped on
+  // scrub/checkpoint/restripe I/O and set as the LD's rebuild_tenant, and
+  // cadence-driven checkpoint frames move off the seal path onto it.
+  bool maintenance = false;
 };
 
 // A file system (plus its LLD, for LD kinds) built on a caller-owned device:
@@ -77,6 +87,7 @@ struct SetupParams {
 struct FsStack {
   std::unique_ptr<LogStructuredDisk> lld;  // Null for non-LD systems.
   std::unique_ptr<MinixFs> fs;
+  std::unique_ptr<MaintenanceScheduler> maintenance;  // Null unless enabled.
 };
 
 // Formats `kind` onto `device` with params' file-system knobs (the device

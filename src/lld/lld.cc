@@ -501,11 +501,17 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   // runs low) the pending captures go out as a delta frame. This runs here —
   // with the open buffer empty — rather than inside AllocateFreeSegment,
   // where a rebase would recurse into a half-sealed flush. No-op when the
-  // seal came from a frame write itself (ckpt_in_frame_write_).
+  // seal came from a frame write itself (ckpt_in_frame_write_). With
+  // defer_checkpoint_frames, cadence-driven frames wait for CheckpointStep
+  // (the idle-time maintenance path); forced frames — the allocation window
+  // running out of free segments — must still go out inline, because new
+  // seals are confined to the window the latest durable frame recorded.
   if (CheckpointingActive() && !ckpt_in_frame_write_) {
-    RETURN_IF_ERROR(MaybeWriteDeltaFrame(
-        usage_->AllocatableCount() <
-        options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2));
+    const bool force = usage_->AllocatableCount() <
+                       options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2;
+    if (force || !options_.defer_checkpoint_frames) {
+      RETURN_IF_ERROR(MaybeWriteDeltaFrame(force));
+    }
   }
   return OkStatus();
 }
@@ -556,9 +562,11 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   dirty_since_flush_ = false;
   counters_.partial_segments_written++;
   if (CheckpointingActive() && !ckpt_in_frame_write_) {
-    RETURN_IF_ERROR(MaybeWriteDeltaFrame(
-        usage_->AllocatableCount() <
-        options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2));
+    const bool force = usage_->AllocatableCount() <
+                       options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2;
+    if (force || !options_.defer_checkpoint_frames) {
+      RETURN_IF_ERROR(MaybeWriteDeltaFrame(force));
+    }
   }
   return OkStatus();
 }

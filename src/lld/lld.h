@@ -180,6 +180,33 @@ class LogStructuredDisk : public LogicalDisk {
   // *reconstructed* from the segment's parity block and relocated instead.
   StatusOr<ScrubReport> Scrub() override;
 
+  // Incremental scrub: verifies the next `max_segments` segment summaries
+  // (and the payload CRCs of all live blocks stored in that segment range)
+  // from a persistent cursor, running the full suspect-retirement protocol
+  // per slice. One *cycle* covers the whole volume; the returned report
+  // accumulates across the cycle's slices and resets when a new cycle
+  // starts (the cursor wraps). Each slice is individually crash-safe — the
+  // relocation-batch / kScrubIntent / summary-zeroing ordering of the
+  // monolithic pass holds within every slice — so a crash between slices is
+  // no worse than a crash between two foreground Scrub() calls. Scrub() is
+  // exactly one full-range slice after a quiesce (plus a cursor reset), so
+  // the all-at-once semantics remain the differential baseline.
+  StatusOr<ScrubReport> ScrubStep(uint32_t max_segments);
+  // True while an incremental scrub cycle is mid-volume.
+  bool scrub_cycle_active() const { return scrub_.active; }
+  // Next segment index ScrubStep will examine (0 when no cycle is active).
+  uint32_t scrub_cursor() const { return scrub_.cursor; }
+
+  // Writes the deferred checkpoint delta frame if one is due
+  // (LldOptions::defer_checkpoint_frames); returns whether a frame went out.
+  StatusOr<bool> CheckpointStep();
+  // True when enough seals have accumulated that CheckpointStep would write.
+  bool CheckpointFrameDue() const {
+    return CheckpointingActive() && !ckpt_in_frame_write_ && ckpt_have_chain_ &&
+           ckpt_seals_since_frame_ >= options_.checkpoint_interval_segments &&
+           (!ckpt_pending_.empty() || !ckpt_retired_pending_.empty());
+  }
+
   // ---- Cross-channel stripe parity (lld_stripe.cc) -------------------------
 
   // Maintenance pass: groups every unstriped sealed segment into stripe sets
@@ -187,8 +214,10 @@ class LogStructuredDisk : public LogicalDisk {
   // channel, i.e. a mirror), so planned-failover tests can reach full
   // coverage without waiting for seal-time formation. Requires no open ARUs
   // and LldOptions::stripe_parity on a multi-channel device. Returns the
-  // number of stripe sets formed.
-  StatusOr<uint32_t> FormStripes();
+  // number of stripe sets formed. `max_sets` bounds one call (0 = form until
+  // no candidate is left), so the maintenance scheduler can restripe in
+  // paced slices after a heal.
+  StatusOr<uint32_t> FormStripes(uint32_t max_sets = 0);
 
   // Tells the allocator that channel `ch` is dead (failed = true): segment
   // allocation, stripe formation, and parity placement avoid its band, and
@@ -206,13 +235,29 @@ class LogStructuredDisk : public LogicalDisk {
   // and verified against the recorded parity CRC; any mismatch is a typed
   // double fault (the stripe is dissolved, never guessed at). Rebuild I/O is
   // stamped with LldOptions::rebuild_tenant so the QoS dispatch layer can
-  // pace it under foreground traffic. Callable incrementally while serving.
+  // pace it under foreground traffic. Callable incrementally while serving:
+  // the returned report *accumulates* across the incremental calls of one
+  // rebuild cycle and resets only once the queue has drained, so the last
+  // slice's report describes the whole cycle.
   StatusOr<RebuildReport> Rebuild(uint32_t max_segments = 0);
 
   // Segments queued for Rebuild.
   uint32_t rebuild_pending() const { return static_cast<uint32_t>(rebuild_pending_.size()); }
   // Stripe sets currently registered (tests & benches).
   uint32_t stripe_count() const { return static_cast<uint32_t>(stripes_.size()); }
+  // Full segments not covered by any stripe set. A bounded FormStripes pass
+  // always leaves at least its record carrier unstriped, so an incremental
+  // restripe driver uses this as its convergence signal (population stopped
+  // shrinking), not "formed == 0".
+  uint32_t UnstripedFullSegments() const {
+    uint32_t n = 0;
+    for (uint32_t s = 0; s < usage_->num_segments(); ++s) {
+      if (usage_->segment(s).state == SegmentState::kFull && member_stripe_.count(s) == 0) {
+        n++;
+      }
+    }
+    return n;
+  }
   bool channel_marked_failed(uint32_t ch) const {
     return ch < channel_failed_.size() && channel_failed_[ch];
   }
@@ -451,6 +496,11 @@ class LogStructuredDisk : public LogicalDisk {
   std::vector<uint8_t> channel_alloc_mask_;
   std::deque<uint32_t> rebuild_pending_;
   std::unordered_set<uint32_t> rebuild_queued_;
+  // Accumulating report for the current rebuild cycle (see Rebuild): reset
+  // when a call finds the previous cycle drained, carried across slices
+  // otherwise.
+  RebuildReport rebuild_report_;
+  bool rebuild_cycle_active_ = false;
   // Round-robin cursor rotating parity placement across channels (RAID-5).
   uint32_t next_parity_channel_ = 0;
   // Re-entrancy guard: stripe formation and dissolution append records and
@@ -652,6 +702,17 @@ class LogStructuredDisk : public LogicalDisk {
   // the hot set); -1 = first-free placement.
   int64_t writer_placement_hint_ = -1;
   bool dirty_since_flush_ = false;
+
+  // ---- Incremental-scrub state (lld_scrub.cc) ------------------------------
+  // One scrub cycle walks the segment cursor across the volume in slices;
+  // the report accumulates over the cycle and the whole struct resets when
+  // the cursor wraps (or a monolithic Scrub() abandons the cycle).
+  struct ScrubState {
+    bool active = false;
+    uint32_t cursor = 0;
+    ScrubReport report;
+  };
+  ScrubState scrub_;
 
   LldCounters counters_;
   RecoveryReport last_recovery_;

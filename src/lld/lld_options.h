@@ -140,6 +140,16 @@ struct LldOptions {
   // log-written-since-checkpoint rather than volume size.
   uint32_t checkpoint_interval_segments = 0;
 
+  // Defer cadence-driven checkpoint frames off the seal path: a seal only
+  // *captures* its segment for the next frame, and the frame itself goes out
+  // when the maintenance scheduler calls CheckpointStep() during device idle
+  // time. Frames the allocation window depends on (the free pool running
+  // low) are still written inline at the seal — correctness needs that
+  // rebase regardless of pacing. Deferring only widens the recovery scan
+  // (more seals since the last durable frame), never weakens it. No effect
+  // with checkpoint_interval_segments == 0.
+  bool defer_checkpoint_frames = false;
+
   // Fan the recovery summary scan out across the device's channels through
   // the async request queue (per-channel concurrent reads, then an ordered
   // merge by sequence number — ARU all-or-nothing semantics are preserved

@@ -634,6 +634,19 @@ Status LogStructuredDisk::MaybeWriteDeltaFrame(bool force) {
   return OkStatus();
 }
 
+StatusOr<bool> LogStructuredDisk::CheckpointStep() {
+  RETURN_IF_ERROR(CheckWritable());
+  if (!CheckpointFrameDue()) {
+    return false;
+  }
+  // A due frame can still come back without writing (slot rebase refusal
+  // with open ARUs degrades to disabled checkpoints, which is not an
+  // error); report progress from the counter, not from the call succeeding.
+  const uint64_t before = counters_.checkpoint_frames_written;
+  RETURN_IF_ERROR(MaybeWriteDeltaFrame(/*force=*/false));
+  return counters_.checkpoint_frames_written > before;
+}
+
 Status LogStructuredDisk::InvalidateCheckpoint() {
   const uint32_t sector = device_->sector_size();
   SlotMarker m;  // valid = false.

@@ -39,6 +39,22 @@
 // exactly as the interrupted scrub would have. A segment reused after
 // retirement carries a newer sequence than the intent, so a stale intent can
 // never retire live data.
+//
+// Incremental form (ScrubStep): the same pass, restricted to a cursor-driven
+// window of `max_segments` segment indices per call, so the maintenance
+// scheduler can run it in paced slices during device idle time. Each slice
+// verifies its window's summaries and the payloads of live blocks stored
+// there, and — only when it finds suspects — quiesces, widens the mention
+// scan to the rest of the volume (countermand tombstones need every valid
+// summary's mentions), and runs the full step-4/5 retirement protocol for
+// its own suspects. The crash-ordering guarantees above therefore hold
+// within every slice; a crash *between* slices is indistinguishable from a
+// crash between two foreground Scrub() calls. A clean slice issues only
+// reads and needs no quiesce at all (data effects are applied eagerly at
+// submit time, so verification observes in-flight segment writes). One
+// cycle's slices accumulate into a single report; Scrub() is one full-range
+// slice after a quiesce, preserving the all-at-once, reset-per-call
+// semantics as the differential baseline.
 
 #include <algorithm>
 #include <unordered_set>
@@ -53,64 +69,80 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
   if (!open_arus_.empty()) {
     return FailedPreconditionError("close open atomic recovery units before scrubbing");
   }
+  // A monolithic pass abandons any incremental cycle: its report must
+  // describe exactly this call, from a fresh cursor.
+  scrub_ = ScrubState{};
   // Quiesce: after this, memory and durable state agree.
   RETURN_IF_ERROR(FlushOpenSegmentFull());
   RETURN_IF_ERROR(WaitForInflight());
+  return ScrubStep(std::max(usage_->num_segments(), 1u));
+}
+
+StatusOr<ScrubReport> LogStructuredDisk::ScrubStep(uint32_t max_segments) {
+  RETURN_IF_ERROR(CheckWritable());
+  if (!open_arus_.empty()) {
+    return FailedPreconditionError("close open atomic recovery units before scrubbing");
+  }
+  if (max_segments == 0) {
+    max_segments = 1;
+  }
+  if (!scrub_.active) {
+    scrub_ = ScrubState{};
+    scrub_.active = true;
+  }
+  const uint32_t num_segments = usage_->num_segments();
+  const uint32_t begin = std::min(scrub_.cursor, num_segments);
+  const uint32_t end = static_cast<uint32_t>(
+      std::min<uint64_t>(static_cast<uint64_t>(begin) + max_segments, num_segments));
+  ScrubReport& report = scrub_.report;
 
   const uint32_t sector = device_->sector_size();
-  ScrubReport report;
   std::unordered_set<uint32_t> suspects;
   std::unordered_set<Bid> mentioned_bids;
   std::unordered_set<Lid> mentioned_lids;
 
-  // Step 2: verify every written summary; collect entity mentions from the
-  // valid ones (needed for the countermand tombstones in step 4).
+  // Reads and decodes segment `seg`'s summary into *records. Returns false
+  // (with *why set) when the summary is damaged; non-IO errors propagate.
   std::vector<uint8_t> summary(options_.summary_bytes);
-  for (uint32_t seg = 0; seg < usage_->num_segments(); ++seg) {
-    const SegmentState state = usage_->segment(seg).state;
-    if (state != SegmentState::kFull && state != SegmentState::kScratch) {
-      continue;
-    }
-    report.segments_scanned++;
-    const auto suspect = [&](const char* why) {
-      LD_LOG(kWarn) << "scrub: segment " << seg << " summary " << why;
-      suspects.insert(seg);
-      report.suspect_segments++;
-    };
+  auto decode_summary = [&](uint32_t seg, std::vector<SummaryRecord>* records,
+                            const char** why) -> StatusOr<bool> {
+    *why = nullptr;
     if (Status s = io_.Read(SegmentSummaryStartByte(seg) / sector, summary); !s.ok()) {
       if (s.code() != ErrorCode::kIoError) {
         return s;
       }
-      suspect("unreadable");
-      continue;
+      *why = "unreadable";
+      return false;
     }
     SummaryHeader header;
     const Status head = DecodeSummaryHeader(summary, &header);
     if (!head.ok() || header.ext_bytes > data_capacity_ || header.segment_index != seg) {
-      suspect("corrupt");
-      continue;
+      *why = "corrupt";
+      return false;
     }
     std::vector<uint8_t> ext;
     if (header.ext_bytes > 0) {
       const uint64_t ext_start = data_capacity_ - header.ext_bytes;
       const uint64_t first = (SegmentBaseByte(seg) + ext_start) / sector * sector;
-      const uint64_t end = SegmentBaseByte(seg) + data_capacity_;
-      std::vector<uint8_t> raw((end - first + sector - 1) / sector * sector);
+      const uint64_t seg_end = SegmentBaseByte(seg) + data_capacity_;
+      std::vector<uint8_t> raw((seg_end - first + sector - 1) / sector * sector);
       if (Status s = io_.Read(first / sector, raw); !s.ok()) {
         if (s.code() != ErrorCode::kIoError) {
           return s;
         }
-        suspect("extension unreadable");
-        continue;
+        *why = "extension unreadable";
+        return false;
       }
       const size_t skip = (SegmentBaseByte(seg) + ext_start) - first;
       ext.assign(raw.begin() + skip, raw.begin() + skip + header.ext_bytes);
     }
-    std::vector<SummaryRecord> records;
-    if (!DecodeSummary(summary, ext, &header, &records).ok()) {
-      suspect("corrupt");
-      continue;
+    if (!DecodeSummary(summary, ext, &header, records).ok()) {
+      *why = "corrupt";
+      return false;
     }
+    return true;
+  };
+  const auto collect_mentions = [&](const std::vector<SummaryRecord>& records) {
     for (const auto& r : records) {
       switch (r.type) {
         case SummaryRecordType::kBlockEntry:
@@ -132,10 +164,59 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
           break;
       }
     }
+  };
+
+  // Step 2: verify the window's written summaries; collect entity mentions
+  // from the valid ones (needed for the countermand tombstones in step 4).
+  for (uint32_t seg = begin; seg < end; ++seg) {
+    const SegmentState state = usage_->segment(seg).state;
+    if (state != SegmentState::kFull && state != SegmentState::kScratch) {
+      continue;
+    }
+    report.segments_scanned++;
+    std::vector<SummaryRecord> records;
+    const char* why = nullptr;
+    ASSIGN_OR_RETURN(const bool valid, decode_summary(seg, &records, &why));
+    if (!valid) {
+      LD_LOG(kWarn) << "scrub: segment " << seg << " summary " << why;
+      suspects.insert(seg);
+      report.suspect_segments++;
+      continue;
+    }
+    collect_mentions(records);
   }
 
-  // Step 3: verify every live on-disk block; relocate whatever lives on a
-  // suspect segment so the segment can be retired.
+  if (!suspects.empty()) {
+    // Damage found: quiesce before harvesting, so the in-memory tables
+    // describe exactly the durable state (an open-segment copy newer than a
+    // suspect's on-disk one would otherwise be skipped while the suspect is
+    // retired under it). A no-op for the monolithic pass, which quiesced
+    // before the scan.
+    RETURN_IF_ERROR(FlushOpenSegmentFull());
+    RETURN_IF_ERROR(WaitForInflight());
+    // Countermand tombstones need mentions from *all* valid summaries, not
+    // just the window's: widen the mention scan to the rest of the volume.
+    // Damaged summaries out there contribute nothing — exactly as monolithic
+    // suspects don't — and are retired when their own slice reaches them.
+    for (uint32_t seg = 0; seg < num_segments; ++seg) {
+      if (seg >= begin && seg < end) {
+        continue;
+      }
+      const SegmentState state = usage_->segment(seg).state;
+      if (state != SegmentState::kFull && state != SegmentState::kScratch) {
+        continue;
+      }
+      std::vector<SummaryRecord> records;
+      const char* why = nullptr;
+      ASSIGN_OR_RETURN(const bool valid, decode_summary(seg, &records, &why));
+      if (valid) {
+        collect_mentions(records);
+      }
+    }
+  }
+
+  // Step 3: verify every live on-disk block stored in the window; relocate
+  // whatever lives on a suspect segment so the segment can be retired.
   CleanerBatch batch;
   for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
     if (!block_map_.IsAllocated(bid)) {
@@ -143,6 +224,9 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
     }
     const BlockMapEntry& e = block_map_.entry(bid);
     if (!e.phys.IsOnDisk()) {
+      continue;
+    }
+    if (e.phys.segment < begin || e.phys.segment >= end) {
       continue;
     }
     report.blocks_scanned++;
@@ -213,9 +297,9 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
   }
 
   // Step 4: re-log metadata whose authoritative record sits in a suspect
-  // summary. The quiesce in step 1 makes the in-memory tables a faithful
-  // source (the cleaner must use the victim's own records because unflushed
-  // state may be newer; after a full flush there is no such state).
+  // summary. The quiesce above makes the in-memory tables a faithful source
+  // (the cleaner must use the victim's own records because unflushed state
+  // may be newer; after a full flush there is no such state).
   if (!suspects.empty()) {
     for (Bid bid = 1; bid <= block_map_.max_bid(); ++bid) {
       if (!block_map_.IsAllocated(bid)) {
@@ -272,7 +356,7 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
                    DissolveStripesTouching(suspect_list, &batch.records));
 
   // Step 5: make the repairs durable, then retire the suspects.
-  report.blocks_relocated = batch.blocks.size();
+  report.blocks_relocated += batch.blocks.size();
   if (!batch.blocks.empty() || !batch.records.empty()) {
     OrderByLists(&batch.blocks);
     cleaning_ = true;
@@ -318,7 +402,15 @@ StatusOr<ScrubReport> LogStructuredDisk::Scrub() {
       counters_.segments_cleaned++;
     }
   }
-  return report;
+
+  const ScrubReport out = report;
+  scrub_.cursor = end;
+  if (scrub_.cursor >= num_segments) {
+    // Cycle complete: the next ScrubStep starts a fresh cursor and report.
+    scrub_.active = false;
+    scrub_.cursor = 0;
+  }
+  return out;
 }
 
 }  // namespace ld

@@ -254,7 +254,7 @@ Status LogStructuredDisk::MaybeFormStripes(uint32_t sealing_segment) {
   return OkStatus();
 }
 
-StatusOr<uint32_t> LogStructuredDisk::FormStripes() {
+StatusOr<uint32_t> LogStructuredDisk::FormStripes(uint32_t max_sets) {
   RETURN_IF_ERROR(CheckWritable());
   if (!open_arus_.empty()) {
     return FailedPreconditionError("FormStripes requires no open atomic recovery units");
@@ -293,6 +293,11 @@ StatusOr<uint32_t> LogStructuredDisk::FormStripes() {
     std::unordered_set<uint32_t> planned;
     uint32_t batch = 0;
     while (true) {
+      // A bounded pass (maintenance slice) stops planning at its quota; the
+      // cursorless design is fine because candidacy is recomputed per set.
+      if (max_sets > 0 && formed + batch >= max_sets) {
+        break;
+      }
       // Planned parity targets already left the free pool (reserved kParity
       // at plan time), so a plain floor keeps reserve + the carrier seal.
       if (usage_->FreeCount() <= reserve + 1) {
@@ -418,6 +423,9 @@ StatusOr<uint32_t> LogStructuredDisk::FormStripes() {
         }
       }
       formed += batch;
+      if (max_sets > 0 && formed >= max_sets) {
+        break;
+      }
       progressed = true;
       continue;
     }
@@ -690,7 +698,14 @@ Status LogStructuredDisk::SetChannelFailed(uint32_t ch, bool failed) {
 }
 
 StatusOr<RebuildReport> LogStructuredDisk::Rebuild(uint32_t max_segments) {
-  RebuildReport report;
+  // One queue-drain is one rebuild cycle: incremental calls accumulate into
+  // a single report until the pending queue empties, so a paced background
+  // rebuild reports exactly what one monolithic Rebuild(0) would have.
+  if (!rebuild_cycle_active_) {
+    rebuild_report_ = RebuildReport{};
+  }
+  RebuildReport& report = rebuild_report_;
+  const uint64_t done_before = report.segments_rebuilt + report.parity_rebuilt;
   const double start = device_->clock()->Now();
   // Pace rebuild I/O as its own (typically low-weight) tenant; foreground
   // requests between incremental calls keep their own stamp.
@@ -830,10 +845,12 @@ StatusOr<RebuildReport> LogStructuredDisk::Rebuild(uint32_t max_segments) {
   report.segments_pending = static_cast<uint32_t>(rebuild_pending_.size());
   if (DiskStats* stats = device_->mutable_stats()) {
     stats->rebuild_segments_pending = rebuild_pending_.size();
-    stats->rebuild_segments_done += report.segments_rebuilt + report.parity_rebuilt;
+    stats->rebuild_segments_done +=
+        report.segments_rebuilt + report.parity_rebuilt - done_before;
   }
   device_->set_request_tenant(options_.tenant);
-  report.seconds = device_->clock()->Now() - start;
+  report.seconds += device_->clock()->Now() - start;
+  rebuild_cycle_active_ = !rebuild_pending_.empty();
   return report;
 }
 

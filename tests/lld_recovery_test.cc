@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "src/disk/device_factory.h"
 #include "src/disk/fault_disk.h"
 #include "src/disk/mem_disk.h"
 #include "src/lld/lld.h"
+#include "src/lld/lld_maintenance.h"
 #include "src/util/random.h"
 #include "tests/device_test_util.h"
 
@@ -1006,6 +1008,205 @@ TEST(LldRecoveryTest, RandomizedCrashDuringRebuildSweep) {
       EXPECT_EQ(finish->segments_unrecoverable, 0u)
           << "round " << round << " crash " << crash_at;
     }
+  }
+}
+
+// ---- Crash during background maintenance ------------------------------------
+
+// Background maintenance must not invent new crash outcomes. The same
+// rotted-summary retirement scenario is power-cut at every device-write
+// index, once with the foreground Scrub() and once driven by the
+// MaintenanceScheduler in bounded ScrubStep slices. Each run classifies into
+// a typed outcome — refused with CORRUPTION, recovered, or recovered via the
+// logged scrub intent — and the *set* of outcomes the sweep observes must be
+// identical for the two drivers (slicing changes when writes happen, never
+// what a crash can leave behind). Within each sweep the refusals must form a
+// strict prefix, exactly as the foreground-only sweep above asserts.
+TEST(LldRecoveryTest, CrashDuringBackgroundScrubMatchesForegroundOutcomeSet) {
+  enum Outcome : int { kRefusedTyped, kRecovered, kRecoveredViaIntent };
+  const auto sweep = [](bool background) {
+    std::set<int> outcomes;
+    bool reopen_succeeded_once = false;
+    bool scrub_completed = false;
+    for (uint64_t crash_at = 1; !scrub_completed; ++crash_at) {
+      EXPECT_LT(crash_at, 400u) << "scrub never ran to completion";
+      if (crash_at >= 400u) {
+        break;
+      }
+      CrashRig rig;
+      auto lld = rig.Format();
+      auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+      EXPECT_TRUE(list.ok());
+      std::vector<Bid> bids;
+      Bid pred = kBeginOfList;
+      for (uint32_t i = 0; i < 40; ++i) {
+        auto bid = lld->NewBlock(*list, pred);
+        EXPECT_TRUE(bid.ok());
+        EXPECT_TRUE(lld->Write(*bid, Pattern(4096, i)).ok());
+        bids.push_back(*bid);
+        pred = *bid;
+      }
+      EXPECT_TRUE(lld->Flush().ok());
+
+      // Rot the oldest full summary: mid-log damage the scrub must retire.
+      uint32_t suspect = 0;
+      uint64_t oldest_seq = ~0ull;
+      for (uint32_t i = 0; i < lld->num_segments(); ++i) {
+        const SegmentUsage& u = lld->usage_table().segment(i);
+        if (u.state == SegmentState::kFull && u.seq < oldest_seq) {
+          oldest_seq = u.seq;
+          suspect = i;
+        }
+      }
+      EXPECT_NE(oldest_seq, ~0ull);
+      EXPECT_TRUE(
+          rig.disk->CorruptSector(lld->SegmentSummaryStartByte(suspect) / 512, 0, 0xff).ok());
+
+      const int64_t torn = static_cast<int64_t>(crash_at % 4) - 1;  // -1 (none) .. 2.
+      rig.disk->CrashAfterWrites(crash_at, torn <= 0 ? -1 : torn);
+
+      if (background) {
+        MaintenanceOptions mo;
+        mo.tenant = 1;
+        mo.scrub_segments_per_slice = 2;
+        mo.checkpoint = false;
+        mo.rebuild = false;
+        mo.restripe = false;
+        MaintenanceScheduler sched(lld.get(), mo);
+        const auto drained = sched.Drain(10000);
+        if (drained.ok()) {
+          scrub_completed = true;
+        } else {
+          EXPECT_TRUE(rig.disk->crashed()) << drained.status().ToString();
+        }
+      } else {
+        const auto scrub = lld->Scrub();
+        if (scrub.ok()) {
+          scrub_completed = true;
+        } else {
+          EXPECT_TRUE(rig.disk->crashed()) << scrub.status().ToString();
+        }
+      }
+
+      lld.reset();
+      rig.disk->ClearFault();
+      auto reopened = LogStructuredDisk::Open(rig.disk.get(), TestOptions());
+      if (!reopened.ok()) {
+        EXPECT_EQ(reopened.status().code(), ErrorCode::kCorruption)
+            << reopened.status().ToString();
+        EXPECT_FALSE(reopen_succeeded_once)
+            << "background=" << background << " crash_at=" << crash_at
+            << ": refusal after an earlier crash index already recovered";
+        outcomes.insert(kRefusedTyped);
+        continue;
+      }
+      reopen_succeeded_once = true;
+      outcomes.insert((*reopened)->last_recovery().retirements_completed > 0
+                          ? kRecoveredViaIntent
+                          : kRecovered);
+      std::vector<uint8_t> out(4096);
+      for (size_t i = 0; i < bids.size(); ++i) {
+        const Status s = (*reopened)->Read(bids[i], out);
+        EXPECT_TRUE(s.ok()) << "background=" << background << " crash_at=" << crash_at
+                            << " block " << i << ": " << s.ToString();
+        if (s.ok()) {
+          EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)))
+              << "background=" << background << " crash_at=" << crash_at << " block " << i;
+        }
+      }
+      EXPECT_EQ(*(*reopened)->ListBlocks(*list), bids);
+    }
+    return outcomes;
+  };
+
+  const std::set<int> foreground = sweep(false);
+  const std::set<int> via_scheduler = sweep(true);
+  EXPECT_EQ(foreground, via_scheduler)
+      << "sliced background maintenance produced a different typed outcome set";
+  // Both sweeps must have exercised the interesting transitions, not just
+  // crashed before the scrub did anything.
+  EXPECT_TRUE(foreground.count(kRecoveredViaIntent))
+      << "sweep never hit recovery's intent-driven retirement";
+}
+
+// Crash at randomized device-write indices while the scheduler paces a
+// post-heal rebuild (and the restripe pass it arms afterwards): exactly like
+// the foreground rebuild sweep, every crash must recover with byte-identical
+// contents — the paced driver adds no new failure modes — and a fresh
+// foreground Rebuild must be able to finish the job.
+TEST(LldRecoveryTest, RandomizedCrashDuringPacedRebuildSweep) {
+  const uint64_t base_seed = EnvFaultSeed(42);
+  constexpr uint32_t kChannels = 4;
+  constexpr uint32_t kDead = 2;
+  Rng stride_rng(base_seed * 31337 + 7);
+  bool maintenance_completed = false;
+  // Stride-sampled crash indices keep the sweep affordable while still
+  // landing in every phase (rebuild slices, then restripe).
+  for (uint64_t crash_at = 1; !maintenance_completed;
+       crash_at += 1 + stride_rng.Below(5)) {
+    ASSERT_LT(crash_at, 2000u) << "paced maintenance never ran to completion";
+    Rng rng(base_seed * 977 + crash_at);
+    StripeCrashRig rig(kChannels);
+    std::vector<Bid> bids;
+    {
+      auto lld = *LogStructuredDisk::Format(rig.disk.get(), StripeRecoveryOptions());
+      auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+      ASSERT_TRUE(list.ok());
+      Bid pred = kBeginOfList;
+      for (uint32_t i = 0; i < 400; ++i) {
+        auto bid = lld->NewBlock(*list, pred);
+        ASSERT_TRUE(bid.ok());
+        pred = *bid;
+        bids.push_back(*bid);
+        ASSERT_TRUE(lld->Write(*bid, Pattern(4096, i)).ok());
+      }
+      ASSERT_TRUE(lld->Flush().ok());
+      auto formed = lld->FormStripes();
+      ASSERT_TRUE(formed.ok()) << formed.status().ToString();
+      ASSERT_GT(*formed, 0u);
+      rig.disk->CrashNow();
+    }
+    rig.disk->FailChannel(kDead);
+    ASSERT_TRUE(rig.disk->HealChannel(kDead).ok());
+    rig.disk->ClearFault();
+
+    auto reopened = LogStructuredDisk::Open(rig.disk.get(), StripeRecoveryOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ASSERT_TRUE((*reopened)->SetChannelFailed(kDead, true).ok());
+    ASSERT_TRUE((*reopened)->SetChannelFailed(kDead, false).ok());
+    ASSERT_GT((*reopened)->rebuild_pending(), 0u);
+
+    const int64_t torn = static_cast<int64_t>(rng.Below(4)) - 1;  // -1 (none) .. 2.
+    rig.disk->CrashAfterWrites(crash_at, torn <= 0 ? -1 : torn);
+
+    MaintenanceOptions mo;
+    mo.tenant = 1;
+    mo.rebuild_segments_per_slice = 1;
+    mo.scrub = false;       // Bound the sweep to the rebuild + restripe phases.
+    mo.checkpoint = false;
+    MaintenanceScheduler sched(reopened->get(), mo);
+    const auto drained = sched.Drain(10000);
+    if (drained.ok() && !rig.disk->crashed()) {
+      maintenance_completed = true;
+      EXPECT_EQ((*reopened)->rebuild_pending(), 0u);
+      EXPECT_GT(sched.stats().rebuild_slices, 1u);
+    } else if (!drained.ok()) {
+      ASSERT_TRUE(rig.disk->crashed()) << drained.status().ToString();
+    }
+    reopened->reset();
+    rig.disk->ClearFault();
+
+    auto after = LogStructuredDisk::Open(rig.disk.get(), StripeRecoveryOptions());
+    ASSERT_TRUE(after.ok()) << "crash " << crash_at << ": " << after.status().ToString();
+    std::vector<uint8_t> out(4096);
+    for (size_t i = 0; i < bids.size(); ++i) {
+      ASSERT_TRUE((*after)->Read(bids[i], out).ok()) << "crash " << crash_at << " block " << i;
+      EXPECT_EQ(out, Pattern(4096, static_cast<uint32_t>(i)))
+          << "crash " << crash_at << " block " << i;
+    }
+    auto finish = (*after)->Rebuild();
+    ASSERT_TRUE(finish.ok()) << finish.status().ToString();
+    EXPECT_EQ(finish->segments_unrecoverable, 0u) << "crash " << crash_at;
   }
 }
 

@@ -366,6 +366,8 @@ TEST(LldStripingTest, RebuildRestoresRedundancyUnderForegroundTraffic) {
   ASSERT_GT(lld->rebuild_pending(), 0u);
 
   // Rebuild in single-segment increments, interleaved with foreground work.
+  // Each slice returns the *accumulated* report for the whole cycle (so an
+  // incremental driver reads totals off the last slice instead of summing).
   RebuildReport total;
   std::vector<Bid> extra;
   auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
@@ -375,9 +377,10 @@ TEST(LldStripingTest, RebuildRestoresRedundancyUnderForegroundTraffic) {
     ASSERT_LT(steps++, 10000u) << "rebuild must terminate";
     auto report = lld->Rebuild(/*max_segments=*/1);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
-    total.segments_rebuilt += report->segments_rebuilt;
-    total.parity_rebuilt += report->parity_rebuilt;
-    total.segments_unrecoverable += report->segments_unrecoverable;
+    EXPECT_GE(report->segments_rebuilt + report->parity_rebuilt,
+              total.segments_rebuilt + total.parity_rebuilt)
+        << "cycle totals must never regress across slices";
+    total = *report;
     // Foreground traffic between rebuild increments.
     auto bid = lld->NewBlock(*list, pred);
     ASSERT_TRUE(bid.ok());
@@ -388,6 +391,7 @@ TEST(LldStripingTest, RebuildRestoresRedundancyUnderForegroundTraffic) {
   }
   EXPECT_GT(total.segments_rebuilt + total.parity_rebuilt, 0u);
   EXPECT_EQ(total.segments_unrecoverable, 0u);
+  EXPECT_EQ(total.segments_pending, 0u);
   ASSERT_TRUE(lld->Flush().ok());
 
   // Redundancy restored: everything reads back, and blocks still resident on

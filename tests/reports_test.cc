@@ -1,0 +1,305 @@
+// Property tests for the maintenance report contracts (src/lld/reports.h):
+// every counter a report carries must survive its ToString() rendering
+// (parse-back round-trip), the typed outcome() classifiers must match their
+// documented predicates for arbitrary counter mixes, and the QoS
+// LatencyHistogram that backs the per-tenant report lines must behave at its
+// edges (empty, single sample, saturated bucket, out-of-range values).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/disk/qos.h"
+#include "src/lld/reports.h"
+#include "src/util/random.h"
+#include "tests/device_test_util.h"
+
+namespace ld {
+namespace {
+
+// Parses the numeric value following " key=" (or "{key=") in a report
+// rendering. A report string is a flat "name{k=v k=v ...}" record, so a
+// missing key is a test failure, not a parse ambiguity.
+uint64_t Field(const std::string& s, const std::string& key) {
+  const std::string needle = key + "=";
+  size_t at = s.find(" " + needle);
+  if (at == std::string::npos) {
+    at = s.find("{" + needle);
+  }
+  if (at == std::string::npos) {
+    ADD_FAILURE() << "field '" << key << "' missing from: " << s;
+    return ~0ull;
+  }
+  return std::stoull(s.substr(at + 1 + needle.size()));
+}
+
+bool HasField(const std::string& s, const std::string& key) {
+  return s.find(" " + key + "=") != std::string::npos;
+}
+
+// ---- ScrubReport -------------------------------------------------------------
+
+ScrubReport RandomScrubReport(Rng& rng) {
+  ScrubReport r;
+  // Small ranges keep the zero cases (the interesting classifier edges) common.
+  r.segments_scanned = rng.Below(100);
+  r.suspect_segments = rng.Below(3);
+  r.blocks_scanned = rng.Below(5000);
+  r.blocks_relocated = rng.Below(3);
+  r.blocks_corrupt = rng.Below(2);
+  r.blocks_unreadable = rng.Below(2);
+  r.records_relogged = rng.Below(50);
+  r.blocks_reconstructed = rng.Below(2);
+  r.blocks_stripe_reconstructed = rng.Below(2);
+  return r;
+}
+
+TEST(ReportsTest, ScrubReportToStringRoundTripsEveryCounter) {
+  Rng rng(EnvFaultSeed(7));
+  for (int i = 0; i < 200; ++i) {
+    const ScrubReport r = RandomScrubReport(rng);
+    const std::string s = r.ToString();
+    EXPECT_EQ(Field(s, "segments"), r.segments_scanned) << s;
+    EXPECT_EQ(Field(s, "suspects"), r.suspect_segments) << s;
+    EXPECT_EQ(Field(s, "blocks"), r.blocks_scanned) << s;
+    EXPECT_EQ(Field(s, "relocated"), r.blocks_relocated) << s;
+    EXPECT_EQ(Field(s, "reconstructed"), r.blocks_reconstructed) << s;
+    EXPECT_EQ(Field(s, "stripe_reconstructed"), r.blocks_stripe_reconstructed) << s;
+    EXPECT_EQ(Field(s, "corrupt"), r.blocks_corrupt) << s;
+    EXPECT_EQ(Field(s, "unreadable"), r.blocks_unreadable) << s;
+    EXPECT_EQ(Field(s, "relogged"), r.records_relogged) << s;
+  }
+}
+
+TEST(ReportsTest, ScrubOutcomeMatchesDocumentedPredicate) {
+  Rng rng(EnvFaultSeed(11));
+  for (int i = 0; i < 500; ++i) {
+    const ScrubReport r = RandomScrubReport(rng);
+    const ScrubReport::Outcome outcome = r.outcome();
+    if (r.blocks_corrupt > 0 || r.blocks_unreadable > 0) {
+      EXPECT_EQ(outcome, ScrubReport::Outcome::kDataLoss);
+    } else if (r.suspect_segments > 0 || r.blocks_relocated > 0 ||
+               r.blocks_reconstructed > 0 || r.blocks_stripe_reconstructed > 0) {
+      EXPECT_EQ(outcome, ScrubReport::Outcome::kRepaired);
+    } else {
+      EXPECT_EQ(outcome, ScrubReport::Outcome::kClean);
+    }
+    // The rendered outcome string agrees with the enum.
+    const std::string s = r.ToString();
+    const char* want = outcome == ScrubReport::Outcome::kDataLoss ? "outcome=data-loss"
+                       : outcome == ScrubReport::Outcome::kRepaired ? "outcome=repaired"
+                                                                    : "outcome=clean";
+    EXPECT_NE(s.find(want), std::string::npos) << s;
+  }
+}
+
+// ---- RebuildReport -----------------------------------------------------------
+
+RebuildReport RandomRebuildReport(Rng& rng) {
+  RebuildReport r;
+  r.segments_rebuilt = rng.Below(5);
+  r.parity_rebuilt = rng.Below(3);
+  r.segments_unrecoverable = rng.Below(2);
+  r.segments_pending = rng.Below(3);
+  r.bytes_rewritten = rng.Below(1u << 20);
+  r.seconds = static_cast<double>(rng.Below(1000)) / 100.0;
+  return r;
+}
+
+TEST(ReportsTest, RebuildReportToStringRoundTripsEveryCounter) {
+  Rng rng(EnvFaultSeed(13));
+  for (int i = 0; i < 200; ++i) {
+    const RebuildReport r = RandomRebuildReport(rng);
+    const std::string s = r.ToString();
+    EXPECT_EQ(Field(s, "segments"), r.segments_rebuilt) << s;
+    EXPECT_EQ(Field(s, "parity"), r.parity_rebuilt) << s;
+    EXPECT_EQ(Field(s, "unrecoverable"), r.segments_unrecoverable) << s;
+    EXPECT_EQ(Field(s, "pending"), r.segments_pending) << s;
+    EXPECT_EQ(Field(s, "bytes"), r.bytes_rewritten) << s;
+  }
+}
+
+TEST(ReportsTest, RebuildOutcomeMatchesDocumentedPredicate) {
+  Rng rng(EnvFaultSeed(17));
+  for (int i = 0; i < 500; ++i) {
+    const RebuildReport r = RandomRebuildReport(rng);
+    const RebuildReport::Outcome outcome = r.outcome();
+    if (r.segments_unrecoverable > 0) {
+      EXPECT_EQ(outcome, RebuildReport::Outcome::kDataLoss);
+    } else if (r.segments_pending > 0) {
+      EXPECT_EQ(outcome, RebuildReport::Outcome::kPartial);
+    } else if (r.segments_rebuilt > 0 || r.parity_rebuilt > 0) {
+      EXPECT_EQ(outcome, RebuildReport::Outcome::kRebuilt);
+    } else {
+      EXPECT_EQ(outcome, RebuildReport::Outcome::kIdle);
+    }
+  }
+}
+
+// ---- RecoveryReport ----------------------------------------------------------
+
+TEST(ReportsTest, RecoveryReportRoundTripsCoreAndConditionalSections) {
+  Rng rng(EnvFaultSeed(19));
+  for (int i = 0; i < 200; ++i) {
+    RecoveryReport r;
+    r.mode = static_cast<RecoveryMode>(rng.Below(4));
+    r.fallback_reason = static_cast<RecoveryFallback>(rng.Below(4));
+    r.summaries_scanned = rng.Below(500);
+    r.summaries_valid = rng.Below(500);
+    r.records_applied = rng.Below(10000);
+    r.records_dropped_uncommitted = rng.Below(10);
+    r.live_blocks = rng.Below(10000);
+    r.frames_loaded = rng.Below(3);
+    r.frames_dropped = rng.Below(2);
+    r.slots_rejected = rng.Below(2);
+    r.chain_segments = rng.Below(50);
+    r.summaries_corrupt = rng.Below(2);
+    r.summaries_unreadable = rng.Below(2);
+    r.stale_damage_tolerated = rng.Below(2);
+    r.retirements_completed = rng.Below(2);
+    r.parallel_scan = rng.Below(2) == 1;
+    r.scan_channels = r.parallel_scan ? 2 + rng.Below(6) : 1;
+
+    const std::string s = r.ToString();
+    EXPECT_NE(s.find(std::string("mode=") + ToString(r.mode)), std::string::npos) << s;
+    EXPECT_NE(s.find(std::string("fallback=") + ToString(r.fallback_reason)),
+              std::string::npos)
+        << s;
+    EXPECT_EQ(Field(s, "scanned"), r.summaries_scanned) << s;
+    EXPECT_EQ(Field(s, "valid"), r.summaries_valid) << s;
+    EXPECT_EQ(Field(s, "applied"), r.records_applied) << s;
+    EXPECT_EQ(Field(s, "dropped_uncommitted"), r.records_dropped_uncommitted) << s;
+    EXPECT_EQ(Field(s, "live_blocks"), r.live_blocks) << s;
+
+    // Checkpoint-chain and damage sections render exactly when they carry
+    // information, with every counter intact.
+    const bool chain = r.frames_loaded > 0 || r.frames_dropped > 0 || r.slots_rejected > 0;
+    EXPECT_EQ(HasField(s, "frames"), chain) << s;
+    if (chain) {
+      EXPECT_EQ(Field(s, "frames"), r.frames_loaded) << s;
+      EXPECT_EQ(Field(s, "frames_dropped"), r.frames_dropped) << s;
+      EXPECT_EQ(Field(s, "slots_rejected"), r.slots_rejected) << s;
+      EXPECT_EQ(Field(s, "chain_segments"), r.chain_segments) << s;
+    }
+    const bool damage = r.summaries_corrupt > 0 || r.summaries_unreadable > 0 ||
+                        r.stale_damage_tolerated > 0 || r.retirements_completed > 0;
+    EXPECT_EQ(HasField(s, "stale_tolerated"), damage) << s;
+    if (damage) {
+      EXPECT_EQ(Field(s, "corrupt"), r.summaries_corrupt) << s;
+      EXPECT_EQ(Field(s, "unreadable"), r.summaries_unreadable) << s;
+      EXPECT_EQ(Field(s, "retirements"), r.retirements_completed) << s;
+    }
+    if (r.parallel_scan) {
+      EXPECT_NE(s.find("scan=parallel@" + std::to_string(r.scan_channels)),
+                std::string::npos)
+          << s;
+    } else {
+      EXPECT_NE(s.find("scan=serial"), std::string::npos) << s;
+    }
+  }
+}
+
+TEST(ReportsTest, RecoveryEnumNamesAreTotal) {
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_STRNE(ToString(static_cast<RecoveryMode>(i)), "?");
+    EXPECT_STRNE(ToString(static_cast<RecoveryFallback>(i)), "?");
+  }
+}
+
+// ---- LatencyHistogram edge cases ---------------------------------------------
+
+TEST(ReportsTest, EmptyHistogramIsAllZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_ms(), 0.0);
+  EXPECT_EQ(h.MeanMs(), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(ReportsTest, SingleSampleAllQuantilesAgreeWithinBucketWidth) {
+  // Buckets are √2 wide, so the representative of the bucket holding x lies
+  // within [x/√2, x·√2] for any in-range x.
+  const double kSqrt2 = std::sqrt(2.0);
+  for (double x : {0.002, 0.04, 0.9, 8.5, 120.0, 4000.0}) {
+    LatencyHistogram h;
+    h.Add(x);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.total_ms(), x);
+    EXPECT_DOUBLE_EQ(h.MeanMs(), x);
+    const double q0 = h.Quantile(0.0);
+    EXPECT_EQ(q0, h.Quantile(0.5)) << x;
+    EXPECT_EQ(q0, h.Quantile(1.0)) << x;
+    EXPECT_GE(q0, x / kSqrt2) << x;
+    EXPECT_LE(q0, x * kSqrt2) << x;
+  }
+}
+
+TEST(ReportsTest, SaturatedSingleBucketIsExactOnEveryQuantile) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(5.0);  // All samples land in one bucket.
+  }
+  EXPECT_EQ(h.count(), 100000u);
+  const double rep = h.Quantile(0.5);
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), rep) << q;
+  }
+  EXPECT_DOUBLE_EQ(h.MeanMs(), 5.0);
+}
+
+TEST(ReportsTest, QuantilesAreMonotoneOverRandomSamples) {
+  Rng rng(EnvFaultSeed(23));
+  LatencyHistogram h;
+  for (int i = 0; i < 2000; ++i) {
+    // Log-uniform over ~6 decades, exercising many buckets.
+    const double ms = 0.001 * std::pow(10.0, static_cast<double>(rng.Below(6000)) / 1000.0);
+    h.Add(ms);
+  }
+  double prev = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double q = h.Quantile(static_cast<double>(i) / 100.0);
+    EXPECT_GE(q, prev) << "quantile regressed at q=" << i / 100.0;
+    prev = q;
+  }
+}
+
+TEST(ReportsTest, OutOfRangeSamplesAndQuantilesStayFinite) {
+  LatencyHistogram h;
+  h.Add(-5.0);                 // Clamped to zero.
+  h.Add(0.0);                  // Below the first bucket boundary.
+  h.Add(1e12);                 // Far beyond the last bucket: clamps to bucket 63.
+  EXPECT_EQ(h.count(), 3u);
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {  // Out-of-range q clamps too.
+    const double v = h.Quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << q;
+    EXPECT_GE(v, 0.0) << q;
+  }
+  // The overflow sample reads back as the last bucket's representative —
+  // huge but finite (≈ an hour), never inf/nan.
+  const double max = h.Quantile(1.0);
+  EXPECT_TRUE(std::isfinite(max));
+  EXPECT_GT(max, 1e6);
+  EXPECT_LT(max, 1e12);
+}
+
+TEST(ReportsTest, MeanTracksExactTotalsNotBuckets) {
+  // total_ms/MeanMs must be exact sums, unaffected by bucket quantization.
+  LatencyHistogram h;
+  double total = 0.0;
+  Rng rng(EnvFaultSeed(29));
+  for (int i = 0; i < 1000; ++i) {
+    const double ms = static_cast<double>(rng.Below(100000)) / 1000.0;
+    h.Add(ms);
+    total += ms;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.total_ms(), total, 1e-9);
+  EXPECT_NEAR(h.MeanMs(), total / 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ld
