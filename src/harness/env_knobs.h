@@ -15,6 +15,7 @@
 #include "src/disk/device_factory.h"
 #include "src/disk/qos.h"
 #include "src/lld/lld_maintenance.h"
+#include "src/lld/lld_options.h"
 
 namespace ld {
 
@@ -93,6 +94,26 @@ inline uint32_t EnvCheckpointInterval(uint32_t fallback) {
   }
   const long n = std::atol(v);
   return n >= 0 ? static_cast<uint32_t>(n) : fallback;
+}
+
+// LD_CLEANER_POLICY=greedy|cost_benefit: the segment cleaner's victim-
+// selection policy. Unset (or unrecognized) keeps the caller's default —
+// kGreedy, the legacy byte-identical policy — so the CI byte-identity step
+// can diff knob-unset against knob=greedy. Tests whose expectations depend
+// on one policy pin `LldOptions::cleaning_policy` explicitly instead.
+inline CleaningPolicy EnvCleaningPolicy(CleaningPolicy fallback) {
+  const char* v = std::getenv("LD_CLEANER_POLICY");
+  if (v == nullptr) {
+    return fallback;
+  }
+  const std::string_view s(v);
+  if (s == "greedy") {
+    return CleaningPolicy::kGreedy;
+  }
+  if (s == "cost_benefit") {
+    return CleaningPolicy::kCostBenefit;
+  }
+  return fallback;
 }
 
 // Per-file read-ahead toggle (LD_READAHEAD=0|1): the CI read-ahead matrix

@@ -30,6 +30,17 @@ void PrintDiskHealthStats(const std::string& label, const DiskStats& stats) {
       static_cast<unsigned long long>(stats.read_retries),
       static_cast<unsigned long long>(stats.write_retries),
       static_cast<unsigned long long>(stats.transient_recoveries));
+  // Write amplification and wear, when the device saw any media writes: how
+  // many bytes the media absorbed per user payload byte, and how evenly the
+  // segment programs spread across the volume.
+  if (stats.total_bytes_written > 0) {
+    std::printf(
+        "  %-24s user %.2f MB  media %.2f MB  WAF %.3f  segment writes %llu  max wear %llu\n",
+        "", static_cast<double>(stats.user_bytes_written) / (1024.0 * 1024.0),
+        static_cast<double>(stats.total_bytes_written) / (1024.0 * 1024.0), stats.Waf(),
+        static_cast<unsigned long long>(stats.segment_writes_total),
+        static_cast<unsigned long long>(stats.segment_wear_max));
+  }
   // On multi-channel devices a dead or dying channel shows up as one row's
   // error column towering over its peers — print the breakdown so the bench
   // output localizes the fault, not just counts it.

@@ -59,6 +59,7 @@ StatusOr<FsStack> MakeFsStack(BlockDevice* device, FsKind kind, const SetupParam
       lld_options.tenant = params.tenant;
       lld_options.checkpoint_interval_segments =
           EnvCheckpointInterval(lld_options.checkpoint_interval_segments);
+      lld_options.cleaning_policy = EnvCleaningPolicy(lld_options.cleaning_policy);
       const bool maint = EnvMaintenance(params.maintenance);
       MaintenanceOptions maint_options;
       if (maint) {
@@ -67,6 +68,9 @@ StatusOr<FsStack> MakeFsStack(BlockDevice* device, FsKind kind, const SetupParam
         // the device's idle detector can classify maintenance traffic.
         maint_options.tenant = params.tenant + 1;
         lld_options.rebuild_tenant = maint_options.tenant;
+        // Cleaning is maintenance too: its I/O bills to the background
+        // budget instead of whichever session tripped the free-pool check.
+        lld_options.cleaner_tenant = maint_options.tenant;
         lld_options.defer_checkpoint_frames = maint_options.checkpoint;
       }
       ASSIGN_OR_RETURN(s.lld, LogStructuredDisk::Format(device, lld_options));

@@ -173,6 +173,9 @@ StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Format(
     BlockDevice* device, const LldOptions& options) {
   std::unique_ptr<LogStructuredDisk> lld(new LogStructuredDisk(device, options));
   RETURN_IF_ERROR(lld->ComputeLayout());
+  if (DiskStats* ds = device->mutable_stats()) {
+    ds->ResetWearAccounting();  // Wear tracking is per LD session.
+  }
   RETURN_IF_ERROR(lld->WriteSuperblock());
   RETURN_IF_ERROR(lld->InvalidateCheckpoint());
   // Erase stale summaries so a reformat never resurrects old metadata.
@@ -197,6 +200,11 @@ StatusOr<std::unique_ptr<LogStructuredDisk>> LogStructuredDisk::Open(
   std::unique_ptr<LogStructuredDisk> lld(new LogStructuredDisk(device, options));
   RETURN_IF_ERROR(lld->ReadAndCheckSuperblock());
   RETURN_IF_ERROR(lld->RecoverState());
+  // Wear tracking is session-scoped (SegmentUsage::wear starts at zero in the
+  // fresh usage table), so the device-side mirror restarts with it.
+  if (DiskStats* ds = device->mutable_stats()) {
+    ds->ResetWearAccounting();
+  }
   return lld;
 }
 
@@ -494,6 +502,26 @@ Status LogStructuredDisk::FlushOpenSegmentFull() {
   open_max_stored_ = 0;
   dirty_since_flush_ = false;
   counters_.segments_written++;
+  NoteSegmentImageWrite(target);
+  // Superseded-in-ARU copies that lived in this buffer are now dead bytes in
+  // `target`: resolve their sentinels into real pins so the cleaner cannot
+  // recycle the segment before the owning units' commit records seal.
+  for (auto& shadow : aru_shadow_segments_) {
+    for (uint32_t& pinned : shadow.second) {
+      if (pinned == kOpenCopyPin) {
+        pinned = target;
+        usage_->PinAru(target);
+      }
+    }
+  }
+  // Commit records of ended ARUs rode this seal: their shadow pins can drop.
+  // Safe even while the write is still in flight — the cleaner waits for
+  // in-flight segment writes before it touches any victim, so the seal is
+  // durable by the time a formerly pinned segment could be recycled.
+  for (uint32_t pinned : aru_pins_awaiting_seal_) {
+    usage_->UnpinAru(pinned);
+  }
+  aru_pins_awaiting_seal_.clear();
   if (!options_.pipeline_segment_writes) {
     RETURN_IF_ERROR(WaitForInflight());
   }
@@ -561,6 +589,13 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
   scratch_segment_ = target;
   dirty_since_flush_ = false;
   counters_.partial_segments_written++;
+  NoteSegmentImageWrite(target);
+  // The partial image is durable (synchronous writes above), so commit
+  // records buffered before this flush are sealed: drop their shadow pins.
+  for (uint32_t pinned : aru_pins_awaiting_seal_) {
+    usage_->UnpinAru(pinned);
+  }
+  aru_pins_awaiting_seal_.clear();
   if (CheckpointingActive() && !ckpt_in_frame_write_) {
     const bool force = usage_->AllocatableCount() <
                        options_.segments_per_clean + static_cast<uint32_t>(MaxInflight()) + 2;
@@ -572,6 +607,15 @@ Status LogStructuredDisk::FlushOpenSegmentPartial() {
 }
 
 // ---- Helpers -------------------------------------------------------------------
+
+void LogStructuredDisk::NoteSegmentImageWrite(uint32_t segment) {
+  SegmentUsage& seg = usage_->segment(segment);
+  seg.wear++;
+  counters_.segment_images_written++;
+  if (DiskStats* ds = device_->mutable_stats()) {
+    ds->NoteSegmentWear(seg.wear);
+  }
+}
 
 void LogStructuredDisk::UpdateRecordAuthority(uint32_t segment,
                                               const std::vector<SummaryRecord>& records) {
@@ -614,8 +658,22 @@ void LogStructuredDisk::UpdateRecordAuthority(uint32_t segment,
 void LogStructuredDisk::ReleaseBlockSpace(const BlockMapEntry& entry) {
   if (entry.phys.IsOnDisk()) {
     usage_->RemoveLive(entry.phys.segment, entry.stored_size);
+    // Inside an ARU the on-disk copy is dead only if the unit commits: until
+    // the commit record is durable, recovery may roll back to it, so its
+    // segment must stay off the cleaner's victim list (see aru_shadow_segments_).
+    if (InAru()) {
+      usage_->PinAru(entry.phys.segment);
+      aru_shadow_segments_[current_aru_].push_back(entry.phys.segment);
+    }
   } else if (entry.phys.IsOpen()) {
     open_dead_bytes_ += entry.stored_size;
+    // Same hazard with the copy still in the open buffer: once a full seal
+    // writes it out as dead bytes, that segment must not be recycled before
+    // the unit commits durably. The segment number does not exist yet, so
+    // record a sentinel the seal resolves (see FlushOpenSegmentFull).
+    if (InAru()) {
+      aru_shadow_segments_[current_aru_].push_back(kOpenCopyPin);
+    }
   }
 }
 
@@ -1001,6 +1059,12 @@ Status LogStructuredDisk::Write(Bid bid, std::span<const uint8_t> data) {
   }
   counters_.user_writes++;
   counters_.user_bytes_written += data.size();
+  // Mirrored into the device stats so Waf() — total media bytes over user
+  // payload bytes — reads off one struct (same pattern as the buffer-cache
+  // counters).
+  if (DiskStats* ds = device_->mutable_stats()) {
+    ds->user_bytes_written += data.size();
+  }
 
   bool compress = false;
   if (options_.compressor != nullptr && list_table_.IsAllocated(entry->list)) {
@@ -1387,6 +1451,22 @@ Status LogStructuredDisk::EndConcurrentARU(AruId id) {
   }
   if (status.ok()) {
     counters_.arus_committed++;
+    // The commit record is buffered in the open segment; the shadow pins on
+    // the superseded copies' segments drain once the seal carrying it goes
+    // out (see FlushOpenSegment{Full,Partial}). On failure the pins are kept
+    // for the session, same as abandonment: recovery will drop the unit.
+    if (auto it = aru_shadow_segments_.find(id); it != aru_shadow_segments_.end()) {
+      for (uint32_t pinned : it->second) {
+        // Unresolved sentinels drop here: the copy and this commit record
+        // now share the open buffer, so no image can hold one without the
+        // other — there is no crash point where recovery rolls back to a
+        // copy the media lacks.
+        if (pinned != kOpenCopyPin) {
+          aru_pins_awaiting_seal_.push_back(pinned);
+        }
+      }
+      aru_shadow_segments_.erase(it);
+    }
   }
   return status;
 }

@@ -57,6 +57,14 @@ struct LldCounters {
   uint64_t segments_cleaned = 0;
   uint64_t blocks_cleaned = 0;
   uint64_t cleaner_bytes_copied = 0;
+  // Segment images programmed onto the media this session: full seals,
+  // partial (scratch) flushes, cleaner output, stripe parity images, and
+  // rebuild re-materializations. Each bumps exactly one segment's wear count
+  // (see SegmentUsage::wear), so this equals the usage table's total wear —
+  // the invariant the wear-histogram property tests check.
+  uint64_t segment_images_written = 0;
+  // Cleaner-written (cold-generation) segment images, a subset of the above.
+  uint64_t cold_segments_written = 0;
   uint64_t flushes = 0;
   uint64_t nvram_absorbed_flushes = 0;
   uint64_t arus_committed = 0;
@@ -411,6 +419,10 @@ class LogStructuredDisk : public LogicalDisk {
   }
   // Shared guard for every mutating entry point.
   Status CheckWritable() const;
+  // Wear accounting: a full or partial segment image was programmed into
+  // `segment`. Bumps the segment's wear count and mirrors it into the
+  // device's wear histogram (flash erase/rewrite accounting).
+  void NoteSegmentImageWrite(uint32_t segment);
   // Charges (de)compression CPU time to the simulated clock.
   void ChargeCompressCpu(uint64_t bytes);
   void ChargeListCpu();
@@ -688,6 +700,25 @@ class LogStructuredDisk : public LogicalDisk {
   // Units abandoned at runtime: their records must never be re-logged as
   // committed by the cleaner.
   std::unordered_set<uint32_t> abandoned_arus_;
+  // Shadow pins held per open ARU: segments whose (in-memory dead) copies
+  // are the last durably-committed versions of blocks this unit superseded
+  // or freed. Pinned segments are ineligible cleaner victims — recycling one
+  // and then crashing before the unit's commit record seals would destroy
+  // the copy recovery rolls back to. On commit the pins move to
+  // aru_pins_awaiting_seal_ (the commit record sits in the open segment
+  // buffer and is only durable once that image is on media); the next full
+  // or partial flush drains them. An abandoned unit's pins are kept for the
+  // rest of the session: its superseded copies stay authoritative for every
+  // future crash, and abandonment already demands a reopen.
+  // Sentinel in the lists above for a superseded copy that still lives in
+  // the *open* buffer: the full seal that writes the buffer out resolves it
+  // to the real segment and takes the pin then. Sentinels that survive to
+  // EndConcurrentARU need no pin at all — the copy and the unit's commit
+  // record share the open buffer from that point on, so any image that
+  // makes one durable makes both durable.
+  static constexpr uint32_t kOpenCopyPin = UINT32_MAX;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> aru_shadow_segments_;
+  std::vector<uint32_t> aru_pins_awaiting_seal_;
 
   uint64_t reserved_bytes_ = 0;
   bool shut_down_ = false;

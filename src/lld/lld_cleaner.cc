@@ -26,6 +26,42 @@
 
 namespace ld {
 
+namespace {
+
+// Stamps the cleaner's tenant id as the device request context for the
+// duration of a cleaning round, restoring the session tenant on destruction.
+// RAII because CleanSegments has many early exits and runs re-entrant inside
+// foreground writes — an unrestored context would misattribute every
+// subsequent foreground request. Inactive (no set_request_tenant call at
+// all) when no distinct cleaner tenant is configured, so single-tenant runs
+// are untouched.
+class CleanerTenantScope {
+ public:
+  CleanerTenantScope(BlockDevice* device, const LldOptions& options)
+      : device_(device),
+        restore_(options.tenant),
+        active_(options.cleaner_tenant != kDefaultTenant &&
+                options.cleaner_tenant != options.tenant) {
+    if (active_) {
+      device_->set_request_tenant(options.cleaner_tenant);
+    }
+  }
+  ~CleanerTenantScope() {
+    if (active_) {
+      device_->set_request_tenant(restore_);
+    }
+  }
+  CleanerTenantScope(const CleanerTenantScope&) = delete;
+  CleanerTenantScope& operator=(const CleanerTenantScope&) = delete;
+
+ private:
+  BlockDevice* device_;
+  TenantId restore_;
+  bool active_;
+};
+
+}  // namespace
+
 Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
                                         VictimDataRead* pending, uint32_t* ext_live) {
   const uint32_t sector = device_->sector_size();
@@ -167,7 +203,13 @@ Status LogStructuredDisk::HarvestVictim(uint32_t victim, CleanerBatch* batch,
         }
         break;
       case SummaryRecordType::kAruCommit:
-        break;  // Old ARU markers are dropped.
+        // A unit that straddled a seal left records tagged with its id in
+        // *other* segments; they stay tagged on media forever, and replay
+        // drops any tagged record whose commit marker it cannot find. So the
+        // marker must outlive the victim: re-log it (the authority rule does
+        // not apply — there is exactly one marker per unit, never refreshed).
+        batch->records.push_back(SummaryRecord::AruCommit(NextTs(), r.aru_id));
+        break;
       case SummaryRecordType::kSegmentParity:
         break;  // Described the dying segment image: dropped with it.
       case SummaryRecordType::kScrubIntent:
@@ -371,20 +413,31 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
       seg.ClearParity();
     }
     if (ext_used > 0) {
-      usage_->AddLive(static_cast<uint32_t>(target), ext_used, next_ts_);
+      // Re-logged metadata carries no data age: 0 leaves age_ts alone, so a
+      // record-only segment falls back to newest_ts in the scoring.
+      usage_->AddLiveAged(static_cast<uint32_t>(target), ext_used, next_ts_, 0);
     }
+    // Hot/cold generation split: everything in this image survived at least
+    // one cleaning pass, so the segment is tagged cold and each block keeps
+    // its *original* write timestamp as its age (read before the install
+    // overwrites it). Without the preservation, re-logging would make cold
+    // data look freshly written and cost-benefit would never stop recopying
+    // it.
+    seg.cold = true;
+    counters_.cold_segments_written++;
     UpdateRecordAuthority(static_cast<uint32_t>(target), records);
     for (const auto& r : records) {
       if (r.type != SummaryRecordType::kBlockEntry) {
         continue;
       }
       BlockMapEntry& e = block_map_.entry(r.bid);
+      const OpTimestamp age = e.write_ts;
       usage_->RemoveLive(e.phys.segment, e.stored_size);
       e.phys = PhysAddr{static_cast<uint32_t>(target), r.offset};
       e.write_ts = r.ts;
       e.payload_crc = r.payload_crc;
       e.has_payload_crc = r.has_payload_crc;
-      usage_->AddLive(static_cast<uint32_t>(target), r.stored_size, r.ts);
+      usage_->AddLiveAged(static_cast<uint32_t>(target), r.stored_size, r.ts, age);
     }
     // Frames cover cleaner-written segments like foreground ones; the next
     // frame is only written after this batch's Drain() barrier, so the
@@ -396,6 +449,7 @@ Status LogStructuredDisk::WriteCleanerBatch(CleanerBatch batch) {
     image_max_stored = 0;
     std::memset(buffer.data(), 0, buffer.size());
     counters_.segments_written++;
+    NoteSegmentImageWrite(static_cast<uint32_t>(target));
     return OkStatus();
   };
 
@@ -478,6 +532,11 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
   // durable before any segment holding superseded copies can be recycled.
   RETURN_IF_ERROR(WaitForInflight());
   cleaning_ = true;
+  // From here on the round's I/O — victim summary/data reads, copied-out
+  // segment writes — bills to the cleaner's QoS tenant (the maintenance
+  // tenant when the harness attached a scheduler), not to the foreground
+  // session that happened to trip the free-pool threshold.
+  CleanerTenantScope tenant_scope(device_, options_);
 
   // The cleaner writes copied state into fresh segments *before* freeing the
   // victims, so the batch's live bytes must fit the current free pool (minus
@@ -495,7 +554,6 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
   }
   const uint32_t writer_budget = free_now - 1;  // Segments the writer may consume.
   const uint32_t max_victims = std::max(count, 64u);
-  const uint64_t usable_summary = options_.summary_bytes / 2;  // Shared with block entries.
 
   CleanerBatch batch;
   std::vector<uint32_t> victims;
@@ -526,12 +584,20 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     }
     // Budget check: the writer must be able to hold the whole batch in the
     // current free pool (victims are only released after the batch is
-    // durable). Data fills segment data areas; re-logged metadata records
-    // fill summary areas.
+    // durable). Records are counted against the data area (they pack into
+    // summary tails first, so this over-reserves), and each image gives up
+    // one block of packing fragmentation plus the parity reservation. The
+    // one segment of slack for the user's next flush is already carved out
+    // of writer_budget — adding a second flat segment here double-reserves
+    // and leaves a two-free-segment pool unable to merge two half-dead
+    // victims into one output, the only move that lets it recover.
     const uint64_t victim_live = usage_->segment(static_cast<uint32_t>(victim)).live_bytes;
+    const uint64_t per_image_overhead =
+        static_cast<uint64_t>(options_.block_size) + ParityReserve(options_.block_size);
+    const uint64_t per_image =
+        per_image_overhead < data_capacity_ ? data_capacity_ - per_image_overhead : 1;
     const uint64_t expected_segments =
-        (batch_live + victim_live + data_capacity_ - 1) / data_capacity_ +
-        batch_record_bytes / usable_summary + 1;
+        (batch_live + victim_live + batch_record_bytes + per_image - 1) / per_image;
     if (!victims.empty() && expected_segments > writer_budget) {
       break;  // Keep the in-flight copy within the free pool.
     }
@@ -543,7 +609,6 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
         HarvestVictim(static_cast<uint32_t>(victim), &batch, &pending, &ext_live);
     if (!status.ok()) {
       usage_->segment(static_cast<uint32_t>(victim)).state = SegmentState::kFull;
-      fprintf(stderr, "TEMPDIAG clean exit harvest-fail\n");  // TEMP DIAG
       cleaning_ = false;
       return status;
     }
@@ -562,7 +627,6 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     }
   }
   if (victims.empty()) {
-      fprintf(stderr, "TEMPDIAG clean exit nospace\n");  // TEMP DIAG
     cleaning_ = false;
     return OkStatus();
   }
@@ -596,7 +660,6 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
       for (uint32_t v : victims) {
         usage_->segment(v).state = SegmentState::kFull;
       }
-      fprintf(stderr, "TEMPDIAG clean exit read-fail\n");  // TEMP DIAG
       cleaning_ = false;
       return failure;
     }
@@ -619,7 +682,6 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     for (uint32_t v : victims) {
       usage_->segment(v).state = SegmentState::kFull;
     }
-      fprintf(stderr, "TEMPDIAG clean exit dissolve-fail\n");  // TEMP DIAG
     cleaning_ = false;
     return dissolved_parity.status();
   }
@@ -638,6 +700,8 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     SegmentUsage& seg = usage_->segment(p);
     seg.state = SegmentState::kFree;
     seg.newest_ts = 0;
+    seg.age_ts = 0;
+    seg.cold = false;
     seg.ClearParity();
   }
   for (size_t i = 0; i < victims.size(); ++i) {
@@ -651,6 +715,8 @@ Status LogStructuredDisk::CleanSegments(uint32_t count) {
     seg.live_bytes = 0;
     seg.state = SegmentState::kFree;
     seg.newest_ts = 0;
+    seg.age_ts = 0;
+    seg.cold = false;
     seg.ClearParity();
     counters_.segments_cleaned++;
   }

@@ -12,8 +12,9 @@
 namespace ld {
 
 enum class CleaningPolicy {
-  kGreedy,       // Lowest live bytes first.
-  kCostBenefit,  // Sprite LFS cost-benefit: (1-u)*age / (1+u).
+  kGreedy,       // Lowest live bytes first (the legacy policy).
+  kCostBenefit,  // Sprite LFS cost-benefit: (1-u)*age / (1+u), on preserved
+                 // block ages, with cleaner output segregated as cold.
 };
 
 struct LldOptions {
@@ -46,7 +47,13 @@ struct LldOptions {
   // Segments cleaned per cleaner invocation.
   uint32_t segments_per_clean = 4;
 
-  CleaningPolicy cleaning_policy = CleaningPolicy::kCostBenefit;
+  // Victim-selection policy. kGreedy is the legacy default and is
+  // byte-identical to the pre-policy cleaner. kCostBenefit scores victims by
+  // (1-u)*age/(1+u) over *preserved* block write ages (the cleaner re-logs a
+  // block without refreshing its age) and marks cleaner-written segments as a
+  // cold generation, so data that survived a cleaning pass stops being
+  // recopied on every round. LD_CLEANER_POLICY selects it in the harness.
+  CleaningPolicy cleaning_policy = CleaningPolicy::kGreedy;
 
   // Fraction of data capacity that may hold live bytes before writes fail
   // with NO_SPACE; the remainder is cleaning headroom.
@@ -126,6 +133,14 @@ struct LldOptions {
   // can pace rebuild traffic as a low-weight tenant while foreground
   // requests keep flowing. Defaults to the session tenant (no distinction).
   TenantId rebuild_tenant = kDefaultTenant;
+
+  // Tenant id the segment cleaner stamps on its own I/O (victim reads and
+  // copied-out segment writes), so cleaning bills to a background QoS budget
+  // instead of the foreground session that happened to trigger it. The
+  // harness points this at the maintenance tenant when a MaintenanceScheduler
+  // is attached. kDefaultTenant means "the session tenant": no restamping at
+  // all, preserving single-tenant behaviour exactly.
+  TenantId cleaner_tenant = kDefaultTenant;
 
   // Incremental checkpointing (bounded recovery). 0 keeps the paper's
   // checkpoint-free normal operation: the only checkpoint is the clean-

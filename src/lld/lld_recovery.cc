@@ -1678,6 +1678,8 @@ Status LogStructuredDisk::RecoverFromLog(const LoadedChain* chain) {
       u.state = SegmentState::kParity;
       u.live_bytes = 0;
       u.newest_ts = 0;
+      u.age_ts = 0;
+      u.cold = false;
       StripeSet set;
       set.parity_segment = p;
       set.members = net.members;

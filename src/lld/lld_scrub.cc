@@ -368,6 +368,8 @@ StatusOr<ScrubReport> LogStructuredDisk::ScrubStep(uint32_t max_segments) {
     SegmentUsage& u = usage_->segment(p);
     u.state = SegmentState::kFree;
     u.newest_ts = 0;
+    u.age_ts = 0;
+    u.cold = false;
     u.ClearParity();
   }
   if (!suspects.empty()) {
@@ -394,6 +396,8 @@ StatusOr<ScrubReport> LogStructuredDisk::ScrubStep(uint32_t max_segments) {
       u.state = SegmentState::kFree;
       u.live_bytes = 0;
       u.newest_ts = 0;
+      u.age_ts = 0;
+      u.cold = false;
       u.seq = 0;
       u.ClearParity();
       // The next checkpoint frame must record the retirement, or chain

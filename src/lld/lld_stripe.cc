@@ -134,9 +134,12 @@ Status LogStructuredDisk::CommitStripe(StripeSet set, const std::vector<uint8_t>
   const uint32_t parity = set.parity_segment;
   RETURN_IF_ERROR(
       io_.Write(SegmentBaseByte(parity) / device_->sector_size(), parity_image));
+  NoteSegmentImageWrite(parity);
   SegmentUsage& seg = usage_->segment(parity);
   seg.state = SegmentState::kParity;
   seg.newest_ts = 0;
+  seg.age_ts = 0;
+  seg.cold = false;
   seg.ClearParity();
   counters_.stripes_formed++;
   // Queue the duplicate declaration for the next seal (see
@@ -817,6 +820,8 @@ StatusOr<RebuildReport> LogStructuredDisk::Rebuild(uint32_t max_segments) {
           SegmentUsage& pu = usage_->segment(p);
           pu.state = SegmentState::kFree;
           pu.newest_ts = 0;
+          pu.age_ts = 0;
+          pu.cold = false;
           pu.ClearParity();
         }
       } else if (!logged.ok()) {
@@ -831,6 +836,7 @@ StatusOr<RebuildReport> LogStructuredDisk::Rebuild(uint32_t max_segments) {
       requeue.push_back(seg);
       break;  // The spare is misbehaving; keep the rest queued for a retry.
     }
+    NoteSegmentImageWrite(seg);
     report.bytes_rewritten += image.size();
     if (is_parity) {
       report.parity_rebuilt++;

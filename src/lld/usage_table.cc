@@ -5,10 +5,18 @@
 namespace ld {
 
 void UsageTable::AddLive(uint32_t index, uint32_t bytes, OpTimestamp ts) {
+  AddLiveAged(index, bytes, ts, ts);
+}
+
+void UsageTable::AddLiveAged(uint32_t index, uint32_t bytes, OpTimestamp relog_ts,
+                             OpTimestamp age) {
   SegmentUsage& s = segments_[index];
   s.live_bytes += bytes;
-  if (ts > s.newest_ts) {
-    s.newest_ts = ts;
+  if (relog_ts > s.newest_ts) {
+    s.newest_ts = relog_ts;
+  }
+  if (age > s.age_ts) {
+    s.age_ts = age;
   }
 }
 
@@ -41,7 +49,7 @@ int64_t UsageTable::PickGreedy() const {
   uint32_t best_live = 0;
   for (uint32_t i = 0; i < segments_.size(); ++i) {
     const SegmentUsage& s = segments_[i];
-    if (s.state != SegmentState::kFull || !Harvestable(i)) {
+    if (s.state != SegmentState::kFull || s.aru_pins > 0 || !Harvestable(i)) {
       continue;
     }
     if (best < 0 || s.live_bytes < best_live) {
@@ -57,11 +65,12 @@ int64_t UsageTable::PickCostBenefit(uint32_t segment_capacity, OpTimestamp now) 
   double best_score = -1.0;
   for (uint32_t i = 0; i < segments_.size(); ++i) {
     const SegmentUsage& s = segments_[i];
-    if (s.state != SegmentState::kFull || !Harvestable(i)) {
+    if (s.state != SegmentState::kFull || s.aru_pins > 0 || !Harvestable(i)) {
       continue;
     }
     const double u = static_cast<double>(s.live_bytes) / segment_capacity;
-    const double age = static_cast<double>(now - (s.newest_ts < now ? s.newest_ts : now)) + 1.0;
+    const OpTimestamp basis = s.age_ts != 0 ? s.age_ts : s.newest_ts;
+    const double age = static_cast<double>(now - (basis < now ? basis : now)) + 1.0;
     const double score = (1.0 - u) * age / (1.0 + u);
     if (score > best_score) {
       best_score = score;

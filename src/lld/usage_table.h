@@ -27,6 +27,34 @@ struct SegmentUsage {
   OpTimestamp newest_ts = 0;  // Newest block timestamp written into it.
   uint64_t seq = 0;           // Sequence number of the summary written there.
 
+  // Newest *original* write timestamp among the live data — the age input of
+  // cost-benefit victim scoring. Foreground writes advance it together with
+  // newest_ts; the cleaner installs re-logged blocks with their source
+  // blocks' write timestamps instead of the relog timestamp, so data that
+  // survived a cleaning pass keeps looking old (and its segment keeps
+  // scoring as a cheap victim) rather than resetting to "just written".
+  // 0 = unknown; scoring falls back to newest_ts.
+  OpTimestamp age_ts = 0;
+
+  // Generation tag: set on segments written by the cleaner (their contents
+  // survived at least one cleaning pass — cold by definition), clear on
+  // foreground-written segments. Observability for the hot/cold split; the
+  // scoring itself reads the preserved ages above.
+  bool cold = false;
+
+  // Erase/rewrite wear: full or partial segment images programmed into this
+  // physical segment. In-memory and session-scoped (recovery restarts the
+  // count); mirrored into DiskStats' wear histogram by the LD layer.
+  uint32_t wear = 0;
+
+  // Shadow pins: copies in this segment that are dead in the in-memory map
+  // but still the *last durably-committed* version of their block — the
+  // superseding write (or free) belongs to an ARU whose commit record has
+  // not reached the media yet. The cleaner must not recycle the segment
+  // while any are held, or a crash before the commit seals would leave
+  // recovery rolling back to a copy that no longer exists.
+  uint32_t aru_pins = 0;
+
   // Parity-block geometry for the segment, mirrored from its kSegmentParity
   // summary record (and rebuilt from the summaries during recovery) so the
   // read path can reconstruct without re-reading the summary. has_parity is
@@ -52,7 +80,20 @@ class UsageTable {
   SegmentUsage& segment(uint32_t index) { return segments_[index]; }
   const SegmentUsage& segment(uint32_t index) const { return segments_[index]; }
 
+  // Shadow-pin bookkeeping (see SegmentUsage::aru_pins); pinned segments are
+  // excluded from victim selection until the pins drain.
+  void PinAru(uint32_t index) { segments_[index].aru_pins++; }
+  void UnpinAru(uint32_t index) {
+    if (segments_[index].aru_pins > 0) {
+      segments_[index].aru_pins--;
+    }
+  }
+
   void AddLive(uint32_t index, uint32_t bytes, OpTimestamp ts);
+  // Cleaner variant: the bytes were *re-logged* at `relog_ts` but were
+  // originally written at `age` — newest_ts advances to the relog time (it
+  // orders record authority) while age_ts only absorbs the preserved age.
+  void AddLiveAged(uint32_t index, uint32_t bytes, OpTimestamp relog_ts, OpTimestamp age);
   void RemoveLive(uint32_t index, uint32_t bytes);
 
   uint32_t FreeCount() const;
@@ -62,8 +103,9 @@ class UsageTable {
   int64_t PickGreedy() const;
 
   // Sprite LFS cost-benefit: maximize (1 - u) * age / (1 + u), with u the
-  // live fraction and age the inverse of newest_ts. `now` is the current
-  // operation timestamp.
+  // live fraction and age derived from the preserved write timestamps
+  // (age_ts, falling back to newest_ts for segments without one). `now` is
+  // the current operation timestamp.
   int64_t PickCostBenefit(uint32_t segment_capacity, OpTimestamp now) const;
 
   // Any free segment, or -1.

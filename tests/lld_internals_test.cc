@@ -341,6 +341,48 @@ TEST(UsageTableTest, LiveAccountingAndPicks) {
   EXPECT_EQ(table.PickCostBenefit(4096, 100), 0);
 }
 
+TEST(UsageTableTest, AddLiveAgedPreservesAgeWhileAdvancingNewest) {
+  UsageTable table(1);
+  table.segment(0).state = SegmentState::kFull;
+  // Cleaner relog at ts 90 of a block originally written at ts 10: record
+  // authority moves to 90, the age input stays 10.
+  table.AddLiveAged(0, 100, /*relog_ts=*/90, /*age=*/10);
+  EXPECT_EQ(table.segment(0).newest_ts, 90u);
+  EXPECT_EQ(table.segment(0).age_ts, 10u);
+  // Record-only bytes (age unknown = 0) advance newest_ts but leave the age.
+  table.AddLiveAged(0, 50, 95, 0);
+  EXPECT_EQ(table.segment(0).newest_ts, 95u);
+  EXPECT_EQ(table.segment(0).age_ts, 10u);
+  // A foreground write (AddLive) refreshes both.
+  table.AddLive(0, 10, 97);
+  EXPECT_EQ(table.segment(0).newest_ts, 97u);
+  EXPECT_EQ(table.segment(0).age_ts, 97u);
+}
+
+TEST(UsageTableTest, CostBenefitPrefersPreservedOldAgeAtEqualUtilization) {
+  UsageTable table(2);
+  table.segment(0).state = SegmentState::kFull;
+  table.segment(1).state = SegmentState::kFull;
+  // Identical live bytes and identical relog timestamps; only the preserved
+  // ages differ. Scoring must read the age, not the relog time — otherwise
+  // cleaner output always looks hot and gets recopied forever.
+  table.AddLiveAged(0, 1000, /*relog_ts=*/90, /*age=*/5);
+  table.AddLiveAged(1, 1000, /*relog_ts=*/90, /*age=*/80);
+  EXPECT_EQ(table.PickCostBenefit(4096, /*now=*/100), 0);
+}
+
+TEST(UsageTableTest, CostBenefitFallsBackToNewestWhenAgeUnknown) {
+  UsageTable table(2);
+  table.segment(0).state = SegmentState::kFull;
+  table.segment(1).state = SegmentState::kFull;
+  // Both segments carry only record bytes (age 0 = unknown): the fallback
+  // orders them by newest_ts, so the long-idle segment 0 wins.
+  table.AddLiveAged(0, 1000, /*relog_ts=*/10, /*age=*/0);
+  table.AddLiveAged(1, 1000, /*relog_ts=*/90, /*age=*/0);
+  EXPECT_EQ(table.segment(0).age_ts, 0u);
+  EXPECT_EQ(table.PickCostBenefit(4096, /*now=*/100), 0);
+}
+
 TEST(UsageTableTest, PicksSkipNonFullStates) {
   UsageTable table(3);
   table.segment(0).state = SegmentState::kScratch;

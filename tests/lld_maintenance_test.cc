@@ -502,5 +502,55 @@ TEST(LldMaintenanceTest, MaintenanceOnOffWorkloadByteIdentity) {
   }
 }
 
+// ---- Cleaner tenant attribution --------------------------------------------
+
+// With a dedicated cleaner tenant configured (the harness points it at the
+// maintenance tenant when a scheduler is attached), every device request a
+// cleaning round issues — victim summary and data reads, the copied-out
+// segment images — bills to that tenant's TenantStats, and none of it leaks
+// onto the foreground session's account. With the knob unset, cleaning stays
+// on the session tenant and no second tenant ever appears.
+TEST(LldMaintenanceTest, CleanerTrafficBillsToCleanerTenant) {
+  const auto clean_and_snapshot = [](bool dedicated, DiskStats* out) {
+    MaintRig rig(/*channels=*/1);  // Queued device: it keeps TenantStats.
+    LldOptions options = TestOptions();
+    if (dedicated) {
+      options.cleaner_tenant = 1;
+    }
+    auto lld = rig.Format(options);
+    auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+    ASSERT_TRUE(list.ok());
+    auto bids = FillBlocks(lld.get(), *list, 300);
+    // Kill half of each segment so cleaning has work.
+    for (uint32_t i = 0; i < 300; i += 2) {
+      ASSERT_TRUE(lld->Write(bids[i], Pattern(4096, 1000 + i)).ok());
+    }
+    ASSERT_TRUE(lld->Flush().ok());
+    rig.disk->ResetStats();
+    ASSERT_TRUE(lld->CleanSegments(lld->num_segments()).ok());
+    ASSERT_GT(lld->counters().segments_cleaned, 0u);
+    *out = rig.inner->stats();
+  };
+
+  DiskStats dedicated;
+  clean_and_snapshot(true, &dedicated);
+  ASSERT_GE(dedicated.tenant_count(), 2u);
+  EXPECT_GT(dedicated.tenant(1).read_ops, 0u);   // Victim harvest reads.
+  EXPECT_GT(dedicated.tenant(1).write_ops, 0u);  // Copied-out segment images.
+  EXPECT_GT(dedicated.tenant(1).sectors_written, 0u);
+  // The foreground session issued nothing between the stats reset and the
+  // end of the cleaning round — attribution must not charge it either.
+  EXPECT_EQ(dedicated.tenant(0).read_ops + dedicated.tenant(0).write_ops, 0u);
+
+  DiskStats shared;
+  clean_and_snapshot(false, &shared);
+  // Same round, knob unset: everything lands on the session tenant.
+  EXPECT_GT(shared.tenant(0).read_ops, 0u);
+  EXPECT_GT(shared.tenant(0).write_ops, 0u);
+  for (size_t i = 1; i < shared.tenant_count(); ++i) {
+    EXPECT_EQ(shared.tenant(i).read_ops + shared.tenant(i).write_ops, 0u) << i;
+  }
+}
+
 }  // namespace
 }  // namespace ld

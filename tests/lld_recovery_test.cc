@@ -1210,5 +1210,331 @@ TEST(LldRecoveryTest, RandomizedCrashDuringPacedRebuildSweep) {
   }
 }
 
+// Crash-during-clean sweep under the cost-benefit policy with its cold
+// generation and preserved ages: cleaning is logically invisible, so a power
+// cut after *any* cleaner device write (sometimes with a torn tail) must
+// recover exactly the pre-clean contents — byte-identical to the no-crash
+// shadow — with the list structure intact. No damage is injected beyond the
+// cut, so recovery must never refuse; the sweep runs to the first crash
+// index past the cleaner's last write, proving it covered every point.
+TEST(LldRecoveryTest, RandomizedCrashDuringCostBenefitCleanSweep) {
+  const uint64_t base_seed = EnvFaultSeed(42);
+  LldOptions options = TestOptions();
+  options.cleaning_policy = CleaningPolicy::kCostBenefit;
+  options.segments_per_clean = 3;
+
+  constexpr uint32_t kBlocks = 160;
+  bool clean_completed = false;
+  for (uint64_t crash_at = 1; !clean_completed; ++crash_at) {
+    ASSERT_LT(crash_at, 1500u) << "cleaning never ran to completion";
+    Rng rng(base_seed * 977 + crash_at);
+    CrashRig rig;
+    auto formatted = LogStructuredDisk::Format(rig.disk.get(), options);
+    ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+    auto lld = std::move(formatted).value();
+
+    // Deterministic workload (its RNG is fixed, independent of the crash
+    // index): fill, then skew overwrites 90/10 so victims span the whole
+    // utilization/age spectrum. Everything is flushed before the cleaner
+    // starts, so the expected content of block i is exactly Pattern(tags[i]).
+    std::vector<Bid> bids;
+    std::vector<uint32_t> tags;
+    auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+    ASSERT_TRUE(list.ok());
+    Bid pred = kBeginOfList;
+    for (uint32_t i = 0; i < kBlocks; ++i) {
+      auto bid = lld->NewBlock(*list, pred);
+      ASSERT_TRUE(bid.ok());
+      ASSERT_TRUE(lld->Write(*bid, Pattern(4096, i)).ok());
+      bids.push_back(*bid);
+      tags.push_back(i);
+      pred = *bid;
+    }
+    ASSERT_TRUE(lld->Flush().ok());
+    Rng wrng(911);
+    for (uint32_t w = 0; w < 500; ++w) {
+      const uint32_t pick = wrng.Chance(0.9)
+                                ? static_cast<uint32_t>(wrng.Below(kBlocks / 10))
+                                : static_cast<uint32_t>(wrng.Below(kBlocks));
+      tags[pick] = 5000 + w;
+      ASSERT_TRUE(lld->Write(bids[pick], Pattern(4096, tags[pick])).ok());
+    }
+    ASSERT_TRUE(lld->Flush().ok());
+
+    const int64_t torn = static_cast<int64_t>(rng.Below(4)) - 1;  // -1 (none) .. 2.
+    rig.disk->CrashAfterWrites(crash_at, torn <= 0 ? -1 : torn);
+    const Status clean = lld->CleanSegments(lld->num_segments());
+    if (clean.ok() && !rig.disk->crashed()) {
+      clean_completed = true;  // Crash index past the cleaner's last write.
+      EXPECT_GT(lld->counters().segments_cleaned, 0u) << "sweep exercised no cleaning";
+      EXPECT_GT(lld->counters().cold_segments_written, 0u);
+      rig.disk->CrashNow();  // Still recover from a cut at the very end.
+    } else if (!clean.ok()) {
+      ASSERT_TRUE(rig.disk->crashed()) << clean.ToString();
+    }
+
+    lld.reset();
+    rig.disk->ClearFault();
+    auto reopened = LogStructuredDisk::Open(rig.disk.get(), options);
+    ASSERT_TRUE(reopened.ok()) << "crash " << crash_at << ": "
+                               << reopened.status().ToString();
+    std::vector<uint8_t> out(4096);
+    for (uint32_t i = 0; i < kBlocks; ++i) {
+      ASSERT_TRUE((*reopened)->Read(bids[i], out).ok())
+          << "crash " << crash_at << " block " << i;
+      EXPECT_EQ(out, Pattern(4096, tags[i])) << "crash " << crash_at << " block " << i;
+    }
+    EXPECT_EQ(*(*reopened)->ListBlocks(*list), bids) << "crash " << crash_at;
+  }
+}
+
+// Directed regression for a cleaner/ARU interaction: a unit that straddles a
+// segment seal leaves records tagged with its id in one segment (s1) and its
+// commit marker in a later one (s2). Cleaning s2 used to drop the marker
+// ("old ARU markers are dropped"); once s2 was recycled, a crash made replay
+// treat the unit's surviving tagged records in s1 as uncommitted and roll
+// that half of the unit back while the other half — re-logged untagged by
+// the same cleaning pass — stayed applied. The test constructs exactly that
+// layout, steers greedy selection so the batch takes s2 but never s1,
+// recycles s2, crashes, and expects both halves of the unit to survive.
+TEST(LldRecoveryTest, CleaningMarkerSegmentKeepsStraddlingUnitCommitted) {
+  LldOptions options = TestOptions();
+  options.cleaning_policy = CleaningPolicy::kGreedy;
+
+  CrashRig rig;
+  auto formatted = LogStructuredDisk::Format(rig.disk.get(), options);
+  ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+  auto lld = std::move(formatted).value();
+
+  auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+  ASSERT_TRUE(list.ok());
+  Bid pred = kBeginOfList;
+  auto mkblock = [&]() {
+    auto bid = lld->NewBlock(*list, pred);
+    EXPECT_TRUE(bid.ok());
+    pred = *bid;
+    return *bid;
+  };
+  const Bid a = mkblock();
+  const Bid b = mkblock();
+  ASSERT_TRUE(lld->Write(a, Pattern(4096, 100)).ok());  // v0: the rollback copy.
+  ASSERT_TRUE(lld->Write(b, Pattern(4096, 200)).ok());
+  ASSERT_TRUE(lld->Flush().ok());
+
+  // One unit rewrites both blocks, padded so the open segment seals between
+  // them: a's new copy and its tagged record go out in s1 while the commit
+  // marker is still only buffered.
+  ASSERT_TRUE(lld->BeginARU().ok());
+  ASSERT_TRUE(lld->Write(a, Pattern(4096, 101)).ok());  // v1, inside the unit.
+  const uint64_t seals = lld->counters().segments_written;
+  for (int guard = 0; lld->counters().segments_written == seals; ++guard) {
+    ASSERT_LT(guard, 200) << "padding never sealed the open segment";
+    ASSERT_TRUE(lld->Write(mkblock(), Pattern(4096, 7)).ok());
+  }
+  ASSERT_TRUE(lld->Write(b, Pattern(4096, 201)).ok());  // v1, inside the unit.
+  ASSERT_TRUE(lld->EndARU().ok());
+  const uint32_t s1 = lld->block_map().entry(a).phys.segment;
+
+  // Pad until the segment holding b's copy and the commit marker (s2) seals.
+  std::vector<Bid> marker_pad;
+  const uint64_t seals2 = lld->counters().segments_written;
+  for (int guard = 0; lld->counters().segments_written == seals2; ++guard) {
+    ASSERT_LT(guard, 200) << "padding never sealed the marker segment";
+    const Bid p = mkblock();
+    ASSERT_TRUE(lld->Write(p, Pattern(4096, 8)).ok());
+    marker_pad.push_back(p);
+  }
+  const uint32_t s2 = lld->block_map().entry(b).phys.segment;
+  ASSERT_NE(s1, s2) << "unit did not straddle the seal";
+
+  // Deaden s2 down to b's 4 KB so greedy elects it first, and stage two
+  // sacrificial ~8 KB-live segments right behind it: the batch stops at its
+  // two-segments-net-gain target after taking them, leaving live-heavy s1
+  // (tagged records, rollback copy, pad blocks) untouched.
+  for (Bid p : marker_pad) {
+    if (lld->block_map().entry(p).phys.IsOnDisk() &&
+        lld->block_map().entry(p).phys.segment == s2) {
+      ASSERT_TRUE(lld->Write(p, Pattern(4096, 9)).ok());
+    }
+  }
+  std::vector<Bid> garbage;
+  for (int i = 0; i < 64; ++i) {
+    const Bid p = mkblock();
+    ASSERT_TRUE(lld->Write(p, Pattern(4096, 10)).ok());
+    garbage.push_back(p);
+  }
+  ASSERT_TRUE(lld->Flush().ok());
+  std::unordered_map<uint32_t, uint32_t> kept;
+  for (Bid p : garbage) {
+    const uint32_t seg = lld->block_map().entry(p).phys.segment;
+    if (kept[seg]++ >= 2) {
+      ASSERT_TRUE(lld->Write(p, Pattern(4096, 11)).ok());
+    }
+  }
+  ASSERT_TRUE(lld->Flush().ok());
+
+  ASSERT_TRUE(lld->CleanSegments(1).ok());
+  ASSERT_EQ(lld->usage_table().segment(s2).state, SegmentState::kFree)
+      << "cleaning did not take the marker segment";
+  ASSERT_NE(lld->usage_table().segment(s1).state, SegmentState::kFree)
+      << "cleaning took the tagged-record segment; the scenario needs it intact";
+
+  // Recycle s2 so its stale summary (and with it the only on-media copy of
+  // the commit marker, absent re-logging) is overwritten.
+  const uint64_t old_seq = lld->usage_table().segment(s2).seq;
+  for (int guard = 0; lld->usage_table().segment(s2).seq == old_seq; ++guard) {
+    ASSERT_LT(guard, 400) << "marker segment never recycled";
+    ASSERT_TRUE(lld->Write(mkblock(), Pattern(4096, 12)).ok());
+  }
+
+  rig.disk->CrashNow();
+  lld.reset();
+  rig.disk->ClearFault();
+  auto reopened = LogStructuredDisk::Open(rig.disk.get(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE((*reopened)->Read(a, out).ok());
+  EXPECT_EQ(out, Pattern(4096, 101))
+      << "committed unit rolled back: its commit marker died with the cleaned segment";
+  ASSERT_TRUE((*reopened)->Read(b, out).ok());
+  EXPECT_EQ(out, Pattern(4096, 201));
+}
+
+// Randomized companion to the directed test above: paired ARU writes with
+// *organic* cleaning (small disk, no explicit CleanSegments, no flushes),
+// asserting all-or-nothing per unit at every crash index in a sweep.
+TEST(LldRecoveryTest, CrashSweepKeepsCommittedUnitsAtomicUnderCleaning) {
+  const uint64_t base_seed = EnvFaultSeed(42);
+  LldOptions options = TestOptions();
+  options.cleaning_policy = CleaningPolicy::kGreedy;
+  options.segments_per_clean = 3;
+
+  constexpr uint32_t kBlocks = 160;
+  constexpr uint32_t kUnits = 600;      // Crash-free accumulation phase.
+  constexpr uint32_t kTailUnits = 150;  // Crash lands somewhere in these.
+  constexpr uint64_t kStride = 9;       // Sweep granularity; bounds runtime.
+  bool completed = false;
+  for (uint64_t crash_at = 1; !completed; crash_at += kStride) {
+    ASSERT_LT(crash_at, 30000u) << "unit workload never ran to completion";
+    Rng rng(base_seed * 1031 + crash_at);
+    // Small disk (~23 log segments) so the unit traffic wraps the log
+    // several times and the free pool forces cleaning mid-workload.
+    SimClock clock;
+    MemDisk mem((4ull << 20) / 512, 512, &clock);
+    FaultDisk disk(&mem);
+    auto formatted = LogStructuredDisk::Format(&disk, options);
+    ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+    auto lld = std::move(formatted).value();
+
+    // Base fill, flushed before the crash is armed. Per-block write history:
+    // (unit index, pattern tag) in write order; unit 0 is the base fill.
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> history(kBlocks);
+    std::vector<Bid> bids;
+    auto list = lld->NewList(kBeginOfListOfLists, ListHints{});
+    ASSERT_TRUE(list.ok());
+    Bid pred = kBeginOfList;
+    for (uint32_t i = 0; i < kBlocks; ++i) {
+      auto bid = lld->NewBlock(*list, pred);
+      ASSERT_TRUE(bid.ok());
+      ASSERT_TRUE(lld->Write(*bid, Pattern(4096, i)).ok());
+      bids.push_back(*bid);
+      history[i].push_back({0, i});
+      pred = *bid;
+    }
+    ASSERT_TRUE(lld->Flush().ok());
+
+    // Each unit pairs the "metadata" block 0 (written by every unit, like a
+    // tree root) with a 90/10-skewed data block. A unit that straddles a
+    // segment seal puts its tagged records and its commit marker in
+    // different segments; cleaning then separates their fates. Phase one
+    // runs kUnits units crash-free so such separations accumulate; the
+    // crash is armed only for the tail. The workload RNG is fixed: every
+    // crash index replays the identical unit sequence.
+    Rng wrng(4057);
+    bool crashed = false;
+    uint32_t u = 1;
+    auto run_units = [&](uint32_t until) {
+      for (; u <= until && !crashed; ++u) {
+        const uint32_t y = wrng.Chance(0.9)
+                               ? 1 + static_cast<uint32_t>(wrng.Below(15))
+                               : 1 + static_cast<uint32_t>(wrng.Below(kBlocks - 1));
+        const uint32_t tag = 10000 + u;
+        Status step = lld->BeginARU();
+        if (step.ok()) step = lld->Write(bids[0], Pattern(4096, tag));
+        if (step.ok()) step = lld->Write(bids[y], Pattern(4096, tag));
+        if (step.ok()) step = lld->EndARU();
+        if (!step.ok()) {
+          ASSERT_TRUE(disk.crashed())
+              << "crash " << crash_at << " unit " << u
+              << ": non-crash failure: " << step.ToString();
+          crashed = true;
+          break;
+        }
+        history[0].push_back({u, tag});
+        history[y].push_back({u, tag});
+      }
+    };
+    run_units(kUnits);
+    ASSERT_FALSE(crashed);
+    ASSERT_GT(lld->counters().segments_cleaned, 0u)
+        << "accumulation phase exercised no organic cleaning";
+
+    const int64_t torn = static_cast<int64_t>(rng.Below(4)) - 1;  // -1 (none) .. 2.
+    disk.CrashAfterWrites(crash_at, torn <= 0 ? -1 : torn);
+    run_units(kUnits + kTailUnits);
+    if (!crashed) {
+      completed = true;
+      EXPECT_GT(lld->counters().segments_cleaned, 0u)
+          << "sweep exercised no organic cleaning";
+      disk.CrashNow();  // Still recover from a cut at the very end.
+    } else {
+      ASSERT_TRUE(disk.crashed());
+    }
+
+    lld.reset();
+    disk.ClearFault();
+    auto reopened = LogStructuredDisk::Open(&disk, options);
+    ASSERT_TRUE(reopened.ok()) << "crash " << crash_at << ": "
+                               << reopened.status().ToString();
+
+    // Which unit's write did each block recover to?
+    std::vector<uint32_t> recovered(kBlocks);
+    std::vector<uint8_t> out(4096);
+    uint32_t frontier = 0;  // Latest unit visible anywhere after replay.
+    for (uint32_t i = 0; i < kBlocks; ++i) {
+      ASSERT_TRUE((*reopened)->Read(bids[i], out).ok())
+          << "crash " << crash_at << " block " << i;
+      bool found = false;
+      for (auto it = history[i].rbegin(); it != history[i].rend(); ++it) {
+        if (out == Pattern(4096, it->second)) {
+          recovered[i] = it->first;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "crash " << crash_at << " block " << i
+                         << ": recovered content matches no version ever written";
+      frontier = std::max(frontier, recovered[i]);
+    }
+
+    // All-or-nothing: commit markers are buffered and sealed in unit order,
+    // so if any effect of unit `frontier` survived, every unit before it
+    // committed durably too — each block must show its last writer at or
+    // below the frontier, never an older version.
+    for (uint32_t i = 0; i < kBlocks; ++i) {
+      uint32_t expected = 0;
+      for (const auto& [unit, tag] : history[i]) {
+        if (unit <= frontier) {
+          expected = unit;
+        }
+      }
+      EXPECT_EQ(recovered[i], expected)
+          << "crash " << crash_at << " block " << i << ": unit " << expected
+          << " committed (frontier " << frontier
+          << ") but the block rolled back to unit " << recovered[i];
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ld

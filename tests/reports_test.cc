@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
 
+#include "src/disk/block_device.h"
 #include "src/disk/qos.h"
 #include "src/lld/reports.h"
 #include "src/util/random.h"
@@ -299,6 +301,100 @@ TEST(ReportsTest, MeanTracksExactTotalsNotBuckets) {
   EXPECT_EQ(h.count(), 1000u);
   EXPECT_NEAR(h.total_ms(), total, 1e-9);
   EXPECT_NEAR(h.MeanMs(), total / 1000.0, 1e-9);
+}
+
+// ---- Write-amplification and wear accounting (DiskStats) -------------------
+
+TEST(ReportsTest, WafIsZeroWithoutUserBytesAndExactRatioOtherwise) {
+  DiskStats stats;
+  EXPECT_EQ(stats.Waf(), 0.0);  // No user traffic yet: ratio undefined, report 0.
+  stats.total_bytes_written = 4096;
+  EXPECT_EQ(stats.Waf(), 0.0);  // Pure overhead (format) still has no user bytes.
+  stats.user_bytes_written = 4096;
+  stats.total_bytes_written = 10240;
+  EXPECT_NEAR(stats.Waf(), 2.5, 1e-12);
+}
+
+TEST(ReportsTest, WearHistogramMovesSegmentsBetweenBuckets) {
+  DiskStats stats;
+  // Segment A programmed three times, segment B once: one segment sits at
+  // wear 3, one at wear 1, and the weighted sum recounts all four programs.
+  stats.NoteSegmentWear(1);  // A: 0 -> 1
+  stats.NoteSegmentWear(2);  // A: 1 -> 2
+  stats.NoteSegmentWear(3);  // A: 2 -> 3
+  stats.NoteSegmentWear(1);  // B: 0 -> 1
+  EXPECT_EQ(stats.wear_histogram[0], 1u);
+  EXPECT_EQ(stats.wear_histogram[1], 0u);
+  EXPECT_EQ(stats.wear_histogram[2], 1u);
+  EXPECT_EQ(stats.segment_writes_total, 4u);
+  EXPECT_EQ(stats.segment_wear_max, 3u);
+}
+
+TEST(ReportsTest, WearHistogramInvariantsOverRandomProgramSequences) {
+  // Property: after any interleaving of per-segment program sequences (each
+  // segment's wear reported as 1, 2, 3, ... in order, as the LD layer does),
+  // the histogram population equals the number of segments touched, the
+  // weighted sum equals the total programs, and the max matches — as long as
+  // no segment's wear clamps into the overflow bucket.
+  Rng rng(EnvFaultSeed(31));
+  DiskStats stats;
+  constexpr size_t kSegments = 40;
+  uint32_t wear[kSegments] = {};
+  uint64_t programs = 0;
+  for (int step = 0; step < 400; ++step) {
+    const size_t seg = rng.Below(kSegments);
+    if (wear[seg] >= DiskStats::kWearBuckets) {
+      continue;  // Keep every segment below the clamp.
+    }
+    stats.NoteSegmentWear(++wear[seg]);
+    programs++;
+  }
+  uint64_t population = 0, weighted = 0, expect_max = 0, expect_pop = 0;
+  for (size_t b = 0; b < DiskStats::kWearBuckets; ++b) {
+    population += stats.wear_histogram[b];
+    weighted += (b + 1) * stats.wear_histogram[b];
+  }
+  for (size_t s = 0; s < kSegments; ++s) {
+    expect_pop += wear[s] > 0 ? 1 : 0;
+    expect_max = std::max<uint64_t>(expect_max, wear[s]);
+  }
+  EXPECT_EQ(population, expect_pop);
+  EXPECT_EQ(weighted, programs);
+  EXPECT_EQ(stats.segment_writes_total, programs);
+  EXPECT_EQ(stats.segment_wear_max, expect_max);
+}
+
+TEST(ReportsTest, WearHistogramClampsDeepWearIntoLastBucket) {
+  DiskStats stats;
+  for (uint32_t w = 1; w <= 40; ++w) {
+    stats.NoteSegmentWear(w);
+  }
+  // Every program counted; the single segment occupies only the last bucket.
+  EXPECT_EQ(stats.segment_writes_total, 40u);
+  EXPECT_EQ(stats.segment_wear_max, 40u);
+  uint64_t population = 0;
+  for (size_t b = 0; b < DiskStats::kWearBuckets; ++b) {
+    population += stats.wear_histogram[b];
+  }
+  EXPECT_EQ(population, 1u);
+  EXPECT_EQ(stats.wear_histogram[DiskStats::kWearBuckets - 1], 1u);
+}
+
+TEST(ReportsTest, ResetWearAccountingZeroesOnlyWearFields) {
+  DiskStats stats;
+  stats.user_bytes_written = 100;
+  stats.total_bytes_written = 200;
+  stats.NoteSegmentWear(1);
+  stats.NoteSegmentWear(2);
+  stats.ResetWearAccounting();
+  EXPECT_EQ(stats.segment_writes_total, 0u);
+  EXPECT_EQ(stats.segment_wear_max, 0u);
+  for (size_t b = 0; b < DiskStats::kWearBuckets; ++b) {
+    EXPECT_EQ(stats.wear_histogram[b], 0u);
+  }
+  // The byte counters are lifetime-of-device, not per LD session.
+  EXPECT_EQ(stats.user_bytes_written, 100u);
+  EXPECT_EQ(stats.total_bytes_written, 200u);
 }
 
 }  // namespace
